@@ -1,0 +1,58 @@
+// Ablation — segment-level caching (paper §III-E: "to ensure an even
+// load-distribution among HVAC servers for datasets with highly
+// skewed file sizes, segment-level caching can be implemented").
+// Quantifies byte-load imbalance of whole-file vs segmented placement
+// on increasingly skewed file-size populations.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "core/placement.h"
+#include "core/segment.h"
+#include "workload/dataset_spec.h"
+
+int main() {
+  using namespace hvac;
+  bench::print_header(
+      "Ablation — segment-level caching vs whole-file placement",
+      "Byte load balance (Gini, max/mean) across 256 servers; 20k "
+      "files; 8 MiB segments.");
+
+  constexpr uint32_t kServers = 256;
+  constexpr uint64_t kSegment = 8u << 20;
+  core::Placement placement(kServers);
+
+  std::printf("%10s | %12s %12s | %12s %12s\n", "skew", "whole Gini",
+              "whole max/µ", "seg Gini", "seg max/µ");
+  for (const double sigma : {0.0, 0.6, 1.2, 1.8, 2.4}) {
+    const auto spec = workload::synthetic_small(20000, 4u << 20, sigma);
+    std::vector<double> whole(kServers, 0.0), segmented(kServers, 0.0);
+    for (uint64_t f = 0; f < spec.num_files; ++f) {
+      const std::string path = workload::dataset_file_path(spec, f);
+      const uint64_t size = spec.file_size(f);
+      whole[placement.home(path)] += double(size);
+      const uint64_t segs = core::segment_count(size, kSegment);
+      for (uint64_t s = 0; s < segs; ++s) {
+        const uint64_t seg_bytes =
+            std::min<uint64_t>(kSegment, size - s * kSegment);
+        segmented[placement.home(core::segment_key(path, s))] +=
+            double(seg_bytes);
+      }
+    }
+    auto max_over_mean = [](const std::vector<double>& v) {
+      double sum = 0, mx = 0;
+      for (double x : v) {
+        sum += x;
+        mx = std::max(mx, x);
+      }
+      return mx / (sum / double(v.size()));
+    };
+    std::printf("%9.1fσ | %12.4f %12.2f | %12.4f %12.2f\n", sigma,
+                gini(whole), max_over_mean(whole), gini(segmented),
+                max_over_mean(segmented));
+  }
+  std::printf("\n(segmentation keeps byte load near-uniform even under "
+              "heavy size skew, at the cost of per-segment keys)\n");
+  return 0;
+}

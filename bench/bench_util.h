@@ -1,0 +1,68 @@
+// Shared helpers for the figure-regeneration benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/dl_job.h"
+#include "sim/summit_config.h"
+#include "workload/dataset_spec.h"
+
+namespace hvac::bench {
+
+// Dataset scale that gives each rank ~`batches_per_rank` batches per
+// epoch (bounds the event count while keeping quantization noise
+// negligible). Reported times are scaled back by the same factor, so
+// results across node counts remain comparable full-dataset
+// estimates.
+inline uint64_t adaptive_scale(const workload::AppSpec& app, uint32_t nodes,
+                               uint64_t batches_per_rank = 16) {
+  const uint64_t world = uint64_t(nodes) * app.procs_per_node;
+  const uint64_t want = world * app.batch_size * batches_per_rank;
+  return std::max<uint64_t>(1, app.dataset.num_files / std::max<uint64_t>(
+                                                           want, 1));
+}
+
+inline sim::DlJobResult run_point(const sim::SummitConfig& cfg,
+                                  const workload::AppSpec& app,
+                                  uint32_t nodes,
+                                  const std::string& backend,
+                                  uint32_t epochs = 0,
+                                  uint32_t batch_size = 0,
+                                  uint64_t batches_per_rank = 16) {
+  sim::DlJobConfig job;
+  job.app = app;
+  if (batch_size != 0) {
+    // Per-sample compute cost is a property of the model, not the
+    // batch size: rescale the per-batch figure.
+    job.app.compute_seconds_per_batch = app.compute_seconds_per_batch *
+                                        double(batch_size) /
+                                        double(app.batch_size);
+    job.app.batch_size = batch_size;
+  }
+  job.nodes = nodes;
+  job.epochs_override = epochs;
+  job.dataset_scale = adaptive_scale(job.app, nodes, batches_per_rank);
+  return sim::run_dl_job(cfg, job, backend);
+}
+
+inline const std::vector<std::string>& all_systems() {
+  static const std::vector<std::string> systems{
+      "GPFS", "HVAC(1x1)", "HVAC(2x1)", "HVAC(4x1)", "XFS"};
+  return systems;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& caption) {
+  std::printf("==================================================="
+              "===========================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", caption.c_str());
+  std::printf("==================================================="
+              "===========================\n");
+}
+
+}  // namespace hvac::bench

@@ -1,0 +1,36 @@
+// Fig 10 — effect of the number of epochs on training time for
+// ResNet50 (a) and CosmoFlow (b) at 512 nodes. Paper shape: all
+// systems grow ~linearly in epochs; HVAC's advantage over GPFS grows
+// with epoch count because only epoch 1 touches the PFS.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace hvac;
+  const sim::SummitConfig cfg = sim::summit_defaults();
+  constexpr uint32_t kNodes = 512;
+
+  for (const auto& app : {workload::resnet50(), workload::cosmoflow()}) {
+    bench::print_header(
+        "Fig 10 — Training time (min) vs epochs: " + app.name,
+        "nNodes=512, BS=" + std::to_string(app.batch_size) + ".");
+    std::printf("%8s", "epochs");
+    for (const auto& sys : bench::all_systems()) {
+      std::printf(" %12s", sys.c_str());
+    }
+    std::printf("\n");
+    for (uint32_t epochs : {2, 4, 8, 16, 32, 64, 80}) {
+      std::printf("%8u", epochs);
+      for (const auto& sys : bench::all_systems()) {
+        const auto r = bench::run_point(cfg, app, kNodes, sys, epochs,
+                                        /*batch_size=*/0,
+                                        /*batches_per_rank=*/8);
+        std::printf(" %12.1f", r.total_seconds / 60.0);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig 12 — impact of batch size (4 -> 128) on training time for
+// TResNet_M (a) and DeepCAM (b) at 512 nodes. Paper finding: only a
+// slight (2-4%) improvement from bigger batches — fewer round trips,
+// same bytes — and the trend holds for GPFS, HVAC and XFS alike.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace hvac;
+  const sim::SummitConfig cfg = sim::summit_defaults();
+  constexpr uint32_t kNodes = 512;
+
+  for (const auto& app : {workload::tresnet_m(), workload::deepcam()}) {
+    bench::print_header(
+        "Fig 12 — Training time (min) vs batch size: " + app.name,
+        "nNodes=512, Eps=10.");
+    std::printf("%8s", "BS");
+    for (const auto& sys : bench::all_systems()) {
+      std::printf(" %12s", sys.c_str());
+    }
+    std::printf("\n");
+    for (uint32_t bs : {4, 8, 16, 32, 64, 128}) {
+      // run_point holds per-sample compute constant as BS varies.
+      std::printf("%8u", bs);
+      for (const auto& sys : bench::all_systems()) {
+        const auto r = bench::run_point(cfg, app, kNodes, sys,
+                                        /*epochs=*/10, bs,
+                                        /*batches_per_rank=*/8);
+        std::printf(" %12.1f", r.total_seconds / 60.0);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig 13 — impact of the local/remote cache split on HVAC(1x1) at
+// 512 nodes: the dataset residency is forced to L% on the requesting
+// node and R% on remote nodes. Paper finding: negligible difference —
+// Mercury bulk transfers over the fat InfiniBand make remote NVMe
+// almost as close as local NVMe.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace hvac;
+  const sim::SummitConfig cfg = sim::summit_defaults();
+  workload::AppSpec app = workload::resnet50();
+  app.batch_size = 80;  // paper caption: BS=80
+
+  bench::print_header(
+      "Fig 13 — Training time (min) vs cache locality split, HVAC(1x1)",
+      "BS=80, nNodes=512. L%/R% = dataset fraction on local/remote "
+      "nodes.");
+
+  std::printf("%16s %16s\n", "L% / R%", "training (min)");
+  double t_local = 0, t_remote = 0;
+  for (const double local_fraction : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    sim::DlJobConfig job;
+    job.app = app;
+    job.nodes = 512;
+    job.epochs_override = 10;
+    job.dataset_scale = bench::adaptive_scale(job.app, job.nodes, 8);
+    sim::HvacSimOptions options;
+    options.instances_per_node = 1;
+    options.forced_local_fraction = local_fraction;
+    const auto r = sim::run_dl_job(cfg, job, "HVAC", &options);
+    std::printf("%8.0f%% / %3.0f%% %16.1f\n", local_fraction * 100,
+                (1 - local_fraction) * 100, r.total_seconds / 60.0);
+    if (local_fraction == 1.0) t_local = r.total_seconds;
+    if (local_fraction == 0.0) t_remote = r.total_seconds;
+    std::fflush(stdout);
+  }
+  std::printf("\n100%% remote vs 100%% local penalty: %.1f%% "
+              "(paper: negligible)\n",
+              100.0 * (t_remote / t_local - 1.0));
+  return 0;
+}

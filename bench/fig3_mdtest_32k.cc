@@ -1,0 +1,32 @@
+// Fig 3 — MDTest: transactions/second for 32 KB random file
+// open-read-close on Summit, GPFS vs XFS-on-NVMe, scaling nodes.
+// Paper shape: XFS grows ~linearly with node count; GPFS plateaus at
+// the metadata service rate.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/mdtest.h"
+
+int main() {
+  using namespace hvac;
+  bench::print_header(
+      "Fig 3 — MDTest 32KB open-read-close transactions/s",
+      "GPFS saturates on metadata; node-local XFS scales with nodes.");
+
+  const sim::SummitConfig cfg = sim::summit_defaults();
+  std::printf("%8s %16s %16s %10s\n", "nodes", "GPFS tx/s",
+              "XFS-on-NVMe tx/s", "XFS/GPFS");
+  for (uint32_t nodes : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    sim::MdTestConfig test;
+    test.nodes = nodes;
+    test.file_bytes = 32 * 1024;
+    test.transactions_per_rank = 60;
+    const double gpfs =
+        run_mdtest(cfg, test, "GPFS").transactions_per_second;
+    const double xfs =
+        run_mdtest(cfg, test, "XFS").transactions_per_second;
+    std::printf("%8u %16.0f %16.0f %9.1fx\n", nodes, gpfs, xfs,
+                xfs / gpfs);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig 8(a-d) — training time (minutes) vs number of compute nodes for
+// the four DL applications, comparing GPFS, HVAC(1x1/2x1/4x1) and
+// XFS-on-NVMe. 10 epochs, 2 training processes per node (the paper's
+// setup). Paper shape: GPFS stops scaling (metadata wall, even
+// regressing past ~450 nodes); all HVAC variants scale like XFS with
+// a small constant overhead.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace hvac;
+  const sim::SummitConfig cfg = sim::summit_defaults();
+  const std::vector<workload::AppSpec> apps = {
+      workload::resnet50(), workload::tresnet_m(), workload::cosmoflow(),
+      workload::deepcam()};
+  const std::vector<uint32_t> node_counts = {1,   32,  64,  128,
+                                             256, 512, 1024};
+
+  bench::print_header(
+      "Fig 8 — Training time (min) vs nodes, 4 DL applications",
+      "10 epochs, 2 procs/node. Columns: GPFS, HVAC(1x1), HVAC(2x1), "
+      "HVAC(4x1), XFS-on-NVMe.");
+
+  for (const auto& app : apps) {
+    std::printf("\n(%s)  [BS=%u, Eps=10, nProcs/node=2]\n",
+                app.name.c_str(), app.batch_size);
+    std::printf("%7s", "nodes");
+    for (const auto& sys : bench::all_systems()) {
+      std::printf(" %12s", sys.c_str());
+    }
+    std::printf("\n");
+    for (uint32_t nodes : node_counts) {
+      std::printf("%7u", nodes);
+      for (const auto& sys : bench::all_systems()) {
+        const auto r = bench::run_point(cfg, app, nodes, sys,
+                                        /*epochs=*/10, /*batch_size=*/0,
+                                        /*batches_per_rank=*/8);
+        std::printf(" %12.1f", r.total_seconds / 60.0);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

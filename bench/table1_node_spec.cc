@@ -1,0 +1,17 @@
+// Table I — the Summit compute-node specification as configured in
+// the simulator, plus the calibration constants derived from the
+// paper's own numbers.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/summit_config.h"
+
+int main() {
+  hvac::bench::print_header(
+      "TABLE I (reproduction)",
+      "Summit compute-node specification backing every simulated "
+      "experiment.");
+  std::printf("%s\n", hvac::sim::table1_string(
+                          hvac::sim::summit_defaults()).c_str());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// mdtest_tool — a functional MDTest-like benchmark (paper §II-C):
+// random <open-read-close> transactions against a real directory,
+// either direct (optionally with GPFS-like throttling) or through a
+// live HVAC allocation. Reports transactions/second.
+//
+//   $ ./examples/mdtest_tool [files] [file_bytes] [transactions] [mode]
+//     mode: direct | gpfs | hvac
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "client/hvac_client.h"
+#include "common/rng.h"
+#include "server/node_runtime.h"
+#include "storage/pfs_backend.h"
+#include "workload/file_tree.h"
+
+using namespace hvac;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t files = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+  const uint64_t bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                  : 32 * 1024;
+  const uint64_t txns = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 256;
+  const std::string mode = argc > 4 ? argv[4] : "hvac";
+
+  const std::string pfs_root = "/tmp/hvac_mdtest/pfs";
+  auto tree = workload::generate_tree(
+      pfs_root, workload::synthetic_small(files, bytes, /*sigma=*/0.0));
+  if (!tree.ok()) return 1;
+
+  SplitMix64 rng(0x6d64);
+  std::vector<uint8_t> buf(1 << 16);
+  double t0 = 0, t1 = 0;
+
+  if (mode == "direct" || mode == "gpfs") {
+    storage::PfsOptions options;  // "direct": unthrottled = XFS-on-NVMe
+    if (mode == "gpfs") options = storage::gpfs_like_options();
+    storage::PfsBackend pfs(pfs_root, options);
+    t0 = now_seconds();
+    for (uint64_t t = 0; t < txns; ++t) {
+      const uint64_t idx = rng.next_below(files);
+      auto data = pfs.read_all(tree->relative_paths[idx]);
+      if (!data.ok()) return 1;
+    }
+    t1 = now_seconds();
+  } else {
+    server::NodeRuntimeOptions o;
+    o.pfs_root = pfs_root;
+    o.cache_root = "/tmp/hvac_mdtest/cache";
+    o.instances = 2;
+    o.pfs_options = storage::gpfs_like_options();
+    server::NodeRuntime node(o);
+    if (!node.start().ok()) return 1;
+
+    client::HvacClientOptions copts;
+    copts.dataset_dir = pfs_root;
+    copts.server_endpoints = node.endpoints();
+    client::HvacClient client(copts);
+
+    t0 = now_seconds();
+    for (uint64_t t = 0; t < txns; ++t) {
+      const uint64_t idx = rng.next_below(files);
+      auto fd = client.open(pfs_root + "/" + tree->relative_paths[idx]);
+      if (!fd.ok()) return 1;
+      for (;;) {
+        auto n = client.read(*fd, buf.data(), buf.size());
+        if (!n.ok()) return 1;
+        if (*n == 0) break;
+      }
+      if (!client.close(*fd).ok()) return 1;
+    }
+    t1 = now_seconds();
+    std::printf("%s\n", node.aggregated_metrics().to_string().c_str());
+    node.stop();
+  }
+
+  std::printf("mode=%s files=%lu size=%lu B transactions=%lu\n",
+              mode.c_str(), (unsigned long)files, (unsigned long)bytes,
+              (unsigned long)txns);
+  std::printf("elapsed %.3f s -> %.0f transactions/s\n", t1 - t0,
+              double(txns) / (t1 - t0));
+  return 0;
+}

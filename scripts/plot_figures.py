@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Render paper-style figures from bench_output.txt.
+
+Usage:
+    for b in build/bench/*; do $b; done | tee bench_output.txt
+    python3 scripts/plot_figures.py bench_output.txt out/
+
+Parses the fixed-width tables the fig* benches print and emits one PNG
+per figure (matplotlib required; the script degrades to CSV dumps when
+it is unavailable). This is a convenience for eyeballing shapes against
+the paper's plots — the tables themselves are the ground truth.
+"""
+import os
+import re
+import sys
+
+
+def parse_sections(path):
+    """Splits bench output into {bench_name: [lines]}."""
+    sections = {}
+    name = None
+    with open(path) as f:
+        for line in f:
+            m = re.match(r"^===== (\S+) =====", line)
+            if m:
+                name = m.group(1)
+                sections[name] = []
+            elif name is not None:
+                sections[name].append(line.rstrip("\n"))
+    return sections
+
+
+def parse_table(lines, first_col_numeric=True):
+    """Parses a whitespace table: header row then numeric rows."""
+    header = None
+    rows = []
+    for line in lines:
+        cells = line.split()
+        if not cells:
+            continue
+        if header is None:
+            # Heuristic: the header is the first row whose first cell
+            # is not a number.
+            try:
+                float(cells[0])
+            except ValueError:
+                if len(cells) >= 2 and not line.startswith("="):
+                    header = cells
+                continue
+            header = None
+        row = []
+        for c in cells:
+            try:
+                row.append(float(c.rstrip("%x")))
+            except ValueError:
+                break  # trailing annotation column ("winner" etc.)
+        if len(row) >= 2 and first_col_numeric:
+            rows.append(row)
+    return header, rows
+
+
+def emit(fig_name, header, rows, outdir, logx=False, logy=False,
+         xlabel="", ylabel="", title=""):
+    csv_path = os.path.join(outdir, fig_name + ".csv")
+    with open(csv_path, "w") as f:
+        if header:
+            f.write(",".join(header) + "\n")
+        for row in rows:
+            f.write(",".join(str(v) for v in row) + "\n")
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print(f"  {fig_name}: matplotlib missing, wrote {csv_path} only")
+        return
+    if not rows or not header:
+        return
+    xs = [r[0] for r in rows]
+    plt.figure(figsize=(6, 4))
+    ncols = min(len(header) - 1, min(len(r) for r in rows) - 1)
+    for col in range(1, 1 + ncols):
+        ys = [r[col] for r in rows]
+        plt.plot(xs, ys, marker="o", label=header[col])
+    if logx:
+        plt.xscale("log", base=2)
+    if logy:
+        plt.yscale("log")
+    plt.xlabel(xlabel)
+    plt.ylabel(ylabel)
+    plt.title(title or fig_name)
+    plt.legend(fontsize=8)
+    plt.grid(True, alpha=0.3)
+    plt.tight_layout()
+    png = os.path.join(outdir, fig_name + ".png")
+    plt.savefig(png, dpi=130)
+    plt.close()
+    print(f"  wrote {png}")
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "figures"
+    os.makedirs(outdir, exist_ok=True)
+    sections = parse_sections(src)
+
+    plots = {
+        "fig3_mdtest_32k": dict(logx=True, logy=True, xlabel="nodes",
+                                ylabel="transactions/s"),
+        "fig4_mdtest_8m": dict(logx=True, logy=True, xlabel="nodes",
+                               ylabel="transactions/s"),
+        "fig9_overhead": dict(xlabel="nodes", ylabel="%"),
+        "fig10_epochs": dict(xlabel="epochs", ylabel="training (min)"),
+        "fig12_batch_size": dict(xlabel="batch size",
+                                 ylabel="training (min)"),
+        "fig15_load_distribution": dict(xlabel="nodes",
+                                        ylabel="ratio to ideal"),
+    }
+    for name, lines in sections.items():
+        if name not in plots:
+            continue
+        header, rows = parse_table(lines)
+        if rows:
+            emit(name, header, rows, outdir, **plots[name])
+
+    # fig8 has one table per application.
+    if "fig8_scaling" in sections:
+        app = None
+        block = []
+        for line in sections["fig8_scaling"] + ["(end)"]:
+            m = re.match(r"^\((\w+)\)", line)
+            if m:
+                if app and block:
+                    header, rows = parse_table(block)
+                    emit(f"fig8_{app}", header, rows, outdir, logx=True,
+                         logy=True, xlabel="nodes",
+                         ylabel="training (min)",
+                         title=f"Fig 8 — {app}")
+                app = m.group(1)
+                block = []
+            else:
+                block.append(line)
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

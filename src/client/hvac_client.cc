@@ -1,0 +1,419 @@
+#include "client/hvac_client.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <unordered_map>
+
+#include "common/env.h"
+#include "common/log.h"
+#include "core/segment.h"
+#include "rpc/async_client.h"
+#include "rpc/wire.h"
+#include "server/hvac_proto.h"
+#include "storage/posix_file.h"
+
+namespace hvac::client {
+
+using rpc::Bytes;
+using rpc::WireReader;
+using rpc::WireWriter;
+
+Result<HvacClientOptions> options_from_env() {
+  HvacClientOptions o;
+  auto dataset = env_string("HVAC_DATASET_DIR");
+  if (!dataset.has_value() || dataset->empty()) {
+    return Error(ErrorCode::kInvalidArgument, "HVAC_DATASET_DIR not set");
+  }
+  o.dataset_dir = lexically_normal(*dataset);
+  auto servers = env_string("HVAC_SERVERS");
+  if (!servers.has_value() || servers->empty()) {
+    return Error(ErrorCode::kInvalidArgument, "HVAC_SERVERS not set");
+  }
+  o.server_endpoints = split_csv(*servers);
+  o.replicas = static_cast<uint32_t>(env_int_or("HVAC_REPLICAS", 1));
+  const std::string policy = env_string_or("HVAC_PLACEMENT", "hash-modulo");
+  if (policy == "rendezvous") {
+    o.placement = core::PlacementPolicy::kRendezvous;
+  } else if (policy == "jump") {
+    o.placement = core::PlacementPolicy::kJump;
+  }
+  o.allow_pfs_fallback = env_bool_or("HVAC_PFS_FALLBACK", true);
+  o.segment_bytes =
+      static_cast<uint64_t>(env_int_or("HVAC_SEGMENT_BYTES", 0));
+  return o;
+}
+
+HvacClient::HvacClient(HvacClientOptions options)
+    : options_(std::move(options)),
+      placement_(static_cast<uint32_t>(options_.server_endpoints.size()),
+                 options_.placement, options_.replicas) {
+  options_.dataset_dir = lexically_normal(options_.dataset_dir);
+  channels_.resize(options_.server_endpoints.size());
+}
+
+HvacClient::~HvacClient() = default;
+
+bool HvacClient::eligible(const std::string& path) const {
+  return path_under(path, options_.dataset_dir);
+}
+
+Result<std::string> HvacClient::logical_path(const std::string& path) const {
+  if (!eligible(path)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 path + " is not under " + options_.dataset_dir);
+  }
+  std::string normal = lexically_normal(path);
+  if (normal.size() == options_.dataset_dir.size()) return std::string(".");
+  return normal.substr(options_.dataset_dir.size() + 1);
+}
+
+uint32_t HvacClient::home_of(const std::string& path) const {
+  auto logical = logical_path(path);
+  return placement_.home(logical.ok() ? *logical : path);
+}
+
+rpc::RpcClient& HvacClient::channel(uint32_t server_index) {
+  std::lock_guard<std::mutex> lock(channels_mutex_);
+  auto& slot = channels_.at(server_index);
+  if (!slot) {
+    slot = std::make_unique<rpc::RpcClient>(
+        rpc::Endpoint{options_.server_endpoints[server_index]},
+        options_.rpc);
+  }
+  return *slot;
+}
+
+Result<int> HvacClient::open_via_pfs(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Error::from_errno(errno, "open " + path);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  ::lseek(fd, 0, SEEK_SET);
+  core::FdEntry entry;
+  entry.logical_path = path;
+  entry.fallback_pfs = true;
+  entry.pfs_fd = fd;
+  entry.size = end < 0 ? 0 : static_cast<uint64_t>(end);
+  const int vfd = fds_.insert(std::move(entry));
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.fallback_opens;
+  return vfd;
+}
+
+Result<int> HvacClient::open(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.opens;
+  }
+  HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+
+  // Segment-level caching: a large file is not opened on one home
+  // server at all — reads address (segment, offset) pairs and each
+  // segment has its own home. All we need up front is the size.
+  if (options_.segment_bytes > 0) {
+    const auto size = stat_size(path);
+    if (size.ok() && *size > options_.segment_bytes) {
+      core::FdEntry entry;
+      entry.logical_path = logical;
+      entry.segmented = true;
+      entry.size = *size;
+      const int vfd = fds_.insert(std::move(entry));
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.remote_opens;
+      return vfd;
+    }
+  }
+
+  // Try the primary home, then the replicas (paper §III-H fail-over).
+  const std::vector<uint32_t> homes = placement_.homes(logical);
+  Error last_error(ErrorCode::kUnavailable, "no servers");
+  for (size_t attempt = 0; attempt < homes.size(); ++attempt) {
+    const uint32_t server = homes[attempt];
+    WireWriter w;
+    w.put_string(logical);
+    Result<Bytes> resp = channel(server).call(proto::kOpen, w);
+    if (resp.ok()) {
+      WireReader r(*resp);
+      HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
+      HVAC_ASSIGN_OR_RETURN(uint64_t size, r.get_u64());
+      HVAC_ASSIGN_OR_RETURN(uint8_t served_from, r.get_u8());
+      (void)served_from;
+      core::FdEntry entry;
+      entry.logical_path = logical;
+      entry.server_index = server;
+      entry.remote_fd = remote_fd;
+      entry.size = size;
+      const int vfd = fds_.insert(std::move(entry));
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.remote_opens;
+      if (attempt > 0) ++stats_.failovers;
+      return vfd;
+    }
+    last_error = resp.error();
+    // Only transport-level failures justify fail-over; a real error
+    // from a healthy server (ENOENT etc.) is final.
+    if (last_error.code != ErrorCode::kUnavailable &&
+        last_error.code != ErrorCode::kTimeout) {
+      return last_error;
+    }
+    HVAC_LOG_DEBUG("open failover from server " << server << ": "
+                                                << last_error.to_string());
+  }
+
+  if (options_.allow_pfs_fallback) {
+    HVAC_LOG_INFO("falling back to PFS for " << path);
+    return open_via_pfs(path);
+  }
+  return last_error;
+}
+
+Result<size_t> HvacClient::pread_segmented(const core::FdEntry& entry,
+                                           void* buf, size_t count,
+                                           uint64_t offset) {
+  if (offset >= entry.size) return size_t{0};
+  count = static_cast<size_t>(
+      std::min<uint64_t>(count, entry.size - offset));
+  auto* out = static_cast<uint8_t*>(buf);
+  size_t total = 0;
+  Error failure(ErrorCode::kInternal, "");
+  bool failed = false;
+  core::for_each_segment(
+      offset, count, options_.segment_bytes,
+      [&](const core::SegmentRange& range) {
+        if (failed) return;
+        // Chunk within the segment to respect the RPC frame cap.
+        uint64_t done = 0;
+        while (done < range.length && !failed) {
+          const uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
+              range.length - done, options_.read_chunk_bytes));
+          WireWriter w;
+          w.put_string(entry.logical_path);
+          w.put_u64(range.index);
+          w.put_u64(options_.segment_bytes);
+          w.put_u64(range.skip + done);
+          w.put_u32(chunk);
+          const uint32_t server = placement_.home(
+              core::segment_key(entry.logical_path, range.index));
+          Result<Bytes> resp =
+              channel(server).call(proto::kReadSegment, w);
+          if (!resp.ok()) {
+            failure = resp.error();
+            failed = true;
+            return;
+          }
+          WireReader r(*resp);
+          auto data = r.get_blob();
+          if (!data.ok()) {
+            failure = data.error();
+            failed = true;
+            return;
+          }
+          std::copy(data->begin(), data->end(), out + total);
+          total += data->size();
+          done += data->size();
+          if (data->size() < chunk) return;  // EOF in final segment
+        }
+      });
+  if (failed) return failure;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.reads;
+  stats_.bytes_read += total;
+  return total;
+}
+
+Status HvacClient::recover_fd(int vfd, const core::FdEntry& stale) {
+  HVAC_LOG_INFO("recovering fd " << vfd << " for " << stale.logical_path
+                                 << " after server loss");
+  const std::string abs_path =
+      path_join(options_.dataset_dir, stale.logical_path);
+  HVAC_ASSIGN_OR_RETURN(int fresh_vfd, open(abs_path));
+  HVAC_ASSIGN_OR_RETURN(core::FdEntry fresh, fds_.erase(fresh_vfd));
+  fresh.offset = stale.offset;  // the application's position survives
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.failovers;
+  }
+  return fds_.replace(vfd, std::move(fresh));
+}
+
+Result<size_t> HvacClient::pread(int vfd, void* buf, size_t count,
+                                 uint64_t offset) {
+  HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
+
+  if (entry.segmented) {
+    return pread_segmented(entry, buf, count, offset);
+  }
+  if (entry.fallback_pfs) {
+    const ssize_t n = ::pread(entry.pfs_fd, buf, count,
+                              static_cast<off_t>(offset));
+    if (n < 0) return Error::from_errno(errno, "pread(pfs)");
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reads;
+    stats_.bytes_read += static_cast<uint64_t>(n);
+    return static_cast<size_t>(n);
+  }
+
+  auto* out = static_cast<uint8_t*>(buf);
+  size_t total = 0;
+  while (total < count) {
+    const uint32_t chunk = static_cast<uint32_t>(
+        std::min<size_t>(count - total, options_.read_chunk_bytes));
+    WireWriter w;
+    w.put_u64(entry.remote_fd);
+    w.put_u64(offset + total);
+    w.put_u32(chunk);
+    Result<Bytes> resp =
+        channel(entry.server_index).call(proto::kRead, w);
+    if (!resp.ok()) {
+      const ErrorCode code = resp.error().code;
+      if (code != ErrorCode::kUnavailable && code != ErrorCode::kTimeout &&
+          code != ErrorCode::kBadFd) {
+        return resp.error();
+      }
+      // The home server died (or restarted and lost the fd) while we
+      // held it open: re-open via replicas/PFS and finish the read
+      // there (fail-open extends to in-flight fds, §III-H).
+      HVAC_RETURN_IF_ERROR(recover_fd(vfd, entry));
+      HVAC_ASSIGN_OR_RETURN(size_t rest,
+                            pread(vfd, out + total, count - total,
+                                  offset + total));
+      return total + rest;
+    }
+    WireReader r(*resp);
+    HVAC_ASSIGN_OR_RETURN(Bytes data, r.get_blob());
+    std::copy(data.begin(), data.end(), out + total);
+    total += data.size();
+    if (data.size() < chunk) break;  // EOF
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.reads;
+  stats_.bytes_read += total;
+  return total;
+}
+
+Result<size_t> HvacClient::read(int vfd, void* buf, size_t count) {
+  HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
+  if (entry.fallback_pfs) {
+    // Sequential read on the real fd keeps kernel offset semantics.
+    const ssize_t n = ::read(entry.pfs_fd, buf, count);
+    if (n < 0) return Error::from_errno(errno, "read(pfs)");
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reads;
+    stats_.bytes_read += static_cast<uint64_t>(n);
+    return static_cast<size_t>(n);
+  }
+  HVAC_ASSIGN_OR_RETURN(size_t n, pread(vfd, buf, count, entry.offset));
+  HVAC_RETURN_IF_ERROR(fds_.set_offset(vfd, entry.offset + n));
+  return n;
+}
+
+Result<int64_t> HvacClient::lseek(int vfd, int64_t offset, int whence) {
+  HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
+  if (entry.fallback_pfs) {
+    const off_t pos = ::lseek(entry.pfs_fd, static_cast<off_t>(offset),
+                              whence);
+    if (pos < 0) return Error::from_errno(errno, "lseek(pfs)");
+    return static_cast<int64_t>(pos);
+  }
+  int64_t base = 0;
+  switch (whence) {
+    case SEEK_SET: base = 0; break;
+    case SEEK_CUR: base = static_cast<int64_t>(entry.offset); break;
+    case SEEK_END: base = static_cast<int64_t>(entry.size); break;
+    default:
+      return Error(ErrorCode::kInvalidArgument, "bad whence");
+  }
+  const int64_t target = base + offset;
+  if (target < 0) {
+    return Error(ErrorCode::kInvalidArgument, "negative seek");
+  }
+  HVAC_RETURN_IF_ERROR(fds_.set_offset(vfd, static_cast<uint64_t>(target)));
+  return target;
+}
+
+Status HvacClient::close(int vfd) {
+  HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.erase(vfd));
+  if (entry.segmented) return Status::Ok();  // no remote state
+  if (entry.fallback_pfs) {
+    if (::close(entry.pfs_fd) != 0) {
+      return Error::from_errno(errno, "close(pfs)");
+    }
+    return Status::Ok();
+  }
+  // Out-of-band teardown RPC (paper §III-D step 8). Failure here is
+  // non-fatal — the server GCs fds when the connection drops.
+  WireWriter w;
+  w.put_u64(entry.remote_fd);
+  Result<Bytes> resp = channel(entry.server_index).call(proto::kClose, w);
+  if (!resp.ok() && resp.error().code != ErrorCode::kUnavailable) {
+    return resp.error();
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> HvacClient::stat_size(const std::string& path) {
+  HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+  WireWriter w;
+  w.put_string(logical);
+  const uint32_t server = placement_.home(logical);
+  Result<Bytes> resp = channel(server).call(proto::kStat, w);
+  if (!resp.ok()) {
+    if (options_.allow_pfs_fallback) {
+      return storage::file_size(path);
+    }
+    return resp.error();
+  }
+  WireReader r(*resp);
+  return r.get_u64();
+}
+
+Status HvacClient::prefetch(const std::string& path) {
+  HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+  WireWriter w;
+  w.put_string(logical);
+  HVAC_ASSIGN_OR_RETURN(
+      Bytes resp, channel(placement_.home(logical)).call(proto::kPrefetch, w));
+  (void)resp;
+  return Status::Ok();
+}
+
+Result<size_t> HvacClient::prefetch_many(
+    const std::vector<std::string>& paths) {
+  // Group by home server, one async channel per involved server, all
+  // prefetches in flight at once (Mercury-style pipelining).
+  std::unordered_map<uint32_t, std::vector<std::string>> by_server;
+  for (const auto& path : paths) {
+    HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+    by_server[placement_.home(logical)].push_back(std::move(logical));
+  }
+  std::vector<std::unique_ptr<rpc::AsyncRpcClient>> channels;
+  std::vector<std::future<Result<rpc::Bytes>>> futures;
+  for (auto& [server, logicals] : by_server) {
+    channels.push_back(std::make_unique<rpc::AsyncRpcClient>(
+        rpc::Endpoint{options_.server_endpoints.at(server)}, options_.rpc));
+    for (const auto& logical : logicals) {
+      WireWriter w;
+      w.put_string(logical);
+      futures.push_back(
+          channels.back()->call_async(proto::kPrefetch, w.bytes()));
+    }
+  }
+  size_t warmed = 0;
+  for (auto& fut : futures) {
+    Result<rpc::Bytes> resp = fut.get();
+    if (!resp.ok()) continue;  // fail-open: count, don't abort
+    WireReader r(*resp);
+    auto cached = r.get_u8();
+    if (cached.ok() && *cached == 1) ++warmed;
+  }
+  return warmed;
+}
+
+ClientStats HvacClient::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace hvac::client

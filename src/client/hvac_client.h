@@ -1,0 +1,125 @@
+// HvacClient — the client-side library behind the LD_PRELOAD shim and
+// the public C++ API (paper §III-C/D).
+//
+// The client owns the server map (endpoint per server index, in
+// allocation order), computes each file's home with the metadata-less
+// Placement function, and forwards open/read/close over RPC. Reads
+// above the chunk size are split into multiple bulk pulls. On any
+// transport failure the client fails open: replicas are tried in
+// order, and as a last resort the file is read directly from the PFS
+// mount — a cache must never kill a training run (paper §III-H).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fd_table.h"
+#include "core/placement.h"
+#include "rpc/rpc_client.h"
+
+namespace hvac::client {
+
+struct HvacClientOptions {
+  // Dataset root on the PFS (the HVAC_DATASET_DIR of the paper); only
+  // paths under it are eligible for caching.
+  std::string dataset_dir;
+  // Endpoints in server-index order (node-major, instance-minor).
+  std::vector<std::string> server_endpoints;
+  core::PlacementPolicy placement = core::PlacementPolicy::kHashModulo;
+  uint32_t replicas = 1;
+  // Per-RPC read chunk; must be <= proto::kMaxReadChunk.
+  uint32_t read_chunk_bytes = 4u << 20;
+  // Segment-level caching (paper §III-E extension): files larger than
+  // this are cached segment-by-segment, each segment homed
+  // independently so one huge file spreads over the allocation.
+  // 0 disables segmentation.
+  uint64_t segment_bytes = 0;
+  // Disables the direct-PFS fallback (tests use this to assert remote
+  // behaviour; production keeps it on).
+  bool allow_pfs_fallback = true;
+  rpc::RpcClientOptions rpc;
+};
+
+// Builds options from the environment (HVAC_DATASET_DIR, HVAC_SERVERS,
+// HVAC_REPLICAS, HVAC_PLACEMENT) — the bootstrap path used by the
+// interception shim.
+Result<HvacClientOptions> options_from_env();
+
+struct ClientStats {
+  uint64_t opens = 0;
+  uint64_t remote_opens = 0;
+  uint64_t fallback_opens = 0;
+  uint64_t reads = 0;
+  uint64_t bytes_read = 0;
+  uint64_t failovers = 0;  // replica failovers after a dead primary
+};
+
+class HvacClient {
+ public:
+  explicit HvacClient(HvacClientOptions options);
+  ~HvacClient();
+
+  HvacClient(const HvacClient&) = delete;
+  HvacClient& operator=(const HvacClient&) = delete;
+
+  // POSIX-shaped API over virtual fds (>= FdTable::kVirtualFdBase).
+  Result<int> open(const std::string& path);
+  Result<size_t> read(int vfd, void* buf, size_t count);
+  Result<size_t> pread(int vfd, void* buf, size_t count, uint64_t offset);
+  Result<int64_t> lseek(int vfd, int64_t offset, int whence);
+  Status close(int vfd);
+
+  // Size without opening.
+  Result<uint64_t> stat_size(const std::string& path);
+
+  // Warms the home server's cache (paper future work: prefetching).
+  Status prefetch(const std::string& path);
+
+  // Pipelined warm-up: fans the prefetches out over async channels
+  // (many in flight per server) instead of one round trip at a time.
+  // Returns the number of files successfully cached.
+  Result<size_t> prefetch_many(const std::vector<std::string>& paths);
+
+  // True when the path falls under dataset_dir (the shim's routing
+  // test).
+  bool eligible(const std::string& path) const;
+
+  // Home server index for a path — exposed for tests and the load
+  // distribution bench (Fig 15).
+  uint32_t home_of(const std::string& path) const;
+
+  ClientStats stats() const;
+
+  const HvacClientOptions& options() const { return options_; }
+
+ private:
+  // Path relative to dataset_dir — the canonical placement key.
+  Result<std::string> logical_path(const std::string& path) const;
+
+  rpc::RpcClient& channel(uint32_t server_index);
+
+  Result<int> open_via_pfs(const std::string& path);
+
+  // Segment-granular positional read (entry.segmented == true).
+  Result<size_t> pread_segmented(const core::FdEntry& entry, void* buf,
+                                 size_t count, uint64_t offset);
+
+  // The home server died while `vfd` was open: re-open the file (via
+  // replicas or PFS fallback) and swap the fd's backing in place.
+  Status recover_fd(int vfd, const core::FdEntry& stale);
+
+  HvacClientOptions options_;
+  core::Placement placement_;
+  core::FdTable fds_;
+  std::vector<std::unique_ptr<rpc::RpcClient>> channels_;
+  std::mutex channels_mutex_;
+
+  mutable std::mutex stats_mutex_;
+  ClientStats stats_;
+};
+
+}  // namespace hvac::client

@@ -1,0 +1,115 @@
+// hvacctl — tiny operator CLI for a running HVAC allocation.
+//
+//   hvacctl ping    HOST:PORT[,HOST:PORT...]
+//   hvacctl metrics HOST:PORT[,HOST:PORT...]
+//   hvacctl stat    HOST:PORT <relative-path>
+//   hvacctl warm    HOST:PORT <relative-path>
+//
+// Talks the same RPC schema as the client library; useful for
+// checking server health from a login node and for watching hit
+// rates during a training run.
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "rpc/rpc_client.h"
+#include "rpc/wire.h"
+#include "server/hvac_proto.h"
+
+using namespace hvac;
+using rpc::Bytes;
+using rpc::WireReader;
+using rpc::WireWriter;
+
+namespace {
+
+int cmd_ping(const std::string& csv) {
+  int failures = 0;
+  for (const auto& endpoint : split_csv(csv)) {
+    rpc::RpcClient client(rpc::Endpoint{endpoint},
+                          rpc::RpcClientOptions{2000, 2000});
+    const auto resp = client.call(proto::kPing, Bytes{});
+    std::printf("%-24s %s\n", endpoint.c_str(),
+                resp.ok() ? "OK" : resp.error().to_string().c_str());
+    if (!resp.ok()) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_metrics(const std::string& csv) {
+  std::printf("%-24s %10s %10s %8s %10s %12s %12s %8s %6s\n", "endpoint",
+              "hits", "misses", "dedup", "evictions", "cache_bytes",
+              "pfs_bytes", "fallbk", "fds");
+  int failures = 0;
+  for (const auto& endpoint : split_csv(csv)) {
+    rpc::RpcClient client(rpc::Endpoint{endpoint},
+                          rpc::RpcClientOptions{2000, 2000});
+    const auto resp = client.call(proto::kMetrics, Bytes{});
+    if (!resp.ok()) {
+      std::printf("%-24s %s\n", endpoint.c_str(),
+                  resp.error().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    WireReader r(*resp);
+    uint64_t v[8] = {0};
+    for (auto& x : v) {
+      auto got = r.get_u64();
+      if (got.ok()) x = *got;
+    }
+    std::printf("%-24s %10lu %10lu %8lu %10lu %12lu %12lu %8lu %6lu\n",
+                endpoint.c_str(), (unsigned long)v[0], (unsigned long)v[1],
+                (unsigned long)v[2], (unsigned long)v[3],
+                (unsigned long)v[4], (unsigned long)v[5],
+                (unsigned long)v[6], (unsigned long)v[7]);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_path_op(uint16_t opcode, const std::string& endpoint,
+                const std::string& path) {
+  rpc::RpcClient client(rpc::Endpoint{endpoint},
+                        rpc::RpcClientOptions{5000, 30000});
+  WireWriter w;
+  w.put_string(path);
+  const auto resp = client.call(opcode, w.bytes());
+  if (!resp.ok()) {
+    std::fprintf(stderr, "%s\n", resp.error().to_string().c_str());
+    return 1;
+  }
+  WireReader r(*resp);
+  if (opcode == proto::kStat) {
+    const auto size = r.get_u64();
+    std::printf("%s: %lu bytes\n", path.c_str(),
+                (unsigned long)size.value_or(0));
+  } else {
+    const auto cached = r.get_u8();
+    std::printf("%s: %s\n", path.c_str(),
+                cached.ok() && *cached == 1 ? "cached"
+                                            : "pfs-fallback");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s ping|metrics ENDPOINTS\n"
+                 "       %s stat|warm ENDPOINT PATH\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "ping") return cmd_ping(argv[2]);
+  if (cmd == "metrics") return cmd_metrics(argv[2]);
+  if (argc < 4) {
+    std::fprintf(stderr, "%s needs ENDPOINT PATH\n", cmd.c_str());
+    return 2;
+  }
+  if (cmd == "stat") return cmd_path_op(proto::kStat, argv[2], argv[3]);
+  if (cmd == "warm") return cmd_path_op(proto::kPrefetch, argv[2], argv[3]);
+  std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,20 @@
+#include "common/hash.h"
+
+namespace hvac {
+
+int32_t jump_consistent_hash(uint64_t key, int32_t num_buckets) {
+  if (num_buckets <= 0) return -1;
+  int64_t b = -1;
+  int64_t j = 0;
+  while (j < num_buckets) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<int32_t>(b);
+}
+
+}  // namespace hvac

@@ -1,0 +1,52 @@
+// Hash primitives backing HVAC's metadata-less placement (paper §III-E).
+//
+// Placement must be a *pure function* of (file path, allocation): every
+// client computes the same home server with no coordination, so the
+// hashes here are fixed-for-all-time and independent of std::hash
+// (whose value is implementation-defined and process-seeded for
+// strings on some standard libraries).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hvac {
+
+// 64-bit FNV-1a over bytes. Stable across platforms and processes.
+constexpr uint64_t fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Fibonacci/splitmix-style 64-bit finalizer. Used to decorrelate the
+// low bits of FNV output before reduction modulo the server count.
+constexpr uint64_t mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Stable string hash used for placement: fnv1a then mixed.
+constexpr uint64_t stable_hash(std::string_view bytes) {
+  return mix64(fnv1a64(bytes));
+}
+
+// Combines two hashes (order-dependent).
+constexpr uint64_t hash_combine(uint64_t a, uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Jump consistent hash (Lamping & Veach): maps key uniformly onto
+// [0, num_buckets) with minimal movement when num_buckets changes.
+// Offered as a placement alternative for the ablation benches.
+int32_t jump_consistent_hash(uint64_t key, int32_t num_buckets);
+
+}  // namespace hvac

@@ -1,0 +1,79 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace hvac::log {
+namespace {
+
+std::atomic<int> g_threshold{-1};  // -1: not yet initialized from env.
+
+int init_from_env() {
+  const char* env = std::getenv("HVAC_LOG");
+  Level level = env != nullptr ? parse_level(env) : Level::kWarn;
+  return static_cast<int>(level);
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+Level threshold() {
+  int t = g_threshold.load(std::memory_order_relaxed);
+  if (t < 0) {
+    t = init_from_env();
+    g_threshold.store(t, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(t);
+}
+
+void set_threshold(Level level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level parse_level(const std::string& name) {
+  if (name == "trace") return Level::kTrace;
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return Level::kWarn;
+}
+
+void emit(Level level, const char* file, int line, const std::string& msg) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "[%10.6f %s %s:%d t%zu] %s\n", secs, level_name(level),
+               base, line,
+               std::hash<std::thread::id>{}(std::this_thread::get_id()) % 1000,
+               msg.c_str());
+}
+
+}  // namespace hvac::log

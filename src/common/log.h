@@ -1,0 +1,57 @@
+// Minimal leveled, thread-safe logger for the HVAC library.
+//
+// Severity is controlled at runtime through the HVAC_LOG environment
+// variable ("trace", "debug", "info", "warn", "error", "off"); the
+// default is "warn" so that library users are not spammed. All sinks
+// write to stderr; log lines carry a monotonic timestamp and the
+// calling thread id so that interleaved client/server traces can be
+// reconstructed in tests.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace hvac::log {
+
+enum class Level : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global threshold; messages below it are discarded without formatting.
+Level threshold();
+void set_threshold(Level level);
+
+// Parses a level name; unknown names map to kWarn.
+Level parse_level(const std::string& name);
+
+// Emits one formatted line. Prefer the HVAC_LOG_* macros below, which
+// avoid building the message string when the level is disabled.
+void emit(Level level, const char* file, int line, const std::string& msg);
+
+inline bool enabled(Level level) {
+  return static_cast<int>(level) >= static_cast<int>(threshold());
+}
+
+}  // namespace hvac::log
+
+#define HVAC_LOG_AT(level, expr)                                     \
+  do {                                                               \
+    if (::hvac::log::enabled(level)) {                               \
+      std::ostringstream hvac_log_oss_;                              \
+      hvac_log_oss_ << expr;                                         \
+      ::hvac::log::emit(level, __FILE__, __LINE__,                   \
+                        hvac_log_oss_.str());                        \
+    }                                                                \
+  } while (0)
+
+#define HVAC_LOG_TRACE(expr) HVAC_LOG_AT(::hvac::log::Level::kTrace, expr)
+#define HVAC_LOG_DEBUG(expr) HVAC_LOG_AT(::hvac::log::Level::kDebug, expr)
+#define HVAC_LOG_INFO(expr) HVAC_LOG_AT(::hvac::log::Level::kInfo, expr)
+#define HVAC_LOG_WARN(expr) HVAC_LOG_AT(::hvac::log::Level::kWarn, expr)
+#define HVAC_LOG_ERROR(expr) HVAC_LOG_AT(::hvac::log::Level::kError, expr)

@@ -1,0 +1,118 @@
+// Bounded, blocking multi-producer/multi-consumer queue.
+//
+// This is the "shared FIFO queue" of the paper's data-mover design
+// (§III-C): RPC handler threads enqueue forwarded file operations and
+// the dedicated data-mover thread drains them. The paper calls out the
+// mutex on this queue as the mechanism that serializes concurrent
+// first-reads of the same file; we keep the same shape (mutex + two
+// condition variables) rather than a lock-free ring because the queue
+// is never the bottleneck — the PFS copy is.
+//
+// close() wakes all waiters; subsequent pops drain the remaining
+// items, then report kCancelled. Pushes after close are rejected.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/result.h"
+
+namespace hvac {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) : capacity_(capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  // Blocks until there is room or the queue is closed.
+  Status push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return Error(ErrorCode::kCancelled, "queue closed");
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  // Non-blocking push; fails with kCapacity when full.
+  Status try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return Error(ErrorCode::kCancelled, "queue closed");
+      if (items_.size() >= capacity_) {
+        return Error(ErrorCode::kCapacity, "queue full");
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  // Blocks until an item is available; returns kCancelled once the
+  // queue is closed *and* drained.
+  Result<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return Error(ErrorCode::kCancelled, "queue closed");
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hvac

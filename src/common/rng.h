@@ -1,0 +1,99 @@
+// Deterministic, seedable RNG utilities.
+//
+// Everything in the reproduction that involves randomness — epoch
+// shuffles, synthetic dataset generation, random eviction, simulator
+// service-time jitter — draws from SplitMix64/Xoshiro so that a run is
+// bit-reproducible from its seed on every platform. std::mt19937 is
+// avoided only because distribution results differ across standard
+// libraries; the raw engines below are fully specified.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace hvac {
+
+// SplitMix64: tiny, fast, passes BigCrush; ideal for seeding and for
+// low-volume decisions (eviction victims, jitter).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return mix64(state_);
+  }
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t next_below(uint64_t bound) {
+    if (bound == 0) return 0;
+    // 128-bit multiply keeps the mapping unbiased enough for our use.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Standard normal via Box-Muller (deterministic, no caching).
+  double next_gaussian();
+
+  // Exponential with the given mean.
+  double next_exponential(double mean);
+
+  // Log-normal such that the *mean of the distribution* is `mean` and
+  // sigma is the log-space standard deviation. Used for file-size
+  // populations (ImageNet-style datasets are heavily right-skewed).
+  double next_lognormal_with_mean(double mean, double sigma);
+
+ private:
+  uint64_t state_;
+};
+
+// In-place Fisher-Yates shuffle driven by SplitMix64. This is the
+// shuffle HVAC must *not* perturb (paper §IV-F): given the same seed
+// the sequence is identical whether reads go to GPFS or to the cache.
+template <typename T>
+void fisher_yates_shuffle(std::vector<T>& items, SplitMix64& rng) {
+  for (size_t i = items.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.next_below(i));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+inline double SplitMix64::next_gaussian() {
+  // Box-Muller; draw until u1 is nonzero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  double u2 = next_double();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  // std::sqrt/log/cos are fine here; we only need determinism per
+  // platform for tests, and cross-platform agreement to double ulp.
+  return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+         __builtin_cos(kTwoPi * u2);
+}
+
+inline double SplitMix64::next_exponential(double mean) {
+  double u = 0.0;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * __builtin_log(u);
+}
+
+inline double SplitMix64::next_lognormal_with_mean(double mean,
+                                                   double sigma) {
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)  =>  solve for mu.
+  double mu = __builtin_log(mean) - 0.5 * sigma * sigma;
+  return __builtin_exp(mu + sigma * next_gaussian());
+}
+
+}  // namespace hvac

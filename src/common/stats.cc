@@ -1,0 +1,136 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace hvac {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::ci95_half_width() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double n = static_cast<double>(count_);
+  const double m = static_cast<double>(other.count_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+std::vector<double> cdf_at(const std::vector<double>& samples,
+                           const std::vector<double>& points) {
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), p);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+double gini(std::vector<double> samples) {
+  if (samples.size() < 2) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double cum_weighted = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    cum_weighted += (static_cast<double>(i) + 1.0) * samples[i];
+    total += samples[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double coefficient_of_variation(const std::vector<double>& samples) {
+  OnlineStats s;
+  for (double x : samples) s.add(x);
+  return s.mean() != 0.0 ? s.stddev() / s.mean() : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  size_t bin = 0;
+  if (span > 0.0) {
+    const double t = (x - lo_) / span;
+    const auto idx = static_cast<long>(t * static_cast<double>(counts_.size()));
+    bin = static_cast<size_t>(
+        std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1));
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::bin_lo(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::to_ascii(size_t width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream oss;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<size_t>(static_cast<double>(counts_[i]) /
+                            static_cast<double>(peak) *
+                            static_cast<double>(width));
+    oss << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace hvac

@@ -1,0 +1,81 @@
+// Statistics helpers shared by the metric collectors and the bench
+// harnesses: online mean/variance (Welford), percentile extraction,
+// 95% confidence intervals (the paper reports all results as the mean
+// of three runs with a 95% CI), simple fixed-bin histograms, and CDF
+// extraction for the Fig 15 load-distribution analysis.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hvac {
+
+// Numerically stable online accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Half-width of the 95% confidence interval of the mean, using the
+  // normal approximation (1.96 * s / sqrt(n)); matches how the paper
+  // reports its three-repetition averages.
+  double ci95_half_width() const;
+
+  void merge(const OnlineStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample set (linear interpolation between order
+// statistics). `q` in [0, 100]. Copies and sorts; callers on hot paths
+// should batch.
+double percentile(std::vector<double> samples, double q);
+
+// Cumulative distribution of `samples` evaluated at `points` (fraction
+// of samples <= point).
+std::vector<double> cdf_at(const std::vector<double>& samples,
+                           const std::vector<double>& points);
+
+// Gini coefficient of a non-negative sample set; 0 = perfectly even.
+// Used to quantify placement load balance (Fig 15).
+double gini(std::vector<double> samples);
+
+// Coefficient of variation (stddev / mean) of a sample set.
+double coefficient_of_variation(const std::vector<double>& samples);
+
+// Fixed-width histogram over [lo, hi); values outside clamp to the
+// edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void add(double x);
+  uint64_t bin_count(size_t i) const { return counts_.at(i); }
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+  double bin_lo(size_t i) const;
+  double bin_hi(size_t i) const;
+
+  // Renders an ASCII bar chart (used by the bench harness output).
+  std::string to_ascii(size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace hvac

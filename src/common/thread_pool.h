@@ -1,0 +1,38 @@
+// Fixed-size worker pool used by HVAC servers to run RPC handlers and
+// by the benches to parallelize independent simulator runs.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+
+namespace hvac {
+
+class ThreadPool {
+ public:
+  // `num_threads` workers; `queue_capacity` bounds backlog so a
+  // misbehaving producer blocks instead of exhausting memory.
+  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Blocks when the queue is full; returns kCancelled after shutdown.
+  Status submit(std::function<void()> task);
+
+  // Drains outstanding tasks and joins the workers. Idempotent.
+  void shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  MpmcQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hvac

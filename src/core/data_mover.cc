@@ -1,0 +1,49 @@
+#include "core/data_mover.h"
+
+namespace hvac::core {
+
+DataMover::DataMover(CacheManager* cache, size_t movers,
+                     size_t queue_capacity)
+    : cache_(cache), queue_(queue_capacity) {
+  threads_.reserve(movers == 0 ? 1 : movers);
+  for (size_t i = 0; i < std::max<size_t>(movers, 1); ++i) {
+    threads_.emplace_back([this] { mover_loop(); });
+  }
+}
+
+DataMover::~DataMover() { shutdown(); }
+
+std::future<Result<bool>> DataMover::submit(std::string logical_path) {
+  auto task = std::make_unique<Task>();
+  task->logical_path = std::move(logical_path);
+  std::future<Result<bool>> fut = task->done.get_future();
+  Status pushed = queue_.push(std::move(task));
+  if (!pushed.ok()) {
+    // Queue closed: resolve immediately with the error.
+    std::promise<Result<bool>> p;
+    p.set_value(Result<bool>(pushed.error()));
+    return p.get_future();
+  }
+  return fut;
+}
+
+Result<bool> DataMover::fetch(const std::string& logical_path) {
+  return submit(logical_path).get();
+}
+
+void DataMover::shutdown() {
+  queue_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void DataMover::mover_loop() {
+  for (;;) {
+    auto task = queue_.pop();
+    if (!task.ok()) return;  // closed and drained
+    (*task)->done.set_value(cache_->ensure_cached((*task)->logical_path));
+  }
+}
+
+}  // namespace hvac::core

@@ -1,0 +1,60 @@
+// DataMover — the dedicated per-server-instance thread of §III-C.
+//
+// "Every HVAC server instance spawns a dedicated data-mover thread,
+//  which manages a shared FIFO queue to track and manage the forwarded
+//  file I/O operations."
+//
+// RPC handlers enqueue fetch tasks; the mover drains them in FIFO
+// order and runs CacheManager::ensure_cached. Callers wait on a
+// per-task future, so many handler threads can be parked on one
+// in-flight copy without tying up the mover.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/mpmc_queue.h"
+#include "common/result.h"
+#include "core/cache_manager.h"
+
+namespace hvac::core {
+
+class DataMover {
+ public:
+  // `movers` parallel threads drain the same FIFO queue — this models
+  // the HVAC(i×1) variants where i instances widen the copy path.
+  DataMover(CacheManager* cache, size_t movers = 1,
+            size_t queue_capacity = 4096);
+  ~DataMover();
+
+  DataMover(const DataMover&) = delete;
+  DataMover& operator=(const DataMover&) = delete;
+
+  // Enqueues a fetch; the future resolves to ensure_cached's result
+  // (true = cached, false = PFS fallback).
+  std::future<Result<bool>> submit(std::string logical_path);
+
+  // Convenience: submit and wait.
+  Result<bool> fetch(const std::string& logical_path);
+
+  // Stops accepting work, drains the queue and joins. Idempotent.
+  void shutdown();
+
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Task {
+    std::string logical_path;
+    std::promise<Result<bool>> done;
+  };
+
+  void mover_loop();
+
+  CacheManager* cache_;
+  MpmcQueue<std::unique_ptr<Task>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hvac::core

@@ -1,0 +1,92 @@
+#include "core/eviction.h"
+
+namespace hvac::core {
+
+RandomEviction::RandomEviction(uint64_t seed) : rng_(seed) {}
+
+void RandomEviction::on_insert(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index_.count(logical_path) > 0) return;
+  index_[logical_path] = entries_.size();
+  entries_.push_back(logical_path);
+}
+
+void RandomEviction::on_evict(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(logical_path);
+  if (it == index_.end()) return;
+  const size_t pos = it->second;
+  index_.erase(it);
+  if (pos + 1 != entries_.size()) {
+    entries_[pos] = std::move(entries_.back());
+    index_[entries_[pos]] = pos;
+  }
+  entries_.pop_back();
+}
+
+std::optional<std::string> RandomEviction::select_victim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.empty()) return std::nullopt;
+  return entries_[static_cast<size_t>(rng_.next_below(entries_.size()))];
+}
+
+void FifoEviction::on_insert(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index_.count(logical_path) > 0) return;
+  order_.push_back(logical_path);
+  index_[logical_path] = std::prev(order_.end());
+}
+
+void FifoEviction::on_evict(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(logical_path);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<std::string> FifoEviction::select_victim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (order_.empty()) return std::nullopt;
+  return order_.front();
+}
+
+void LruEviction::on_insert(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  touch_locked(logical_path);
+}
+
+void LruEviction::on_access(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  touch_locked(logical_path);
+}
+
+void LruEviction::touch_locked(const std::string& logical_path) {
+  auto it = index_.find(logical_path);
+  if (it != index_.end()) order_.erase(it->second);
+  order_.push_front(logical_path);
+  index_[logical_path] = order_.begin();
+}
+
+void LruEviction::on_evict(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(logical_path);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<std::string> LruEviction::select_victim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (order_.empty()) return std::nullopt;
+  return order_.back();
+}
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(const std::string& name,
+                                                     uint64_t seed) {
+  if (name == "fifo") return std::make_unique<FifoEviction>();
+  if (name == "lru") return std::make_unique<LruEviction>();
+  return std::make_unique<RandomEviction>(seed == 0 ? 0x48564143 : seed);
+}
+
+}  // namespace hvac::core

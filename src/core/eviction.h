@@ -1,0 +1,94 @@
+// Cache eviction & replacement policies (paper §III-G).
+//
+// The paper ships random eviction ("HVAC is designed to perform
+// eviction and replacement randomly") and explicitly invites other
+// policies; we provide Random (default), FIFO and LRU so the
+// ablation bench can quantify the difference under cache pressure.
+// A policy is fed access/insert events by the CacheManager and asked
+// for a victim when the store exceeds capacity.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace hvac::core {
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual void on_insert(const std::string& logical_path) = 0;
+  virtual void on_access(const std::string& logical_path) = 0;
+  virtual void on_evict(const std::string& logical_path) = 0;
+
+  // Picks a victim among tracked entries; nullopt when empty.
+  virtual std::optional<std::string> select_victim() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Random replacement (paper default). Keeps a flat vector for O(1)
+// uniform sampling with swap-remove.
+class RandomEviction : public EvictionPolicy {
+ public:
+  explicit RandomEviction(uint64_t seed = 0x48564143 /* "HVAC" */);
+
+  void on_insert(const std::string& logical_path) override;
+  void on_access(const std::string& logical_path) override {
+    (void)logical_path;  // random policy ignores recency
+  }
+  void on_evict(const std::string& logical_path) override;
+  std::optional<std::string> select_victim() override;
+  const char* name() const override { return "random"; }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> entries_;
+  std::unordered_map<std::string, size_t> index_;
+  SplitMix64 rng_;
+};
+
+// FIFO: evicts the oldest insertion.
+class FifoEviction : public EvictionPolicy {
+ public:
+  void on_insert(const std::string& logical_path) override;
+  void on_access(const std::string& logical_path) override {
+    (void)logical_path;
+  }
+  void on_evict(const std::string& logical_path) override;
+  std::optional<std::string> select_victim() override;
+  const char* name() const override { return "fifo"; }
+
+ private:
+  std::mutex mutex_;
+  std::list<std::string> order_;
+  std::unordered_map<std::string, std::list<std::string>::iterator> index_;
+};
+
+// LRU: evicts the least recently accessed.
+class LruEviction : public EvictionPolicy {
+ public:
+  void on_insert(const std::string& logical_path) override;
+  void on_access(const std::string& logical_path) override;
+  void on_evict(const std::string& logical_path) override;
+  std::optional<std::string> select_victim() override;
+  const char* name() const override { return "lru"; }
+
+ private:
+  void touch_locked(const std::string& logical_path);
+
+  std::mutex mutex_;
+  std::list<std::string> order_;  // front = most recent
+  std::unordered_map<std::string, std::list<std::string>::iterator> index_;
+};
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(const std::string& name,
+                                                     uint64_t seed = 0);
+
+}  // namespace hvac::core

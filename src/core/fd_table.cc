@@ -1,0 +1,61 @@
+#include "core/fd_table.h"
+
+namespace hvac::core {
+
+int FdTable::insert(FdEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int vfd = next_fd_++;
+  entries_.emplace(vfd, std::move(entry));
+  return vfd;
+}
+
+Result<FdEntry> FdTable::get(int vfd) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(vfd);
+  if (it == entries_.end()) {
+    return Error(ErrorCode::kBadFd, "unknown virtual fd " +
+                                        std::to_string(vfd));
+  }
+  return it->second;
+}
+
+Status FdTable::set_offset(int vfd, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(vfd);
+  if (it == entries_.end()) {
+    return Error(ErrorCode::kBadFd, "unknown virtual fd " +
+                                        std::to_string(vfd));
+  }
+  it->second.offset = offset;
+  return Status::Ok();
+}
+
+Status FdTable::replace(int vfd, FdEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(vfd);
+  if (it == entries_.end()) {
+    return Error(ErrorCode::kBadFd, "unknown virtual fd " +
+                                        std::to_string(vfd));
+  }
+  it->second = std::move(entry);
+  return Status::Ok();
+}
+
+Result<FdEntry> FdTable::erase(int vfd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(vfd);
+  if (it == entries_.end()) {
+    return Error(ErrorCode::kBadFd, "unknown virtual fd " +
+                                        std::to_string(vfd));
+  }
+  FdEntry entry = std::move(it->second);
+  entries_.erase(it);
+  return entry;
+}
+
+size_t FdTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace hvac::core

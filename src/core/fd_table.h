@@ -1,0 +1,67 @@
+// Client-side file-descriptor table.
+//
+// The interception shim must hand the application integers that look
+// like POSIX fds but are serviced by HVAC. Virtual fds start at a
+// high base (1<<20) so they can never collide with real descriptors
+// the process obtained elsewhere — the shim routes by range. Each
+// entry tracks the logical path, the owning server, the server-side
+// fd (cookie), the current offset (for plain read()), and the file
+// size (paper §III-D step 7: "the returned file descriptor or stream
+// is used to track the read offset and length").
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+
+namespace hvac::core {
+
+struct FdEntry {
+  std::string logical_path;
+  uint32_t server_index = 0;
+  uint64_t remote_fd = 0;     // server-side cookie
+  uint64_t offset = 0;        // sequential read position
+  uint64_t size = 0;          // file size (from open response)
+  bool fallback_pfs = false;  // true: served by direct PFS fd
+  int pfs_fd = -1;            // real fd when fallback_pfs
+  bool segmented = false;     // true: stateless segment-granular reads
+                              // (no remote fd; see core/segment.h)
+};
+
+class FdTable {
+ public:
+  static constexpr int kVirtualFdBase = 1 << 20;
+
+  // Registers an entry and returns its virtual fd.
+  int insert(FdEntry entry);
+
+  // Looks up a virtual fd (copy-out to avoid holding the lock during
+  // I/O).
+  Result<FdEntry> get(int vfd) const;
+
+  // Replaces the stored offset after a read/lseek.
+  Status set_offset(int vfd, uint64_t offset);
+
+  // Swaps the whole entry (fail-over re-open keeps the vfd stable for
+  // the application while the backing server changes underneath).
+  Status replace(int vfd, FdEntry entry);
+
+  // Removes the entry, returning it (so close can tear down remote
+  // state).
+  Result<FdEntry> erase(int vfd);
+
+  static bool is_virtual(int fd) { return fd >= kVirtualFdBase; }
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<int, FdEntry> entries_;
+  int next_fd_ = kVirtualFdBase;
+};
+
+}  // namespace hvac::core

@@ -1,0 +1,18 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace hvac::core {
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream oss;
+  oss << "hits=" << hits << " misses=" << misses
+      << " hit_rate=" << hit_rate() << " dedup_waits=" << dedup_waits
+      << " evictions=" << evictions
+      << " bytes_from_cache=" << bytes_from_cache
+      << " bytes_from_pfs=" << bytes_from_pfs
+      << " pfs_fallbacks=" << pfs_fallbacks;
+  return oss.str();
+}
+
+}  // namespace hvac::core

@@ -1,0 +1,71 @@
+// Lightweight cache metrics, safe to bump from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hvac::core {
+
+struct MetricsSnapshot {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t dedup_waits = 0;   // first-reads that piggybacked on an
+                              // in-flight copy instead of re-copying
+  uint64_t evictions = 0;
+  uint64_t bytes_from_cache = 0;
+  uint64_t bytes_from_pfs = 0;
+  uint64_t pfs_fallbacks = 0;  // requests served directly from PFS
+                               // (capacity pressure or server loss)
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+  std::string to_string() const;
+};
+
+class Metrics {
+ public:
+  void on_hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void on_miss(uint64_t bytes) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    bytes_from_pfs_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_cache_bytes(uint64_t bytes) {
+    bytes_from_cache_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_pfs_bytes(uint64_t bytes) {
+    bytes_from_pfs_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void on_dedup_wait() { dedup_waits_.fetch_add(1, std::memory_order_relaxed); }
+  void on_eviction() { evictions_.fetch_add(1, std::memory_order_relaxed); }
+  void on_pfs_fallback(uint64_t bytes) {
+    pfs_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    bytes_from_pfs_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot snapshot() const {
+    MetricsSnapshot s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.dedup_waits = dedup_waits_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.bytes_from_cache = bytes_from_cache_.load(std::memory_order_relaxed);
+    s.bytes_from_pfs = bytes_from_pfs_.load(std::memory_order_relaxed);
+    s.pfs_fallbacks = pfs_fallbacks_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> dedup_waits_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> bytes_from_cache_{0};
+  std::atomic<uint64_t> bytes_from_pfs_{0};
+  std::atomic<uint64_t> pfs_fallbacks_{0};
+};
+
+}  // namespace hvac::core

@@ -1,0 +1,77 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace hvac::core {
+
+const char* placement_policy_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kHashModulo: return "hash-modulo";
+    case PlacementPolicy::kRendezvous: return "rendezvous";
+    case PlacementPolicy::kJump: return "jump";
+  }
+  return "?";
+}
+
+Placement::Placement(uint32_t num_servers, PlacementPolicy policy,
+                     uint32_t replicas)
+    : num_servers_(num_servers == 0 ? 1 : num_servers),
+      policy_(policy),
+      replicas_(std::clamp<uint32_t>(replicas, 1, num_servers_)) {}
+
+uint32_t Placement::home(std::string_view path) const {
+  const uint64_t key = stable_hash(path);
+  switch (policy_) {
+    case PlacementPolicy::kHashModulo:
+      return static_cast<uint32_t>(key % num_servers_);
+    case PlacementPolicy::kJump:
+      return static_cast<uint32_t>(
+          jump_consistent_hash(key, static_cast<int32_t>(num_servers_)));
+    case PlacementPolicy::kRendezvous:
+      return rendezvous_home(key, 0);
+  }
+  return 0;
+}
+
+uint32_t Placement::rendezvous_home(uint64_t key, uint32_t rank) const {
+  // Highest-random-weight: score every server; pick the (rank+1)-th
+  // best. O(n) per lookup — fine for allocations of a few thousand.
+  std::vector<std::pair<uint64_t, uint32_t>> top;
+  top.reserve(static_cast<size_t>(rank) + 1);
+  for (uint32_t s = 0; s < num_servers_; ++s) {
+    const uint64_t score = hash_combine(key, mix64(s + 0x9e3779b9u));
+    top.emplace_back(score, s);
+  }
+  std::nth_element(top.begin(), top.begin() + rank, top.end(),
+                   [](const auto& a, const auto& b) { return a > b; });
+  return top[rank].second;
+}
+
+std::vector<uint32_t> Placement::homes(std::string_view path) const {
+  std::vector<uint32_t> out;
+  out.reserve(replicas_);
+  if (policy_ == PlacementPolicy::kRendezvous) {
+    const uint64_t key = stable_hash(path);
+    std::vector<std::pair<uint64_t, uint32_t>> scored;
+    scored.reserve(num_servers_);
+    for (uint32_t s = 0; s < num_servers_; ++s) {
+      scored.emplace_back(hash_combine(key, mix64(s + 0x9e3779b9u)), s);
+    }
+    std::partial_sort(scored.begin(), scored.begin() + replicas_,
+                      scored.end(),
+                      [](const auto& a, const auto& b) { return a > b; });
+    for (uint32_t r = 0; r < replicas_; ++r) out.push_back(scored[r].second);
+    return out;
+  }
+  // Modulo/jump: primary plus linear successors (distinct by
+  // construction since replicas_ <= num_servers_).
+  const uint32_t primary = home(path);
+  for (uint32_t r = 0; r < replicas_; ++r) {
+    out.push_back((primary + r) % num_servers_);
+  }
+  return out;
+}
+
+}  // namespace hvac::core

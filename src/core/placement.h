@@ -1,0 +1,65 @@
+// Hash-based I/O redirection (paper §III-E) — the heart of HVAC.
+//
+// The home server of a file is a pure function of (file path, job
+// allocation): every client computes it locally, so there is no
+// metadata service to query, no location table to maintain, and no
+// broadcast to find a file. The paper uses a simple hash-modulo over
+// the allocation; we implement that as the default and two
+// alternatives for the ablation benches:
+//
+//   * kHashModulo   — mix64(fnv1a(path)) % num_servers (paper's scheme)
+//   * kRendezvous   — highest-random-weight; minimal disruption when a
+//                     server leaves, and a natural way to derive an
+//                     ordered replica/fail-over list (paper §III-H)
+//   * kJump         — Lamping-Veach jump consistent hash
+//
+// `replicas > 1` implements the paper's proposed future-work data
+// replication within the allocation: homes(path) returns an ordered
+// list of distinct servers, the first being the primary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hvac::core {
+
+enum class PlacementPolicy {
+  kHashModulo,
+  kRendezvous,
+  kJump,
+};
+
+const char* placement_policy_name(PlacementPolicy policy);
+
+class Placement {
+ public:
+  // `num_servers` is the total HVAC server instance count in the
+  // allocation (nodes × instances-per-node). `replicas` is clamped to
+  // [1, num_servers].
+  Placement(uint32_t num_servers,
+            PlacementPolicy policy = PlacementPolicy::kHashModulo,
+            uint32_t replicas = 1);
+
+  // Primary home of a file path.
+  uint32_t home(std::string_view path) const;
+
+  // Ordered replica set (primary first, all distinct).
+  std::vector<uint32_t> homes(std::string_view path) const;
+
+  uint32_t num_servers() const { return num_servers_; }
+  uint32_t replicas() const { return replicas_; }
+  PlacementPolicy policy() const { return policy_; }
+
+ private:
+  uint32_t rendezvous_home(uint64_t key, uint32_t rank) const;
+
+  uint32_t num_servers_;
+  PlacementPolicy policy_;
+  uint32_t replicas_;
+};
+
+}  // namespace hvac::core

@@ -1,0 +1,373 @@
+// libhvac_intercept.so — the LD_PRELOAD interposition layer
+// (paper §III-F: "HVAC is built using an LD_PRELOAD mechanism for
+// intercepting I/O related function calls", so DL applications need
+// no code changes).
+//
+// Routing rules:
+//   * Only read-only opens of paths under HVAC_DATASET_DIR are
+//     redirected to HVAC; everything else goes to the real libc.
+//   * Virtual fds live at >= FdTable::kVirtualFdBase, far above any
+//     real descriptor, so read/lseek/close route by range.
+//   * A thread-local recursion guard keeps the HVAC client's own
+//     syscalls (socket I/O, PFS fallback open/read) from re-entering
+//     the shim.
+//   * If bootstrap fails (env unset, servers unreachable) the shim
+//     degrades to pure passthrough — the application must never
+//     break because the cache is missing (fail-open, §III-H).
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <stdarg.h>
+#include <stdio.h>  // fopencookie
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "client/hvac_client.h"
+#include "common/env.h"
+#include "common/log.h"
+#include "core/fd_table.h"
+
+namespace {
+
+using hvac::client::HvacClient;
+using hvac::client::options_from_env;
+using hvac::core::FdTable;
+
+// ---- real libc entry points --------------------------------------------
+
+using open_fn = int (*)(const char*, int, ...);
+using openat_fn = int (*)(int, const char*, int, ...);
+using read_fn = ssize_t (*)(int, void*, size_t);
+using pread_fn = ssize_t (*)(int, void*, size_t, off_t);
+using lseek_fn = off_t (*)(int, off_t, int);
+using close_fn = int (*)(int);
+
+template <typename Fn>
+Fn resolve(const char* name) {
+  void* sym = ::dlsym(RTLD_NEXT, name);
+  return reinterpret_cast<Fn>(sym);
+}
+
+open_fn real_open() {
+  static open_fn fn = resolve<open_fn>("open");
+  return fn;
+}
+open_fn real_open64() {
+  static open_fn fn = resolve<open_fn>("open64");
+  return fn;
+}
+openat_fn real_openat() {
+  static openat_fn fn = resolve<openat_fn>("openat");
+  return fn;
+}
+read_fn real_read() {
+  static read_fn fn = resolve<read_fn>("read");
+  return fn;
+}
+pread_fn real_pread() {
+  static pread_fn fn = resolve<pread_fn>("pread");
+  return fn;
+}
+lseek_fn real_lseek() {
+  static lseek_fn fn = resolve<lseek_fn>("lseek");
+  return fn;
+}
+close_fn real_close() {
+  static close_fn fn = resolve<close_fn>("close");
+  return fn;
+}
+
+// ---- recursion guard ------------------------------------------------------
+
+thread_local int g_in_shim = 0;
+
+class ShimGuard {
+ public:
+  ShimGuard() { ++g_in_shim; }
+  ~ShimGuard() { --g_in_shim; }
+  ShimGuard(const ShimGuard&) = delete;
+  ShimGuard& operator=(const ShimGuard&) = delete;
+};
+
+// ---- client bootstrap ------------------------------------------------------
+
+std::atomic<int> g_state{0};  // 0 = uninit, 1 = active, 2 = disabled
+HvacClient* g_client = nullptr;  // leaked on purpose: outlives exit hooks
+std::mutex g_init_mutex;
+
+bool client_active() {
+  int state = g_state.load(std::memory_order_acquire);
+  if (state == 1) return true;
+  if (state == 2) return false;
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  state = g_state.load(std::memory_order_acquire);
+  if (state != 0) return state == 1;
+  ShimGuard guard;  // bootstrap does real I/O
+  if (hvac::env_bool_or("HVAC_INTERCEPT_DISABLE", false)) {
+    g_state.store(2, std::memory_order_release);
+    return false;
+  }
+  auto options = options_from_env();
+  if (!options.ok()) {
+    HVAC_LOG_INFO("hvac shim passthrough: " << options.error().to_string());
+    g_state.store(2, std::memory_order_release);
+    return false;
+  }
+  g_client = new HvacClient(std::move(options).value());
+  HVAC_LOG_INFO("hvac shim active; dataset="
+                << g_client->options().dataset_dir << " servers="
+                << g_client->options().server_endpoints.size());
+  g_state.store(1, std::memory_order_release);
+  return true;
+}
+
+bool want_intercept(const char* path, int flags) {
+  // Copy to a local first: glibc declares these parameters nonnull,
+  // but a defensive shim must not trust callers.
+  const char* volatile p = path;
+  if (g_in_shim > 0 || p == nullptr) return false;
+  if ((flags & O_ACCMODE) != O_RDONLY) return false;  // read-only cache
+  if (!client_active()) return false;
+  ShimGuard guard;
+  return g_client->eligible(path);
+}
+
+int do_open(const char* path) {
+  ShimGuard guard;
+  auto vfd = g_client->open(path);
+  if (!vfd.ok()) {
+    errno = hvac::error_code_to_errno(vfd.error().code);
+    return -1;
+  }
+  return *vfd;
+}
+
+}  // namespace
+
+extern "C" {
+
+int open(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0 || (flags & O_TMPFILE) == O_TMPFILE) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  if (want_intercept(path, flags)) return do_open(path);
+  return real_open()(path, flags, mode);
+}
+
+int open64(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0 || (flags & O_TMPFILE) == O_TMPFILE) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  if (want_intercept(path, flags)) return do_open(path);
+  open_fn fn = real_open64() != nullptr ? real_open64() : real_open();
+  return fn(path, flags, mode);
+}
+
+int openat(int dirfd, const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0 || (flags & O_TMPFILE) == O_TMPFILE) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  // Only absolute paths (or AT_FDCWD-relative under the dataset dir
+  // when cwd-independent) can be routed; relative-to-dirfd paths pass
+  // through untouched.
+  const char* volatile path_checked = path;
+  if (path_checked != nullptr && path_checked[0] == '/' &&
+      want_intercept(path, flags)) {
+    return do_open(path);
+  }
+  return real_openat()(dirfd, path, flags, mode);
+}
+
+ssize_t read(int fd, void* buf, size_t count) {
+  if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
+    ShimGuard guard;
+    auto n = g_client->read(fd, buf, count);
+    if (!n.ok()) {
+      errno = hvac::error_code_to_errno(n.error().code);
+      return -1;
+    }
+    return static_cast<ssize_t>(*n);
+  }
+  return real_read()(fd, buf, count);
+}
+
+ssize_t pread(int fd, void* buf, size_t count, off_t offset) {
+  if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
+    ShimGuard guard;
+    auto n = g_client->pread(fd, buf, count,
+                             static_cast<uint64_t>(offset));
+    if (!n.ok()) {
+      errno = hvac::error_code_to_errno(n.error().code);
+      return -1;
+    }
+    return static_cast<ssize_t>(*n);
+  }
+  return real_pread()(fd, buf, count, offset);
+}
+
+ssize_t pread64(int fd, void* buf, size_t count, off_t offset) {
+  return pread(fd, buf, count, offset);
+}
+
+off_t lseek(int fd, off_t offset, int whence) {
+  if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
+    ShimGuard guard;
+    auto pos = g_client->lseek(fd, static_cast<int64_t>(offset), whence);
+    if (!pos.ok()) {
+      errno = hvac::error_code_to_errno(pos.error().code);
+      return -1;
+    }
+    return static_cast<off_t>(*pos);
+  }
+  return real_lseek()(fd, offset, whence);
+}
+
+off_t lseek64(int fd, off_t offset, int whence) {
+  return lseek(fd, offset, whence);
+}
+
+int close(int fd) {
+  if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
+    ShimGuard guard;
+    auto status = g_client->close(fd);
+    if (!status.ok()) {
+      errno = hvac::error_code_to_errno(status.error().code);
+      return -1;
+    }
+    return 0;
+  }
+  return real_close()(fd);
+}
+
+// ---- stdio interception ----------------------------------------------------
+// Many data loaders (NumPy, PIL, plain Python file objects) read via
+// stdio rather than raw syscalls. fopencookie() lets us hand back a
+// real FILE* whose underlying I/O is routed through the HVAC client,
+// so buffered fread/fseek work unmodified.
+
+static ssize_t hvac_cookie_read(void* cookie, char* buf, size_t size) {
+  const int vfd = static_cast<int>(reinterpret_cast<intptr_t>(cookie));
+  ShimGuard guard;
+  auto n = g_client->read(vfd, buf, size);
+  if (!n.ok()) {
+    errno = hvac::error_code_to_errno(n.error().code);
+    return -1;
+  }
+  return static_cast<ssize_t>(*n);
+}
+
+static int hvac_cookie_seek(void* cookie, off64_t* offset, int whence) {
+  const int vfd = static_cast<int>(reinterpret_cast<intptr_t>(cookie));
+  ShimGuard guard;
+  auto pos = g_client->lseek(vfd, static_cast<int64_t>(*offset), whence);
+  if (!pos.ok()) {
+    errno = hvac::error_code_to_errno(pos.error().code);
+    return -1;
+  }
+  *offset = static_cast<off64_t>(*pos);
+  return 0;
+}
+
+static int hvac_cookie_close(void* cookie) {
+  const int vfd = static_cast<int>(reinterpret_cast<intptr_t>(cookie));
+  ShimGuard guard;
+  auto status = g_client->close(vfd);
+  if (!status.ok()) {
+    errno = hvac::error_code_to_errno(status.error().code);
+    return -1;
+  }
+  return 0;
+}
+
+static bool mode_is_read_only(const char* mode) {
+  // "r", "rb", "rm", "rbe", ... — anything without +/w/a.
+  if (mode == nullptr || mode[0] != 'r') return false;
+  for (const char* p = mode + 1; *p != '\0'; ++p) {
+    if (*p == '+' || *p == 'w' || *p == 'a') return false;
+  }
+  return true;
+}
+
+static FILE* fopen_impl(const char* path) {
+  const int vfd = do_open(path);
+  if (vfd < 0) return nullptr;
+  cookie_io_functions_t io{};
+  io.read = hvac_cookie_read;
+  io.write = nullptr;  // read-only cache
+  io.seek = hvac_cookie_seek;
+  io.close = hvac_cookie_close;
+  FILE* f = ::fopencookie(reinterpret_cast<void*>(intptr_t{vfd}), "r", io);
+  if (f == nullptr) {
+    ShimGuard guard;
+    (void)g_client->close(vfd);
+  }
+  return f;
+}
+
+FILE* fopen(const char* path, const char* mode) {
+  if (mode_is_read_only(mode) && want_intercept(path, O_RDONLY)) {
+    return fopen_impl(path);
+  }
+  using fopen_fn = FILE* (*)(const char*, const char*);
+  static fopen_fn fn = resolve<fopen_fn>("fopen");
+  return fn(path, mode);
+}
+
+FILE* fopen64(const char* path, const char* mode) {
+  if (mode_is_read_only(mode) && want_intercept(path, O_RDONLY)) {
+    return fopen_impl(path);
+  }
+  using fopen_fn = FILE* (*)(const char*, const char*);
+  static fopen_fn fn = resolve<fopen_fn>("fopen64");
+  if (fn == nullptr) fn = resolve<fopen_fn>("fopen");
+  return fn(path, mode);
+}
+
+// Applications commonly fstat a freshly opened fd to size their read
+// buffer; synthesize a regular-file stat for virtual fds.
+int fstat(int fd, struct stat* st) {
+  struct stat* volatile st_checked = st;
+  if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr &&
+      st_checked != nullptr) {
+    ShimGuard guard;
+    auto pos = g_client->lseek(fd, 0, SEEK_CUR);
+    auto end = g_client->lseek(fd, 0, SEEK_END);
+    if (pos.ok() && end.ok()) {
+      (void)g_client->lseek(fd, *pos, SEEK_SET);
+      std::memset(st, 0, sizeof(*st));
+      st->st_mode = S_IFREG | 0444;
+      st->st_size = static_cast<off_t>(*end);
+      st->st_blksize = 4096;
+      st->st_nlink = 1;
+      return 0;
+    }
+    errno = EBADF;
+    return -1;
+  }
+  using fstat_fn = int (*)(int, struct stat*);
+  static fstat_fn fn = resolve<fstat_fn>("fstat");
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  return fn(fd, st);
+}
+
+}  // extern "C"

@@ -1,0 +1,162 @@
+#include "rpc/async_client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include "common/log.h"
+#include "rpc/wire.h"
+
+namespace hvac::rpc {
+
+AsyncRpcClient::AsyncRpcClient(Endpoint endpoint, RpcClientOptions options)
+    : endpoint_(std::move(endpoint)), options_(options) {}
+
+AsyncRpcClient::~AsyncRpcClient() { shutdown(); }
+
+Status AsyncRpcClient::ensure_connected_locked() {
+  if (broken_) {
+    // The receiver exited after a transport error; reap it before
+    // dialing again.
+    socket_.reset();
+    if (receiver_.joinable()) receiver_.join();
+    broken_ = false;
+  }
+  if (socket_.valid()) return Status::Ok();
+  HVAC_ASSIGN_OR_RETURN(socket_,
+                        connect_to(endpoint_, options_.connect_timeout_ms));
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(socket_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  const int fd = socket_.get();
+  receiver_ = std::thread([this, fd] { receiver_loop(fd); });
+  return Status::Ok();
+}
+
+std::future<Result<Bytes>> AsyncRpcClient::call_async(uint16_t opcode,
+                                                      const Bytes& request) {
+  auto pending = std::make_shared<Pending>();
+  std::future<Result<Bytes>> fut = pending->promise.get_future();
+
+  auto fail_now = [&](Error error) {
+    pending->promise.set_value(Result<Bytes>(std::move(error)));
+    return std::move(fut);
+  };
+  if (request.size() > kMaxFrame) {
+    return fail_now(
+        Error(ErrorCode::kInvalidArgument, "request exceeds max frame"));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutting_down_) {
+    return fail_now(Error(ErrorCode::kCancelled, "client shut down"));
+  }
+  if (Status s = ensure_connected_locked(); !s.ok()) {
+    return fail_now(s.error());
+  }
+
+  FrameHeader header;
+  header.payload_len = static_cast<uint32_t>(request.size());
+  header.request_id = next_request_id_++;
+  header.opcode = opcode;
+  header.kind = FrameKind::kRequest;
+  pending_[header.request_id] = pending;
+
+  uint8_t hdr[kHeaderSize];
+  encode_header(header, hdr);
+  Status sent = send_all(socket_.get(), hdr, kHeaderSize);
+  if (sent.ok() && !request.empty()) {
+    sent = send_all(socket_.get(), request.data(), request.size());
+  }
+  if (!sent.ok()) {
+    pending_.erase(header.request_id);
+    broken_ = true;
+    return fail_now(Error(ErrorCode::kUnavailable, sent.error().message));
+  }
+  return fut;
+}
+
+void AsyncRpcClient::receiver_loop(int fd) {
+  for (;;) {
+    uint8_t hdr[kHeaderSize];
+    Status got = recv_all(fd, hdr, kHeaderSize);
+    if (!got.ok()) {
+      fail_all(Error(ErrorCode::kUnavailable,
+                     "connection lost: " + got.error().message));
+      return;
+    }
+    auto header = decode_header(hdr, kHeaderSize);
+    if (!header.ok()) {
+      fail_all(header.error());
+      return;
+    }
+    Bytes payload(header->payload_len);
+    if (header->payload_len > 0) {
+      got = recv_all(fd, payload.data(), payload.size());
+      if (!got.ok()) {
+        fail_all(Error(ErrorCode::kUnavailable, got.error().message));
+        return;
+      }
+    }
+    std::shared_ptr<Pending> pending;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = pending_.find(header->request_id);
+      if (it != pending_.end()) {
+        pending = it->second;
+        pending_.erase(it);
+      }
+    }
+    if (!pending) {
+      HVAC_LOG_WARN("async response for unknown id " << header->request_id);
+      continue;
+    }
+    if (header->status != ErrorCode::kOk) {
+      WireReader r(payload);
+      auto msg = r.get_string();
+      pending->promise.set_value(Result<Bytes>(
+          Error(header->status, msg.ok() ? *msg : "(no message)")));
+    } else {
+      pending->promise.set_value(Result<Bytes>(std::move(payload)));
+    }
+  }
+}
+
+void AsyncRpcClient::fail_all(const Error& error) {
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    orphans.swap(pending_);
+    broken_ = true;
+  }
+  for (auto& [id, pending] : orphans) {
+    pending->promise.set_value(Result<Bytes>(error));
+  }
+}
+
+void AsyncRpcClient::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      // Second call: just make sure the receiver is reaped below.
+    }
+    shutting_down_ = true;
+    if (socket_.valid()) {
+      // Breaks the receiver out of recv_all.
+      ::shutdown(socket_.get(), SHUT_RDWR);
+    }
+  }
+  if (receiver_.joinable()) receiver_.join();
+  fail_all(Error(ErrorCode::kCancelled, "client shut down"));
+  std::lock_guard<std::mutex> lock(mutex_);
+  socket_.reset();
+}
+
+size_t AsyncRpcClient::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace hvac::rpc

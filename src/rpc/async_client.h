@@ -1,0 +1,67 @@
+// Asynchronous RPC channel: many outstanding calls multiplexed over
+// one connection by request id, with a dedicated receiver thread —
+// the shape of Mercury's HG_Forward/HG_Trigger pattern. Used for
+// pipelined cache warm-up (prefetch) where waiting a round trip per
+// file would waste the whole interconnect.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "rpc/protocol.h"
+#include "rpc/rpc_client.h"  // RpcClientOptions
+#include "rpc/socket.h"
+
+namespace hvac::rpc {
+
+class AsyncRpcClient {
+ public:
+  explicit AsyncRpcClient(Endpoint endpoint,
+                          RpcClientOptions options = {});
+  ~AsyncRpcClient();
+
+  AsyncRpcClient(const AsyncRpcClient&) = delete;
+  AsyncRpcClient& operator=(const AsyncRpcClient&) = delete;
+
+  // Issues a call; the future resolves when the response (or a
+  // transport error) arrives. Any number of calls may be in flight.
+  std::future<Result<Bytes>> call_async(uint16_t opcode,
+                                        const Bytes& request);
+
+  // Convenience synchronous wrapper.
+  Result<Bytes> call(uint16_t opcode, const Bytes& request) {
+    return call_async(opcode, request).get();
+  }
+
+  // Fails all pending calls and joins the receiver. Idempotent.
+  void shutdown();
+
+  size_t pending() const;
+
+ private:
+  struct Pending {
+    std::promise<Result<Bytes>> promise;
+  };
+
+  Status ensure_connected_locked();
+  void receiver_loop(int fd);
+  void fail_all(const Error& error);
+
+  Endpoint endpoint_;
+  RpcClientOptions options_;
+
+  mutable std::mutex mutex_;
+  Fd socket_;
+  std::thread receiver_;
+  uint64_t next_request_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
+  bool shutting_down_ = false;
+  bool broken_ = false;  // receiver saw a transport error; reconnect
+                         // lazily on the next call
+};
+
+}  // namespace hvac::rpc

@@ -1,0 +1,70 @@
+// Frame format shared by RpcClient and RpcServer.
+//
+//   [u32 magic 'HVC1'] [u32 payload_len] [u64 request_id]
+//   [u16 opcode] [u8 kind] [u8 status]
+//
+// followed by payload_len bytes of opaque payload. Responses echo the
+// request_id; `status` carries an ErrorCode so handler failures travel
+// back without a payload schema. Payloads above kMaxFrame are refused
+// — bulk file reads are chunked by the HVAC client instead (this is
+// the moral equivalent of Mercury's separate bulk channel).
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "rpc/wire.h"
+
+namespace hvac::rpc {
+
+constexpr uint32_t kMagic = 0x31435648;  // "HVC1"
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 2 + 1 + 1;
+constexpr size_t kMaxFrame = 64u << 20;  // 64 MiB
+
+enum class FrameKind : uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+};
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  uint64_t request_id = 0;
+  uint16_t opcode = 0;
+  FrameKind kind = FrameKind::kRequest;
+  ErrorCode status = ErrorCode::kOk;
+};
+
+inline void encode_header(const FrameHeader& h, uint8_t out[kHeaderSize]) {
+  WireWriter w;
+  w.put_u32(kMagic);
+  w.put_u32(h.payload_len);
+  w.put_u64(h.request_id);
+  w.put_u16(h.opcode);
+  w.put_u8(static_cast<uint8_t>(h.kind));
+  w.put_u8(static_cast<uint8_t>(h.status));
+  const Bytes& b = w.bytes();
+  for (size_t i = 0; i < kHeaderSize; ++i) out[i] = b[i];
+}
+
+inline Result<FrameHeader> decode_header(const uint8_t* data, size_t size) {
+  WireReader r(data, size);
+  HVAC_ASSIGN_OR_RETURN(uint32_t magic, r.get_u32());
+  if (magic != kMagic) {
+    return Error(ErrorCode::kProtocol, "bad frame magic");
+  }
+  FrameHeader h;
+  HVAC_ASSIGN_OR_RETURN(h.payload_len, r.get_u32());
+  HVAC_ASSIGN_OR_RETURN(h.request_id, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(h.opcode, r.get_u16());
+  HVAC_ASSIGN_OR_RETURN(uint8_t kind, r.get_u8());
+  if (kind > 1) return Error(ErrorCode::kProtocol, "bad frame kind");
+  h.kind = static_cast<FrameKind>(kind);
+  HVAC_ASSIGN_OR_RETURN(uint8_t status, r.get_u8());
+  h.status = static_cast<ErrorCode>(status);
+  if (h.payload_len > kMaxFrame) {
+    return Error(ErrorCode::kProtocol, "frame too large");
+  }
+  return h;
+}
+
+}  // namespace hvac::rpc

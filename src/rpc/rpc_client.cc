@@ -1,0 +1,99 @@
+#include "rpc/rpc_client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include "common/log.h"
+
+namespace hvac::rpc {
+
+RpcClient::RpcClient(Endpoint endpoint, RpcClientOptions options)
+    : endpoint_(std::move(endpoint)), options_(options) {}
+
+RpcClient::~RpcClient() = default;
+
+void RpcClient::disconnect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  socket_.reset();
+}
+
+Status RpcClient::ensure_connected() {
+  if (socket_.valid()) return Status::Ok();
+  HVAC_ASSIGN_OR_RETURN(socket_,
+                        connect_to(endpoint_, options_.connect_timeout_ms));
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(socket_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> RpcClient::call(uint16_t opcode, const Bytes& request) {
+  if (request.size() > kMaxFrame) {
+    return Error(ErrorCode::kInvalidArgument, "request exceeds max frame");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  HVAC_RETURN_IF_ERROR(ensure_connected());
+
+  FrameHeader header;
+  header.payload_len = static_cast<uint32_t>(request.size());
+  header.request_id = next_request_id_++;
+  header.opcode = opcode;
+  header.kind = FrameKind::kRequest;
+
+  uint8_t hdr[kHeaderSize];
+  encode_header(header, hdr);
+  Status sent = send_all(socket_.get(), hdr, kHeaderSize);
+  if (sent.ok() && !request.empty()) {
+    sent = send_all(socket_.get(), request.data(), request.size());
+  }
+  if (!sent.ok()) {
+    socket_.reset();
+    return Error(ErrorCode::kUnavailable,
+                 "send to " + endpoint_.address + " failed: " +
+                     sent.error().message);
+  }
+
+  // One outstanding call per channel, so the next response is ours —
+  // but we still validate the id to catch protocol bugs early.
+  for (;;) {
+    uint8_t rhdr[kHeaderSize];
+    Status got = recv_all(socket_.get(), rhdr, kHeaderSize);
+    if (!got.ok()) {
+      socket_.reset();
+      return Error(got.error().code == ErrorCode::kTimeout
+                       ? ErrorCode::kTimeout
+                       : ErrorCode::kUnavailable,
+                   "recv from " + endpoint_.address + " failed: " +
+                       got.error().message);
+    }
+    auto resp = decode_header(rhdr, kHeaderSize);
+    if (!resp.ok()) {
+      socket_.reset();
+      return resp.error();
+    }
+    Bytes payload(resp->payload_len);
+    if (resp->payload_len > 0) {
+      got = recv_all(socket_.get(), payload.data(), payload.size());
+      if (!got.ok()) {
+        socket_.reset();
+        return Error(ErrorCode::kUnavailable, got.error().message);
+      }
+    }
+    if (resp->kind != FrameKind::kResponse ||
+        resp->request_id != header.request_id) {
+      HVAC_LOG_WARN("discarding stale frame id=" << resp->request_id);
+      continue;
+    }
+    if (resp->status != ErrorCode::kOk) {
+      WireReader r(payload);
+      auto msg = r.get_string();
+      return Error(resp->status, msg.ok() ? *msg : "(no message)");
+    }
+    return payload;
+  }
+}
+
+}  // namespace hvac::rpc

@@ -1,0 +1,60 @@
+// Synchronous RPC client channel. One outstanding call per channel
+// (calls are serialized under a mutex); the HVAC client keeps one
+// channel per server (plus more under HVAC(i×1), where each instance
+// is a separate endpoint). Reconnects lazily after transport errors.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "rpc/protocol.h"
+#include "rpc/socket.h"
+#include "rpc/wire.h"
+
+namespace hvac::rpc {
+
+struct RpcClientOptions {
+  int connect_timeout_ms = 5000;
+  // 0 disables the receive deadline.
+  int recv_timeout_ms = 30000;
+};
+
+class RpcClient {
+ public:
+  explicit RpcClient(Endpoint endpoint, RpcClientOptions options = {});
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Sends `request` under `opcode` and waits for the response payload.
+  // A handler-side error is surfaced with its original code/message; a
+  // transport error surfaces as kUnavailable/kTimeout and poisons the
+  // connection (the next call reconnects).
+  Result<Bytes> call(uint16_t opcode, const Bytes& request);
+
+  // Convenience for WireWriter-built requests.
+  Result<Bytes> call(uint16_t opcode, const WireWriter& request) {
+    return call(opcode, request.bytes());
+  }
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  // Drops the current connection (tests use this to simulate a server
+  // crash mid-stream).
+  void disconnect();
+
+ private:
+  Status ensure_connected();
+
+  Endpoint endpoint_;
+  RpcClientOptions options_;
+  std::mutex mutex_;
+  Fd socket_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace hvac::rpc

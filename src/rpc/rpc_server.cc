@@ -1,0 +1,255 @@
+#include "rpc/rpc_server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace hvac::rpc {
+
+// Per-connection read state machine. Reads run only on the progress
+// thread; writes run on handler threads under write_mutex.
+struct RpcServer::Connection {
+  explicit Connection(Fd socket) : fd(std::move(socket)) {}
+
+  Fd fd;
+  std::mutex write_mutex;
+
+  // Read state: first kHeaderSize bytes, then payload_len bytes.
+  uint8_t header_buf[kHeaderSize];
+  size_t header_got = 0;
+  FrameHeader header;
+  Bytes payload;
+  size_t payload_got = 0;
+  bool in_payload = false;
+
+  void reset_frame() {
+    header_got = 0;
+    payload.clear();
+    payload_got = 0;
+    in_payload = false;
+  }
+};
+
+RpcServer::RpcServer(RpcServerOptions options)
+    : options_(std::move(options)) {}
+
+RpcServer::~RpcServer() { stop(); }
+
+void RpcServer::register_handler(uint16_t opcode, Handler handler) {
+  handlers_[opcode] = std::move(handler);
+}
+
+Status RpcServer::start() {
+  HVAC_ASSIGN_OR_RETURN(listen_fd_,
+                        listen_on(Endpoint{options_.bind_address}, &bound_));
+  HVAC_RETURN_IF_ERROR(set_nonblocking(listen_fd_.get(), true));
+
+  const int efd = ::epoll_create1(0);
+  if (efd < 0) return Error::from_errno(errno, "epoll_create1");
+  epoll_fd_ = Fd(efd);
+
+  const int wfd = ::eventfd(0, EFD_NONBLOCK);
+  if (wfd < 0) return Error::from_errno(errno, "eventfd");
+  wake_fd_ = Fd(wfd);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) !=
+      0) {
+    return Error::from_errno(errno, "epoll_ctl(listen)");
+  }
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
+    return Error::from_errno(errno, "epoll_ctl(wake)");
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.handler_threads);
+  running_.store(true, std::memory_order_release);
+  progress_ = std::thread([this] { progress_loop(); });
+  HVAC_LOG_INFO("rpc server listening on " << bound_.address);
+  return Status::Ok();
+}
+
+void RpcServer::stop() {
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (was_running) {
+    // Wake the progress thread out of epoll_wait.
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+  }
+  if (progress_.joinable()) progress_.join();
+  if (pool_) pool_->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.clear();
+  }
+  listen_fd_.reset();
+  if (bound_.is_unix()) ::unlink(bound_.unix_path().c_str());
+}
+
+void RpcServer::progress_loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, 500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      HVAC_LOG_ERROR("epoll_wait: " << std::strerror(errno));
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_.get()) {
+        continue;  // stop() will break the loop via running_
+      }
+      if (fd == listen_fd_.get()) {
+        for (;;) {
+          const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
+          if (cfd < 0) break;  // EAGAIN or error: done accepting
+          set_nodelay(cfd);
+          auto conn = std::make_shared<Connection>(Fd(cfd));
+          {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            conns_[cfd] = conn;
+          }
+          epoll_event cev{};
+          cev.events = EPOLLIN;
+          cev.data.fd = cfd;
+          ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, cfd, &cev);
+        }
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) conn = it->second;
+      }
+      if (conn) handle_readable(conn);
+    }
+  }
+}
+
+void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
+  // Drain everything available without blocking; a single readable
+  // event may carry several pipelined requests.
+  for (;;) {
+    if (!conn->in_payload) {
+      const ssize_t n =
+          ::recv(conn->fd.get(), conn->header_buf + conn->header_got,
+                 kHeaderSize - conn->header_got, MSG_DONTWAIT);
+      if (n == 0) {
+        drop_connection(conn->fd.get());
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        drop_connection(conn->fd.get());
+        return;
+      }
+      conn->header_got += static_cast<size_t>(n);
+      if (conn->header_got < kHeaderSize) continue;
+      auto header = decode_header(conn->header_buf, kHeaderSize);
+      if (!header.ok()) {
+        HVAC_LOG_WARN("dropping connection: " << header.error().to_string());
+        drop_connection(conn->fd.get());
+        return;
+      }
+      conn->header = *header;
+      conn->payload.resize(conn->header.payload_len);
+      conn->payload_got = 0;
+      conn->in_payload = true;
+      if (conn->header.payload_len == 0) {
+        Bytes payload;
+        FrameHeader h = conn->header;
+        conn->reset_frame();
+        dispatch(conn, h, std::move(payload));
+        continue;
+      }
+    }
+    const size_t want = conn->payload.size() - conn->payload_got;
+    const ssize_t n =
+        ::recv(conn->fd.get(), conn->payload.data() + conn->payload_got,
+               want, MSG_DONTWAIT);
+    if (n == 0) {
+      drop_connection(conn->fd.get());
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      drop_connection(conn->fd.get());
+      return;
+    }
+    conn->payload_got += static_cast<size_t>(n);
+    if (conn->payload_got == conn->payload.size()) {
+      FrameHeader h = conn->header;
+      Bytes payload = std::move(conn->payload);
+      conn->reset_frame();
+      dispatch(conn, h, std::move(payload));
+    }
+  }
+}
+
+void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
+                         FrameHeader header, Bytes payload) {
+  if (header.kind != FrameKind::kRequest) {
+    HVAC_LOG_WARN("ignoring non-request frame");
+    return;
+  }
+  auto work = [this, conn, header, payload = std::move(payload)]() mutable {
+    Result<Bytes> result = [&]() -> Result<Bytes> {
+      auto it = handlers_.find(header.opcode);
+      if (it == handlers_.end()) {
+        return Error(ErrorCode::kUnimplemented,
+                     "no handler for opcode " + std::to_string(header.opcode));
+      }
+      return it->second(payload);
+    }();
+
+    FrameHeader resp;
+    resp.request_id = header.request_id;
+    resp.opcode = header.opcode;
+    resp.kind = FrameKind::kResponse;
+    Bytes body;
+    if (result.ok()) {
+      resp.status = ErrorCode::kOk;
+      body = std::move(result).value();
+    } else {
+      resp.status = result.error().code;
+      WireWriter w;
+      w.put_string(result.error().message);
+      body = std::move(w).take();
+    }
+    resp.payload_len = static_cast<uint32_t>(body.size());
+
+    uint8_t hdr[kHeaderSize];
+    encode_header(resp, hdr);
+    // Count before the write so a client that has already seen the
+    // response also sees the counter (tests rely on this ordering).
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (!send_all(conn->fd.get(), hdr, kHeaderSize).ok() ||
+        (!body.empty() &&
+         !send_all(conn->fd.get(), body.data(), body.size()).ok())) {
+      HVAC_LOG_DEBUG("response write failed; peer likely gone");
+    }
+  };
+  if (!pool_->submit(std::move(work)).ok()) {
+    HVAC_LOG_DEBUG("dropping request during shutdown");
+  }
+}
+
+void RpcServer::drop_connection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  conns_.erase(fd);  // Connection destructor closes the socket
+}
+
+}  // namespace hvac::rpc

@@ -1,0 +1,220 @@
+#include "rpc/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hvac::rpc {
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::pair<std::string, uint16_t>> Endpoint::host_port() const {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "endpoint not host:port: " + address);
+  }
+  const std::string host = address.substr(0, colon);
+  char* end = nullptr;
+  const long port = std::strtol(address.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port < 0 || port > 65535) {
+    return Error(ErrorCode::kInvalidArgument, "bad port in " + address);
+  }
+  return std::make_pair(host, static_cast<uint16_t>(port));
+}
+
+namespace {
+
+Result<Fd> make_tcp_socket() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Error::from_errno(errno, "socket(AF_INET)");
+  return Fd(fd);
+}
+
+Result<Fd> make_unix_socket() {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Error::from_errno(errno, "socket(AF_UNIX)");
+  return Fd(fd);
+}
+
+Result<sockaddr_in> tcp_addr(const Endpoint& endpoint) {
+  HVAC_ASSIGN_OR_RETURN(auto hp, endpoint.host_port());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(hp.second);
+  const std::string& host = hp.first;
+  if (host == "*" || host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Only dotted-quad (plus localhost) is supported; the library
+    // always runs on loopback in this reproduction.
+    if (host == "localhost") {
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else {
+      return Error(ErrorCode::kInvalidArgument, "unresolvable host " + host);
+    }
+  }
+  return addr;
+}
+
+Result<sockaddr_un> unix_addr(const Endpoint& endpoint) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string path = endpoint.unix_path();
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    return Error(ErrorCode::kInvalidArgument, "unix path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Result<Fd> listen_on(const Endpoint& endpoint, Endpoint* bound_endpoint) {
+  if (endpoint.is_unix()) {
+    HVAC_ASSIGN_OR_RETURN(Fd fd, make_unix_socket());
+    HVAC_ASSIGN_OR_RETURN(sockaddr_un addr, unix_addr(endpoint));
+    ::unlink(addr.sun_path);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Error::from_errno(errno, "bind " + endpoint.address);
+    }
+    if (::listen(fd.get(), 128) != 0) {
+      return Error::from_errno(errno, "listen " + endpoint.address);
+    }
+    if (bound_endpoint != nullptr) *bound_endpoint = endpoint;
+    return fd;
+  }
+
+  HVAC_ASSIGN_OR_RETURN(Fd fd, make_tcp_socket());
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  HVAC_ASSIGN_OR_RETURN(sockaddr_in addr, tcp_addr(endpoint));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Error::from_errno(errno, "bind " + endpoint.address);
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    return Error::from_errno(errno, "listen " + endpoint.address);
+  }
+  if (bound_endpoint != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual),
+                      &len) != 0) {
+      return Error::from_errno(errno, "getsockname");
+    }
+    char host[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &actual.sin_addr, host, sizeof(host));
+    bound_endpoint->address =
+        std::string(host) + ":" + std::to_string(ntohs(actual.sin_port));
+  }
+  return fd;
+}
+
+Result<Fd> connect_to(const Endpoint& endpoint, int timeout_ms) {
+  Fd fd;
+  int rc = 0;
+  if (endpoint.is_unix()) {
+    HVAC_ASSIGN_OR_RETURN(fd, make_unix_socket());
+    HVAC_ASSIGN_OR_RETURN(sockaddr_un addr, unix_addr(endpoint));
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    HVAC_ASSIGN_OR_RETURN(fd, make_tcp_socket());
+    HVAC_ASSIGN_OR_RETURN(sockaddr_in addr, tcp_addr(endpoint));
+    if (timeout_ms > 0) {
+      HVAC_RETURN_IF_ERROR(set_nonblocking(fd.get(), true));
+    }
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS && timeout_ms > 0) {
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr == 0) {
+        return Error(ErrorCode::kTimeout,
+                     "connect timeout to " + endpoint.address);
+      }
+      if (pr < 0) return Error::from_errno(errno, "poll(connect)");
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        return Error::from_errno(err, "connect " + endpoint.address);
+      }
+      rc = 0;
+    }
+    if (rc == 0 && timeout_ms > 0) {
+      HVAC_RETURN_IF_ERROR(set_nonblocking(fd.get(), false));
+    }
+    set_nodelay(fd.get());
+  }
+  if (rc != 0) {
+    return Error::from_errno(errno, "connect " + endpoint.address);
+  }
+  return fd;
+}
+
+Status send_all(int fd, const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::from_errno(errno, "send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status recv_all(int fd, void* data, size_t size) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::from_errno(errno, "recv");
+    }
+    if (n == 0) {
+      return got == 0 ? Error(ErrorCode::kUnavailable, "peer closed")
+                      : Error(ErrorCode::kProtocol, "eof mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Error::from_errno(errno, "fcntl(F_GETFL)");
+  const int desired = nonblocking ? (flags | O_NONBLOCK)
+                                  : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, desired) < 0) {
+    return Error::from_errno(errno, "fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace hvac::rpc

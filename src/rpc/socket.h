@@ -1,0 +1,73 @@
+// RAII socket plumbing for the RPC transport: TCP (loopback or real
+// network) and Unix-domain stream sockets, plus robust full-buffer
+// send/recv helpers that handle EINTR and short transfers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace hvac::rpc {
+
+// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// "host:port" for TCP, or "unix:/path/sock" for Unix-domain sockets.
+struct Endpoint {
+  std::string address;
+
+  bool is_unix() const { return address.rfind("unix:", 0) == 0; }
+  std::string unix_path() const { return address.substr(5); }
+  // Splits host:port; returns kInvalidArgument when malformed.
+  Result<std::pair<std::string, uint16_t>> host_port() const;
+};
+
+// Creates a listening socket bound to `endpoint`. For TCP, a port of 0
+// picks an ephemeral port; `bound_endpoint` (if non-null) receives the
+// actual address.
+Result<Fd> listen_on(const Endpoint& endpoint, Endpoint* bound_endpoint);
+
+// Blocking connect with an optional timeout in milliseconds (<=0 means
+// the OS default).
+Result<Fd> connect_to(const Endpoint& endpoint, int timeout_ms = 5000);
+
+// Writes exactly `size` bytes (retrying on EINTR / short writes).
+Status send_all(int fd, const void* data, size_t size);
+
+// Reads exactly `size` bytes. A clean EOF at offset 0 is reported as
+// kUnavailable (peer closed); mid-frame EOF is kProtocol.
+Status recv_all(int fd, void* data, size_t size);
+
+// Marks fd non-blocking (used by the epoll progress loop).
+Status set_nonblocking(int fd, bool nonblocking);
+
+// Disables Nagle on TCP sockets; no-op for Unix sockets.
+void set_nodelay(int fd);
+
+}  // namespace hvac::rpc

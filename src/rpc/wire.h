@@ -1,0 +1,131 @@
+// Wire serialization for the HVAC RPC protocol.
+//
+// Fixed little-endian encoding, no alignment assumptions, explicit
+// bounds checking on the read side (a malformed frame must surface as
+// kProtocol, never as UB). This plays the role Mercury's
+// hg_proc_* encoders play in the original HVAC implementation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hvac::rpc {
+
+using Bytes = std::vector<uint8_t>;
+
+class WireWriter {
+ public:
+  void put_u8(uint8_t v) { buf_.push_back(v); }
+  void put_u16(uint16_t v) { put_bytes_le(&v, 2); }
+  void put_u32(uint32_t v) { put_bytes_le(&v, 4); }
+  void put_u64(uint64_t v) { put_bytes_le(&v, 8); }
+  void put_i64(int64_t v) { put_u64(static_cast<uint64_t>(v)); }
+  void put_f64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    put_u64(bits);
+  }
+  void put_string(std::string_view s) {
+    put_u32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void put_blob(const uint8_t* data, size_t size) {
+    put_u32(static_cast<uint32_t>(size));
+    buf_.insert(buf_.end(), data, data + size);
+  }
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  void put_bytes_le(const void* p, size_t n) {
+    // Host is little-endian on every supported platform; memcpy keeps
+    // this alignment-safe. (A static_assert guards the assumption.)
+    static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+                  "big-endian hosts need byte swaps here");
+    const auto* src = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), src, src + n);
+  }
+
+  Bytes buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const Bytes& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> get_u8() {
+    uint8_t v = 0;
+    HVAC_RETURN_IF_ERROR(copy_out(&v, 1));
+    return v;
+  }
+  Result<uint16_t> get_u16() {
+    uint16_t v = 0;
+    HVAC_RETURN_IF_ERROR(copy_out(&v, 2));
+    return v;
+  }
+  Result<uint32_t> get_u32() {
+    uint32_t v = 0;
+    HVAC_RETURN_IF_ERROR(copy_out(&v, 4));
+    return v;
+  }
+  Result<uint64_t> get_u64() {
+    uint64_t v = 0;
+    HVAC_RETURN_IF_ERROR(copy_out(&v, 8));
+    return v;
+  }
+  Result<int64_t> get_i64() {
+    HVAC_ASSIGN_OR_RETURN(uint64_t v, get_u64());
+    return static_cast<int64_t>(v);
+  }
+  Result<double> get_f64() {
+    HVAC_ASSIGN_OR_RETURN(uint64_t bits, get_u64());
+    double v = 0;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  Result<std::string> get_string() {
+    HVAC_ASSIGN_OR_RETURN(uint32_t len, get_u32());
+    if (len > remaining()) {
+      return Error(ErrorCode::kProtocol, "string length exceeds frame");
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  Result<Bytes> get_blob() {
+    HVAC_ASSIGN_OR_RETURN(uint32_t len, get_u32());
+    if (len > remaining()) {
+      return Error(ErrorCode::kProtocol, "blob length exceeds frame");
+    }
+    Bytes b(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return b;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  Status copy_out(void* dst, size_t n) {
+    if (remaining() < n) {
+      return Error(ErrorCode::kProtocol, "frame truncated");
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hvac::rpc

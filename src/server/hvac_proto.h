@@ -1,0 +1,37 @@
+// Application-level RPC schema between HVAC clients and servers.
+// Shared by src/server and src/client; versioned by the frame magic.
+#pragma once
+
+#include <cstdint>
+
+namespace hvac::proto {
+
+enum Opcode : uint16_t {
+  kPing = 1,      // ()                 -> ()
+  kOpen = 2,      // (path)             -> (remote_fd, size, served_from)
+  kRead = 3,      // (remote_fd, offset, count) -> (blob)
+  kClose = 4,     // (remote_fd)        -> ()
+  kStat = 5,      // (path)             -> (size)
+  kPrefetch = 6,  // (path)             -> (cached: u8)
+  kMetrics = 7,   // ()                 -> (hits, misses, dedup_waits,
+                  //                        evictions, bytes_cache,
+                  //                        bytes_pfs, fallbacks, open_fds)
+  kReadSegment = 8,  // (path, seg_index, segment_bytes,
+                     //  offset_in_segment, count) -> (blob)
+                     // Stateless segment-granular read: the unit of
+                     // caching is one segment, homed independently by
+                     // segment_key(path, idx) (paper §III-E extension).
+};
+
+// served_from values in the kOpen response.
+enum ServedFrom : uint8_t {
+  kFromCache = 0,
+  kFromPfsFallback = 1,  // capacity overflow: server reads through PFS
+};
+
+// Requests larger than this are split by the client (the "bulk
+// transfer" chunk size; Mercury would do an RDMA pull of similar
+// granularity).
+constexpr uint32_t kMaxReadChunk = 4u << 20;
+
+}  // namespace hvac::proto

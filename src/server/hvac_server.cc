@@ -1,0 +1,226 @@
+#include "server/hvac_server.h"
+
+#include "common/log.h"
+#include "rpc/wire.h"
+
+namespace hvac::server {
+
+using rpc::Bytes;
+using rpc::WireReader;
+using rpc::WireWriter;
+
+HvacServer::HvacServer(storage::PfsBackend* pfs, HvacServerOptions options)
+    : pfs_(pfs),
+      options_(std::move(options)),
+      rpc_(rpc::RpcServerOptions{options_.bind_address,
+                                 options_.rpc_handler_threads}) {
+  auto store = std::make_unique<storage::LocalStore>(
+      options_.cache_dir, options_.cache_capacity_bytes);
+  auto eviction = core::make_eviction_policy(options_.eviction_policy,
+                                             options_.seed);
+  cache_ = std::make_unique<core::CacheManager>(pfs_, std::move(store),
+                                                std::move(eviction));
+  mover_ = std::make_unique<core::DataMover>(cache_.get(),
+                                             options_.data_mover_threads);
+  register_handlers();
+}
+
+HvacServer::~HvacServer() { stop(); }
+
+Status HvacServer::start() { return rpc_.start(); }
+
+void HvacServer::stop() {
+  rpc_.stop();
+  if (mover_) mover_->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(fds_mutex_);
+    open_fds_.clear();
+  }
+  // Cache lifetime is coupled to the server (job) lifetime: purge the
+  // node-local store on teardown (paper §III-D).
+  if (cache_) cache_->purge();
+}
+
+size_t HvacServer::open_remote_fds() const {
+  std::lock_guard<std::mutex> lock(
+      const_cast<std::mutex&>(fds_mutex_));
+  return open_fds_.size();
+}
+
+void HvacServer::register_handlers() {
+  rpc_.register_handler(proto::kPing, [](const Bytes&) -> Result<Bytes> {
+    return Bytes{};
+  });
+  rpc_.register_handler(proto::kOpen, [this](const Bytes& req) {
+    return handle_open(req);
+  });
+  rpc_.register_handler(proto::kRead, [this](const Bytes& req) {
+    return handle_read(req);
+  });
+  rpc_.register_handler(proto::kClose, [this](const Bytes& req) {
+    return handle_close(req);
+  });
+  rpc_.register_handler(proto::kStat, [this](const Bytes& req) {
+    return handle_stat(req);
+  });
+  rpc_.register_handler(proto::kPrefetch, [this](const Bytes& req) {
+    return handle_prefetch(req);
+  });
+  rpc_.register_handler(proto::kMetrics, [this](const Bytes& req) {
+    return handle_metrics(req);
+  });
+  rpc_.register_handler(proto::kReadSegment, [this](const Bytes& req) {
+    return handle_read_segment(req);
+  });
+}
+
+Result<Bytes> HvacServer::handle_read_segment(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+  HVAC_ASSIGN_OR_RETURN(uint64_t seg_index, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(uint64_t segment_bytes, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(uint64_t offset_in_segment, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(uint32_t count, r.get_u32());
+  if (count > proto::kMaxReadChunk || segment_bytes == 0) {
+    return Error(ErrorCode::kInvalidArgument, "bad segment read");
+  }
+  Bytes data(count);
+  HVAC_ASSIGN_OR_RETURN(
+      size_t n, cache_->pread_segment(path, seg_index, segment_bytes,
+                                      data.data(), count,
+                                      offset_in_segment));
+  data.resize(n);
+  WireWriter w;
+  w.put_blob(data.data(), data.size());
+  return std::move(w).take();
+}
+
+Result<Bytes> HvacServer::handle_open(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+
+  // Forward to the data-mover FIFO (paper §III-D steps 4-6) and wait
+  // for the cache decision. Retry if the fresh copy is evicted before
+  // we open it (possible under heavy capacity pressure); fall back to
+  // the PFS otherwise.
+  auto open_file = std::make_shared<OpenFile>();
+  open_file->logical_path = path;
+  open_file->pfs_fallback = true;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    HVAC_ASSIGN_OR_RETURN(bool cached, mover_->fetch(path));
+    if (!cached) break;  // capacity overflow: serve from the PFS
+    auto f = cache_->open_cached(path);
+    if (f.ok()) {
+      open_file->file = std::move(f).value();
+      open_file->pfs_fallback = false;
+      break;
+    }
+    if (f.error().code != ErrorCode::kNotFound) return f.error();
+  }
+  uint64_t size = 0;
+  if (open_file->pfs_fallback) {
+    HVAC_ASSIGN_OR_RETURN(open_file->file, pfs_->open(path));
+  }
+  HVAC_ASSIGN_OR_RETURN(size, open_file->file.size());
+  const bool cached = !open_file->pfs_fallback;
+
+  const uint64_t remote_fd =
+      next_remote_fd_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(fds_mutex_);
+    open_fds_[remote_fd] = open_file;
+  }
+
+  WireWriter w;
+  w.put_u64(remote_fd);
+  w.put_u64(size);
+  w.put_u8(cached ? proto::kFromCache : proto::kFromPfsFallback);
+  return std::move(w).take();
+}
+
+Result<Bytes> HvacServer::handle_read(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(uint64_t offset, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(uint32_t count, r.get_u32());
+  if (count > proto::kMaxReadChunk) {
+    return Error(ErrorCode::kInvalidArgument, "read chunk too large");
+  }
+
+  std::shared_ptr<OpenFile> open_file;
+  {
+    std::lock_guard<std::mutex> lock(fds_mutex_);
+    auto it = open_fds_.find(remote_fd);
+    if (it == open_fds_.end()) {
+      return Error(ErrorCode::kBadFd,
+                   "unknown remote fd " + std::to_string(remote_fd));
+    }
+    open_file = it->second;
+  }
+
+  Bytes data(count);
+  size_t n = 0;
+  if (open_file->pfs_fallback) {
+    HVAC_ASSIGN_OR_RETURN(
+        n, pfs_->pread(open_file->file, data.data(), count, offset));
+  } else {
+    HVAC_ASSIGN_OR_RETURN(n, open_file->file.pread(data.data(), count,
+                                                   offset));
+  }
+  cache_->record_served_bytes(n, !open_file->pfs_fallback);
+  data.resize(n);
+  WireWriter w;
+  w.put_blob(data.data(), data.size());
+  return std::move(w).take();
+}
+
+Result<Bytes> HvacServer::handle_close(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
+  std::lock_guard<std::mutex> lock(fds_mutex_);
+  if (open_fds_.erase(remote_fd) == 0) {
+    return Error(ErrorCode::kBadFd,
+                 "unknown remote fd " + std::to_string(remote_fd));
+  }
+  return Bytes{};
+}
+
+Result<Bytes> HvacServer::handle_stat(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+  uint64_t size = 0;
+  if (cache_->is_cached(path)) {
+    HVAC_ASSIGN_OR_RETURN(storage::PosixFile f, cache_->open_cached(path));
+    HVAC_ASSIGN_OR_RETURN(size, f.size());
+  } else {
+    HVAC_ASSIGN_OR_RETURN(size, pfs_->size_of(path));
+  }
+  WireWriter w;
+  w.put_u64(size);
+  return std::move(w).take();
+}
+
+Result<Bytes> HvacServer::handle_prefetch(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+  HVAC_ASSIGN_OR_RETURN(bool cached, mover_->fetch(path));
+  WireWriter w;
+  w.put_u8(cached ? 1 : 0);
+  return std::move(w).take();
+}
+
+Result<Bytes> HvacServer::handle_metrics(const Bytes&) {
+  const core::MetricsSnapshot m = cache_->metrics();
+  WireWriter w;
+  w.put_u64(m.hits);
+  w.put_u64(m.misses);
+  w.put_u64(m.dedup_waits);
+  w.put_u64(m.evictions);
+  w.put_u64(m.bytes_from_cache);
+  w.put_u64(m.bytes_from_pfs);
+  w.put_u64(m.pfs_fallbacks);
+  w.put_u64(open_remote_fds());
+  return std::move(w).take();
+}
+
+}  // namespace hvac::server

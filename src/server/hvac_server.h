@@ -1,0 +1,90 @@
+// HvacServer — one HVAC server instance (paper §III-C).
+//
+// Ties the pieces together: an RpcServer accepts forwarded file
+// operations; open requests are enqueued on the DataMover's FIFO
+// queue; the CacheManager maintains the node-local store with the
+// single-copy guarantee; reads are served from NVMe (or from the PFS
+// when the file overflowed capacity). Several instances can run per
+// node — the paper's HVAC(i×1) variants — each with its own store
+// directory and endpoint.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "core/cache_manager.h"
+#include "core/data_mover.h"
+#include "rpc/rpc_server.h"
+#include "server/hvac_proto.h"
+#include "storage/pfs_backend.h"
+
+namespace hvac::server {
+
+struct HvacServerOptions {
+  std::string bind_address = "127.0.0.1:0";
+  // Directory for this instance's node-local cache (think
+  // /mnt/nvme/hvac.<jobid>.<instance>).
+  std::string cache_dir;
+  // 0 = unlimited (datasets normally fit in aggregate NVMe).
+  uint64_t cache_capacity_bytes = 0;
+  // "random" (paper default), "fifo" or "lru".
+  std::string eviction_policy = "random";
+  size_t data_mover_threads = 1;
+  size_t rpc_handler_threads = 2;
+  uint64_t seed = 0;
+};
+
+class HvacServer {
+ public:
+  // `pfs` must outlive the server (several instances on one node share
+  // one PFS mount, so it is borrowed, not owned).
+  HvacServer(storage::PfsBackend* pfs, HvacServerOptions options);
+  ~HvacServer();
+
+  HvacServer(const HvacServer&) = delete;
+  HvacServer& operator=(const HvacServer&) = delete;
+
+  Status start();
+  void stop();
+
+  // Bound endpoint (for building the client's server map).
+  std::string address() const { return rpc_.endpoint().address; }
+
+  core::CacheManager& cache() { return *cache_; }
+  core::MetricsSnapshot metrics() const { return cache_->metrics(); }
+  size_t open_remote_fds() const;
+
+ private:
+  struct OpenFile {
+    storage::PosixFile file;
+    std::string logical_path;
+    bool pfs_fallback = false;
+  };
+
+  void register_handlers();
+
+  Result<rpc::Bytes> handle_open(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_read(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_close(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_stat(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_read_segment(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_prefetch(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_metrics(const rpc::Bytes& req);
+
+  storage::PfsBackend* pfs_;
+  HvacServerOptions options_;
+  std::unique_ptr<core::CacheManager> cache_;
+  std::unique_ptr<core::DataMover> mover_;
+  rpc::RpcServer rpc_;
+
+  std::mutex fds_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<OpenFile>> open_fds_;
+  std::atomic<uint64_t> next_remote_fd_{1};
+};
+
+}  // namespace hvac::server

@@ -1,0 +1,69 @@
+#include "server/node_runtime.h"
+
+#include "common/env.h"
+
+namespace hvac::server {
+
+NodeRuntime::NodeRuntime(NodeRuntimeOptions options)
+    : options_(std::move(options)) {
+  pfs_ = std::make_unique<storage::PfsBackend>(options_.pfs_root,
+                                               options_.pfs_options);
+  for (uint32_t i = 0; i < std::max<uint32_t>(options_.instances, 1); ++i) {
+    HvacServerOptions so;
+    so.bind_address = options_.bind_host + ":0";
+    so.cache_dir =
+        path_join(options_.cache_root, "instance_" + std::to_string(i));
+    so.cache_capacity_bytes = options_.cache_capacity_bytes_per_instance;
+    so.eviction_policy = options_.eviction_policy;
+    so.data_mover_threads = options_.data_mover_threads;
+    so.rpc_handler_threads = options_.rpc_handler_threads;
+    so.seed = 0x48564143 + i;
+    servers_.push_back(std::make_unique<HvacServer>(pfs_.get(), so));
+  }
+}
+
+NodeRuntime::~NodeRuntime() { stop(); }
+
+Status NodeRuntime::start() {
+  for (auto& server : servers_) {
+    HVAC_RETURN_IF_ERROR(server->start());
+  }
+  return Status::Ok();
+}
+
+void NodeRuntime::stop() {
+  for (auto& server : servers_) server->stop();
+}
+
+std::vector<std::string> NodeRuntime::endpoints() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& server : servers_) out.push_back(server->address());
+  return out;
+}
+
+std::string NodeRuntime::endpoints_csv() const {
+  std::string csv;
+  for (const auto& endpoint : endpoints()) {
+    if (!csv.empty()) csv += ",";
+    csv += endpoint;
+  }
+  return csv;
+}
+
+core::MetricsSnapshot NodeRuntime::aggregated_metrics() const {
+  core::MetricsSnapshot total;
+  for (const auto& server : servers_) {
+    const core::MetricsSnapshot m = server->metrics();
+    total.hits += m.hits;
+    total.misses += m.misses;
+    total.dedup_waits += m.dedup_waits;
+    total.evictions += m.evictions;
+    total.bytes_from_cache += m.bytes_from_cache;
+    total.bytes_from_pfs += m.bytes_from_pfs;
+    total.pfs_fallbacks += m.pfs_fallbacks;
+  }
+  return total;
+}
+
+}  // namespace hvac::server

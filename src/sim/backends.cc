@@ -1,0 +1,330 @@
+#include "sim/backends.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/hash.h"
+
+namespace hvac::sim {
+
+namespace {
+
+// Sum of file sizes in a batch.
+uint64_t batch_bytes(const workload::DatasetSpec& dataset,
+                     const std::vector<uint64_t>& files) {
+  uint64_t bytes = 0;
+  for (uint64_t f : files) bytes += dataset.file_size(f);
+  return bytes;
+}
+
+}  // namespace
+
+// ---- GPFS -----------------------------------------------------------------
+
+GpfsSim::GpfsSim(Cluster* cluster, const workload::DatasetSpec& dataset)
+    : cluster_(cluster), dataset_(dataset) {}
+
+void GpfsSim::read_batch(const BatchIo& io, EventFn done) {
+  ++stats_.requests;
+  const SummitConfig& cfg = cluster_->cfg();
+  SimEngine& engine = cluster_->engine();
+  const double now = engine.now();
+  const uint64_t nfiles = io.files.size();
+  const uint64_t bytes = batch_bytes(dataset_, io.files);
+  stats_.bytes_from_gpfs += bytes;
+
+  // Metadata: the shared station sees ops from every rank in the
+  // center; the requesting rank additionally serializes one unloaded
+  // round trip per file.
+  const double ops = double(nfiles) * cfg.meta_ops_per_transaction;
+  const double station_done = cluster_->gpfs_meta().enqueue(now, ops);
+  const double serial_done =
+      now + double(nfiles) * cfg.gpfs_metadata_latency_s;
+  const double meta_done = std::max(station_done, serial_done);
+
+  // Data: shared GPFS pipe into this node's NIC.
+  cluster_->transfer(meta_done,
+                     {&cluster_->gpfs_data(),
+                      &cluster_->node(io.node).nic_in},
+                     bytes, std::move(done));
+}
+
+// ---- XFS-on-NVMe ------------------------------------------------------------
+
+XfsSim::XfsSim(Cluster* cluster, const workload::DatasetSpec& dataset)
+    : cluster_(cluster), dataset_(dataset) {}
+
+void XfsSim::read_batch(const BatchIo& io, EventFn done) {
+  ++stats_.requests;
+  const SummitConfig& cfg = cluster_->cfg();
+  const double now = cluster_->engine().now();
+  const uint64_t bytes = batch_bytes(dataset_, io.files);
+  stats_.bytes_from_nvme += bytes;
+
+  const double opens_done =
+      now + double(io.files.size()) * cfg.xfs_open_latency_s;
+  cluster_->transfer(opens_done,
+                     {&cluster_->node(io.node).nvme_read}, bytes,
+                     std::move(done));
+}
+
+// ---- HVAC -------------------------------------------------------------------
+
+HvacSim::HvacSim(Cluster* cluster, const workload::DatasetSpec& dataset,
+                 HvacSimOptions options)
+    : cluster_(cluster),
+      dataset_(dataset),
+      options_(options),
+      placement_(cluster->num_nodes() * options.instances_per_node,
+                 options.placement, options.replicas),
+      cached_(dataset.num_files,
+              options.prewarmed ? uint8_t{1} : uint8_t{0}) {
+  const SummitConfig& cfg = cluster_->cfg();
+  const uint32_t servers = num_servers();
+  server_cpu_.reserve(servers);
+  for (uint32_t s = 0; s < servers; ++s) {
+    server_cpu_.emplace_back(1.0 / cfg.hvac_request_cpu_s);
+  }
+  server_file_count_.assign(servers, 0);
+}
+
+std::string HvacSim::name() const {
+  return "HVAC(" + std::to_string(options_.instances_per_node) + "x1)";
+}
+
+uint32_t HvacSim::home_server(uint64_t file,
+                              uint32_t requesting_node) const {
+  if (options_.forced_local_fraction >= 0.0) {
+    // Fig 13 manual residency: a deterministic per-file coin decides
+    // local vs remote; remote homes spread hash-uniformly over the
+    // other nodes.
+    const uint64_t coin = mix64(file ^ 0x46696731336c6f63ULL);
+    const double u = double(coin >> 11) * 0x1.0p-53;
+    const uint32_t inst = static_cast<uint32_t>(
+        mix64(file) % options_.instances_per_node);
+    if (u < options_.forced_local_fraction ||
+        cluster_->num_nodes() == 1) {
+      return requesting_node * options_.instances_per_node + inst;
+    }
+    const uint32_t other = static_cast<uint32_t>(
+        mix64(file ^ 0x72656d6f7465ULL) % (cluster_->num_nodes() - 1));
+    const uint32_t node = other >= requesting_node ? other + 1 : other;
+    return node * options_.instances_per_node + inst;
+  }
+  // Metadata-less hash placement: key the placement on the dataset
+  // file path, exactly what the real client hashes.
+  return placement_.home(workload::dataset_file_path(dataset_, file));
+}
+
+void HvacSim::read_batch(const BatchIo& io, EventFn done) {
+  ++stats_.requests;
+  const SummitConfig& cfg = cluster_->cfg();
+  SimEngine& engine = cluster_->engine();
+  const double now = engine.now();
+
+  // Group the batch's files by serving server, splitting hit/miss.
+  // kDirectGpfs marks files whose every home is dead: the client
+  // fails open and reads the PFS directly.
+  constexpr uint32_t kDirectGpfs = UINT32_MAX;
+  struct Group {
+    uint64_t hit_bytes = 0;
+    uint64_t miss_bytes = 0;
+    uint64_t hit_files = 0;
+    uint64_t miss_files = 0;
+  };
+  std::map<uint32_t, Group> groups;
+  uint64_t propagate_bytes = 0;
+  for (uint64_t f : io.files) {
+    const uint64_t size = dataset_.file_size(f);
+    uint32_t server = kDirectGpfs;
+    uint32_t replica_rank = 0;
+    if (options_.forced_local_fraction >= 0.0 ||
+        (options_.replicas <= 1 && options_.failed_servers == 0)) {
+      server = home_server(f, io.node);
+      if (!server_alive(server)) server = kDirectGpfs;
+    } else {
+      const auto homes = placement_.homes(
+          workload::dataset_file_path(dataset_, f));
+      for (uint32_t k = 0; k < homes.size(); ++k) {
+        if (server_alive(homes[k])) {
+          server = homes[k];
+          replica_rank = k;
+          break;
+        }
+      }
+      if (server != kDirectGpfs && replica_rank > 0) ++stats_.failover_reads;
+      // Replication propagation: once a file is fetched, alive
+      // replicas also hold it (the copy rides the interconnect in the
+      // background; see the miss path below).
+    }
+    if (server == kDirectGpfs) {
+      ++stats_.dead_fallback_reads;
+      Group& g = groups[kDirectGpfs];
+      g.miss_bytes += size;
+      ++g.miss_files;
+      continue;
+    }
+    Group& g = groups[server];
+    if (cached_[f] & (1u << replica_rank)) {
+      g.hit_bytes += size;
+      ++g.hit_files;
+      ++stats_.cache_hits;
+    } else {
+      g.miss_bytes += size;
+      ++g.miss_files;
+      ++stats_.cache_misses;
+      // Claimed: concurrent requesters piggyback on the in-flight
+      // copy (the single-copy guarantee of the real CacheManager).
+      cached_[f] |= uint8_t(1u << replica_rank);
+      ++server_file_count_[server];
+      if (options_.replicas > 1) {
+        // Propagate to the other alive homes in the background; the
+        // copies are batched into one interconnect flow below.
+        const auto homes = placement_.homes(
+            workload::dataset_file_path(dataset_, f));
+        for (uint32_t k = 0; k < homes.size(); ++k) {
+          if (k == replica_rank || !server_alive(homes[k])) continue;
+          cached_[f] |= uint8_t(1u << k);
+          propagate_bytes += size;
+        }
+      }
+    }
+  }
+
+  if (groups.empty()) {
+    engine.schedule_in(0, std::move(done));
+    return;
+  }
+
+  // The data loader issues its per-file transactions back to back
+  // (§III-F); each costs the RPC round trips plus its share of a
+  // server instance's request CPU. This serialized client-side path
+  // is what the extra instances of HVAC(i x 1) parallelize.
+  const double per_file_s =
+      cfg.hvac_rpcs_per_file * cfg.hvac_rpc_latency_s +
+      cfg.hvac_request_cpu_s / double(options_.instances_per_node);
+  const double client_serial_done =
+      now + double(io.files.size()) * per_file_s;
+
+  // Server-instance CPU: every forwarded op crosses the RPC handler
+  // and the data-mover FIFO of its home instance (queueing against
+  // other ranks' requests). The batch proceeds once the slowest
+  // involved instance and the client's own request stream are done.
+  double cpu_done = client_serial_done;
+  uint64_t local_hit_bytes = 0, remote_hit_bytes = 0;
+  uint64_t miss_bytes = 0, miss_files = 0;
+  uint64_t direct_bytes = 0, direct_files = 0;
+  for (const auto& [server, g] : groups) {
+    if (server == kDirectGpfs) {
+      direct_bytes += g.miss_bytes;
+      direct_files += g.miss_files;
+      continue;
+    }
+    cpu_done = std::max(
+        cpu_done, server_cpu_[server].enqueue(
+                      now, double(g.hit_files + g.miss_files)) +
+                      cfg.hvac_rpc_latency_s);
+    const bool remote = server_node(server) != io.node;
+    if (remote) {
+      remote_hit_bytes += g.hit_bytes;
+      stats_.bytes_over_network += g.hit_bytes + g.miss_bytes;
+    } else {
+      local_hit_bytes += g.hit_bytes;
+    }
+    miss_bytes += g.miss_bytes;
+    miss_files += g.miss_files;
+  }
+  stats_.bytes_from_nvme += local_hit_bytes + remote_hit_bytes;
+  stats_.bytes_from_gpfs += miss_bytes + direct_bytes;
+
+  // The batch's transfers run concurrently; it completes when the
+  // slowest one does. Per-batch aggregation (one flow per class
+  // rather than one per home server) keeps the fixed-rate-at-
+  // admission approximation honest: hash placement loads the per-node
+  // devices uniformly, so remote reads charge the pooled NVMe.
+  NodeResources& req = cluster_->node(io.node);
+  std::vector<std::pair<std::vector<PsResource*>, uint64_t>> flows;
+  if (local_hit_bytes > 0) {
+    flows.push_back({{&req.nvme_read}, local_hit_bytes});
+  }
+  if (remote_hit_bytes > 0) {
+    flows.push_back({{&cluster_->nvme_pool_read(), &req.nic_in},
+                     remote_hit_bytes});
+  }
+  if (miss_bytes > 0) {
+    // First-epoch pull: GPFS metadata + shared data pipe, the NVMe
+    // write of the new copy, and the hop to the requester.
+    std::vector<PsResource*> path{&cluster_->gpfs_data(), &req.nic_in};
+    if (cfg.hvac_charge_nvme_write) {
+      path.push_back(&cluster_->nvme_pool_write());
+    }
+    flows.push_back({std::move(path), miss_bytes});
+  }
+  if (direct_bytes > 0) {
+    // Fail-open path: the client reads the PFS directly, exactly like
+    // the GPFS baseline.
+    flows.push_back({{&cluster_->gpfs_data(), &req.nic_in}, direct_bytes});
+  }
+
+  if (flows.empty()) {
+    engine.schedule_at(cpu_done, std::move(done));
+    return;
+  }
+  auto pending = std::make_shared<size_t>(flows.size());
+  auto flow_done = [pending, done = std::move(done)]() {
+    if (--*pending == 0) done();
+  };
+  const double meta_ops =
+      double(miss_files + direct_files) * cfg.meta_ops_per_transaction;
+  const double meta_done = std::max(
+      meta_ops > 0 ? cluster_->gpfs_meta().enqueue(cpu_done, meta_ops)
+                   : cpu_done,
+      cpu_done + double(miss_files + direct_files) *
+                     cfg.gpfs_metadata_latency_s);
+  for (auto& [path, bytes] : flows) {
+    const bool touches_gpfs = path.front() == &cluster_->gpfs_data();
+    const double start = (touches_gpfs ? meta_done : cpu_done) +
+                         cfg.network_latency_s;
+    cluster_->transfer(start, std::move(path), bytes, flow_done);
+  }
+
+  // Background replication traffic (does not gate the batch).
+  if (propagate_bytes > 0) {
+    stats_.bytes_over_network += propagate_bytes;
+    cluster_->transfer(cpu_done + cfg.network_latency_s,
+                       {&cluster_->nvme_pool_read(),
+                        &cluster_->nvme_pool_write()},
+                       propagate_bytes, [] {});
+  }
+}
+
+std::vector<uint64_t> HvacSim::per_server_file_counts() const {
+  return server_file_count_;
+}
+
+// ---- factory -----------------------------------------------------------------
+
+std::unique_ptr<SimBackend> make_backend(
+    const std::string& label, Cluster* cluster,
+    const workload::DatasetSpec& dataset) {
+  if (label == "GPFS") {
+    return std::make_unique<GpfsSim>(cluster, dataset);
+  }
+  if (label == "XFS" || label == "XFS-on-NVMe") {
+    return std::make_unique<XfsSim>(cluster, dataset);
+  }
+  HvacSimOptions options;
+  if (label == "HVAC(1x1)") {
+    options.instances_per_node = 1;
+  } else if (label == "HVAC(2x1)") {
+    options.instances_per_node = 2;
+  } else if (label == "HVAC(4x1)") {
+    options.instances_per_node = 4;
+  } else {
+    return nullptr;
+  }
+  return std::make_unique<HvacSim>(cluster, dataset, options);
+}
+
+}  // namespace hvac::sim

@@ -1,0 +1,153 @@
+// Storage backends of the simulated experiments: GPFS (baseline,
+// lower bound), XFS-on-NVMe (pre-staged, upper bound) and HVAC with
+// i instances per node. All three serve the same request — "rank r on
+// node n reads this batch of dataset files" — and report completion
+// through the event engine, so the DL-job and MDTest drivers are
+// backend-agnostic, exactly like the applications in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/placement.h"
+#include "sim/cluster.h"
+#include "workload/dataset_spec.h"
+
+namespace hvac::sim {
+
+struct BatchIo {
+  uint32_t node = 0;           // requesting compute node
+  uint32_t rank = 0;           // requesting rank (diagnostics)
+  std::vector<uint64_t> files; // dataset file indices
+};
+
+struct BackendStats {
+  uint64_t requests = 0;
+  uint64_t bytes_from_gpfs = 0;
+  uint64_t bytes_from_nvme = 0;
+  uint64_t bytes_over_network = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // HVAC fail-over accounting (§III-H experiments).
+  uint64_t failover_reads = 0;       // served by a non-primary replica
+  uint64_t dead_fallback_reads = 0;  // every home dead -> direct GPFS
+};
+
+class SimBackend {
+ public:
+  virtual ~SimBackend() = default;
+
+  // Serves the batch; `done` fires at the simulated completion time.
+  virtual void read_batch(const BatchIo& io, EventFn done) = 0;
+
+  virtual std::string name() const = 0;
+  virtual const BackendStats& stats() const { return stats_; }
+
+  // Per-server cached-file counts (HVAC only; empty otherwise).
+  virtual std::vector<uint64_t> per_server_file_counts() const {
+    return {};
+  }
+
+ protected:
+  BackendStats stats_;
+};
+
+// ---- GPFS ------------------------------------------------------------------
+// Every <open-read-close> pays the shared metadata station plus the
+// unloaded round-trip latency (serialized per rank: the profiled
+// loaders issue per-file ORC transactions back to back, §III-F), and
+// the data crosses the shared GPFS pipe into the node's NIC.
+class GpfsSim : public SimBackend {
+ public:
+  GpfsSim(Cluster* cluster, const workload::DatasetSpec& dataset);
+
+  void read_batch(const BatchIo& io, EventFn done) override;
+  std::string name() const override { return "GPFS"; }
+
+ private:
+  Cluster* cluster_;
+  workload::DatasetSpec dataset_;
+};
+
+// ---- XFS-on-NVMe -----------------------------------------------------------
+// The ideal: the dataset was pre-staged to every node's NVMe before
+// the job (no first-epoch penalty, no network). Local opens are
+// cheap; data is bounded only by the node's own NVMe.
+class XfsSim : public SimBackend {
+ public:
+  XfsSim(Cluster* cluster, const workload::DatasetSpec& dataset);
+
+  void read_batch(const BatchIo& io, EventFn done) override;
+  std::string name() const override { return "XFS-on-NVMe"; }
+
+ private:
+  Cluster* cluster_;
+  workload::DatasetSpec dataset_;
+};
+
+// ---- HVAC ------------------------------------------------------------------
+struct HvacSimOptions {
+  uint32_t instances_per_node = 1;  // the i of HVAC(i x 1)
+  core::PlacementPolicy placement = core::PlacementPolicy::kHashModulo;
+  // Fig 13 control: when >= 0, overrides placement so this fraction
+  // of files is homed on the requesting node and the rest on remote
+  // nodes (manual L%/R% residency control).
+  double forced_local_fraction = -1.0;
+  // Prefetch ablation: when true the cache is pre-populated (epoch 1
+  // behaves like a cached epoch).
+  bool prewarmed = false;
+
+  // ---- §III-H future work: replication & fail-over ----------------------
+  // Replica count (1 = paper's single-home baseline). With r > 1 a
+  // file is served by its first *alive* home; on a miss the copy also
+  // propagates to the other alive replicas over the interconnect.
+  uint32_t replicas = 1;
+  // Servers whose index is < failed_servers die at fail_at_seconds.
+  uint32_t failed_servers = 0;
+  double fail_at_seconds = 0.0;
+};
+
+class HvacSim : public SimBackend {
+ public:
+  HvacSim(Cluster* cluster, const workload::DatasetSpec& dataset,
+          HvacSimOptions options);
+
+  void read_batch(const BatchIo& io, EventFn done) override;
+  std::string name() const override;
+  std::vector<uint64_t> per_server_file_counts() const override;
+
+  uint32_t num_servers() const {
+    return cluster_->num_nodes() * options_.instances_per_node;
+  }
+
+ private:
+  uint32_t home_server(uint64_t file, uint32_t requesting_node) const;
+  uint32_t server_node(uint32_t server) const {
+    return server / options_.instances_per_node;
+  }
+  bool server_alive(uint32_t server) const {
+    return server >= options_.failed_servers ||
+           cluster_->engine().now() < options_.fail_at_seconds;
+  }
+
+  Cluster* cluster_;
+  workload::DatasetSpec dataset_;
+  HvacSimOptions options_;
+  core::Placement placement_;
+  std::vector<ServiceStation> server_cpu_;   // one per instance
+  // Per-file bitmask over the replica list: bit k set = the k-th home
+  // in homes(file) holds a copy.
+  std::vector<uint8_t> cached_;
+  std::vector<uint64_t> server_file_count_;  // per instance
+};
+
+// Factory used by the bench harnesses ("GPFS", "XFS", "HVAC(1x1)",
+// "HVAC(2x1)", "HVAC(4x1)").
+std::unique_ptr<SimBackend> make_backend(const std::string& label,
+                                         Cluster* cluster,
+                                         const workload::DatasetSpec& dataset);
+
+}  // namespace hvac::sim

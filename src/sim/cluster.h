@@ -1,0 +1,90 @@
+// Cluster — the simulated Summit allocation: per-node NVMe and NIC
+// resources, the shared GPFS data path and metadata station, and the
+// event engine that advances it all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resources.h"
+#include "sim/summit_config.h"
+
+namespace hvac::sim {
+
+struct NodeResources {
+  PsResource nvme_read;
+  PsResource nvme_write;
+  PsResource nic_in;
+  PsResource nic_out;
+
+  explicit NodeResources(const SummitConfig& cfg)
+      : nvme_read(cfg.nvme_read_bps),
+        nvme_write(cfg.nvme_write_bps),
+        nic_in(cfg.nic_bps),
+        nic_out(cfg.nic_bps) {}
+};
+
+class Cluster {
+ public:
+  Cluster(const SummitConfig& cfg, uint32_t num_nodes)
+      : cfg_(cfg),
+        gpfs_meta_(cfg.gpfs_metadata_ops_per_s),
+        gpfs_data_(cfg.gpfs_aggregate_bps),
+        nvme_pool_read_(cfg.nvme_read_bps * num_nodes),
+        nvme_pool_write_(cfg.nvme_write_bps * num_nodes) {
+    nodes_.reserve(num_nodes);
+    for (uint32_t n = 0; n < num_nodes; ++n) nodes_.emplace_back(cfg);
+  }
+
+  SimEngine& engine() { return engine_; }
+  const SummitConfig& cfg() const { return cfg_; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  NodeResources& node(uint32_t n) { return nodes_.at(n); }
+  ServiceStation& gpfs_meta() { return gpfs_meta_; }
+  PsResource& gpfs_data() { return gpfs_data_; }
+
+  // Pooled NVMe capacity of the whole allocation. Hash placement
+  // spreads cache reads uniformly over the per-node devices, so
+  // remote-read aggregates can charge the pool instead of admitting
+  // one tiny flow per home server (which would distort the
+  // fixed-rate-at-admission approximation).
+  PsResource& nvme_pool_read() { return nvme_pool_read_; }
+  PsResource& nvme_pool_write() { return nvme_pool_write_; }
+
+  // Starts a bandwidth transfer of `bytes` across `resources` at time
+  // `start` (absolute). The rate is the bottleneck fair share at
+  // admission; all resources are held for the duration. `done` fires
+  // at completion.
+  void transfer(double start, std::vector<PsResource*> resources,
+                uint64_t bytes, EventFn done) {
+    engine_.schedule_at(start, [this, resources = std::move(resources),
+                                bytes, done = std::move(done)]() mutable {
+      double rate = 1e30;
+      for (PsResource* r : resources) {
+        rate = std::min(rate, r->admit());
+        r->add_bytes(bytes);
+      }
+      const double duration =
+          rate > 0 ? static_cast<double>(bytes) / rate : 0.0;
+      engine_.schedule_in(duration,
+                          [resources = std::move(resources),
+                           done = std::move(done)]() mutable {
+                            for (PsResource* r : resources) r->release();
+                            done();
+                          });
+    });
+  }
+
+ private:
+  SummitConfig cfg_;
+  SimEngine engine_;
+  std::vector<NodeResources> nodes_;
+  ServiceStation gpfs_meta_;
+  PsResource gpfs_data_;
+  PsResource nvme_pool_read_;
+  PsResource nvme_pool_write_;
+};
+
+}  // namespace hvac::sim

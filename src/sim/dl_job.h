@@ -1,0 +1,67 @@
+// DlTrainingJob — the simulated distributed training loop that every
+// figure-8-family experiment runs (paper §IV-B/C/D/E).
+//
+// World = nodes x procs_per_node ranks. Per epoch: the file list is
+// shuffled (seeded, backend-independent — the invariant behind Fig
+// 14), partitioned across ranks, and each rank iterates its batches:
+// read the batch through the backend, then compute. An epoch ends at
+// an allreduce barrier; training time is the sum over epochs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/backends.h"
+#include "sim/cluster.h"
+#include "workload/dataset_spec.h"
+#include "workload/shuffler.h"
+
+namespace hvac::sim {
+
+struct DlJobConfig {
+  workload::AppSpec app;
+  uint32_t nodes = 1;
+  // Scale the dataset 1/k to bound event counts; reported times are
+  // multiplied back by k (valid because epochs are throughput-bound:
+  // tests assert shape invariance under scaling).
+  uint64_t dataset_scale = 1;
+  uint64_t shuffle_seed = 0x5eed;
+  // Overrides (0 = take from app).
+  uint32_t epochs_override = 0;
+  uint32_t batch_size_override = 0;
+};
+
+// Post-run resource accounting (simulated time, unscaled).
+struct UtilizationReport {
+  double sim_seconds = 0;            // simulated makespan
+  double gpfs_meta_utilization = 0;  // busy fraction of the MDS pool
+  uint64_t gpfs_data_bytes = 0;      // bytes over the shared GPFS pipe
+  uint64_t nvme_read_bytes = 0;      // summed over nodes
+  uint64_t nic_bytes = 0;            // summed over node nic_in
+  uint32_t peak_gpfs_flows = 0;      // concurrent transfers at peak
+};
+
+struct DlJobResult {
+  std::string backend;
+  double total_seconds = 0;               // scaled-back training time
+  std::vector<double> epoch_seconds;      // per-epoch (scaled back)
+  BackendStats io;
+  UtilizationReport utilization;
+  uint64_t events = 0;
+
+  double first_epoch_seconds() const {
+    return epoch_seconds.empty() ? 0.0 : epoch_seconds.front();
+  }
+  // Best epoch excluding the first (the paper's R_epoch).
+  double best_random_epoch_seconds() const;
+  double avg_epoch_seconds() const;
+};
+
+// Runs one training job against `backend_label` ("GPFS", "XFS",
+// "HVAC(1x1)", "HVAC(2x1)", "HVAC(4x1)") on a fresh cluster.
+DlJobResult run_dl_job(const SummitConfig& cfg, const DlJobConfig& job,
+                       const std::string& backend_label,
+                       HvacSimOptions* hvac_options = nullptr);
+
+}  // namespace hvac::sim

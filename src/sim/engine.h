@@ -1,0 +1,76 @@
+// SimEngine — a minimal discrete-event simulation core.
+//
+// Deterministic: events at equal timestamps fire in scheduling order
+// (a monotonic sequence number breaks ties), so every simulated
+// experiment is bit-reproducible. Time is in seconds (double); the
+// experiments span microseconds (RPC latency) to hours (training
+// runs), well within double's 2^53 resolution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hvac::sim {
+
+using EventFn = std::function<void()>;
+
+class SimEngine {
+ public:
+  double now() const { return now_; }
+
+  void schedule_at(double time, EventFn fn) {
+    if (time < now_) time = now_;  // clamp: no time travel
+    queue_.push(Event{time, next_seq_++, std::move(fn)});
+  }
+
+  void schedule_in(double delay, EventFn fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  // Runs until the queue drains. Returns the final simulation time.
+  double run() {
+    while (!queue_.empty()) step();
+    return now_;
+  }
+
+  // Runs until the queue drains or `time` is reached (events at
+  // exactly `time` still fire).
+  double run_until(double time) {
+    while (!queue_.empty() && queue_.top().time <= time) step();
+    if (now_ < time) now_ = time;
+    return now_;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    EventFn fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void step() {
+    // Moving out of the priority queue requires a const_cast because
+    // top() is const; the pop immediately follows.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace hvac::sim

@@ -1,0 +1,82 @@
+#include "sim/mdtest.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "workload/dataset_spec.h"
+
+namespace hvac::sim {
+
+MdTestResult run_mdtest(const SummitConfig& cfg, const MdTestConfig& test,
+                        const std::string& backend_label) {
+  Cluster cluster(cfg, test.nodes);
+
+  // Fixed-size file population.
+  workload::DatasetSpec dataset;
+  dataset.name = "mdtest";
+  dataset.num_files = test.num_files;
+  dataset.mean_file_bytes = static_cast<double>(test.file_bytes);
+  dataset.lognormal_sigma = 0.0;
+  dataset.min_file_bytes = 1;
+
+  std::unique_ptr<SimBackend> backend =
+      make_backend(backend_label, &cluster, dataset);
+  if (!backend) return MdTestResult{backend_label, 0, 0, 0, 0};
+
+  const uint32_t world = test.nodes * test.ranks_per_node;
+
+  // Each rank: a closed loop of single-file random transactions.
+  struct Rank {
+    uint64_t remaining = 0;
+    SplitMix64 rng{0};
+  };
+  auto ranks = std::make_shared<std::vector<Rank>>(world);
+  for (uint32_t r = 0; r < world; ++r) {
+    (*ranks)[r].remaining = test.transactions_per_rank;
+    (*ranks)[r].rng = SplitMix64(test.seed + r * 0x9e37u);
+  }
+
+  // Recursive per-rank step.
+  struct Driver {
+    Cluster* cluster;
+    SimBackend* backend;
+    std::shared_ptr<std::vector<Rank>> ranks;
+    uint32_t ranks_per_node;
+    uint64_t num_files;
+
+    void step(uint32_t rank) {
+      Rank& state = (*ranks)[rank];
+      if (state.remaining == 0) return;
+      --state.remaining;
+      BatchIo io;
+      io.rank = rank;
+      io.node = rank / ranks_per_node;
+      io.files = {state.rng.next_below(num_files)};
+      backend->read_batch(io, [this, rank]() { step(rank); });
+    }
+  };
+  auto driver = std::make_shared<Driver>();
+  driver->cluster = &cluster;
+  driver->backend = backend.get();
+  driver->ranks = ranks;
+  driver->ranks_per_node = test.ranks_per_node;
+  driver->num_files = test.num_files;
+
+  for (uint32_t r = 0; r < world; ++r) {
+    cluster.engine().schedule_in(0, [driver, r]() { driver->step(r); });
+  }
+  const double makespan = cluster.engine().run();
+
+  MdTestResult result;
+  result.backend = backend->name();
+  result.makespan_seconds = makespan;
+  result.transactions =
+      static_cast<uint64_t>(world) * test.transactions_per_rank;
+  result.transactions_per_second =
+      makespan > 0 ? static_cast<double>(result.transactions) / makespan
+                   : 0.0;
+  result.events = cluster.engine().events_processed();
+  return result;
+}
+
+}  // namespace hvac::sim

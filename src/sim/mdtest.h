@@ -1,0 +1,37 @@
+// MDTest model (paper §II-C, Figs 3 & 4): every rank performs a fixed
+// number of random <open-read-close> transactions against a backend;
+// the metric is aggregate transactions per second. 32 KB files probe
+// the metadata path, 8 MB files probe bandwidth (where the
+// GPFS-vs-NVMe crossover near ~450 nodes comes from).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/backends.h"
+#include "sim/cluster.h"
+#include "sim/summit_config.h"
+
+namespace hvac::sim {
+
+struct MdTestConfig {
+  uint32_t nodes = 1;
+  uint32_t ranks_per_node = 6;  // one per GPU, the usual mdtest layout
+  uint64_t transactions_per_rank = 100;
+  uint64_t file_bytes = 32 * 1024;
+  uint64_t num_files = 1u << 20;  // population to draw random files from
+  uint64_t seed = 0x6d645eedULL;
+};
+
+struct MdTestResult {
+  std::string backend;
+  double makespan_seconds = 0;
+  uint64_t transactions = 0;
+  double transactions_per_second = 0;
+  uint64_t events = 0;
+};
+
+MdTestResult run_mdtest(const SummitConfig& cfg, const MdTestConfig& test,
+                        const std::string& backend_label);
+
+}  // namespace hvac::sim

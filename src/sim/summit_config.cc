@@ -1,0 +1,30 @@
+#include "sim/summit_config.h"
+
+#include <sstream>
+
+namespace hvac::sim {
+
+std::string table1_string(const SummitConfig& c) {
+  std::ostringstream oss;
+  oss << "TABLE I: The compute node specification of Summit.\n"
+      << "  Supercomputer              | " << c.supercomputer << "\n"
+      << "  CPU                        | " << c.cpu << "\n"
+      << "  GPU                        | " << c.gpu << "\n"
+      << "  Memory Capacity            | " << c.memory_gb << " GB DDR4\n"
+      << "  Node-local Storage         | " << c.node_local_storage << "\n"
+      << "  Network Interconnect Family| " << c.interconnect << "\n"
+      << "  --- simulator calibration ---\n"
+      << "  NVMe read per node         | " << c.nvme_read_bps / 1e9
+      << " GB/s (22.5 TB/s at 4096 nodes, paper Sec. II-C)\n"
+      << "  NIC per direction          | " << c.nic_bps / 1e9 << " GB/s\n"
+      << "  GPFS aggregate             | " << c.gpfs_aggregate_bps / 1e12
+      << " TB/s\n"
+      << "  GPFS metadata service      | " << c.gpfs_metadata_ops_per_s / 1e3
+      << " k ops/s, " << c.gpfs_metadata_latency_s * 1e6
+      << " us unloaded latency\n"
+      << "  HVAC per-request CPU       | " << c.hvac_request_cpu_s * 1e6
+      << " us per server instance\n";
+  return oss.str();
+}
+
+}  // namespace hvac::sim

@@ -1,0 +1,91 @@
+#include "storage/local_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/hash.h"
+
+namespace hvac::storage {
+
+LocalStore::LocalStore(std::string root, uint64_t capacity_bytes)
+    : root_(std::move(root)), capacity_(capacity_bytes) {
+  (void)make_directories(root_);
+}
+
+std::string LocalStore::physical_path(
+    const std::string& logical_path) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016" PRIx64,
+                stable_hash(logical_path));
+  return path_join(root_, std::string(name) + ".hvac");
+}
+
+bool LocalStore::contains(const std::string& logical_path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(logical_path) > 0;
+}
+
+Status LocalStore::insert(const std::string& logical_path,
+                          uint64_t size_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ != 0 &&
+      bytes_used_.load(std::memory_order_relaxed) + size_bytes > capacity_) {
+    return Error(ErrorCode::kCapacity,
+                 "local store over capacity inserting " + logical_path);
+  }
+  auto [it, inserted] = entries_.emplace(logical_path, size_bytes);
+  if (!inserted) return Status::Ok();  // already cached; idempotent
+  bytes_used_.fetch_add(size_bytes, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<PosixFile> LocalStore::open(const std::string& logical_path) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(logical_path) == 0) {
+      return Error(ErrorCode::kNotFound, "not cached: " + logical_path);
+    }
+  }
+  return PosixFile::open_read(physical_path(logical_path));
+}
+
+Result<uint64_t> LocalStore::evict(const std::string& logical_path) {
+  uint64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(logical_path);
+    if (it == entries_.end()) {
+      return Error(ErrorCode::kNotFound, "not cached: " + logical_path);
+    }
+    size = it->second;
+    entries_.erase(it);
+    bytes_used_.fetch_sub(size, std::memory_order_relaxed);
+  }
+  HVAC_RETURN_IF_ERROR(remove_file(physical_path(logical_path)));
+  return size;
+}
+
+void LocalStore::purge() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [logical, size] : entries_) {
+    (void)remove_file(physical_path(logical));
+  }
+  entries_.clear();
+  bytes_used_.store(0, std::memory_order_relaxed);
+}
+
+size_t LocalStore::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<std::string> LocalStore::logical_paths() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [logical, size] : entries_) out.push_back(logical);
+  return out;
+}
+
+}  // namespace hvac::storage

@@ -1,0 +1,66 @@
+// Node-local cache store: the XFS-on-NVMe directory an HVAC server
+// owns. Cached files are stored flat, named by the stable hash of
+// their logical (PFS) path — the cache never needs to reproduce the
+// dataset's directory tree, and lookup is O(1) with no directory
+// walking. Capacity is tracked in bytes so eviction can keep the
+// store under the NVMe budget.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/posix_file.h"
+
+namespace hvac::storage {
+
+class LocalStore {
+ public:
+  // `root` is created if missing. `capacity_bytes` of 0 means
+  // unlimited (the paper's common case: datasets fit in aggregate
+  // NVMe).
+  LocalStore(std::string root, uint64_t capacity_bytes = 0);
+
+  // Physical path a logical path would be cached at.
+  std::string physical_path(const std::string& logical_path) const;
+
+  bool contains(const std::string& logical_path) const;
+
+  // Registers a file that was just copied in via physical_path().
+  // Returns kCapacity when the store is over budget (caller evicts and
+  // retries).
+  Status insert(const std::string& logical_path, uint64_t size_bytes);
+
+  // Opens a cached file for reading.
+  Result<PosixFile> open(const std::string& logical_path) const;
+
+  // Removes one cached entry; returns its size, or kNotFound.
+  Result<uint64_t> evict(const std::string& logical_path);
+
+  // Removes everything (job teardown: "cache lifetime == job
+  // lifetime", paper §III-D).
+  void purge();
+
+  uint64_t bytes_used() const {
+    return bytes_used_.load(std::memory_order_relaxed);
+  }
+  uint64_t capacity_bytes() const { return capacity_; }
+  size_t entry_count() const;
+
+  // Snapshot of cached logical paths (eviction policies sample this).
+  std::vector<std::string> logical_paths() const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string root_;
+  uint64_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, uint64_t> entries_;  // logical -> size
+  std::atomic<uint64_t> bytes_used_{0};
+};
+
+}  // namespace hvac::storage

@@ -1,0 +1,166 @@
+#include "storage/posix_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace hvac::storage {
+
+PosixFile::~PosixFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+PosixFile& PosixFile::operator=(PosixFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Result<PosixFile> PosixFile::open_read(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Error::from_errno(errno, "open " + path);
+  return PosixFile(fd);
+}
+
+Result<PosixFile> PosixFile::create_write(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Error::from_errno(errno, "create " + path);
+  return PosixFile(fd);
+}
+
+Result<size_t> PosixFile::read(void* buf, size_t count) {
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, count);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno != EINTR) return Error::from_errno(errno, "read");
+  }
+}
+
+Result<size_t> PosixFile::pread(void* buf, size_t count, uint64_t offset) {
+  for (;;) {
+    const ssize_t n =
+        ::pread(fd_, buf, count, static_cast<off_t>(offset));
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno != EINTR) return Error::from_errno(errno, "pread");
+  }
+}
+
+Result<size_t> PosixFile::write(const void* buf, size_t count) {
+  size_t done = 0;
+  const auto* p = static_cast<const uint8_t*>(buf);
+  while (done < count) {
+    const ssize_t n = ::write(fd_, p + done, count - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::from_errno(errno, "write");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+Result<uint64_t> PosixFile::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return Error::from_errno(errno, "fstat");
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status PosixFile::close() {
+  if (fd_ < 0) return Status::Ok();
+  const int rc = ::close(std::exchange(fd_, -1));
+  if (rc != 0) return Error::from_errno(errno, "close");
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> read_file(const std::string& path) {
+  HVAC_ASSIGN_OR_RETURN(PosixFile f, PosixFile::open_read(path));
+  HVAC_ASSIGN_OR_RETURN(uint64_t sz, f.size());
+  std::vector<uint8_t> data(sz);
+  size_t got = 0;
+  while (got < data.size()) {
+    HVAC_ASSIGN_OR_RETURN(size_t n, f.read(data.data() + got,
+                                           data.size() - got));
+    if (n == 0) break;  // truncated concurrently; return what we have
+    got += n;
+  }
+  data.resize(got);
+  return data;
+}
+
+Status make_directories(const std::string& path) {
+  std::string partial;
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t j = path.find('/', i + 1);
+    if (j == std::string::npos) j = path.size();
+    partial = path.substr(0, j);
+    if (!partial.empty() && partial != "/") {
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Error::from_errno(errno, "mkdir " + partial);
+      }
+    }
+    i = j;
+  }
+  return Status::Ok();
+}
+
+namespace {
+std::string parent_dir(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos || slash == 0) return "/";
+  return path.substr(0, slash);
+}
+}  // namespace
+
+Status write_file(const std::string& path, const void* data, size_t size) {
+  HVAC_RETURN_IF_ERROR(make_directories(parent_dir(path)));
+  HVAC_ASSIGN_OR_RETURN(PosixFile f, PosixFile::create_write(path));
+  HVAC_ASSIGN_OR_RETURN(size_t n, f.write(data, size));
+  (void)n;
+  return f.close();
+}
+
+Result<uint64_t> copy_file_contents(const std::string& src,
+                                    const std::string& dst) {
+  HVAC_ASSIGN_OR_RETURN(PosixFile in, PosixFile::open_read(src));
+  HVAC_RETURN_IF_ERROR(make_directories(parent_dir(dst)));
+  HVAC_ASSIGN_OR_RETURN(PosixFile out, PosixFile::create_write(dst));
+  std::vector<uint8_t> buf(1u << 20);
+  uint64_t total = 0;
+  for (;;) {
+    HVAC_ASSIGN_OR_RETURN(size_t n, in.read(buf.data(), buf.size()));
+    if (n == 0) break;
+    HVAC_ASSIGN_OR_RETURN(size_t w, out.write(buf.data(), n));
+    total += w;
+  }
+  HVAC_RETURN_IF_ERROR(out.close());
+  return total;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Result<uint64_t> file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    return Error::from_errno(errno, "stat " + path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Error::from_errno(errno, "unlink " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace hvac::storage

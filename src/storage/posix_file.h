@@ -1,0 +1,69 @@
+// RAII POSIX file handle with Result-based error reporting.
+//
+// The interception shim cannot use C++ iostreams (their internal
+// open/read would recurse through the shim), so every real I/O in the
+// library funnels through this thin syscalls wrapper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hvac::storage {
+
+class PosixFile {
+ public:
+  PosixFile() = default;
+  ~PosixFile();
+
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+  PosixFile(PosixFile&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  PosixFile& operator=(PosixFile&& other) noexcept;
+
+  static Result<PosixFile> open_read(const std::string& path);
+  static Result<PosixFile> create_write(const std::string& path);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Sequential read; returns the byte count (0 at EOF).
+  Result<size_t> read(void* buf, size_t count);
+  // Positional read; does not move the file offset.
+  Result<size_t> pread(void* buf, size_t count, uint64_t offset);
+  Result<size_t> write(const void* buf, size_t count);
+  Result<uint64_t> size() const;
+  Status close();
+
+ private:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+// Reads a whole file into memory.
+Result<std::vector<uint8_t>> read_file(const std::string& path);
+
+// Writes a buffer to a file, creating parent directories as needed.
+Status write_file(const std::string& path, const void* data, size_t size);
+
+// Copies src to dst (creating parent directories); returns bytes
+// copied. This is the data-mover's PFS -> NVMe "fs::copy" step.
+Result<uint64_t> copy_file_contents(const std::string& src,
+                                    const std::string& dst);
+
+// mkdir -p.
+Status make_directories(const std::string& path);
+
+// True when the path exists and is a regular file.
+bool file_exists(const std::string& path);
+
+// Size of an existing file, or error.
+Result<uint64_t> file_size(const std::string& path);
+
+// Unlinks a file (missing file is OK).
+Status remove_file(const std::string& path);
+
+}  // namespace hvac::storage

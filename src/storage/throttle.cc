@@ -1,0 +1,58 @@
+#include "storage/throttle.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace hvac::storage {
+
+TokenBucket::TokenBucket(double rate_bytes_per_sec, double burst_bytes)
+    : rate_(rate_bytes_per_sec),
+      burst_(std::max(burst_bytes, 1.0)),
+      tokens_(burst_),
+      last_refill_(Clock::now()) {}
+
+void TokenBucket::refill_locked(Clock::time_point now) {
+  const double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_refill_ = now;
+}
+
+void TokenBucket::acquire(uint64_t bytes) {
+  if (rate_ <= 0.0) return;
+  const double need = static_cast<double>(bytes);
+  std::unique_lock<std::mutex> lock(mutex_);
+  refill_locked(Clock::now());
+  // Allow the bucket to go negative ("debt"): each caller pays for its
+  // own bytes but large requests are not starved by small ones.
+  const double deficit = need - tokens_;
+  tokens_ -= need;
+  if (deficit <= 0.0) return;
+  const double wait_s = deficit / rate_;
+  lock.unlock();
+  std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+}
+
+double TokenBucket::would_wait_seconds(uint64_t bytes) const {
+  if (rate_ <= 0.0) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double deficit = static_cast<double>(bytes) - tokens_;
+  return deficit <= 0.0 ? 0.0 : deficit / rate_;
+}
+
+LatencyInjector::LatencyInjector(uint64_t base_us, uint64_t jitter_us,
+                                 uint64_t seed)
+    : base_us_(base_us), jitter_us_(jitter_us), rng_(seed) {}
+
+void LatencyInjector::inject() {
+  if (base_us_ == 0 && jitter_us_ == 0) return;
+  uint64_t us = base_us_;
+  if (jitter_us_ > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    us += rng_.next_below(2 * jitter_us_ + 1);
+    us -= std::min(us, jitter_us_);  // center the jitter on base
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace hvac::storage

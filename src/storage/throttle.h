@@ -1,0 +1,60 @@
+// Throughput and latency shaping used by PfsBackend to make a local
+// directory behave like a congested parallel file system.
+//
+// TokenBucket meters bytes/second with a burst allowance; acquire()
+// blocks the calling thread until the requested tokens are available.
+// LatencyInjector sleeps for a configured base + jitter per operation
+// (the "metadata round trip" of a GPFS open).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+
+namespace hvac::storage {
+
+class TokenBucket {
+ public:
+  // rate_bytes_per_sec == 0 disables throttling entirely.
+  TokenBucket(double rate_bytes_per_sec, double burst_bytes);
+
+  // Blocks until `bytes` tokens are available, then consumes them.
+  void acquire(uint64_t bytes);
+
+  // Non-blocking variant used by tests: returns the wait in seconds a
+  // caller would incur, without sleeping.
+  double would_wait_seconds(uint64_t bytes) const;
+
+  double rate() const { return rate_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void refill_locked(Clock::time_point now);
+
+  const double rate_;
+  const double burst_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  Clock::time_point last_refill_;
+};
+
+class LatencyInjector {
+ public:
+  // Sleeps base_us +/- uniform jitter_us on each call; zero disables.
+  LatencyInjector(uint64_t base_us, uint64_t jitter_us, uint64_t seed);
+
+  void inject();
+
+  uint64_t base_us() const { return base_us_; }
+
+ private:
+  const uint64_t base_us_;
+  const uint64_t jitter_us_;
+  std::mutex mutex_;
+  SplitMix64 rng_;
+};
+
+}  // namespace hvac::storage

@@ -1,0 +1,79 @@
+#include "train/synthetic_data.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/env.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "rpc/wire.h"
+#include "storage/posix_file.h"
+
+namespace hvac::train {
+
+namespace {
+
+// Class mean vector: deterministic unit-ish direction scaled by the
+// separation parameter.
+std::vector<double> class_mean(const MixtureSpec& spec, uint32_t klass) {
+  std::vector<double> mu(spec.dims);
+  SplitMix64 rng(hash_combine(spec.seed, mix64(0xc1a55 + klass)));
+  for (auto& m : mu) m = spec.class_separation * rng.next_gaussian();
+  return mu;
+}
+
+}  // namespace
+
+Sample make_sample(const MixtureSpec& spec, uint64_t index, bool is_test) {
+  Sample s;
+  s.label = static_cast<uint32_t>(index % spec.num_classes);
+  const std::vector<double> mu = class_mean(spec, s.label);
+  SplitMix64 rng(hash_combine(spec.seed,
+                              mix64(index * 2 + (is_test ? 1 : 0))));
+  s.features.resize(spec.dims);
+  for (uint32_t d = 0; d < spec.dims; ++d) {
+    s.features[d] = mu[d] + spec.noise_sigma * rng.next_gaussian();
+  }
+  return s;
+}
+
+std::vector<uint8_t> serialize_sample(const Sample& sample) {
+  rpc::WireWriter w;
+  w.put_u32(sample.label);
+  w.put_u32(static_cast<uint32_t>(sample.features.size()));
+  for (double f : sample.features) w.put_f64(f);
+  return std::move(w).take();
+}
+
+Result<Sample> deserialize_sample(const std::vector<uint8_t>& bytes) {
+  rpc::WireReader r(bytes);
+  Sample s;
+  HVAC_ASSIGN_OR_RETURN(s.label, r.get_u32());
+  HVAC_ASSIGN_OR_RETURN(uint32_t dims, r.get_u32());
+  s.features.resize(dims);
+  for (uint32_t d = 0; d < dims; ++d) {
+    HVAC_ASSIGN_OR_RETURN(s.features[d], r.get_f64());
+  }
+  return s;
+}
+
+std::string sample_file_name(uint64_t index) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "shard_%02" PRIu64 "/sample_%06" PRIu64
+                                  ".bin",
+                index % 16, index);
+  return std::string(buf);
+}
+
+Status write_train_files(const MixtureSpec& spec, const std::string& root) {
+  for (uint64_t i = 0; i < spec.train_samples; ++i) {
+    const Sample s = make_sample(spec, i, /*is_test=*/false);
+    const std::vector<uint8_t> bytes = serialize_sample(s);
+    HVAC_RETURN_IF_ERROR(storage::write_file(
+        path_join(root, sample_file_name(i)), bytes.data(), bytes.size()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace hvac::train

@@ -1,0 +1,49 @@
+// Synthetic classification dataset for the accuracy experiment
+// (paper Fig 14). A Gaussian-mixture problem is the smallest real
+// learning task whose accuracy-vs-iteration curve is meaningful; the
+// experiment's point is not the model but the *data path*: the curve
+// must be bit-identical whether samples are read from the PFS or
+// through HVAC, because HVAC never perturbs the shuffled sequence.
+//
+// Each sample is serialized to its own file — one sample per file is
+// exactly the access pattern that makes DL I/O hard (§II-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hvac::train {
+
+struct Sample {
+  uint32_t label = 0;
+  std::vector<double> features;
+};
+
+struct MixtureSpec {
+  uint32_t num_classes = 12;
+  uint32_t dims = 16;
+  uint32_t train_samples = 1200;
+  uint32_t test_samples = 240;
+  double class_separation = 2.2;  // distance between class means
+  double noise_sigma = 1.0;
+  uint64_t seed = 0xda7a5eed;
+};
+
+// Deterministic sample `index` of the train (is_test=false) or test
+// split.
+Sample make_sample(const MixtureSpec& spec, uint64_t index, bool is_test);
+
+// (De)serialization: [u32 label][u32 dims][dims x f64 little-endian].
+std::vector<uint8_t> serialize_sample(const Sample& sample);
+Result<Sample> deserialize_sample(const std::vector<uint8_t>& bytes);
+
+// Relative file name of train sample `index` inside a dataset dir.
+std::string sample_file_name(uint64_t index);
+
+// Writes all train samples as individual files under `root`.
+Status write_train_files(const MixtureSpec& spec, const std::string& root);
+
+}  // namespace hvac::train

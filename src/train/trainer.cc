@@ -1,0 +1,165 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "workload/shuffler.h"
+
+namespace hvac::train {
+
+uint64_t TrainingCurve::iterations_to_top1(double threshold) const {
+  for (const AccuracyPoint& p : points) {
+    if (p.top1 >= threshold) return p.iteration;
+  }
+  return UINT64_MAX;
+}
+
+bool TrainingCurve::identical_to(const TrainingCurve& other) const {
+  if (points.size() != other.points.size()) return false;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].iteration != other.points[i].iteration ||
+        points[i].top1 != other.points[i].top1 ||
+        points[i].top5 != other.points[i].top5) {
+      return false;
+    }
+  }
+  return final_top1 == other.final_top1 && final_top5 == other.final_top5;
+}
+
+SoftmaxTrainer::SoftmaxTrainer(TrainerConfig config)
+    : config_(config),
+      w_(static_cast<size_t>(config.num_classes) * config.dims),
+      b_(config.num_classes, 0.0) {
+  SplitMix64 rng(config_.init_seed);
+  for (auto& w : w_) w = 0.01 * rng.next_gaussian();
+}
+
+void SoftmaxTrainer::logits(const Sample& s, std::vector<double>& out) const {
+  out.assign(config_.num_classes, 0.0);
+  for (uint32_t k = 0; k < config_.num_classes; ++k) {
+    const double* row = w_.data() + static_cast<size_t>(k) * config_.dims;
+    double z = b_[k];
+    const uint32_t dims =
+        std::min<uint32_t>(config_.dims,
+                           static_cast<uint32_t>(s.features.size()));
+    for (uint32_t d = 0; d < dims; ++d) z += row[d] * s.features[d];
+    out[k] = z;
+  }
+}
+
+double SoftmaxTrainer::step(const std::vector<Sample>& batch) {
+  if (batch.empty()) return 0.0;
+  std::vector<double> grad_w(w_.size(), 0.0);
+  std::vector<double> grad_b(b_.size(), 0.0);
+  std::vector<double> z;
+  double loss = 0.0;
+
+  for (const Sample& s : batch) {
+    logits(s, z);
+    const double zmax = *std::max_element(z.begin(), z.end());
+    double denom = 0.0;
+    for (double& zi : z) {
+      zi = std::exp(zi - zmax);
+      denom += zi;
+    }
+    for (uint32_t k = 0; k < config_.num_classes; ++k) {
+      const double p = z[k] / denom;
+      const double err = p - (k == s.label ? 1.0 : 0.0);
+      if (k == s.label) loss += -std::log(std::max(p, 1e-12));
+      double* grow = grad_w.data() + static_cast<size_t>(k) * config_.dims;
+      const uint32_t dims =
+          std::min<uint32_t>(config_.dims,
+                             static_cast<uint32_t>(s.features.size()));
+      for (uint32_t d = 0; d < dims; ++d) grow[d] += err * s.features[d];
+      grad_b[k] += err;
+    }
+  }
+
+  const double scale =
+      config_.learning_rate / static_cast<double>(batch.size());
+  for (size_t i = 0; i < w_.size(); ++i) w_[i] -= scale * grad_w[i];
+  for (size_t k = 0; k < b_.size(); ++k) b_[k] -= scale * grad_b[k];
+  ++iterations_;
+  return loss / static_cast<double>(batch.size());
+}
+
+AccuracyPoint SoftmaxTrainer::evaluate(const std::vector<Sample>& test_set,
+                                       uint64_t iteration) const {
+  AccuracyPoint point;
+  point.iteration = iteration;
+  if (test_set.empty()) return point;
+  uint64_t top1 = 0;
+  uint64_t top5 = 0;
+  std::vector<double> z;
+  std::vector<uint32_t> order(config_.num_classes);
+  for (const Sample& s : test_set) {
+    logits(s, z);
+    for (uint32_t k = 0; k < config_.num_classes; ++k) order[k] = k;
+    std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                      [&](uint32_t a, uint32_t b) { return z[a] > z[b]; });
+    if (order[0] == s.label) ++top1;
+    for (int i = 0; i < 5; ++i) {
+      if (order[i] == s.label) {
+        ++top5;
+        break;
+      }
+    }
+  }
+  point.top1 = static_cast<double>(top1) / test_set.size();
+  point.top5 = static_cast<double>(top5) / test_set.size();
+  return point;
+}
+
+Result<TrainingCurve> run_training_loop(const LoopConfig& config,
+                                        const SampleReader& reader) {
+  SoftmaxTrainer trainer(config.trainer);
+
+  // Held-out evaluation set is generated in memory (the paper's
+  // validation set is not part of the cached dataset dir).
+  std::vector<Sample> test_set;
+  test_set.reserve(config.data.test_samples);
+  for (uint64_t i = 0; i < config.data.test_samples; ++i) {
+    test_set.push_back(make_sample(config.data, i, /*is_test=*/true));
+  }
+
+  TrainingCurve curve;
+  workload::EpochShuffler shuffler(config.data.train_samples,
+                                   config.shuffle_seed);
+  uint64_t iteration = 0;
+  curve.points.push_back(trainer.evaluate(test_set, 0));
+
+  for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<uint64_t> order = shuffler.shuffled(epoch);
+    std::vector<Sample> batch;
+    batch.reserve(config.trainer.batch_size);
+    for (uint64_t idx : order) {
+      const std::string path =
+          path_join(config.dataset_root, sample_file_name(idx));
+      HVAC_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, reader(path));
+      HVAC_ASSIGN_OR_RETURN(Sample s, deserialize_sample(bytes));
+      batch.push_back(std::move(s));
+      if (batch.size() == config.trainer.batch_size) {
+        trainer.step(batch);
+        batch.clear();
+        ++iteration;
+        if (iteration % config.trainer.eval_every == 0) {
+          curve.points.push_back(trainer.evaluate(test_set, iteration));
+        }
+      }
+    }
+    if (!batch.empty()) {
+      trainer.step(batch);
+      batch.clear();
+      ++iteration;
+    }
+  }
+  const AccuracyPoint final_point = trainer.evaluate(test_set, iteration);
+  curve.points.push_back(final_point);
+  curve.final_top1 = final_point.top1;
+  curve.final_top5 = final_point.top5;
+  return curve;
+}
+
+}  // namespace hvac::train

@@ -1,0 +1,93 @@
+// Minibatch softmax-regression trainer with SGD.
+//
+// Fully deterministic: given the same initial seed and the same
+// sample *sequence*, the parameter trajectory — and therefore the
+// accuracy-vs-iteration curve — is bit-identical. That determinism is
+// the measurement instrument of the Fig 14 reproduction: feed the
+// trainer through GPFS-direct reads and through HVAC, diff the
+// curves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "train/synthetic_data.h"
+
+namespace hvac::train {
+
+struct TrainerConfig {
+  uint32_t num_classes = 12;
+  uint32_t dims = 16;
+  double learning_rate = 0.05;
+  uint32_t batch_size = 16;
+  uint64_t init_seed = 0x1417;  // weight init
+  // Evaluate every `eval_every` iterations.
+  uint32_t eval_every = 10;
+};
+
+struct AccuracyPoint {
+  uint64_t iteration = 0;
+  double top1 = 0;
+  double top5 = 0;
+};
+
+struct TrainingCurve {
+  std::vector<AccuracyPoint> points;
+  double final_top1 = 0;
+  double final_top5 = 0;
+
+  // First iteration at which top-1 accuracy reached `threshold`
+  // (UINT64_MAX if never).
+  uint64_t iterations_to_top1(double threshold) const;
+  bool identical_to(const TrainingCurve& other) const;
+};
+
+class SoftmaxTrainer {
+ public:
+  explicit SoftmaxTrainer(TrainerConfig config);
+
+  // One SGD step on a minibatch. Returns the batch loss.
+  double step(const std::vector<Sample>& batch);
+
+  // Top-1/top-5 accuracy over a sample set.
+  AccuracyPoint evaluate(const std::vector<Sample>& test_set,
+                         uint64_t iteration) const;
+
+  // Raw parameters (tests fingerprint them).
+  const std::vector<double>& weights() const { return w_; }
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  // Logits for one sample.
+  void logits(const Sample& s, std::vector<double>& out) const;
+
+  TrainerConfig config_;
+  std::vector<double> w_;  // (classes x dims) row-major
+  std::vector<double> b_;  // (classes)
+  uint64_t iterations_ = 0;
+};
+
+// A data source yields the serialized bytes of train-sample files;
+// plugging in PFS-direct or HVAC-client readers is how the Fig 14
+// experiment varies the I/O path without touching the learning loop.
+using SampleReader =
+    std::function<Result<std::vector<uint8_t>>(const std::string& path)>;
+
+struct LoopConfig {
+  TrainerConfig trainer;
+  MixtureSpec data;
+  uint32_t epochs = 5;
+  uint64_t shuffle_seed = 0x5eed;
+  // Dataset root joined with sample_file_name(i) to form read paths.
+  std::string dataset_root;
+};
+
+// Runs the full training loop, reading every sample through `reader`
+// in the canonical shuffled order. Returns the accuracy curve.
+Result<TrainingCurve> run_training_loop(const LoopConfig& config,
+                                        const SampleReader& reader);
+
+}  // namespace hvac::train

@@ -1,0 +1,135 @@
+#include "workload/dataset_spec.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace hvac::workload {
+
+uint64_t DatasetSpec::file_size(uint64_t index, uint64_t seed) const {
+  if (lognormal_sigma <= 0.0) {
+    return std::max<uint64_t>(static_cast<uint64_t>(mean_file_bytes),
+                              min_file_bytes);
+  }
+  // Seed per (dataset, index) so size lookups are random-access.
+  SplitMix64 rng(hash_combine(fnv1a64(name), mix64(index + seed)));
+  const double size = rng.next_lognormal_with_mean(mean_file_bytes,
+                                                   lognormal_sigma);
+  return std::max<uint64_t>(static_cast<uint64_t>(size), min_file_bytes);
+}
+
+DatasetSpec DatasetSpec::scaled(uint64_t scale) const {
+  DatasetSpec out = *this;
+  if (scale <= 1) return out;
+  out.num_files = std::max<uint64_t>(num_files / scale, 64);
+  return out;
+}
+
+DatasetSpec imagenet21k() {
+  DatasetSpec d;
+  d.name = "imagenet21k";
+  d.num_files = 11'797'632;
+  d.mean_file_bytes = 163.0 * 1024;  // ~1.1 TB total (paper §IV-A3)
+  d.lognormal_sigma = 0.6;           // JPEG sizes are right-skewed
+  d.min_file_bytes = 4 * 1024;
+  return d;
+}
+
+DatasetSpec cosmo_universe() {
+  DatasetSpec d;
+  d.name = "cosmoUniverse";
+  d.num_files = 524'288;
+  // 1.3 TB / 524,288 samples ~ 2.6 MB fixed-size TFRecords.
+  d.mean_file_bytes = 2.6 * 1024 * 1024;
+  d.lognormal_sigma = 0.0;
+  d.min_file_bytes = 1024;
+  return d;
+}
+
+DatasetSpec deepcam_dataset() {
+  DatasetSpec d;
+  d.name = "deepcam";
+  // 768 x 1152 x 16 channels, float16 -> ~28 MB per sample file;
+  // the MLPerf-HPC DeepCAM training set has ~121k samples.
+  d.num_files = 121'216;
+  d.mean_file_bytes = 768.0 * 1152 * 16 * 2;
+  d.lognormal_sigma = 0.0;
+  d.min_file_bytes = 1024;
+  return d;
+}
+
+DatasetSpec synthetic_small(uint64_t num_files, uint64_t mean_bytes,
+                            double sigma) {
+  DatasetSpec d;
+  d.name = "synthetic";
+  d.num_files = num_files;
+  d.mean_file_bytes = static_cast<double>(mean_bytes);
+  d.lognormal_sigma = sigma;
+  d.min_file_bytes = 64;
+  return d;
+}
+
+AppSpec resnet50() {
+  AppSpec a;
+  a.name = "resnet50";
+  a.dataset = imagenet21k();
+  a.batch_size = 32;
+  a.epochs = 10;
+  a.procs_per_node = 2;
+  // ~1000 images/s of compute per training process on a Summit node
+  // share (3 V100s): 32/1000 = 32 ms per batch.
+  a.compute_seconds_per_batch = 0.032;
+  return a;
+}
+
+AppSpec tresnet_m() {
+  AppSpec a;
+  a.name = "tresnet_m";
+  a.dataset = imagenet21k();
+  a.batch_size = 80;
+  a.epochs = 10;
+  a.procs_per_node = 2;
+  // TResNet-M is throughput-optimized; ~1300 img/s per process.
+  a.compute_seconds_per_batch = 0.062;
+  return a;
+}
+
+AppSpec cosmoflow() {
+  AppSpec a;
+  a.name = "cosmoflow";
+  a.dataset = cosmo_universe();
+  a.batch_size = 8;
+  a.epochs = 10;
+  a.procs_per_node = 2;
+  // 3D convolutions over 128^3 volumes: ~300 samples/s per process
+  // with mixed precision.
+  a.compute_seconds_per_batch = 0.027;
+  return a;
+}
+
+AppSpec deepcam() {
+  AppSpec a;
+  a.name = "deepcam";
+  a.dataset = deepcam_dataset();
+  a.batch_size = 4;
+  a.epochs = 10;
+  a.procs_per_node = 2;
+  // Large segmentation model on 768x1152x16 inputs: ~40 samples/s per
+  // process; with ~28 MB samples this is the bandwidth-heavy workload.
+  a.compute_seconds_per_batch = 0.1;
+  return a;
+}
+
+std::string dataset_file_path(const DatasetSpec& spec, uint64_t index) {
+  // ImageNet-style layout: 1024 class directories, files within.
+  const uint64_t klass = mix64(index) % 1024;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "class_%04" PRIu64 "/%s_%08" PRIu64 ".bin",
+                klass, spec.name.c_str(), index);
+  return std::string(buf);
+}
+
+}  // namespace hvac::workload

@@ -1,0 +1,69 @@
+// Dataset and DL-application workload models (paper §IV-A2/3).
+//
+// The paper's four applications matter to HVAC only through their I/O
+// shape: how many files, how big, how they are batched, and how much
+// compute hides behind each sample. DatasetSpec captures the dataset
+// populations (ImageNet21K: 11.8M files averaging ~163 KB;
+// cosmoUniverse: 524K TFRecords averaging ~2.6 MB; DeepCAM: large
+// multi-channel samples) and AppSpec captures the training loop
+// parameters used in each figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hvac::workload {
+
+struct DatasetSpec {
+  std::string name;
+  uint64_t num_files = 0;
+  // Mean file size; sizes are drawn log-normally around it unless
+  // sigma == 0 (fixed-size files, e.g. TFRecords).
+  double mean_file_bytes = 0.0;
+  double lognormal_sigma = 0.0;
+  uint64_t min_file_bytes = 1;
+
+  // Total bytes at scale 1 (approximate: num_files * mean).
+  double total_bytes() const { return mean_file_bytes * double(num_files); }
+
+  // Deterministic per-file size for index `i` (stable across runs and
+  // independent of how many other sizes were drawn).
+  uint64_t file_size(uint64_t index, uint64_t seed = 0) const;
+
+  // A scaled copy with num_files/scale files (same distribution); the
+  // simulator uses this to keep event counts tractable and multiplies
+  // back. scale is clamped to keep at least 64 files.
+  DatasetSpec scaled(uint64_t scale) const;
+};
+
+// Paper datasets.
+DatasetSpec imagenet21k();     // 11,797,632 train files, ~163 KB avg, 1.1 TB
+DatasetSpec cosmo_universe();  // 524,288 train TFRecords, ~2.6 MB, 1.3 TB
+DatasetSpec deepcam_dataset(); // 121,216 samples of 768x1152x16ch
+// Small synthetic dataset for functional runs on one machine.
+DatasetSpec synthetic_small(uint64_t num_files, uint64_t mean_bytes,
+                            double sigma = 0.35);
+
+struct AppSpec {
+  std::string name;
+  DatasetSpec dataset;
+  uint32_t batch_size = 32;
+  uint32_t epochs = 10;
+  uint32_t procs_per_node = 2;  // paper: two concurrent jobs per node
+  // Seconds of GPU compute per *batch* (forward+backward+allreduce),
+  // calibrated so GPFS-vs-cache crossovers land where the paper's do.
+  double compute_seconds_per_batch = 0.0;
+};
+
+// The four evaluated applications with the figures' parameters.
+AppSpec resnet50();    // ImageNet21K, BS=32
+AppSpec tresnet_m();   // ImageNet21K, BS=80
+AppSpec cosmoflow();   // cosmoUniverse
+AppSpec deepcam();     // DeepCAM climate segmentation
+
+// Relative file path for dataset file `index` (an ImageNet-style
+// class/file tree; purely deterministic).
+std::string dataset_file_path(const DatasetSpec& spec, uint64_t index);
+
+}  // namespace hvac::workload

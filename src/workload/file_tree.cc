@@ -1,0 +1,55 @@
+#include "workload/file_tree.h"
+
+#include "common/env.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "storage/posix_file.h"
+
+namespace hvac::workload {
+
+std::vector<uint8_t> expected_contents(const std::string& relative_path,
+                                       uint64_t size) {
+  std::vector<uint8_t> data(size);
+  SplitMix64 rng(stable_hash(relative_path));
+  size_t i = 0;
+  while (i + 8 <= data.size()) {
+    const uint64_t word = rng.next();
+    std::memcpy(data.data() + i, &word, 8);
+    i += 8;
+  }
+  uint64_t word = rng.next();
+  for (; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(word);
+    word >>= 8;
+  }
+  return data;
+}
+
+bool verify_contents(const std::string& relative_path,
+                     const std::vector<uint8_t>& data) {
+  return data == expected_contents(relative_path, data.size());
+}
+
+Result<GeneratedTree> generate_tree(const std::string& root,
+                                    const DatasetSpec& spec,
+                                    uint64_t seed) {
+  GeneratedTree tree;
+  tree.root = root;
+  tree.relative_paths.reserve(spec.num_files);
+  tree.sizes.reserve(spec.num_files);
+  HVAC_RETURN_IF_ERROR(storage::make_directories(root));
+  for (uint64_t i = 0; i < spec.num_files; ++i) {
+    const std::string rel = dataset_file_path(spec, i);
+    const uint64_t size = spec.file_size(i, seed);
+    const std::vector<uint8_t> contents = expected_contents(rel, size);
+    HVAC_RETURN_IF_ERROR(storage::write_file(path_join(root, rel),
+                                             contents.data(),
+                                             contents.size()));
+    tree.relative_paths.push_back(rel);
+    tree.sizes.push_back(size);
+    tree.total_bytes += size;
+  }
+  return tree;
+}
+
+}  // namespace hvac::workload

@@ -1,0 +1,39 @@
+// Generates real, scaled-down dataset trees on disk for the
+// functional tests, examples and the LD_PRELOAD demo. File contents
+// are a deterministic function of the relative path, so any reader —
+// direct, through HvacClient, or through the shim — can be verified
+// byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/dataset_spec.h"
+
+namespace hvac::workload {
+
+struct GeneratedTree {
+  std::string root;
+  std::vector<std::string> relative_paths;
+  std::vector<uint64_t> sizes;
+  uint64_t total_bytes = 0;
+};
+
+// Materializes `spec.num_files` files under `root` using
+// dataset_file_path() names and spec.file_size() sizes. Keep specs
+// small (this writes real bytes).
+Result<GeneratedTree> generate_tree(const std::string& root,
+                                    const DatasetSpec& spec,
+                                    uint64_t seed = 0);
+
+// The deterministic contents of a generated file.
+std::vector<uint8_t> expected_contents(const std::string& relative_path,
+                                       uint64_t size);
+
+// Verifies a buffer against the generator's pattern.
+bool verify_contents(const std::string& relative_path,
+                     const std::vector<uint8_t>& data);
+
+}  // namespace hvac::workload

@@ -1,0 +1,67 @@
+// Epoch shuffling and distributed sampling (paper §II-B, Fig 2).
+//
+// Before each epoch the training framework shuffles the whole file
+// list; each rank then takes its strided partition. HVAC must consume
+// this sequence untouched — the Fig 14 accuracy experiment asserts
+// that the sequence delivered through the cache is bit-identical to
+// the sequence delivered by the PFS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace hvac::workload {
+
+// Deterministic shuffled permutation of [0, num_files) for an epoch.
+// Matches PyTorch's DistributedSampler contract: the permutation
+// depends only on (seed, epoch), never on which backend serves reads.
+class EpochShuffler {
+ public:
+  EpochShuffler(uint64_t num_files, uint64_t seed)
+      : num_files_(num_files), seed_(seed) {}
+
+  std::vector<uint64_t> shuffled(uint32_t epoch) const {
+    std::vector<uint64_t> order(num_files_);
+    for (uint64_t i = 0; i < num_files_; ++i) order[i] = i;
+    SplitMix64 rng(hash_combine(seed_, mix64(epoch + 1)));
+    fisher_yates_shuffle(order, rng);
+    return order;
+  }
+
+  uint64_t num_files() const { return num_files_; }
+
+ private:
+  uint64_t num_files_;
+  uint64_t seed_;
+};
+
+// Strided partition of a shuffled order across `world_size` ranks.
+// Every rank sees ceil(n / world) samples; the tail wraps (PyTorch
+// pads the same way so all ranks run equal step counts).
+class DistributedSampler {
+ public:
+  DistributedSampler(uint32_t rank, uint32_t world_size)
+      : rank_(rank), world_size_(world_size == 0 ? 1 : world_size) {}
+
+  std::vector<uint64_t> partition(
+      const std::vector<uint64_t>& shuffled_order) const {
+    std::vector<uint64_t> mine;
+    const uint64_t n = shuffled_order.size();
+    if (n == 0) return mine;
+    const uint64_t per_rank = (n + world_size_ - 1) / world_size_;
+    mine.reserve(per_rank);
+    for (uint64_t k = 0; k < per_rank; ++k) {
+      mine.push_back(shuffled_order[(k * world_size_ + rank_) % n]);
+    }
+    return mine;
+  }
+
+ private:
+  uint32_t rank_;
+  uint32_t world_size_;
+};
+
+}  // namespace hvac::workload

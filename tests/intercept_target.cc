@@ -1,0 +1,119 @@
+// Helper binary for the LD_PRELOAD tests. Behaves like an unmodified
+// application: plain POSIX open/fstat/read/lseek/close on the paths
+// given in argv, printing "<path> <size> <fnv64>" per file. When run
+// under libhvac_intercept.so with HVAC_* env set, the exact same
+// binary is served by the cache — the output must not change.
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+uint64_t fnv1a(const uint8_t* data, size_t size, uint64_t h) {
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+namespace {
+
+// stdio variant: fopen/fseek/fread/fclose (the buffered path many
+// Python-based loaders take).
+int run_stdio(const char* path) {
+  FILE* f = ::fopen(path, "rb");
+  if (f == nullptr) {
+    std::printf("%s ERROR fopen\n", path);
+    return 1;
+  }
+  if (::fseek(f, 0, SEEK_END) != 0) {
+    std::printf("%s ERROR fseek\n", path);
+    ::fclose(f);
+    return 1;
+  }
+  const long size = ::ftell(f);
+  ::rewind(f);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  uint64_t total = 0;
+  std::vector<uint8_t> buf(4096);
+  for (;;) {
+    const size_t n = ::fread(buf.data(), 1, buf.size(), f);
+    if (n == 0) break;
+    h = fnv1a(buf.data(), n, h);
+    total += n;
+  }
+  if (::fclose(f) != 0) {
+    std::printf("%s ERROR fclose\n", path);
+    return 1;
+  }
+  if (size >= 0 && total != uint64_t(size)) {
+    std::printf("%s ERROR ftell size mismatch\n", path);
+    return 1;
+  }
+  std::printf("%s %" PRIu64 " %016" PRIx64 "\n", path, total, h);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int first = 1;
+  bool stdio_mode = false;
+  if (argc > 1 && std::string_view(argv[1]) == "--stdio") {
+    stdio_mode = true;
+    first = 2;
+  }
+  if (stdio_mode) {
+    int rc = 0;
+    for (int i = first; i < argc; ++i) rc |= run_stdio(argv[i]);
+    return rc;
+  }
+  for (int i = first; i < argc; ++i) {
+    const char* path = argv[i];
+    const int fd = ::open(path, O_RDONLY);
+    if (fd < 0) {
+      std::printf("%s ERROR open\n", path);
+      continue;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      std::printf("%s ERROR fstat\n", path);
+      ::close(fd);
+      continue;
+    }
+    // Exercise lseek: skip the first byte, then rewind.
+    if (::lseek(fd, 1, SEEK_SET) != 1 || ::lseek(fd, 0, SEEK_SET) != 0) {
+      std::printf("%s ERROR lseek\n", path);
+      ::close(fd);
+      continue;
+    }
+    uint64_t h = 0xcbf29ce484222325ULL;
+    uint64_t total = 0;
+    std::vector<uint8_t> buf(8192);
+    for (;;) {
+      const ssize_t n = ::read(fd, buf.data(), buf.size());
+      if (n < 0) {
+        std::printf("%s ERROR read\n", path);
+        break;
+      }
+      if (n == 0) break;
+      h = fnv1a(buf.data(), static_cast<size_t>(n), h);
+      total += static_cast<uint64_t>(n);
+    }
+    if (::close(fd) != 0) {
+      std::printf("%s ERROR close\n", path);
+      continue;
+    }
+    std::printf("%s %" PRIu64 " %016" PRIx64 "\n", path, total, h);
+  }
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Client-library edge cases: EOF semantics, bad fds, chunked bulk
+// reads across the RPC frame cap, env bootstrap, and path hygiene.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "client/hvac_client.h"
+#include "server/node_runtime.h"
+#include "workload/file_tree.h"
+
+namespace hvac {
+namespace {
+
+namespace fs = std::filesystem;
+using client::HvacClient;
+using client::HvacClientOptions;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "hvac_edge_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+class EdgeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pfs_root_ = temp_dir("pfs");
+    rel_ = "f.bin";
+    expected_ = workload::expected_contents(rel_, 20'000);
+    ASSERT_TRUE(storage::write_file(pfs_root_ + "/" + rel_,
+                                    expected_.data(), expected_.size())
+                    .ok());
+    server::NodeRuntimeOptions o;
+    o.pfs_root = pfs_root_;
+    o.cache_root = temp_dir("cache");
+    node_ = std::make_unique<server::NodeRuntime>(o);
+    ASSERT_TRUE(node_->start().ok());
+  }
+
+  HvacClientOptions base_options() const {
+    HvacClientOptions o;
+    o.dataset_dir = pfs_root_;
+    o.server_endpoints = node_->endpoints();
+    return o;
+  }
+
+  std::string pfs_root_, rel_;
+  std::vector<uint8_t> expected_;
+  std::unique_ptr<server::NodeRuntime> node_;
+};
+
+TEST_F(EdgeFixture, ReadAtAndPastEofReturnsZero) {
+  HvacClient client(base_options());
+  auto vfd = client.open(pfs_root_ + "/" + rel_);
+  ASSERT_TRUE(vfd.ok());
+  uint8_t buf[64];
+  // Exactly at EOF.
+  ASSERT_EQ(client.lseek(*vfd, 0, SEEK_END).value(), 20'000);
+  EXPECT_EQ(client.read(*vfd, buf, sizeof(buf)).value(), 0u);
+  // Far past EOF via pread.
+  EXPECT_EQ(client.pread(*vfd, buf, sizeof(buf), 1u << 30).value(), 0u);
+  // Short final read.
+  ASSERT_EQ(client.lseek(*vfd, 19'990, SEEK_SET).value(), 19'990);
+  EXPECT_EQ(client.read(*vfd, buf, sizeof(buf)).value(), 10u);
+  ASSERT_TRUE(client.close(*vfd).ok());
+}
+
+TEST_F(EdgeFixture, BadFdOperationsReportBadFd) {
+  HvacClient client(base_options());
+  uint8_t buf[8];
+  EXPECT_EQ(client.read(12345 + (1 << 20), buf, 8).error().code,
+            ErrorCode::kBadFd);
+  EXPECT_EQ(client.lseek(12345 + (1 << 20), 0, SEEK_SET).error().code,
+            ErrorCode::kBadFd);
+  EXPECT_EQ(client.close(12345 + (1 << 20)).error().code,
+            ErrorCode::kBadFd);
+}
+
+TEST_F(EdgeFixture, DoubleCloseFails) {
+  HvacClient client(base_options());
+  auto vfd = client.open(pfs_root_ + "/" + rel_);
+  ASSERT_TRUE(vfd.ok());
+  EXPECT_TRUE(client.close(*vfd).ok());
+  EXPECT_FALSE(client.close(*vfd).ok());
+}
+
+TEST_F(EdgeFixture, TinyChunkSizeStillCorrect) {
+  // Force many bulk RPCs per read: 512-byte chunks over a 20 KB file.
+  auto options = base_options();
+  options.read_chunk_bytes = 512;
+  HvacClient client(options);
+  auto vfd = client.open(pfs_root_ + "/" + rel_);
+  ASSERT_TRUE(vfd.ok());
+  std::vector<uint8_t> data(expected_.size());
+  const auto n = client.pread(*vfd, data.data(), data.size(), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, expected_.size());
+  EXPECT_EQ(data, expected_);
+  ASSERT_TRUE(client.close(*vfd).ok());
+}
+
+TEST_F(EdgeFixture, UnnormalizedPathsResolve) {
+  HvacClient client(base_options());
+  const std::string messy =
+      pfs_root_ + "/./sub/../" + rel_;  // normalizes to f.bin
+  auto vfd = client.open(messy);
+  ASSERT_TRUE(vfd.ok()) << vfd.error().to_string();
+  ASSERT_TRUE(client.close(*vfd).ok());
+  EXPECT_EQ(client.home_of(messy), client.home_of(pfs_root_ + "/" + rel_));
+}
+
+TEST_F(EdgeFixture, SequentialThenSeekInterleavedOffsets) {
+  HvacClient client(base_options());
+  auto vfd = client.open(pfs_root_ + "/" + rel_);
+  ASSERT_TRUE(vfd.ok());
+  uint8_t a[10], b[10];
+  ASSERT_TRUE(client.read(*vfd, a, 10).ok());   // offset now 10
+  ASSERT_TRUE(client.pread(*vfd, b, 10, 0).ok());  // must not move it
+  ASSERT_TRUE(client.read(*vfd, b, 10).ok());   // continues at 10
+  EXPECT_TRUE(std::equal(b, b + 10, expected_.begin() + 10));
+  ASSERT_TRUE(client.close(*vfd).ok());
+}
+
+TEST(ClientEnv, OptionsFromEnvRoundTrip) {
+  ::setenv("HVAC_DATASET_DIR", "/data//set/", 1);
+  ::setenv("HVAC_SERVERS", "127.0.0.1:1,127.0.0.1:2", 1);
+  ::setenv("HVAC_REPLICAS", "2", 1);
+  ::setenv("HVAC_PLACEMENT", "rendezvous", 1);
+  ::setenv("HVAC_SEGMENT_BYTES", "1048576", 1);
+  const auto o = client::options_from_env();
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(o->dataset_dir, "/data/set");
+  EXPECT_EQ(o->server_endpoints.size(), 2u);
+  EXPECT_EQ(o->replicas, 2u);
+  EXPECT_EQ(o->placement, core::PlacementPolicy::kRendezvous);
+  EXPECT_EQ(o->segment_bytes, 1048576u);
+  ::unsetenv("HVAC_DATASET_DIR");
+  EXPECT_FALSE(client::options_from_env().ok());
+  ::setenv("HVAC_DATASET_DIR", "/data/set", 1);
+  ::unsetenv("HVAC_SERVERS");
+  EXPECT_FALSE(client::options_from_env().ok());
+  ::unsetenv("HVAC_DATASET_DIR");
+  ::unsetenv("HVAC_REPLICAS");
+  ::unsetenv("HVAC_PLACEMENT");
+  ::unsetenv("HVAC_SEGMENT_BYTES");
+}
+
+TEST_F(EdgeFixture, StatSizeFallsBackWhenServersDie) {
+  auto options = base_options();
+  options.rpc.connect_timeout_ms = 200;
+  options.rpc.recv_timeout_ms = 200;
+  HvacClient client(options);
+  node_->stop();
+  const auto size = client.stat_size(pfs_root_ + "/" + rel_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, expected_.size());
+}
+
+}  // namespace
+}  // namespace hvac

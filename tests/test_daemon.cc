@@ -1,0 +1,183 @@
+// End-to-end tests of the out-of-process deployment: the hvacd daemon
+// is spawned as a real child process, hvacctl talks to it, the
+// LD_PRELOAD shim routes an unmodified binary through it, and SIGTERM
+// teardown purges the cache (job-lifetime semantics).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "client/hvac_client.h"
+#include "common/env.h"
+#include "storage/posix_file.h"
+#include "workload/file_tree.h"
+
+#ifndef HVAC_HVACD_BIN
+#error "HVAC_HVACD_BIN must be defined by the build"
+#endif
+#ifndef HVAC_HVACCTL_BIN
+#error "HVAC_HVACCTL_BIN must be defined by the build"
+#endif
+
+namespace hvac {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "hvac_daemon_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Spawns hvacd, waits for its endpoint line on the port file.
+class DaemonFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pfs_root_ = temp_dir("pfs");
+    cache_root_ = temp_dir("cache");
+    port_file_ = temp_dir("meta") + "/ports";
+    const auto spec = workload::synthetic_small(12, 4096, 0.2);
+    auto tree = workload::generate_tree(pfs_root_, spec);
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::move(tree).value();
+
+    pid_ = ::fork();
+    ASSERT_GE(pid_, 0);
+    if (pid_ == 0) {
+      ::execl(HVAC_HVACD_BIN, HVAC_HVACD_BIN, "--pfs-root",
+              pfs_root_.c_str(), "--cache-dir", cache_root_.c_str(),
+              "--instances", "2", "--port-file", port_file_.c_str(),
+              static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    // Wait for the port file to appear.
+    for (int i = 0; i < 200 && endpoints_.empty(); ++i) {
+      if (storage::file_exists(port_file_)) {
+        std::ifstream in(port_file_);
+        std::getline(in, endpoints_);
+      }
+      if (endpoints_.empty()) ::usleep(20 * 1000);
+    }
+    ASSERT_FALSE(endpoints_.empty()) << "hvacd did not come up";
+  }
+
+  void TearDown() override {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGTERM);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  int run_cmd(const std::string& cmd, std::string* out = nullptr) {
+    const std::string out_file = temp_dir("out") + "/cmd.txt";
+    const int rc =
+        std::system((cmd + " > " + out_file + " 2>&1").c_str());
+    if (out != nullptr) {
+      std::ifstream in(out_file);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      *out = ss.str();
+    }
+    return rc;
+  }
+
+  std::string pfs_root_, cache_root_, port_file_, endpoints_;
+  workload::GeneratedTree tree_;
+  pid_t pid_ = -1;
+};
+
+TEST_F(DaemonFixture, ClientReadsThroughDaemon) {
+  client::HvacClientOptions copts;
+  copts.dataset_dir = pfs_root_;
+  copts.server_endpoints = split_csv(endpoints_);
+  ASSERT_EQ(copts.server_endpoints.size(), 2u);  // --instances 2
+  client::HvacClient client(copts);
+
+  for (size_t i = 0; i < tree_.relative_paths.size(); ++i) {
+    const std::string& rel = tree_.relative_paths[i];
+    auto vfd = client.open(pfs_root_ + "/" + rel);
+    ASSERT_TRUE(vfd.ok()) << vfd.error().to_string();
+    std::vector<uint8_t> data(tree_.sizes[i]);
+    const auto n = client.pread(*vfd, data.data(), data.size(), 0);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, tree_.sizes[i]);
+    EXPECT_TRUE(workload::verify_contents(rel, data));
+    ASSERT_TRUE(client.close(*vfd).ok());
+  }
+  EXPECT_EQ(client.stats().fallback_opens, 0u);
+}
+
+TEST_F(DaemonFixture, HvacctlPingAndMetrics) {
+  std::string out;
+  EXPECT_EQ(run_cmd(std::string(HVAC_HVACCTL_BIN) + " ping " + endpoints_,
+                    &out),
+            0);
+  EXPECT_NE(out.find("OK"), std::string::npos);
+  EXPECT_EQ(out.find("UNAVAILABLE"), std::string::npos);
+
+  // Warm a file, then metrics must show the miss.
+  const std::string first_endpoint = split_csv(endpoints_)[0];
+  std::string warm_out;
+  (void)run_cmd(std::string(HVAC_HVACCTL_BIN) + " warm " + first_endpoint +
+                    " " + tree_.relative_paths[0],
+                &warm_out);
+  EXPECT_NE(warm_out.find("cached"), std::string::npos);
+
+  std::string stat_out;
+  EXPECT_EQ(run_cmd(std::string(HVAC_HVACCTL_BIN) + " stat " +
+                        first_endpoint + " " + tree_.relative_paths[0],
+                    &stat_out),
+            0);
+  EXPECT_NE(stat_out.find(std::to_string(tree_.sizes[0]) + " bytes"),
+            std::string::npos);
+
+  EXPECT_EQ(run_cmd(std::string(HVAC_HVACCTL_BIN) + " metrics " +
+                        endpoints_,
+                    &out),
+            0);
+  EXPECT_NE(out.find("misses"), std::string::npos);
+}
+
+TEST_F(DaemonFixture, SigtermPurgesCache) {
+  // Populate the cache.
+  client::HvacClientOptions copts;
+  copts.dataset_dir = pfs_root_;
+  copts.server_endpoints = split_csv(endpoints_);
+  client::HvacClient client(copts);
+  for (const auto& rel : tree_.relative_paths) {
+    auto vfd = client.open(pfs_root_ + "/" + rel);
+    ASSERT_TRUE(vfd.ok());
+    uint8_t b;
+    (void)client.pread(*vfd, &b, 1, 0);
+    ASSERT_TRUE(client.close(*vfd).ok());
+  }
+  size_t cached_files = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(cache_root_)) {
+    if (entry.is_regular_file()) ++cached_files;
+  }
+  EXPECT_GT(cached_files, 0u);
+
+  ::kill(pid_, SIGTERM);
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  pid_ = -1;
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  size_t remaining = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(cache_root_)) {
+    if (entry.is_regular_file()) ++remaining;
+  }
+  EXPECT_EQ(remaining, 0u);  // cache lifetime == job lifetime
+}
+
+}  // namespace
+}  // namespace hvac

@@ -1,0 +1,186 @@
+// End-to-end LD_PRELOAD tests: an unmodified helper binary reads
+// dataset files through the shim against a live in-process allocation
+// (paper §III-F — portability without touching application code).
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "server/node_runtime.h"
+#include "storage/posix_file.h"
+#include "workload/file_tree.h"
+
+#ifndef HVAC_INTERCEPT_SO
+#error "HVAC_INTERCEPT_SO must be defined by the build"
+#endif
+#ifndef HVAC_TARGET_BIN
+#error "HVAC_TARGET_BIN must be defined by the build"
+#endif
+
+namespace hvac {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "hvac_shim_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Runs the helper under the shim. Returns its stdout.
+std::string run_target(const std::vector<std::string>& files,
+                       const std::string& dataset_dir,
+                       const std::string& servers, bool preload,
+                       bool stdio_mode = false) {
+  const std::string out_file = ::testing::TempDir() + "hvac_shim_out.txt";
+  std::ostringstream cmd;
+  cmd << "env ";
+  if (preload) cmd << "LD_PRELOAD=" << HVAC_INTERCEPT_SO << " ";
+  if (!dataset_dir.empty()) cmd << "HVAC_DATASET_DIR=" << dataset_dir << " ";
+  if (!servers.empty()) cmd << "HVAC_SERVERS=" << servers << " ";
+  cmd << HVAC_TARGET_BIN;
+  if (stdio_mode) cmd << " --stdio";
+  for (const auto& f : files) cmd << " " << f;
+  cmd << " > " << out_file << " 2>/dev/null";
+  const int rc = std::system(cmd.str().c_str());
+  EXPECT_EQ(rc, 0) << cmd.str();
+  std::ifstream in(out_file);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Expected "<path> <size> <fnv>" line for a generated file.
+std::string expected_line(const std::string& abs_path,
+                          const std::string& rel, uint64_t size) {
+  const auto data = workload::expected_contents(rel, size);
+  const uint64_t h = fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(data.data()), data.size()));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 " %016" PRIx64, size, h);
+  return abs_path + buf;
+}
+
+class InterceptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pfs_root_ = temp_dir("pfs");
+    const auto spec = workload::synthetic_small(8, 4096, 0.3);
+    auto tree = workload::generate_tree(pfs_root_, spec);
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::move(tree).value();
+
+    server::NodeRuntimeOptions o;
+    o.pfs_root = pfs_root_;
+    o.cache_root = temp_dir("cache");
+    o.instances = 2;
+    node_ = std::make_unique<server::NodeRuntime>(o);
+    ASSERT_TRUE(node_->start().ok());
+  }
+
+  std::vector<std::string> abs_paths() const {
+    std::vector<std::string> out;
+    for (const auto& rel : tree_.relative_paths) {
+      out.push_back(pfs_root_ + "/" + rel);
+    }
+    return out;
+  }
+
+  std::string expected_output() const {
+    std::string expected;
+    for (size_t i = 0; i < tree_.relative_paths.size(); ++i) {
+      expected += expected_line(pfs_root_ + "/" + tree_.relative_paths[i],
+                                tree_.relative_paths[i], tree_.sizes[i]);
+      expected += "\n";
+    }
+    return expected;
+  }
+
+  std::string pfs_root_;
+  workload::GeneratedTree tree_;
+  std::unique_ptr<server::NodeRuntime> node_;
+};
+
+TEST_F(InterceptTest, TargetWithoutShimBaseline) {
+  const std::string out = run_target(abs_paths(), "", "", /*preload=*/false);
+  EXPECT_EQ(out, expected_output());
+}
+
+TEST_F(InterceptTest, ShimServesIdenticalBytes) {
+  const std::string out = run_target(abs_paths(), pfs_root_,
+                                     node_->endpoints_csv(),
+                                     /*preload=*/true);
+  EXPECT_EQ(out, expected_output());
+  // The reads really went through the servers.
+  const auto m = node_->aggregated_metrics();
+  EXPECT_EQ(m.misses, tree_.relative_paths.size());
+}
+
+TEST_F(InterceptTest, SecondRunHitsCache) {
+  (void)run_target(abs_paths(), pfs_root_, node_->endpoints_csv(), true);
+  const std::string out =
+      run_target(abs_paths(), pfs_root_, node_->endpoints_csv(), true);
+  EXPECT_EQ(out, expected_output());
+  const auto m = node_->aggregated_metrics();
+  EXPECT_EQ(m.misses, tree_.relative_paths.size());
+  EXPECT_EQ(m.hits, tree_.relative_paths.size());
+}
+
+TEST_F(InterceptTest, ShimWithoutEnvIsPassthrough) {
+  // Preloaded but unconfigured: must behave exactly like no shim.
+  const std::string out = run_target(abs_paths(), "", "", /*preload=*/true);
+  EXPECT_EQ(out, expected_output());
+  EXPECT_EQ(node_->aggregated_metrics().misses, 0u);
+}
+
+TEST_F(InterceptTest, PathsOutsideDatasetDirPassThrough) {
+  // A file outside HVAC_DATASET_DIR is read directly, not forwarded.
+  const std::string outside_dir = temp_dir("outside");
+  const std::string outside = outside_dir + "/plain.bin";
+  std::vector<uint8_t> data(512, 0x5a);
+  ASSERT_TRUE(storage::write_file(outside, data.data(), data.size()).ok());
+
+  const std::string out = run_target({outside}, pfs_root_,
+                                     node_->endpoints_csv(), true);
+  const uint64_t h = fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(data.data()), data.size()));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %u %016" PRIx64 "\n", 512u, h);
+  EXPECT_EQ(out, outside + buf);
+  EXPECT_EQ(node_->aggregated_metrics().misses, 0u);
+}
+
+TEST_F(InterceptTest, StdioPathServedThroughShim) {
+  // fopen/fseek/fread/fclose (fopencookie interposition) must deliver
+  // identical bytes and really hit the cache.
+  const std::string out =
+      run_target(abs_paths(), pfs_root_, node_->endpoints_csv(),
+                 /*preload=*/true, /*stdio_mode=*/true);
+  EXPECT_EQ(out, expected_output());
+  EXPECT_EQ(node_->aggregated_metrics().misses,
+            tree_.relative_paths.size());
+}
+
+TEST_F(InterceptTest, StdioWithoutShimBaseline) {
+  const std::string out = run_target(abs_paths(), "", "",
+                                     /*preload=*/false,
+                                     /*stdio_mode=*/true);
+  EXPECT_EQ(out, expected_output());
+}
+
+TEST_F(InterceptTest, DeadServersFailOpenToPfs) {
+  const std::string servers = node_->endpoints_csv();
+  node_->stop();  // cache gone; application must still work
+  const std::string out = run_target(abs_paths(), pfs_root_, servers, true);
+  EXPECT_EQ(out, expected_output());
+}
+
+}  // namespace
+}  // namespace hvac

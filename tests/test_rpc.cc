@@ -1,0 +1,332 @@
+// Tests for the RPC substrate: wire format, frame protocol, transport
+// and the client/server pair (the Mercury-equivalent layer).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "rpc/protocol.h"
+#include "rpc/rpc_client.h"
+#include "rpc/rpc_server.h"
+#include "rpc/socket.h"
+#include "rpc/wire.h"
+
+namespace hvac::rpc {
+namespace {
+
+// ---- wire -----------------------------------------------------------------
+
+TEST(Wire, RoundTripScalars) {
+  WireWriter w;
+  w.put_u8(7);
+  w.put_u16(65535);
+  w.put_u32(123456789);
+  w.put_u64(0xdeadbeefcafebabeULL);
+  w.put_i64(-42);
+  w.put_f64(3.14159);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.get_u8().value(), 7);
+  EXPECT_EQ(r.get_u16().value(), 65535);
+  EXPECT_EQ(r.get_u32().value(), 123456789u);
+  EXPECT_EQ(r.get_u64().value(), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(r.get_i64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64().value(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, RoundTripStringAndBlob) {
+  WireWriter w;
+  w.put_string("hello/world.bin");
+  const uint8_t blob[] = {1, 2, 3, 4, 5};
+  w.put_blob(blob, sizeof(blob));
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.get_string().value(), "hello/world.bin");
+  const Bytes b = r.get_blob().value();
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[4], 5);
+}
+
+TEST(Wire, EmptyString) {
+  WireWriter w;
+  w.put_string("");
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.get_string().value(), "");
+}
+
+TEST(Wire, TruncatedReadsFailWithProtocol) {
+  WireWriter w;
+  w.put_u32(7);
+  WireReader r(w.bytes());
+  EXPECT_TRUE(r.get_u32().ok());
+  const auto fail = r.get_u64();
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.error().code, ErrorCode::kProtocol);
+}
+
+TEST(Wire, OversizedStringLengthRejected) {
+  WireWriter w;
+  w.put_u32(1u << 30);  // claims 1 GiB follows; nothing does
+  WireReader r(w.bytes());
+  const auto s = r.get_string();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kProtocol);
+}
+
+// ---- protocol ----------------------------------------------------------------
+
+TEST(Protocol, HeaderRoundTrip) {
+  FrameHeader h;
+  h.payload_len = 1234;
+  h.request_id = 0xabcdef;
+  h.opcode = 42;
+  h.kind = FrameKind::kResponse;
+  h.status = ErrorCode::kNotFound;
+  uint8_t buf[kHeaderSize];
+  encode_header(h, buf);
+  const auto d = decode_header(buf, kHeaderSize);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->payload_len, 1234u);
+  EXPECT_EQ(d->request_id, 0xabcdefULL);
+  EXPECT_EQ(d->opcode, 42);
+  EXPECT_EQ(d->kind, FrameKind::kResponse);
+  EXPECT_EQ(d->status, ErrorCode::kNotFound);
+}
+
+TEST(Protocol, BadMagicRejected) {
+  uint8_t buf[kHeaderSize] = {0};
+  const auto d = decode_header(buf, kHeaderSize);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.error().code, ErrorCode::kProtocol);
+}
+
+TEST(Protocol, OversizedFrameRejected) {
+  FrameHeader h;
+  h.payload_len = kMaxFrame + 1;
+  uint8_t buf[kHeaderSize];
+  encode_header(h, buf);
+  EXPECT_FALSE(decode_header(buf, kHeaderSize).ok());
+}
+
+// ---- endpoint -----------------------------------------------------------------
+
+TEST(Endpoint, HostPortParsing) {
+  Endpoint e{"127.0.0.1:8080"};
+  const auto hp = e.host_port();
+  ASSERT_TRUE(hp.ok());
+  EXPECT_EQ(hp->first, "127.0.0.1");
+  EXPECT_EQ(hp->second, 8080);
+  EXPECT_FALSE(Endpoint{"nohost"}.host_port().ok());
+  EXPECT_FALSE(Endpoint{"h:99999"}.host_port().ok());
+}
+
+TEST(Endpoint, UnixDetection) {
+  Endpoint u{"unix:/tmp/x.sock"};
+  EXPECT_TRUE(u.is_unix());
+  EXPECT_EQ(u.unix_path(), "/tmp/x.sock");
+  EXPECT_FALSE(Endpoint{"127.0.0.1:1"}.is_unix());
+}
+
+// ---- client/server integration -----------------------------------------------
+
+class RpcFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.register_handler(1, [](const Bytes& req) -> Result<Bytes> {
+      Bytes out = req;  // echo
+      return out;
+    });
+    server_.register_handler(2, [](const Bytes&) -> Result<Bytes> {
+      return Error(ErrorCode::kNotFound, "nope");
+    });
+    server_.register_handler(3, [this](const Bytes&) -> Result<Bytes> {
+      ++slow_calls_;
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      return Bytes{9};
+    });
+    ASSERT_TRUE(server_.start().ok());
+  }
+
+  RpcServer server_{RpcServerOptions{"127.0.0.1:0", 4}};
+  std::atomic<int> slow_calls_{0};
+};
+
+TEST_F(RpcFixture, Echo) {
+  RpcClient client(server_.endpoint());
+  Bytes msg{1, 2, 3, 4};
+  const auto resp = client.call(1, msg);
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ(*resp, msg);
+}
+
+TEST_F(RpcFixture, EmptyPayloadEcho) {
+  RpcClient client(server_.endpoint());
+  const auto resp = client.call(1, Bytes{});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->empty());
+}
+
+TEST_F(RpcFixture, HandlerErrorPropagatesCodeAndMessage) {
+  RpcClient client(server_.endpoint());
+  const auto resp = client.call(2, Bytes{});
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(resp.error().message, "nope");
+}
+
+TEST_F(RpcFixture, UnknownOpcodeIsUnimplemented) {
+  RpcClient client(server_.endpoint());
+  const auto resp = client.call(99, Bytes{});
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, ErrorCode::kUnimplemented);
+}
+
+TEST_F(RpcFixture, LargePayloadRoundTrip) {
+  RpcClient client(server_.endpoint());
+  Bytes big(3u << 20);  // 3 MiB
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  }
+  const auto resp = client.call(1, big);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, big);
+}
+
+TEST_F(RpcFixture, SequentialCallsReuseConnection) {
+  RpcClient client(server_.endpoint());
+  for (int i = 0; i < 50; ++i) {
+    Bytes msg{static_cast<uint8_t>(i)};
+    const auto resp = client.call(1, msg);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ((*resp)[0], static_cast<uint8_t>(i));
+  }
+  EXPECT_EQ(server_.requests_served(), 50u);
+}
+
+TEST_F(RpcFixture, ConcurrentClientsAreServed) {
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, c, &ok] {
+      RpcClient client(server_.endpoint());
+      for (int i = 0; i < 20; ++i) {
+        Bytes msg{static_cast<uint8_t>(c), static_cast<uint8_t>(i)};
+        const auto resp = client.call(1, msg);
+        if (resp.ok() && *resp == msg) ++ok;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * 20);
+}
+
+TEST_F(RpcFixture, SlowHandlersRunInParallel) {
+  // 4 handler threads, 4 concurrent 30ms calls: wall clock must be
+  // well under 4 x 30ms.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([this] {
+      RpcClient client(server_.endpoint());
+      EXPECT_TRUE(client.call(3, Bytes{}).ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_EQ(slow_calls_.load(), 4);
+  EXPECT_LT(ms, 110.0);
+}
+
+TEST_F(RpcFixture, ReconnectAfterDisconnect) {
+  RpcClient client(server_.endpoint());
+  ASSERT_TRUE(client.call(1, Bytes{1}).ok());
+  client.disconnect();
+  const auto resp = client.call(1, Bytes{2});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ((*resp)[0], 2);
+}
+
+TEST(RpcServer, ConnectToDeadServerIsUnavailable) {
+  // Grab a free port, then close the listener before dialing it.
+  Endpoint bound;
+  {
+    auto fd = listen_on(Endpoint{"127.0.0.1:0"}, &bound);
+    ASSERT_TRUE(fd.ok());
+  }
+  RpcClient client(bound, RpcClientOptions{200, 200});
+  const auto resp = client.call(1, Bytes{});
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.error().code == ErrorCode::kUnavailable ||
+              resp.error().code == ErrorCode::kTimeout);
+}
+
+TEST(RpcServer, ServerStopThenCallFails) {
+  auto server = std::make_unique<RpcServer>(RpcServerOptions{"127.0.0.1:0", 1});
+  server->register_handler(1, [](const Bytes& b) -> Result<Bytes> {
+    Bytes out = b;
+    return out;
+  });
+  ASSERT_TRUE(server->start().ok());
+  const Endpoint endpoint = server->endpoint();
+  RpcClient client(endpoint, RpcClientOptions{300, 300});
+  ASSERT_TRUE(client.call(1, Bytes{}).ok());
+  server->stop();
+  const auto resp = client.call(1, Bytes{});
+  EXPECT_FALSE(resp.ok());
+}
+
+TEST(RpcServer, UnixDomainTransport) {
+  const std::string sock = ::testing::TempDir() + "/hvac_rpc_test.sock";
+  RpcServer server(RpcServerOptions{"unix:" + sock, 2});
+  server.register_handler(1, [](const Bytes& b) -> Result<Bytes> {
+    Bytes out = b;
+    return out;
+  });
+  ASSERT_TRUE(server.start().ok());
+  RpcClient client(server.endpoint());
+  Bytes msg{42};
+  const auto resp = client.call(1, msg);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, msg);
+  server.stop();
+}
+
+TEST(RpcClient, RequestOverMaxFrameRejectedClientSide) {
+  RpcServer server(RpcServerOptions{"127.0.0.1:0", 1});
+  ASSERT_TRUE(server.start().ok());
+  RpcClient client(server.endpoint());
+  Bytes huge(kMaxFrame + 1);
+  const auto resp = client.call(1, huge);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, ErrorCode::kInvalidArgument);
+}
+
+// Pipelined handlers: one connection, many sequential calls with
+// varied sizes, exercising the server's partial-read state machine.
+class RpcPayloadSize : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RpcPayloadSize, EchoAtSize) {
+  RpcServer server(RpcServerOptions{"127.0.0.1:0", 2});
+  server.register_handler(1, [](const Bytes& b) -> Result<Bytes> {
+    Bytes out = b;
+    return out;
+  });
+  ASSERT_TRUE(server.start().ok());
+  RpcClient client(server.endpoint());
+  Bytes msg(GetParam());
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<uint8_t>(i % 251);
+  }
+  const auto resp = client.call(1, msg);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RpcPayloadSize,
+                         ::testing::Values(0, 1, 13, 4096, 65537,
+                                           1u << 20));
+
+}  // namespace
+}  // namespace hvac::rpc

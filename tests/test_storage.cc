@@ -1,0 +1,292 @@
+// Tests for the storage substrate: RAII files, throttling, the
+// GPFS-like PFS backend and the node-local store.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "common/env.h"
+#include "storage/local_store.h"
+#include "storage/pfs_backend.h"
+#include "storage/posix_file.h"
+#include "storage/throttle.h"
+
+namespace hvac::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "hvac_storage_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ---- posix file ---------------------------------------------------------------
+
+TEST(PosixFile, WriteReadRoundTrip) {
+  const std::string dir = temp_dir("rt");
+  const std::string path = dir + "/f.bin";
+  std::vector<uint8_t> data{10, 20, 30, 40, 50};
+  ASSERT_TRUE(write_file(path, data.data(), data.size()).ok());
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(PosixFile, OpenMissingIsNotFound) {
+  const auto f = PosixFile::open_read("/no/such/file/xyz");
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.error().code, ErrorCode::kNotFound);
+}
+
+TEST(PosixFile, PreadAtOffsets) {
+  const std::string dir = temp_dir("pread");
+  const std::string path = dir + "/f.bin";
+  std::vector<uint8_t> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = uint8_t(i % 256);
+  ASSERT_TRUE(write_file(path, data.data(), data.size()).ok());
+
+  auto f = PosixFile::open_read(path);
+  ASSERT_TRUE(f.ok());
+  uint8_t buf[16];
+  const auto n = f->pread(buf, sizeof(buf), 500);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 16u);
+  EXPECT_EQ(buf[0], 500 % 256);
+  // Reading past EOF returns 0.
+  EXPECT_EQ(f->pread(buf, sizeof(buf), 5000).value(), 0u);
+  EXPECT_EQ(f->size().value(), 1000u);
+}
+
+TEST(PosixFile, CopyContents) {
+  const std::string dir = temp_dir("copy");
+  std::vector<uint8_t> data(300000, 7);
+  ASSERT_TRUE(write_file(dir + "/src.bin", data.data(), data.size()).ok());
+  const auto n = copy_file_contents(dir + "/src.bin", dir + "/sub/dst.bin");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(read_file(dir + "/sub/dst.bin").value(), data);
+}
+
+TEST(PosixFile, MakeDirectoriesIdempotent) {
+  const std::string dir = temp_dir("mkdir");
+  EXPECT_TRUE(make_directories(dir + "/a/b/c").ok());
+  EXPECT_TRUE(make_directories(dir + "/a/b/c").ok());
+  EXPECT_TRUE(fs::is_directory(dir + "/a/b/c"));
+}
+
+TEST(PosixFile, RemoveMissingFileIsOk) {
+  EXPECT_TRUE(remove_file("/tmp/definitely_not_here_12345").ok());
+}
+
+TEST(PosixFile, FileExistsAndSize) {
+  const std::string dir = temp_dir("exists");
+  EXPECT_FALSE(file_exists(dir + "/f"));
+  uint8_t b = 1;
+  ASSERT_TRUE(write_file(dir + "/f", &b, 1).ok());
+  EXPECT_TRUE(file_exists(dir + "/f"));
+  EXPECT_EQ(file_size(dir + "/f").value(), 1u);
+  EXPECT_FALSE(file_exists(dir));  // directories are not regular files
+}
+
+// ---- throttle ------------------------------------------------------------------
+
+TEST(TokenBucket, UnthrottledNeverWaits) {
+  TokenBucket bucket(0.0, 1);
+  EXPECT_DOUBLE_EQ(bucket.would_wait_seconds(1u << 30), 0.0);
+  bucket.acquire(1u << 30);  // returns immediately
+}
+
+TEST(TokenBucket, BurstThenDebt) {
+  TokenBucket bucket(1e6, 1e6);  // 1 MB/s, 1 MB burst
+  EXPECT_DOUBLE_EQ(bucket.would_wait_seconds(500000), 0.0);
+  bucket.acquire(1000000);  // spends the burst
+  const double wait = bucket.would_wait_seconds(1000000);
+  EXPECT_GT(wait, 0.5);
+  EXPECT_LE(wait, 1.1);
+}
+
+TEST(TokenBucket, MetersThroughput) {
+  TokenBucket bucket(10e6, 1e4);  // 10 MB/s, small burst
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) bucket.acquire(100000);  // 1 MB total
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_GT(secs, 0.06);  // ~0.1 s ideal; allow scheduling slop
+  EXPECT_LT(secs, 0.5);
+}
+
+TEST(LatencyInjector, ZeroIsFree) {
+  LatencyInjector inj(0, 0, 1);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000; ++i) inj.inject();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_LT(ms, 50.0);
+}
+
+TEST(LatencyInjector, InjectsApproximateBase) {
+  LatencyInjector inj(2000, 500, 7);  // 2 ms +/- 0.5 ms
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) inj.inject();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_GT(ms, 10.0);
+}
+
+// ---- pfs backend ----------------------------------------------------------------
+
+TEST(PfsBackend, ReadAllMatchesDisk) {
+  const std::string root = temp_dir("pfs1");
+  std::vector<uint8_t> data(5000, 0xab);
+  ASSERT_TRUE(write_file(root + "/d/f.bin", data.data(), data.size()).ok());
+  PfsBackend pfs(root);  // no throttling
+  const auto back = pfs.read_all("d/f.bin");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  EXPECT_EQ(pfs.bytes_read(), 5000u);
+  EXPECT_GE(pfs.metadata_ops(), 1u);
+}
+
+TEST(PfsBackend, MissingFileError) {
+  PfsBackend pfs(temp_dir("pfs2"));
+  EXPECT_FALSE(pfs.read_all("nope.bin").ok());
+  EXPECT_FALSE(pfs.size_of("nope.bin").ok());
+  EXPECT_FALSE(pfs.exists("nope.bin"));
+}
+
+TEST(PfsBackend, CopyOutChargesAndCopies) {
+  const std::string root = temp_dir("pfs3");
+  const std::string out = temp_dir("pfs3out");
+  std::vector<uint8_t> data(12345, 3);
+  ASSERT_TRUE(write_file(root + "/f.bin", data.data(), data.size()).ok());
+  PfsBackend pfs(root);
+  const auto n = pfs.copy_out("f.bin", out + "/f.copy");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(pfs.bytes_read(), data.size());
+  EXPECT_EQ(read_file(out + "/f.copy").value(), data);
+}
+
+TEST(PfsBackend, MetadataLatencySlowsOpens) {
+  const std::string root = temp_dir("pfs4");
+  uint8_t b = 1;
+  ASSERT_TRUE(write_file(root + "/f.bin", &b, 1).ok());
+  PfsOptions slow;
+  slow.metadata_latency_us = 3000;
+  PfsBackend pfs(root, slow);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pfs.open("f.bin").ok());
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_GT(ms, 12.0);
+  EXPECT_EQ(pfs.metadata_ops(), 5u);
+}
+
+TEST(PfsBackend, AbsolutePathPassthrough) {
+  const std::string root = temp_dir("pfs5");
+  PfsBackend pfs(root);
+  EXPECT_EQ(pfs.absolute("a/b.bin"), root + "/a/b.bin");
+  EXPECT_EQ(pfs.absolute("/already/abs"), "/already/abs");
+}
+
+// ---- local store -----------------------------------------------------------------
+
+TEST(LocalStore, InsertOpenEvict) {
+  const std::string root = temp_dir("store1");
+  LocalStore store(root);
+  const std::string logical = "class_1/a.bin";
+  std::vector<uint8_t> data(100, 9);
+  ASSERT_TRUE(write_file(store.physical_path(logical), data.data(),
+                         data.size())
+                  .ok());
+  ASSERT_TRUE(store.insert(logical, data.size()).ok());
+  EXPECT_TRUE(store.contains(logical));
+  EXPECT_EQ(store.bytes_used(), 100u);
+  EXPECT_EQ(store.entry_count(), 1u);
+
+  auto f = store.open(logical);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size().value(), 100u);
+
+  EXPECT_EQ(store.evict(logical).value(), 100u);
+  EXPECT_FALSE(store.contains(logical));
+  EXPECT_EQ(store.bytes_used(), 0u);
+  EXPECT_FALSE(file_exists(store.physical_path(logical)));
+}
+
+TEST(LocalStore, OpenUncachedIsNotFound) {
+  LocalStore store(temp_dir("store2"));
+  const auto f = store.open("missing");
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.error().code, ErrorCode::kNotFound);
+  EXPECT_FALSE(store.evict("missing").ok());
+}
+
+TEST(LocalStore, CapacityEnforced) {
+  LocalStore store(temp_dir("store3"), 250);
+  EXPECT_TRUE(store.insert("a", 100).ok());
+  EXPECT_TRUE(store.insert("b", 100).ok());
+  const Status s = store.insert("c", 100);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kCapacity);
+  EXPECT_EQ(store.bytes_used(), 200u);
+}
+
+TEST(LocalStore, InsertIdempotent) {
+  LocalStore store(temp_dir("store4"));
+  EXPECT_TRUE(store.insert("a", 100).ok());
+  EXPECT_TRUE(store.insert("a", 100).ok());
+  EXPECT_EQ(store.bytes_used(), 100u);
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST(LocalStore, PurgeRemovesEverything) {
+  const std::string root = temp_dir("store5");
+  LocalStore store(root);
+  for (int i = 0; i < 10; ++i) {
+    const std::string logical = "f" + std::to_string(i);
+    uint8_t b = 1;
+    ASSERT_TRUE(
+        write_file(store.physical_path(logical), &b, 1).ok());
+    ASSERT_TRUE(store.insert(logical, 1).ok());
+  }
+  EXPECT_EQ(store.entry_count(), 10u);
+  store.purge();
+  EXPECT_EQ(store.entry_count(), 0u);
+  EXPECT_EQ(store.bytes_used(), 0u);
+  size_t remaining = 0;
+  for (const auto& e : fs::directory_iterator(root)) {
+    (void)e;
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 0u);
+}
+
+TEST(LocalStore, PhysicalPathsFlatAndDistinct) {
+  LocalStore store(temp_dir("store6"));
+  const std::string p1 = store.physical_path("a/b/c.bin");
+  const std::string p2 = store.physical_path("a/b/d.bin");
+  EXPECT_NE(p1, p2);
+  // Flat: no logical directory components leak into the cache dir.
+  EXPECT_EQ(p1.find("a/b"), std::string::npos);
+}
+
+TEST(LocalStore, LogicalPathsSnapshot) {
+  LocalStore store(temp_dir("store7"));
+  ASSERT_TRUE(store.insert("x", 1).ok());
+  ASSERT_TRUE(store.insert("y", 2).ok());
+  auto paths = store.logical_paths();
+  std::sort(paths.begin(), paths.end());
+  EXPECT_EQ(paths, (std::vector<std::string>{"x", "y"}));
+}
+
+}  // namespace
+}  // namespace hvac::storage

@@ -1,0 +1,218 @@
+// Stress tests: the failure modes that only appear under combined
+// load — many clients, eviction pressure, segmentation and fail-over
+// all at once. These run with small datasets so they stay fast, but
+// every interleaving hazard (fd churn, in-flight dedup, store
+// accounting) is exercised for real.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "client/hvac_client.h"
+#include "common/rng.h"
+#include "server/node_runtime.h"
+#include "workload/file_tree.h"
+#include "workload/shuffler.h"
+
+namespace hvac {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "hvac_stress_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(Stress, ManyClientsEvictionAndSegmentsTogether) {
+  const std::string pfs_root = temp_dir("mix_pfs");
+  // Mixed sizes: some files segment (8 KB segments), some don't.
+  const auto spec = workload::synthetic_small(24, 10 * 1024, 0.9);
+  auto tree = workload::generate_tree(pfs_root, spec);
+  ASSERT_TRUE(tree.ok());
+
+  // Tight per-instance capacity forces constant eviction churn.
+  std::vector<std::unique_ptr<server::NodeRuntime>> nodes;
+  client::HvacClientOptions copts;
+  copts.dataset_dir = pfs_root;
+  copts.segment_bytes = 8 * 1024;
+  for (int n = 0; n < 2; ++n) {
+    server::NodeRuntimeOptions o;
+    o.pfs_root = pfs_root;
+    o.cache_root = temp_dir("mix_cache" + std::to_string(n));
+    o.instances = 2;
+    o.cache_capacity_bytes_per_instance = tree->total_bytes / 6;
+    o.data_mover_threads = 2;
+    nodes.push_back(std::make_unique<server::NodeRuntime>(o));
+    ASSERT_TRUE(nodes.back()->start().ok());
+    for (const auto& e : nodes.back()->endpoints()) {
+      copts.server_endpoints.push_back(e);
+    }
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kEpochs = 3;
+  std::atomic<int> ok{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      client::HvacClient client(copts);
+      workload::EpochShuffler shuffler(tree->relative_paths.size(),
+                                       100 + t);
+      std::vector<uint8_t> buf;
+      for (int epoch = 0; epoch < kEpochs; ++epoch) {
+        for (uint64_t idx : shuffler.shuffled(epoch)) {
+          const std::string& rel = tree->relative_paths[idx];
+          auto vfd = client.open(pfs_root + "/" + rel);
+          if (!vfd.ok()) {
+            ++failed;
+            continue;
+          }
+          buf.assign(tree->sizes[idx], 0);
+          auto n = client.pread(*vfd, buf.data(), buf.size(), 0);
+          const bool good = n.ok() && *n == tree->sizes[idx] &&
+                            workload::verify_contents(rel, buf);
+          (void)client.close(*vfd);
+          good ? ++ok : ++failed;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(ok.load(),
+            kThreads * kEpochs * int(tree->relative_paths.size()));
+  // Eviction actually happened (the whole point of the tight caches)
+  // and the stores respected their budgets throughout.
+  core::MetricsSnapshot total;
+  for (auto& node : nodes) {
+    for (size_t i = 0; i < node->instance_count(); ++i) {
+      auto& store = node->instance(i).cache().store();
+      EXPECT_LE(store.bytes_used(), store.capacity_bytes());
+      const auto m = node->instance(i).metrics();
+      total.evictions += m.evictions;
+      total.pfs_fallbacks += m.pfs_fallbacks;
+      total.hits += m.hits;
+    }
+  }
+  EXPECT_GT(total.evictions + total.pfs_fallbacks, 0u);
+  EXPECT_GT(total.hits, 0u);
+  for (auto& node : nodes) node->stop();
+}
+
+TEST(Stress, ServerDiesWhileClientsAreReading) {
+  const std::string pfs_root = temp_dir("die_pfs");
+  const auto spec = workload::synthetic_small(30, 6 * 1024, 0.3);
+  auto tree = workload::generate_tree(pfs_root, spec);
+  ASSERT_TRUE(tree.ok());
+
+  std::vector<std::unique_ptr<server::NodeRuntime>> nodes;
+  client::HvacClientOptions copts;
+  copts.dataset_dir = pfs_root;
+  copts.rpc.connect_timeout_ms = 300;
+  copts.rpc.recv_timeout_ms = 500;
+  for (int n = 0; n < 3; ++n) {
+    server::NodeRuntimeOptions o;
+    o.pfs_root = pfs_root;
+    o.cache_root = temp_dir("die_cache" + std::to_string(n));
+    nodes.push_back(std::make_unique<server::NodeRuntime>(o));
+    ASSERT_TRUE(nodes.back()->start().ok());
+    copts.server_endpoints.push_back(nodes.back()->endpoints()[0]);
+  }
+
+  std::atomic<int> failed{0};
+  std::atomic<bool> killed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      client::HvacClient client(copts);
+      SplitMix64 rng(t + 1);
+      std::vector<uint8_t> buf;
+      for (int round = 0; round < 60; ++round) {
+        const auto idx = rng.next_below(tree->relative_paths.size());
+        const std::string& rel = tree->relative_paths[idx];
+        auto vfd = client.open(pfs_root + "/" + rel);
+        if (!vfd.ok()) {
+          ++failed;
+          continue;
+        }
+        buf.assign(tree->sizes[idx], 0);
+        auto n = client.pread(*vfd, buf.data(), buf.size(), 0);
+        if (!n.ok() || !workload::verify_contents(rel, buf)) ++failed;
+        (void)client.close(*vfd);
+        if (round == 20 && t == 0 && !killed.exchange(true)) {
+          nodes[1]->stop();  // yank a server out mid-traffic
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Fail-open: no read may fail outright; the worst case is a slower
+  // PFS-fallback read (the paper's "cache must not kill the job").
+  EXPECT_EQ(failed.load(), 0);
+  nodes[0]->stop();
+  nodes[2]->stop();
+}
+
+TEST(Stress, PrefetchRacesRegularReads) {
+  const std::string pfs_root = temp_dir("race_pfs");
+  const auto spec = workload::synthetic_small(40, 3 * 1024, 0.2);
+  auto tree = workload::generate_tree(pfs_root, spec);
+  ASSERT_TRUE(tree.ok());
+
+  server::NodeRuntimeOptions o;
+  o.pfs_root = pfs_root;
+  o.cache_root = temp_dir("race_cache");
+  o.instances = 2;
+  server::NodeRuntime node(o);
+  ASSERT_TRUE(node.start().ok());
+
+  client::HvacClientOptions copts;
+  copts.dataset_dir = pfs_root;
+  copts.server_endpoints = node.endpoints();
+
+  std::vector<std::string> paths;
+  for (const auto& rel : tree->relative_paths) {
+    paths.push_back(pfs_root + "/" + rel);
+  }
+
+  std::atomic<int> failed{0};
+  std::thread warmer([&] {
+    client::HvacClient client(copts);
+    const auto warmed = client.prefetch_many(paths);
+    if (!warmed.ok()) ++failed;
+  });
+  std::thread reader([&] {
+    client::HvacClient client(copts);
+    std::vector<uint8_t> buf;
+    for (size_t i = 0; i < paths.size(); ++i) {
+      auto vfd = client.open(paths[i]);
+      if (!vfd.ok()) {
+        ++failed;
+        continue;
+      }
+      buf.assign(tree->sizes[i], 0);
+      auto n = client.pread(*vfd, buf.data(), buf.size(), 0);
+      if (!n.ok() ||
+          !workload::verify_contents(tree->relative_paths[i], buf)) {
+        ++failed;
+      }
+      (void)client.close(*vfd);
+    }
+  });
+  warmer.join();
+  reader.join();
+  EXPECT_EQ(failed.load(), 0);
+  // The single-copy guarantee held under the race: one PFS fetch per
+  // file even with prefetch and demand reads contending.
+  EXPECT_EQ(node.aggregated_metrics().misses, paths.size());
+  node.stop();
+}
+
+}  // namespace
+}  // namespace hvac

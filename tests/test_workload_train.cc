@@ -1,0 +1,321 @@
+// Tests for the workload models (dataset specs, shuffling, file
+// trees) and the training substrate (synthetic data, trainer).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "common/stats.h"
+#include "storage/posix_file.h"
+#include "train/trainer.h"
+#include "workload/dataset_spec.h"
+#include "workload/file_tree.h"
+#include "workload/shuffler.h"
+
+namespace hvac {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "hvac_wl_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ---- dataset specs --------------------------------------------------------
+
+TEST(DatasetSpec, PaperPopulations) {
+  const auto inet = workload::imagenet21k();
+  EXPECT_EQ(inet.num_files, 11'797'632u);
+  // ~1.1 TB total (paper Sec. IV-A3).
+  EXPECT_NEAR(inet.total_bytes() / 1e12, 1.9, 1.0);
+
+  const auto cosmo = workload::cosmo_universe();
+  EXPECT_EQ(cosmo.num_files, 524'288u);
+  EXPECT_NEAR(cosmo.total_bytes() / 1e12, 1.4, 0.3);
+}
+
+TEST(DatasetSpec, FileSizesDeterministicAndPositive) {
+  const auto spec = workload::imagenet21k();
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t s1 = spec.file_size(i);
+    const uint64_t s2 = spec.file_size(i);
+    EXPECT_EQ(s1, s2);
+    EXPECT_GE(s1, spec.min_file_bytes);
+  }
+}
+
+TEST(DatasetSpec, LognormalMeanApproximatesSpec) {
+  const auto spec = workload::imagenet21k();
+  OnlineStats s;
+  for (uint64_t i = 0; i < 50000; ++i) {
+    s.add(static_cast<double>(spec.file_size(i)));
+  }
+  EXPECT_NEAR(s.mean() / spec.mean_file_bytes, 1.0, 0.08);
+}
+
+TEST(DatasetSpec, FixedSizeDatasetsAreFixed) {
+  const auto cosmo = workload::cosmo_universe();
+  const uint64_t first = cosmo.file_size(0);
+  for (uint64_t i = 1; i < 50; ++i) EXPECT_EQ(cosmo.file_size(i), first);
+}
+
+TEST(DatasetSpec, ScaledKeepsDistribution) {
+  const auto spec = workload::imagenet21k();
+  const auto small = spec.scaled(1024);
+  EXPECT_EQ(small.num_files, spec.num_files / 1024);
+  EXPECT_EQ(small.mean_file_bytes, spec.mean_file_bytes);
+  // Scaling below the floor clamps at 64.
+  EXPECT_EQ(spec.scaled(UINT64_MAX / 2).num_files, 64u);
+  // Scale 1 (or 0) is identity.
+  EXPECT_EQ(spec.scaled(1).num_files, spec.num_files);
+}
+
+TEST(DatasetSpec, FilePathsUniqueAndStable) {
+  const auto spec = workload::synthetic_small(5000, 1024);
+  std::set<std::string> paths;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    paths.insert(workload::dataset_file_path(spec, i));
+  }
+  EXPECT_EQ(paths.size(), 5000u);
+  EXPECT_EQ(workload::dataset_file_path(spec, 7),
+            workload::dataset_file_path(spec, 7));
+}
+
+TEST(DatasetSpec, AppSpecsMatchPaperSetups) {
+  EXPECT_EQ(workload::resnet50().dataset.name, "imagenet21k");
+  EXPECT_EQ(workload::tresnet_m().dataset.name, "imagenet21k");
+  EXPECT_EQ(workload::tresnet_m().batch_size, 80u);
+  EXPECT_EQ(workload::cosmoflow().dataset.name, "cosmoUniverse");
+  EXPECT_EQ(workload::deepcam().dataset.name, "deepcam");
+  for (const auto& app :
+       {workload::resnet50(), workload::tresnet_m(), workload::cosmoflow(),
+        workload::deepcam()}) {
+    EXPECT_EQ(app.procs_per_node, 2u) << app.name;
+    EXPECT_GT(app.compute_seconds_per_batch, 0.0) << app.name;
+  }
+}
+
+// ---- shuffler ----------------------------------------------------------------
+
+TEST(Shuffler, PermutationProperties) {
+  workload::EpochShuffler shuffler(1000, 7);
+  const auto order = shuffler.shuffled(0);
+  EXPECT_EQ(order.size(), 1000u);
+  std::set<uint64_t> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(Shuffler, EpochsDiffer) {
+  workload::EpochShuffler shuffler(500, 7);
+  EXPECT_NE(shuffler.shuffled(0), shuffler.shuffled(1));
+}
+
+TEST(Shuffler, SeedsDiffer) {
+  workload::EpochShuffler a(500, 7), b(500, 8);
+  EXPECT_NE(a.shuffled(0), b.shuffled(0));
+}
+
+class SamplerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SamplerSweep, PartitionsCoverEverythingEvenly) {
+  const auto [n_files, world] = GetParam();
+  workload::EpochShuffler shuffler(n_files, 3);
+  const auto order = shuffler.shuffled(0);
+
+  std::set<uint64_t> covered;
+  size_t min_size = SIZE_MAX, max_size = 0;
+  for (int r = 0; r < world; ++r) {
+    workload::DistributedSampler sampler(r, world);
+    const auto part = sampler.partition(order);
+    min_size = std::min(min_size, part.size());
+    max_size = std::max(max_size, part.size());
+    covered.insert(part.begin(), part.end());
+  }
+  // Every file is read at least once per epoch; all ranks run the same
+  // number of steps (PyTorch-style padding).
+  EXPECT_EQ(covered.size(), size_t(n_files));
+  EXPECT_EQ(min_size, max_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SamplerSweep,
+    ::testing::Combine(::testing::Values(64, 1000, 4099),
+                       ::testing::Values(1, 4, 32, 100)));
+
+// ---- file tree -------------------------------------------------------------------
+
+TEST(FileTree, GenerateAndVerify) {
+  const std::string root = temp_dir("tree");
+  const auto spec = workload::synthetic_small(20, 2048, 0.4);
+  const auto tree = workload::generate_tree(root, spec);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->relative_paths.size(), 20u);
+  EXPECT_GT(tree->total_bytes, 0u);
+
+  for (size_t i = 0; i < tree->relative_paths.size(); ++i) {
+    const std::string abs = root + "/" + tree->relative_paths[i];
+    const auto data = storage::read_file(abs);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->size(), tree->sizes[i]);
+    EXPECT_TRUE(workload::verify_contents(tree->relative_paths[i], *data));
+  }
+}
+
+TEST(FileTree, CorruptionDetected) {
+  auto good = workload::expected_contents("x/y.bin", 256);
+  EXPECT_TRUE(workload::verify_contents("x/y.bin", good));
+  good[100] ^= 0xff;
+  EXPECT_FALSE(workload::verify_contents("x/y.bin", good));
+  // Wrong path -> different pattern.
+  const auto other = workload::expected_contents("x/z.bin", 256);
+  EXPECT_FALSE(workload::verify_contents("x/y.bin", other));
+}
+
+// ---- synthetic data / trainer ------------------------------------------------------
+
+TEST(SyntheticData, SerializationRoundTrip) {
+  train::MixtureSpec spec;
+  const auto s = train::make_sample(spec, 17, false);
+  const auto bytes = train::serialize_sample(s);
+  const auto back = train::deserialize_sample(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->label, s.label);
+  EXPECT_EQ(back->features, s.features);
+}
+
+TEST(SyntheticData, DeterministicSamples) {
+  train::MixtureSpec spec;
+  const auto a = train::make_sample(spec, 5, false);
+  const auto b = train::make_sample(spec, 5, false);
+  EXPECT_EQ(a.features, b.features);
+  // Train and test splits differ at the same index.
+  const auto t = train::make_sample(spec, 5, true);
+  EXPECT_NE(a.features, t.features);
+}
+
+TEST(SyntheticData, LabelsCycleClasses) {
+  train::MixtureSpec spec;
+  for (uint64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(train::make_sample(spec, i, false).label,
+              i % spec.num_classes);
+  }
+}
+
+TEST(Trainer, ConvergesOnSeparableData) {
+  train::MixtureSpec data;
+  data.train_samples = 240;
+  data.test_samples = 120;
+  train::TrainerConfig config;
+
+  train::SoftmaxTrainer trainer(config);
+  std::vector<train::Sample> test;
+  for (uint64_t i = 0; i < data.test_samples; ++i) {
+    test.push_back(train::make_sample(data, i, true));
+  }
+  const double before = trainer.evaluate(test, 0).top1;
+
+  workload::EpochShuffler shuffler(data.train_samples, 1);
+  for (uint32_t epoch = 0; epoch < 6; ++epoch) {
+    const auto order = shuffler.shuffled(epoch);
+    std::vector<train::Sample> batch;
+    for (uint64_t idx : order) {
+      batch.push_back(train::make_sample(data, idx, false));
+      if (batch.size() == config.batch_size) {
+        trainer.step(batch);
+        batch.clear();
+      }
+    }
+  }
+  const auto after = trainer.evaluate(test, trainer.iterations());
+  EXPECT_GT(after.top1, before + 0.3);
+  EXPECT_GE(after.top5, after.top1);
+  EXPECT_LE(after.top5, 1.0);
+}
+
+TEST(Trainer, DeterministicGivenSequence) {
+  train::MixtureSpec data;
+  data.train_samples = 64;
+  train::TrainerConfig config;
+  train::SoftmaxTrainer t1(config), t2(config);
+  std::vector<train::Sample> batch;
+  for (uint64_t i = 0; i < 64; ++i) {
+    batch.push_back(train::make_sample(data, i, false));
+    if (batch.size() == config.batch_size) {
+      const double l1 = t1.step(batch);
+      const double l2 = t2.step(batch);
+      EXPECT_DOUBLE_EQ(l1, l2);
+      batch.clear();
+    }
+  }
+  EXPECT_EQ(t1.weights(), t2.weights());
+}
+
+TEST(Trainer, StepOrderMatters) {
+  // Different sample orders must produce different weights — this is
+  // why a cache that reorders reads would corrupt SGD, and why Fig 14
+  // checks bit-identity.
+  train::MixtureSpec data;
+  data.train_samples = 32;
+  train::TrainerConfig config;
+  config.batch_size = 8;
+  train::SoftmaxTrainer forward(config), backward(config);
+  std::vector<train::Sample> batch;
+  for (uint64_t i = 0; i < 32; ++i) {
+    batch.push_back(train::make_sample(data, i, false));
+    if (batch.size() == 8) {
+      forward.step(batch);
+      batch.clear();
+    }
+  }
+  for (uint64_t i = 32; i-- > 0;) {
+    batch.push_back(train::make_sample(data, i, false));
+    if (batch.size() == 8) {
+      backward.step(batch);
+      batch.clear();
+    }
+  }
+  EXPECT_NE(forward.weights(), backward.weights());
+}
+
+TEST(Trainer, CurveHelpers) {
+  train::TrainingCurve c;
+  c.points = {{0, 0.1, 0.3}, {10, 0.5, 0.8}, {20, 0.9, 1.0}};
+  EXPECT_EQ(c.iterations_to_top1(0.5), 10u);
+  EXPECT_EQ(c.iterations_to_top1(0.95), UINT64_MAX);
+  train::TrainingCurve d = c;
+  EXPECT_TRUE(c.identical_to(d));
+  d.points[1].top1 = 0.51;
+  EXPECT_FALSE(c.identical_to(d));
+}
+
+TEST(Trainer, FullLoopFromFiles) {
+  const std::string root = temp_dir("loop");
+  train::MixtureSpec data;
+  data.train_samples = 96;
+  data.test_samples = 48;
+  ASSERT_TRUE(train::write_train_files(data, root).ok());
+
+  train::LoopConfig loop;
+  loop.data = data;
+  loop.epochs = 2;
+  loop.dataset_root = root;
+  const auto curve = train::run_training_loop(
+      loop,
+      [](const std::string& path) { return storage::read_file(path); });
+  ASSERT_TRUE(curve.ok());
+  EXPECT_GE(curve->points.size(), 2u);
+  // Running it again gives the identical curve (fully deterministic).
+  const auto again = train::run_training_loop(
+      loop,
+      [](const std::string& path) { return storage::read_file(path); });
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(curve->identical_to(*again));
+}
+
+}  // namespace
+}  // namespace hvac
