@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_segment.dir/ablation_segment.cc.o"
+  "CMakeFiles/ablation_segment.dir/ablation_segment.cc.o.d"
+  "ablation_segment"
+  "ablation_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

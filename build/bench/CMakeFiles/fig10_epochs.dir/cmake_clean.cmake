@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_epochs.dir/fig10_epochs.cc.o"
+  "CMakeFiles/fig10_epochs.dir/fig10_epochs.cc.o.d"
+  "fig10_epochs"
+  "fig10_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

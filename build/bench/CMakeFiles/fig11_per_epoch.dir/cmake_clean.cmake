@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_per_epoch.dir/fig11_per_epoch.cc.o"
+  "CMakeFiles/fig11_per_epoch.dir/fig11_per_epoch.cc.o.d"
+  "fig11_per_epoch"
+  "fig11_per_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_per_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

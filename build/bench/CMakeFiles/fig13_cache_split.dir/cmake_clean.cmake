@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cache_split.dir/fig13_cache_split.cc.o"
+  "CMakeFiles/fig13_cache_split.dir/fig13_cache_split.cc.o.d"
+  "fig13_cache_split"
+  "fig13_cache_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cache_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

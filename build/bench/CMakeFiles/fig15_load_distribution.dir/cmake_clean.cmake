@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_load_distribution.dir/fig15_load_distribution.cc.o"
+  "CMakeFiles/fig15_load_distribution.dir/fig15_load_distribution.cc.o.d"
+  "fig15_load_distribution"
+  "fig15_load_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_load_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

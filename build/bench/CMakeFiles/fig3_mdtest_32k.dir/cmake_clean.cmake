@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mdtest_32k.dir/fig3_mdtest_32k.cc.o"
+  "CMakeFiles/fig3_mdtest_32k.dir/fig3_mdtest_32k.cc.o.d"
+  "fig3_mdtest_32k"
+  "fig3_mdtest_32k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mdtest_32k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mdtest_8m.dir/fig4_mdtest_8m.cc.o"
+  "CMakeFiles/fig4_mdtest_8m.dir/fig4_mdtest_8m.cc.o.d"
+  "fig4_mdtest_8m"
+  "fig4_mdtest_8m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mdtest_8m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_node_spec.dir/table1_node_spec.cc.o"
+  "CMakeFiles/table1_node_spec.dir/table1_node_spec.cc.o.d"
+  "table1_node_spec"
+  "table1_node_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_node_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdtest_tool.dir/mdtest_tool.cpp.o"
+  "CMakeFiles/mdtest_tool.dir/mdtest_tool.cpp.o.d"
+  "mdtest_tool"
+  "mdtest_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdtest_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

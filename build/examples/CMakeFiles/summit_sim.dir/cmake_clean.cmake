@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summit_sim.dir/summit_sim.cpp.o"
+  "CMakeFiles/summit_sim.dir/summit_sim.cpp.o.d"
+  "summit_sim"
+  "summit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_client.dir/hvac_client.cc.o"
+  "CMakeFiles/hvac_client.dir/hvac_client.cc.o.d"
+  "libhvac_client.a"
+  "libhvac_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvacctl.dir/hvacctl_main.cc.o"
+  "CMakeFiles/hvacctl.dir/hvacctl_main.cc.o.d"
+  "hvacctl"
+  "hvacctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvacctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

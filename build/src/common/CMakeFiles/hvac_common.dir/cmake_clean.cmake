@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_common.dir/env.cc.o"
+  "CMakeFiles/hvac_common.dir/env.cc.o.d"
+  "CMakeFiles/hvac_common.dir/hash.cc.o"
+  "CMakeFiles/hvac_common.dir/hash.cc.o.d"
+  "CMakeFiles/hvac_common.dir/log.cc.o"
+  "CMakeFiles/hvac_common.dir/log.cc.o.d"
+  "CMakeFiles/hvac_common.dir/result.cc.o"
+  "CMakeFiles/hvac_common.dir/result.cc.o.d"
+  "CMakeFiles/hvac_common.dir/stats.cc.o"
+  "CMakeFiles/hvac_common.dir/stats.cc.o.d"
+  "CMakeFiles/hvac_common.dir/thread_pool.cc.o"
+  "CMakeFiles/hvac_common.dir/thread_pool.cc.o.d"
+  "libhvac_common.a"
+  "libhvac_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

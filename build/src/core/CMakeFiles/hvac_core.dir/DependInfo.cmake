@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_manager.cc" "src/core/CMakeFiles/hvac_core.dir/cache_manager.cc.o" "gcc" "src/core/CMakeFiles/hvac_core.dir/cache_manager.cc.o.d"
+  "/root/repo/src/core/data_mover.cc" "src/core/CMakeFiles/hvac_core.dir/data_mover.cc.o" "gcc" "src/core/CMakeFiles/hvac_core.dir/data_mover.cc.o.d"
+  "/root/repo/src/core/eviction.cc" "src/core/CMakeFiles/hvac_core.dir/eviction.cc.o" "gcc" "src/core/CMakeFiles/hvac_core.dir/eviction.cc.o.d"
+  "/root/repo/src/core/fd_table.cc" "src/core/CMakeFiles/hvac_core.dir/fd_table.cc.o" "gcc" "src/core/CMakeFiles/hvac_core.dir/fd_table.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/hvac_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/hvac_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/hvac_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/hvac_core.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hvac_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hvac_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_core.dir/cache_manager.cc.o"
+  "CMakeFiles/hvac_core.dir/cache_manager.cc.o.d"
+  "CMakeFiles/hvac_core.dir/data_mover.cc.o"
+  "CMakeFiles/hvac_core.dir/data_mover.cc.o.d"
+  "CMakeFiles/hvac_core.dir/eviction.cc.o"
+  "CMakeFiles/hvac_core.dir/eviction.cc.o.d"
+  "CMakeFiles/hvac_core.dir/fd_table.cc.o"
+  "CMakeFiles/hvac_core.dir/fd_table.cc.o.d"
+  "CMakeFiles/hvac_core.dir/metrics.cc.o"
+  "CMakeFiles/hvac_core.dir/metrics.cc.o.d"
+  "CMakeFiles/hvac_core.dir/placement.cc.o"
+  "CMakeFiles/hvac_core.dir/placement.cc.o.d"
+  "libhvac_core.a"
+  "libhvac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

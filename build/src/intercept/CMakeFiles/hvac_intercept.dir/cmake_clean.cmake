@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_intercept.dir/intercept.cc.o"
+  "CMakeFiles/hvac_intercept.dir/intercept.cc.o.d"
+  "libhvac_intercept.pdb"
+  "libhvac_intercept.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_intercept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/async_client.cc" "src/rpc/CMakeFiles/hvac_rpc.dir/async_client.cc.o" "gcc" "src/rpc/CMakeFiles/hvac_rpc.dir/async_client.cc.o.d"
+  "/root/repo/src/rpc/rpc_client.cc" "src/rpc/CMakeFiles/hvac_rpc.dir/rpc_client.cc.o" "gcc" "src/rpc/CMakeFiles/hvac_rpc.dir/rpc_client.cc.o.d"
+  "/root/repo/src/rpc/rpc_server.cc" "src/rpc/CMakeFiles/hvac_rpc.dir/rpc_server.cc.o" "gcc" "src/rpc/CMakeFiles/hvac_rpc.dir/rpc_server.cc.o.d"
+  "/root/repo/src/rpc/socket.cc" "src/rpc/CMakeFiles/hvac_rpc.dir/socket.cc.o" "gcc" "src/rpc/CMakeFiles/hvac_rpc.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hvac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

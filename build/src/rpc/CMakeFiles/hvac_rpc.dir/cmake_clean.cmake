@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_rpc.dir/async_client.cc.o"
+  "CMakeFiles/hvac_rpc.dir/async_client.cc.o.d"
+  "CMakeFiles/hvac_rpc.dir/rpc_client.cc.o"
+  "CMakeFiles/hvac_rpc.dir/rpc_client.cc.o.d"
+  "CMakeFiles/hvac_rpc.dir/rpc_server.cc.o"
+  "CMakeFiles/hvac_rpc.dir/rpc_server.cc.o.d"
+  "CMakeFiles/hvac_rpc.dir/socket.cc.o"
+  "CMakeFiles/hvac_rpc.dir/socket.cc.o.d"
+  "libhvac_rpc.a"
+  "libhvac_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_server.dir/hvac_server.cc.o"
+  "CMakeFiles/hvac_server.dir/hvac_server.cc.o.d"
+  "CMakeFiles/hvac_server.dir/node_runtime.cc.o"
+  "CMakeFiles/hvac_server.dir/node_runtime.cc.o.d"
+  "libhvac_server.a"
+  "libhvac_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

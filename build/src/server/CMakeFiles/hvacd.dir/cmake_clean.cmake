@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvacd.dir/hvacd_main.cc.o"
+  "CMakeFiles/hvacd.dir/hvacd_main.cc.o.d"
+  "hvacd"
+  "hvacd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvacd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backends.cc" "src/sim/CMakeFiles/hvac_sim.dir/backends.cc.o" "gcc" "src/sim/CMakeFiles/hvac_sim.dir/backends.cc.o.d"
+  "/root/repo/src/sim/dl_job.cc" "src/sim/CMakeFiles/hvac_sim.dir/dl_job.cc.o" "gcc" "src/sim/CMakeFiles/hvac_sim.dir/dl_job.cc.o.d"
+  "/root/repo/src/sim/mdtest.cc" "src/sim/CMakeFiles/hvac_sim.dir/mdtest.cc.o" "gcc" "src/sim/CMakeFiles/hvac_sim.dir/mdtest.cc.o.d"
+  "/root/repo/src/sim/summit_config.cc" "src/sim/CMakeFiles/hvac_sim.dir/summit_config.cc.o" "gcc" "src/sim/CMakeFiles/hvac_sim.dir/summit_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hvac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hvac_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hvac_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hvac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

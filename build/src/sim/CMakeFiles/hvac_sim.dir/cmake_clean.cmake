@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_sim.dir/backends.cc.o"
+  "CMakeFiles/hvac_sim.dir/backends.cc.o.d"
+  "CMakeFiles/hvac_sim.dir/dl_job.cc.o"
+  "CMakeFiles/hvac_sim.dir/dl_job.cc.o.d"
+  "CMakeFiles/hvac_sim.dir/mdtest.cc.o"
+  "CMakeFiles/hvac_sim.dir/mdtest.cc.o.d"
+  "CMakeFiles/hvac_sim.dir/summit_config.cc.o"
+  "CMakeFiles/hvac_sim.dir/summit_config.cc.o.d"
+  "libhvac_sim.a"
+  "libhvac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhvac_sim.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/local_store.cc" "src/storage/CMakeFiles/hvac_storage.dir/local_store.cc.o" "gcc" "src/storage/CMakeFiles/hvac_storage.dir/local_store.cc.o.d"
+  "/root/repo/src/storage/pfs_backend.cc" "src/storage/CMakeFiles/hvac_storage.dir/pfs_backend.cc.o" "gcc" "src/storage/CMakeFiles/hvac_storage.dir/pfs_backend.cc.o.d"
+  "/root/repo/src/storage/posix_file.cc" "src/storage/CMakeFiles/hvac_storage.dir/posix_file.cc.o" "gcc" "src/storage/CMakeFiles/hvac_storage.dir/posix_file.cc.o.d"
+  "/root/repo/src/storage/throttle.cc" "src/storage/CMakeFiles/hvac_storage.dir/throttle.cc.o" "gcc" "src/storage/CMakeFiles/hvac_storage.dir/throttle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hvac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

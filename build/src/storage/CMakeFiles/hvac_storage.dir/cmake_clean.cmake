@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_storage.dir/local_store.cc.o"
+  "CMakeFiles/hvac_storage.dir/local_store.cc.o.d"
+  "CMakeFiles/hvac_storage.dir/pfs_backend.cc.o"
+  "CMakeFiles/hvac_storage.dir/pfs_backend.cc.o.d"
+  "CMakeFiles/hvac_storage.dir/posix_file.cc.o"
+  "CMakeFiles/hvac_storage.dir/posix_file.cc.o.d"
+  "CMakeFiles/hvac_storage.dir/throttle.cc.o"
+  "CMakeFiles/hvac_storage.dir/throttle.cc.o.d"
+  "libhvac_storage.a"
+  "libhvac_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_train.dir/synthetic_data.cc.o"
+  "CMakeFiles/hvac_train.dir/synthetic_data.cc.o.d"
+  "CMakeFiles/hvac_train.dir/trainer.cc.o"
+  "CMakeFiles/hvac_train.dir/trainer.cc.o.d"
+  "libhvac_train.a"
+  "libhvac_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_workload.dir/dataset_spec.cc.o"
+  "CMakeFiles/hvac_workload.dir/dataset_spec.cc.o.d"
+  "CMakeFiles/hvac_workload.dir/file_tree.cc.o"
+  "CMakeFiles/hvac_workload.dir/file_tree.cc.o.d"
+  "libhvac_workload.a"
+  "libhvac_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

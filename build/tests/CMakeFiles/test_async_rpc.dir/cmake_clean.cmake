@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_rpc.dir/test_async_rpc.cc.o"
+  "CMakeFiles/test_async_rpc.dir/test_async_rpc.cc.o.d"
+  "test_async_rpc"
+  "test_async_rpc.pdb"
+  "test_async_rpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

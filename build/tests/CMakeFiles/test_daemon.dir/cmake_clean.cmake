@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_daemon.dir/test_daemon.cc.o"
+  "CMakeFiles/test_daemon.dir/test_daemon.cc.o.d"
+  "test_daemon"
+  "test_daemon.pdb"
+  "test_daemon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_edge.dir/test_server_edge.cc.o"
+  "CMakeFiles/test_server_edge.dir/test_server_edge.cc.o.d"
+  "test_server_edge"
+  "test_server_edge.pdb"
+  "test_server_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

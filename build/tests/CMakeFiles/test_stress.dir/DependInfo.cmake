@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/test_stress.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/test_stress.dir/test_stress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/hvac_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/hvac_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hvac_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hvac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/hvac_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hvac_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hvac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

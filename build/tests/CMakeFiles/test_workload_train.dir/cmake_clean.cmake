@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_train.dir/test_workload_train.cc.o"
+  "CMakeFiles/test_workload_train.dir/test_workload_train.cc.o.d"
+  "test_workload_train"
+  "test_workload_train.pdb"
+  "test_workload_train[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
