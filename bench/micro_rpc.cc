@@ -4,6 +4,7 @@
 // envelope.
 #include <benchmark/benchmark.h>
 
+#include "common/buffer_pool.h"
 #include "rpc/async_client.h"
 #include "rpc/rpc_client.h"
 #include "rpc/rpc_server.h"
@@ -26,6 +27,17 @@ RpcServer& shared_server() {
       auto n = r.get_u32();
       Bytes out(n.ok() ? *n : 0);
       return out;
+    });
+    // Opcode 3 is opcode 2 on the zero-copy path: the payload lives in
+    // a pooled lease and goes out with one gathered write, the way the
+    // server's read handlers respond.
+    s->register_payload_handler(3, [](const Bytes& req)
+                                       -> hvac::Result<Payload> {
+      WireReader r(req);
+      auto n = r.get_u32();
+      const uint32_t count = n.ok() ? *n : 0;
+      auto lease = hvac::BufferPool::global().acquire(kBlobPrefix + count);
+      return blob_payload(std::move(lease), count);
     });
     if (!s->start().ok()) std::abort();
     return s;
@@ -73,6 +85,32 @@ void BM_BulkRead(benchmark::State& state) {
   state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_BulkRead)->Arg(64 << 10)->Arg(1 << 20)->Arg(4 << 20);
+
+// The same bulk read over the zero-copy path: pooled payload handler
+// and gathered write on the server, pooled receive buffer and blob
+// view on the client. Compare against BM_BulkRead at equal sizes for
+// the hot-path win ("BENCH_rpc.json" carries both series).
+void BM_BulkReadPooled(benchmark::State& state) {
+  RpcClient client(shared_server().endpoint());
+  WireWriter w;
+  w.put_u32(uint32_t(state.range(0)));
+  const Bytes req = w.bytes();
+  for (auto _ : state) {
+    auto resp = client.call_payload(3, req);
+    if (!resp.ok()) {
+      state.SkipWithError("call failed");
+      continue;
+    }
+    WireReader r(resp->data(), resp->size());
+    auto view = r.get_blob_view();
+    if (!view.ok() || view->size != size_t(state.range(0))) {
+      state.SkipWithError("bad blob");
+    }
+    benchmark::DoNotOptimize(view->data);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_BulkReadPooled)->Arg(64 << 10)->Arg(1 << 20)->Arg(4 << 20);
 
 }  // namespace
 

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the HVAC repo.
+#
+#   scripts/check.sh            build + ctest (the gate every PR must pass)
+#   scripts/check.sh asan       the same under -DHVAC_SANITIZE=address
+#   scripts/check.sh tsan       the same under -DHVAC_SANITIZE=thread
+#                               (concurrency suites only — full TSan runs
+#                               are slow; widen TSAN_FILTER to taste)
+#   scripts/check.sh bench      run bench/micro_rpc, emit BENCH_rpc.json
+#
+# Sanitizer builds live in their own build dirs (build-asan/, build-tsan/)
+# so they never contaminate the primary build/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-tier1}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# The concurrency-sensitive suites worth a TSan pass: the pinned-handle
+# cache, the buffer pool, the RPC stack and the client read path.
+TSAN_SUITES="test_storage test_common test_rpc test_async_rpc \
+test_client_edge test_stress"
+
+case "$MODE" in
+  tier1)
+    cmake -B build -S .
+    cmake --build build -j "$JOBS"
+    ctest --test-dir build --output-on-failure -j "$JOBS"
+    ;;
+  asan)
+    cmake -B build-asan -S . -DHVAC_SANITIZE=address
+    cmake --build build-asan -j "$JOBS"
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+    ;;
+  tsan)
+    cmake -B build-tsan -S . -DHVAC_SANITIZE=thread
+    # shellcheck disable=SC2086
+    cmake --build build-tsan -j "$JOBS" --target $TSAN_SUITES
+    for t in $TSAN_SUITES; do
+      echo "== tsan: $t"
+      "./build-tsan/tests/$t"
+    done
+    ;;
+  bench)
+    cmake -B build -S .
+    cmake --build build -j "$JOBS" --target micro_rpc
+    ./build/bench/micro_rpc \
+      --benchmark_out=BENCH_rpc.json --benchmark_out_format=json \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+    ;;
+  *)
+    echo "usage: $0 [tier1|asan|tsan|bench]" >&2
+    exit 2
+    ;;
+esac

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 
 #include <unordered_map>
 
@@ -43,6 +44,9 @@ Result<HvacClientOptions> options_from_env() {
   o.allow_pfs_fallback = env_bool_or("HVAC_PFS_FALLBACK", true);
   o.segment_bytes =
       static_cast<uint64_t>(env_int_or("HVAC_SEGMENT_BYTES", 0));
+  const int64_t readahead = env_int_or("HVAC_READAHEAD", 2);
+  o.readahead_chunks =
+      readahead > 0 ? static_cast<uint32_t>(readahead) : 0;
   return o;
 }
 
@@ -52,6 +56,7 @@ HvacClient::HvacClient(HvacClientOptions options)
                  options_.placement, options_.replicas) {
   options_.dataset_dir = lexically_normal(options_.dataset_dir);
   channels_.resize(options_.server_endpoints.size());
+  async_channels_.resize(options_.server_endpoints.size());
 }
 
 HvacClient::~HvacClient() = default;
@@ -84,6 +89,96 @@ rpc::RpcClient& HvacClient::channel(uint32_t server_index) {
         options_.rpc);
   }
   return *slot;
+}
+
+rpc::AsyncRpcClient& HvacClient::async_channel(uint32_t server_index) {
+  std::lock_guard<std::mutex> lock(channels_mutex_);
+  auto& slot = async_channels_.at(server_index);
+  if (!slot) {
+    slot = std::make_unique<rpc::AsyncRpcClient>(
+        rpc::Endpoint{options_.server_endpoints[server_index]},
+        options_.rpc);
+  }
+  return *slot;
+}
+
+// ---- sequential read-ahead ------------------------------------------------
+//
+// When a vfd reads sequentially (the DL-training common case: one
+// sample file streamed front to back), the next chunks are requested
+// over the async channel before the application asks, so the server's
+// pread and the network transfer overlap with client-side compute.
+// Everything fails open: a lost or mismatched read-ahead chunk just
+// degrades to the synchronous path.
+
+std::optional<HvacClient::PendingChunk> HvacClient::readahead_take(
+    int vfd, uint64_t offset, uint32_t count, uint64_t file_size) {
+  std::lock_guard<std::mutex> lock(ra_mutex_);
+  auto it = ra_.find(vfd);
+  if (it == ra_.end() || it->second.pending.empty()) return std::nullopt;
+  auto& pending = it->second.pending;
+  const PendingChunk& front = pending.front();
+  // A shorter pending chunk is still a hit when it runs to EOF (the
+  // issue path clamps the final chunk to the file size); any other
+  // mismatch means the fd went non-sequential and the window is dead.
+  const bool match =
+      front.offset == offset &&
+      (front.count == count ||
+       (front.count < count && offset + front.count >= file_size));
+  if (!match) {
+    pending.clear();
+    it->second.issued_end = 0;
+    return std::nullopt;
+  }
+  PendingChunk chunk = std::move(pending.front());
+  pending.pop_front();
+  return chunk;
+}
+
+void HvacClient::readahead_advance(int vfd, const core::FdEntry& entry,
+                                   uint64_t offset, size_t got,
+                                   uint32_t chunk) {
+  if (options_.readahead_chunks == 0 || chunk == 0) return;
+  std::lock_guard<std::mutex> lock(ra_mutex_);
+  ReadAheadState& state = ra_[vfd];
+  const bool sequential = offset == state.next_expected;
+  state.next_expected = offset + got;
+  if (!sequential) {
+    state.pending.clear();
+    state.issued_end = 0;
+    return;
+  }
+  if (got < chunk) return;  // EOF reached; nothing left to fetch
+  if (state.issued_end < state.next_expected) {
+    state.issued_end = state.next_expected;
+  }
+  uint64_t issued_now = 0;
+  while (state.pending.size() < options_.readahead_chunks &&
+         state.issued_end < entry.size) {
+    const uint32_t next_count = static_cast<uint32_t>(std::min<uint64_t>(
+        chunk, entry.size - state.issued_end));
+    WireWriter w;
+    w.put_u64(entry.remote_fd);
+    w.put_u64(state.issued_end);
+    w.put_u32(next_count);
+    PendingChunk next;
+    next.offset = state.issued_end;
+    next.count = next_count;
+    next.data = async_channel(entry.server_index)
+                    .call_async(proto::kRead, w.bytes());
+    state.pending.push_back(std::move(next));
+    state.issued_end += next_count;
+    ++issued_now;
+  }
+  if (issued_now > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.readahead_issued += issued_now;
+  }
+}
+
+void HvacClient::readahead_drop(int vfd) {
+  std::lock_guard<std::mutex> lock(ra_mutex_);
+  ra_.erase(vfd);
 }
 
 Result<int> HvacClient::open_via_pfs(const std::string& path) {
@@ -223,14 +318,22 @@ Result<size_t> HvacClient::pread_segmented(const core::FdEntry& entry,
   return total;
 }
 
-Status HvacClient::recover_fd(int vfd, const core::FdEntry& stale) {
+Status HvacClient::recover_fd(int vfd, const core::FdEntry& stale,
+                              bool force_pfs) {
   HVAC_LOG_INFO("recovering fd " << vfd << " for " << stale.logical_path
                                  << " after server loss");
   const std::string abs_path =
       path_join(options_.dataset_dir, stale.logical_path);
-  HVAC_ASSIGN_OR_RETURN(int fresh_vfd, open(abs_path));
+  if (force_pfs && !options_.allow_pfs_fallback) {
+    return Error(ErrorCode::kUnavailable,
+                 "remote reads keep failing and PFS fallback is disabled");
+  }
+  HVAC_ASSIGN_OR_RETURN(int fresh_vfd,
+                        force_pfs ? open_via_pfs(abs_path) : open(abs_path));
   HVAC_ASSIGN_OR_RETURN(core::FdEntry fresh, fds_.erase(fresh_vfd));
   fresh.offset = stale.offset;  // the application's position survives
+  // Any read-ahead in flight targets the dead server's remote fd.
+  readahead_drop(vfd);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.failovers;
@@ -240,6 +343,11 @@ Status HvacClient::recover_fd(int vfd, const core::FdEntry& stale) {
 
 Result<size_t> HvacClient::pread(int vfd, void* buf, size_t count,
                                  uint64_t offset) {
+  return pread_attempt(vfd, buf, count, offset, /*recoveries=*/0);
+}
+
+Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
+                                         uint64_t offset, int recoveries) {
   HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
 
   if (entry.segmented) {
@@ -260,12 +368,39 @@ Result<size_t> HvacClient::pread(int vfd, void* buf, size_t count,
   while (total < count) {
     const uint32_t chunk = static_cast<uint32_t>(
         std::min<size_t>(count - total, options_.read_chunk_bytes));
+    const uint64_t chunk_offset = offset + total;
+
+    // Read-ahead hit: the chunk is already in flight (or landed); take
+    // its bytes instead of a fresh round trip. A transport/parse
+    // failure falls through to the synchronous path below.
+    if (options_.readahead_chunks > 0) {
+      if (auto pending =
+              readahead_take(vfd, chunk_offset, chunk, entry.size)) {
+        Result<Bytes> ready = pending->data.get();
+        if (ready.ok()) {
+          WireReader r(*ready);
+          auto view = r.get_blob_view();
+          if (view.ok() && view->size <= chunk) {
+            std::memcpy(out + total, view->data, view->size);
+            total += view->size;
+            {
+              std::lock_guard<std::mutex> lock(stats_mutex_);
+              ++stats_.readahead_hits;
+            }
+            readahead_advance(vfd, entry, chunk_offset, view->size, chunk);
+            if (view->size < chunk) break;  // EOF
+            continue;
+          }
+        }
+      }
+    }
+
     WireWriter w;
     w.put_u64(entry.remote_fd);
-    w.put_u64(offset + total);
+    w.put_u64(chunk_offset);
     w.put_u32(chunk);
-    Result<Bytes> resp =
-        channel(entry.server_index).call(proto::kRead, w);
+    Result<rpc::Payload> resp =
+        channel(entry.server_index).call_payload(proto::kRead, w.bytes());
     if (!resp.ok()) {
       const ErrorCode code = resp.error().code;
       if (code != ErrorCode::kUnavailable && code != ErrorCode::kTimeout &&
@@ -274,18 +409,26 @@ Result<size_t> HvacClient::pread(int vfd, void* buf, size_t count,
       }
       // The home server died (or restarted and lost the fd) while we
       // held it open: re-open via replicas/PFS and finish the read
-      // there (fail-open extends to in-flight fds, §III-H).
-      HVAC_RETURN_IF_ERROR(recover_fd(vfd, entry));
+      // there (fail-open extends to in-flight fds, §III-H). Recovery
+      // is bounded: a server that accepts opens but fails every read
+      // (e.g. a hostile frame bound) must not trap the client in an
+      // open/fail loop, so the last attempt goes straight to the PFS.
+      constexpr int kMaxRecoveries = 3;
+      if (recoveries >= kMaxRecoveries) return resp.error();
+      const bool force_pfs = recoveries + 1 == kMaxRecoveries;
+      HVAC_RETURN_IF_ERROR(recover_fd(vfd, entry, force_pfs));
       HVAC_ASSIGN_OR_RETURN(size_t rest,
-                            pread(vfd, out + total, count - total,
-                                  offset + total));
+                            pread_attempt(vfd, out + total, count - total,
+                                          chunk_offset, recoveries + 1));
       return total + rest;
     }
-    WireReader r(*resp);
-    HVAC_ASSIGN_OR_RETURN(Bytes data, r.get_blob());
-    std::copy(data.begin(), data.end(), out + total);
-    total += data.size();
-    if (data.size() < chunk) break;  // EOF
+    WireReader r(resp->data(), resp->size());
+    HVAC_ASSIGN_OR_RETURN(WireReader::BlobView data, r.get_blob_view());
+    // Single copy: response buffer (pooled) -> caller's buffer.
+    std::memcpy(out + total, data.data, data.size);
+    total += data.size;
+    readahead_advance(vfd, entry, chunk_offset, data.size, chunk);
+    if (data.size < chunk) break;  // EOF
   }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.reads;
@@ -294,16 +437,12 @@ Result<size_t> HvacClient::pread(int vfd, void* buf, size_t count,
 }
 
 Result<size_t> HvacClient::read(int vfd, void* buf, size_t count) {
+  // The fd table's logical offset is the single source of truth for
+  // both remote and PFS-backed entries. (Kernel offset semantics on
+  // the private pfs_fd would desynchronize when recover_fd swaps a
+  // remote entry for a PFS one mid-stream: the recovering pread
+  // delivers bytes without advancing the kernel offset.)
   HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
-  if (entry.fallback_pfs) {
-    // Sequential read on the real fd keeps kernel offset semantics.
-    const ssize_t n = ::read(entry.pfs_fd, buf, count);
-    if (n < 0) return Error::from_errno(errno, "read(pfs)");
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.reads;
-    stats_.bytes_read += static_cast<uint64_t>(n);
-    return static_cast<size_t>(n);
-  }
   HVAC_ASSIGN_OR_RETURN(size_t n, pread(vfd, buf, count, entry.offset));
   HVAC_RETURN_IF_ERROR(fds_.set_offset(vfd, entry.offset + n));
   return n;
@@ -311,12 +450,6 @@ Result<size_t> HvacClient::read(int vfd, void* buf, size_t count) {
 
 Result<int64_t> HvacClient::lseek(int vfd, int64_t offset, int whence) {
   HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
-  if (entry.fallback_pfs) {
-    const off_t pos = ::lseek(entry.pfs_fd, static_cast<off_t>(offset),
-                              whence);
-    if (pos < 0) return Error::from_errno(errno, "lseek(pfs)");
-    return static_cast<int64_t>(pos);
-  }
   int64_t base = 0;
   switch (whence) {
     case SEEK_SET: base = 0; break;
@@ -335,6 +468,7 @@ Result<int64_t> HvacClient::lseek(int vfd, int64_t offset, int whence) {
 
 Status HvacClient::close(int vfd) {
   HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.erase(vfd));
+  readahead_drop(vfd);
   if (entry.segmented) return Status::Ok();  // no remote state
   if (entry.fallback_pfs) {
     if (::close(entry.pfs_fd) != 0) {

@@ -11,14 +11,19 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "core/fd_table.h"
 #include "core/placement.h"
+#include "rpc/async_client.h"
 #include "rpc/rpc_client.h"
 
 namespace hvac::client {
@@ -41,6 +46,12 @@ struct HvacClientOptions {
   // Disables the direct-PFS fallback (tests use this to assert remote
   // behaviour; production keeps it on).
   bool allow_pfs_fallback = true;
+  // Sequential read-ahead depth, in read-chunk units (HVAC_READAHEAD).
+  // When a vfd reads sequentially, the next `readahead_chunks` chunks
+  // are requested over the async channel before the application asks,
+  // overlapping network latency with compute. 0 disables (the seed
+  // behaviour: every chunk is a synchronous round trip).
+  uint32_t readahead_chunks = 2;
   rpc::RpcClientOptions rpc;
 };
 
@@ -56,6 +67,8 @@ struct ClientStats {
   uint64_t reads = 0;
   uint64_t bytes_read = 0;
   uint64_t failovers = 0;  // replica failovers after a dead primary
+  uint64_t readahead_issued = 0;  // chunks requested ahead of the app
+  uint64_t readahead_hits = 0;    // reads served from a pending chunk
 };
 
 class HvacClient {
@@ -97,10 +110,42 @@ class HvacClient {
   const HvacClientOptions& options() const { return options_; }
 
  private:
+  // One chunk requested ahead of the application's read position.
+  struct PendingChunk {
+    uint64_t offset = 0;
+    uint32_t count = 0;
+    std::future<Result<rpc::Bytes>> data;
+  };
+
+  // Per-vfd sequential-pattern tracker and in-flight chunk window.
+  struct ReadAheadState {
+    uint64_t next_expected = 0;  // byte after the last sequential read
+    uint64_t issued_end = 0;     // byte after the last issued chunk
+    std::deque<PendingChunk> pending;
+  };
+
   // Path relative to dataset_dir — the canonical placement key.
   Result<std::string> logical_path(const std::string& path) const;
 
   rpc::RpcClient& channel(uint32_t server_index);
+
+  // Async channel for read-ahead (lazily dialled, one per server).
+  rpc::AsyncRpcClient& async_channel(uint32_t server_index);
+
+  // Pops the pending chunk matching (offset, count) for `vfd`, if any.
+  // A mismatch means the fd went non-sequential: the whole window is
+  // discarded.
+  std::optional<PendingChunk> readahead_take(int vfd, uint64_t offset,
+                                             uint32_t count,
+                                             uint64_t file_size);
+
+  // Records a completed chunk read and, while the pattern stays
+  // sequential, tops the in-flight window back up to readahead_chunks.
+  void readahead_advance(int vfd, const core::FdEntry& entry,
+                         uint64_t offset, size_t got, uint32_t chunk);
+
+  // Drops all read-ahead state for `vfd` (close / failover re-open).
+  void readahead_drop(int vfd);
 
   Result<int> open_via_pfs(const std::string& path);
 
@@ -108,15 +153,27 @@ class HvacClient {
   Result<size_t> pread_segmented(const core::FdEntry& entry, void* buf,
                                  size_t count, uint64_t offset);
 
+  // pread with a bounded recovery budget (recover_fd may re-home the
+  // fd remotely; after kMaxRecoveries the read fails rather than loop).
+  Result<size_t> pread_attempt(int vfd, void* buf, size_t count,
+                               uint64_t offset, int recoveries);
+
   // The home server died while `vfd` was open: re-open the file (via
   // replicas or PFS fallback) and swap the fd's backing in place.
-  Status recover_fd(int vfd, const core::FdEntry& stale);
+  // `force_pfs` skips the remote re-open — used when remote reads keep
+  // failing even though opens succeed.
+  Status recover_fd(int vfd, const core::FdEntry& stale,
+                    bool force_pfs = false);
 
   HvacClientOptions options_;
   core::Placement placement_;
   core::FdTable fds_;
   std::vector<std::unique_ptr<rpc::RpcClient>> channels_;
+  std::vector<std::unique_ptr<rpc::AsyncRpcClient>> async_channels_;
   std::mutex channels_mutex_;
+
+  std::mutex ra_mutex_;
+  std::unordered_map<int, ReadAheadState> ra_;
 
   mutable std::mutex stats_mutex_;
   ClientStats stats_;

@@ -144,13 +144,15 @@ Result<size_t> CacheManager::pread_segment(const std::string& logical_path,
         bool cached,
         ensure_segment_cached(logical_path, seg_index, segment_bytes));
     if (!cached) break;  // capacity fallback
-    auto f = store_->open(segment_key(logical_path, seg_index));
-    if (!f.ok()) {
-      if (f.error().code == ErrorCode::kNotFound) continue;  // evicted
-      return f.error();
+    // Pinned handle: steady-state hits skip the open/close pair, and
+    // the pin defers a concurrent eviction's close past this pread.
+    auto pin = store_->open_pinned(segment_key(logical_path, seg_index));
+    if (!pin.ok()) {
+      if (pin.error().code == ErrorCode::kNotFound) continue;  // evicted
+      return pin.error();
     }
     HVAC_ASSIGN_OR_RETURN(size_t n,
-                          f->pread(buf, count, offset_in_segment));
+                          pin->pread(buf, count, offset_in_segment));
     metrics_.add_cache_bytes(n);
     return n;
   }
@@ -172,17 +174,19 @@ Result<std::vector<uint8_t>> CacheManager::read_through(
   for (int attempt = 0; attempt < 3; ++attempt) {
     HVAC_ASSIGN_OR_RETURN(bool cached, ensure_cached(logical_path));
     if (!cached) break;  // capacity fallback
-    auto f = open_cached(logical_path);
-    if (!f.ok()) {
-      if (f.error().code == ErrorCode::kNotFound) continue;  // evicted
-      return f.error();
+    auto pin = store_->open_pinned(logical_path);
+    if (!pin.ok()) {
+      if (pin.error().code == ErrorCode::kNotFound) continue;  // evicted
+      return pin.error();
     }
-    HVAC_ASSIGN_OR_RETURN(uint64_t sz, f->size());
+    HVAC_ASSIGN_OR_RETURN(uint64_t sz, pin->size());
     std::vector<uint8_t> data(sz);
     size_t got = 0;
     while (got < data.size()) {
+      // pread (not read): the shared pinned handle must not carry a
+      // file offset that concurrent readers would race on.
       HVAC_ASSIGN_OR_RETURN(
-          size_t n, f->read(data.data() + got, data.size() - got));
+          size_t n, pin->pread(data.data() + got, data.size() - got, got));
       if (n == 0) break;
       got += n;
     }
@@ -201,12 +205,12 @@ Result<size_t> CacheManager::pread_through(const std::string& logical_path,
   for (int attempt = 0; attempt < 3; ++attempt) {
     HVAC_ASSIGN_OR_RETURN(bool cached, ensure_cached(logical_path));
     if (!cached) break;  // capacity fallback
-    auto f = open_cached(logical_path);
-    if (!f.ok()) {
-      if (f.error().code == ErrorCode::kNotFound) continue;  // evicted
-      return f.error();
+    auto pin = store_->open_pinned(logical_path);
+    if (!pin.ok()) {
+      if (pin.error().code == ErrorCode::kNotFound) continue;  // evicted
+      return pin.error();
     }
-    HVAC_ASSIGN_OR_RETURN(size_t n, f->pread(buf, count, offset));
+    HVAC_ASSIGN_OR_RETURN(size_t n, pin->pread(buf, count, offset));
     metrics_.add_cache_bytes(n);
     return n;
   }

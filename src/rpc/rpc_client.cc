@@ -31,6 +31,12 @@ Status RpcClient::ensure_connected() {
 }
 
 Result<Bytes> RpcClient::call(uint16_t opcode, const Bytes& request) {
+  HVAC_ASSIGN_OR_RETURN(Payload payload, call_payload(opcode, request));
+  return std::move(payload).take_bytes();
+}
+
+Result<Payload> RpcClient::call_payload(uint16_t opcode,
+                                        const Bytes& request) {
   if (request.size() > kMaxFrame) {
     return Error(ErrorCode::kInvalidArgument, "request exceeds max frame");
   }
@@ -74,7 +80,8 @@ Result<Bytes> RpcClient::call(uint16_t opcode, const Bytes& request) {
       socket_.reset();
       return resp.error();
     }
-    Bytes payload(resp->payload_len);
+    BufferPool::Lease payload =
+        BufferPool::global().acquire(resp->payload_len);
     if (resp->payload_len > 0) {
       got = recv_all(socket_.get(), payload.data(), payload.size());
       if (!got.ok()) {
@@ -88,11 +95,11 @@ Result<Bytes> RpcClient::call(uint16_t opcode, const Bytes& request) {
       continue;
     }
     if (resp->status != ErrorCode::kOk) {
-      WireReader r(payload);
+      WireReader r(payload.data(), payload.size());
       auto msg = r.get_string();
       return Error(resp->status, msg.ok() ? *msg : "(no message)");
     }
-    return payload;
+    return Payload(std::move(payload));
   }
 }
 

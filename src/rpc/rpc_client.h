@@ -36,6 +36,12 @@ class RpcClient {
   // connection (the next call reconnects).
   Result<Bytes> call(uint16_t opcode, const Bytes& request);
 
+  // Hot-path variant: the response payload is received into a buffer
+  // leased from BufferPool::global(), so bulk reads recycle receive
+  // buffers instead of allocating one per RPC. The lease rides inside
+  // the returned Payload and goes back to the pool when it is dropped.
+  Result<Payload> call_payload(uint16_t opcode, const Bytes& request);
+
   // Convenience for WireWriter-built requests.
   Result<Bytes> call(uint16_t opcode, const WireWriter& request) {
     return call(opcode, request.bytes());

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/log.h"
 
 namespace hvac::rpc {
@@ -37,11 +38,33 @@ struct RpcServer::Connection {
 };
 
 RpcServer::RpcServer(RpcServerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // HVAC_MAX_FRAME_BYTES can tighten (never widen) the frame bound.
+  const int64_t env_cap = env_int_or("HVAC_MAX_FRAME_BYTES", 0);
+  if (env_cap > 0 &&
+      static_cast<uint64_t>(env_cap) < options_.max_frame_bytes) {
+    options_.max_frame_bytes = static_cast<uint32_t>(env_cap);
+  }
+  if (options_.max_frame_bytes > kMaxFrame) {
+    options_.max_frame_bytes = static_cast<uint32_t>(kMaxFrame);
+  }
+}
 
 RpcServer::~RpcServer() { stop(); }
 
 void RpcServer::register_handler(uint16_t opcode, Handler handler) {
+  // Adapt onto the payload-handler map: a plain Bytes result becomes
+  // an owned payload, so the dispatch path is uniform.
+  handlers_[opcode] = [handler = std::move(handler)](
+                          const Bytes& request) -> Result<Payload> {
+    Result<Bytes> result = handler(request);
+    if (!result.ok()) return result.error();
+    return Payload(std::move(result).value());
+  };
+}
+
+void RpcServer::register_payload_handler(uint16_t opcode,
+                                         PayloadHandler handler) {
   handlers_[opcode] = std::move(handler);
 }
 
@@ -107,7 +130,12 @@ void RpcServer::progress_loop() {
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_.get()) {
-        continue;  // stop() will break the loop via running_
+        // Drain the eventfd counter so it does not stay readable and
+        // spin the loop; stop() still breaks the loop via running_.
+        uint64_t count = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wake_fd_.get(), &count, sizeof(count));
+        continue;
       }
       if (fd == listen_fd_.get()) {
         for (;;) {
@@ -122,7 +150,13 @@ void RpcServer::progress_loop() {
           epoll_event cev{};
           cev.events = EPOLLIN;
           cev.data.fd = cfd;
-          ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, cfd, &cev);
+          if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, cfd, &cev) != 0) {
+            // Registration failed: without it the connection would sit
+            // in conns_ forever, invisible to the loop. Drop it now.
+            HVAC_LOG_WARN("epoll_ctl(add conn): " << std::strerror(errno));
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            conns_.erase(cfd);
+          }
         }
         continue;
       }
@@ -159,6 +193,15 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
       auto header = decode_header(conn->header_buf, kHeaderSize);
       if (!header.ok()) {
         HVAC_LOG_WARN("dropping connection: " << header.error().to_string());
+        drop_connection(conn->fd.get());
+        return;
+      }
+      if (header->payload_len > options_.max_frame_bytes) {
+        // A corrupt or hostile header must not size a buffer: reject
+        // before the resize and cut the connection.
+        HVAC_LOG_WARN("dropping connection: frame of "
+                      << header->payload_len << " bytes exceeds bound "
+                      << options_.max_frame_bytes);
         drop_connection(conn->fd.get());
         return;
       }
@@ -204,7 +247,7 @@ void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
     return;
   }
   auto work = [this, conn, header, payload = std::move(payload)]() mutable {
-    Result<Bytes> result = [&]() -> Result<Bytes> {
+    Result<Payload> result = [&]() -> Result<Payload> {
       auto it = handlers_.find(header.opcode);
       if (it == handlers_.end()) {
         return Error(ErrorCode::kUnimplemented,
@@ -217,7 +260,7 @@ void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
     resp.request_id = header.request_id;
     resp.opcode = header.opcode;
     resp.kind = FrameKind::kResponse;
-    Bytes body;
+    Payload body;
     if (result.ok()) {
       resp.status = ErrorCode::kOk;
       body = std::move(result).value();
@@ -225,7 +268,7 @@ void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
       resp.status = result.error().code;
       WireWriter w;
       w.put_string(result.error().message);
-      body = std::move(w).take();
+      body = Payload(std::move(w).take());
     }
     resp.payload_len = static_cast<uint32_t>(body.size());
 
@@ -234,10 +277,16 @@ void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
     // Count before the write so a client that has already seen the
     // response also sees the counter (tests rely on this ordering).
     requests_served_.fetch_add(1, std::memory_order_relaxed);
+    // Header + body leave in one gathered syscall; for a pooled body
+    // the bytes go kernel-to-socket with no intermediate copy at all.
+    iovec iov[2];
+    iov[0].iov_base = hdr;
+    iov[0].iov_len = kHeaderSize;
+    iov[1].iov_base = const_cast<uint8_t*>(body.data());
+    iov[1].iov_len = body.size();
+    const int iovcnt = body.empty() ? 1 : 2;
     std::lock_guard<std::mutex> lock(conn->write_mutex);
-    if (!send_all(conn->fd.get(), hdr, kHeaderSize).ok() ||
-        (!body.empty() &&
-         !send_all(conn->fd.get(), body.data(), body.size()).ok())) {
+    if (!send_vectored(conn->fd.get(), iov, iovcnt).ok()) {
       HVAC_LOG_DEBUG("response write failed; peer likely gone");
     }
   };

@@ -25,6 +25,12 @@ namespace hvac::rpc {
 // payload (or an error, which travels back as a status-only frame).
 using Handler = std::function<Result<Bytes>(const Bytes& request)>;
 
+// Hot-path variant: the handler may hand back a pooled buffer
+// (BufferPool lease) instead of a freshly allocated vector; the server
+// writes it out with one gathered syscall and the lease returns to the
+// pool afterwards.
+using PayloadHandler = std::function<Result<Payload>(const Bytes& request)>;
+
 struct RpcServerOptions {
   // Bind address: "127.0.0.1:0" for an ephemeral TCP port, or
   // "unix:/tmp/x.sock".
@@ -33,6 +39,11 @@ struct RpcServerOptions {
   // widen this; we additionally allow multiple handler threads per
   // instance.
   size_t handler_threads = 2;
+  // Hard bound on request payload size. A header announcing more than
+  // this is treated as hostile/corrupt: the frame is rejected before
+  // any buffer is sized to it and the connection is dropped.
+  // Configurable via HVAC_MAX_FRAME_BYTES; never above kMaxFrame.
+  uint32_t max_frame_bytes = static_cast<uint32_t>(kMaxFrame);
 };
 
 class RpcServer {
@@ -45,6 +56,9 @@ class RpcServer {
 
   // Registers a handler for `opcode`. Must be called before start().
   void register_handler(uint16_t opcode, Handler handler);
+
+  // Registers a zero-copy handler (see PayloadHandler above).
+  void register_payload_handler(uint16_t opcode, PayloadHandler handler);
 
   // Binds, listens and spawns the progress thread.
   Status start();
@@ -70,7 +84,7 @@ class RpcServer {
   void drop_connection(int fd);
 
   RpcServerOptions options_;
-  std::unordered_map<uint16_t, Handler> handlers_;
+  std::unordered_map<uint16_t, PayloadHandler> handlers_;
   Endpoint bound_;
   Fd listen_fd_;
   Fd epoll_fd_;

@@ -183,6 +183,34 @@ Status send_all(int fd, const void* data, size_t size) {
   return Status::Ok();
 }
 
+Status send_vectored(int fd, iovec* iov, int iovcnt) {
+  // sendmsg (not writev) so MSG_NOSIGNAL applies, matching send_all's
+  // no-SIGPIPE behaviour on dead peers.
+  int first = 0;
+  while (first < iovcnt) {
+    msghdr msg{};
+    msg.msg_iov = iov + first;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt - first);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::from_errno(errno, "sendmsg");
+    }
+    // Consume `n` bytes across the iovec list; a partial write can
+    // stop mid-entry, in which case that entry is advanced in place.
+    size_t left = static_cast<size_t>(n);
+    while (first < iovcnt && left >= iov[first].iov_len) {
+      left -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < iovcnt && left > 0) {
+      iov[first].iov_base = static_cast<uint8_t*>(iov[first].iov_base) + left;
+      iov[first].iov_len -= left;
+    }
+  }
+  return Status::Ok();
+}
+
 Status recv_all(int fd, void* data, size_t size) {
   auto* p = static_cast<uint8_t*>(data);
   size_t got = 0;

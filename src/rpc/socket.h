@@ -3,6 +3,8 @@
 // send/recv helpers that handle EINTR and short transfers.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -59,6 +61,14 @@ Result<Fd> connect_to(const Endpoint& endpoint, int timeout_ms = 5000);
 
 // Writes exactly `size` bytes (retrying on EINTR / short writes).
 Status send_all(int fd, const void* data, size_t size);
+
+// Gathered write: sends every byte of `iov[0..iovcnt)` in order,
+// handling EINTR and partial writev()s (a short write mid-iovec
+// resumes at the exact byte where the kernel stopped). The iovec
+// array is clobbered as progress bookkeeping — pass a scratch copy.
+// One syscall in the common case, so a frame header + payload go out
+// together instead of as two send_all round trips.
+Status send_vectored(int fd, iovec* iov, int iovcnt);
 
 // Reads exactly `size` bytes. A clean EOF at offset 0 is reported as
 // kUnavailable (peer closed); mid-frame EOF is kProtocol.

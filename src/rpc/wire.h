@@ -10,13 +10,62 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <variant>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/result.h"
 
 namespace hvac::rpc {
 
 using Bytes = std::vector<uint8_t>;
+
+// A response payload: either an owned byte vector (the general case)
+// or a pooled buffer lease (the read hot path — the handler preads
+// straight into pool storage and the server writes it out with writev,
+// so the bytes are never copied between kernel and socket).
+class Payload {
+ public:
+  Payload() = default;
+  Payload(Bytes bytes) : rep_(std::move(bytes)) {}  // NOLINT implicit
+  Payload(BufferPool::Lease lease)                  // NOLINT implicit
+      : rep_(std::move(lease)) {}
+
+  const uint8_t* data() const {
+    if (const auto* b = std::get_if<Bytes>(&rep_)) return b->data();
+    return std::get<BufferPool::Lease>(rep_).data();
+  }
+  size_t size() const {
+    if (const auto* b = std::get_if<Bytes>(&rep_)) return b->size();
+    return std::get<BufferPool::Lease>(rep_).size();
+  }
+  bool empty() const { return size() == 0; }
+
+  // Converts to a plain vector: moves when owned, copies when pooled
+  // (the lease's storage still returns to the pool).
+  Bytes take_bytes() && {
+    if (auto* b = std::get_if<Bytes>(&rep_)) return std::move(*b);
+    const auto& lease = std::get<BufferPool::Lease>(rep_);
+    return Bytes(lease.data(), lease.data() + lease.size());
+  }
+
+ private:
+  std::variant<Bytes, BufferPool::Lease> rep_;
+};
+
+// Wire size of the length prefix put_blob/get_blob use.
+constexpr size_t kBlobPrefix = 4;
+
+// Frames a single-blob response around data already resident in
+// `lease`: the payload layout is [u32 len][len bytes], so the caller
+// preads `data_len` bytes at lease.data() + kBlobPrefix and this stamps
+// the prefix in place — no copy, the lease IS the payload.
+inline Payload blob_payload(BufferPool::Lease lease, size_t data_len) {
+  const uint32_t len = static_cast<uint32_t>(data_len);
+  lease.resize(kBlobPrefix + data_len);
+  std::memcpy(lease.data(), &len, kBlobPrefix);
+  return Payload(std::move(lease));
+}
 
 class WireWriter {
  public:
@@ -108,6 +157,24 @@ class WireReader {
     Bytes b(data_ + pos_, data_ + pos_ + len);
     pos_ += len;
     return b;
+  }
+
+  // Zero-copy blob access: a view into the reader's backing buffer
+  // (valid only while that buffer lives). The read hot path copies
+  // straight from the view into the caller's buffer, skipping the
+  // intermediate vector get_blob allocates.
+  struct BlobView {
+    const uint8_t* data = nullptr;
+    size_t size = 0;
+  };
+  Result<BlobView> get_blob_view() {
+    HVAC_ASSIGN_OR_RETURN(uint32_t len, get_u32());
+    if (len > remaining()) {
+      return Error(ErrorCode::kProtocol, "blob length exceeds frame");
+    }
+    BlobView view{data_ + pos_, len};
+    pos_ += len;
+    return view;
   }
 
   size_t remaining() const { return size_ - pos_; }

@@ -15,7 +15,8 @@ HvacServer::HvacServer(storage::PfsBackend* pfs, HvacServerOptions options)
       rpc_(rpc::RpcServerOptions{options_.bind_address,
                                  options_.rpc_handler_threads}) {
   auto store = std::make_unique<storage::LocalStore>(
-      options_.cache_dir, options_.cache_capacity_bytes);
+      options_.cache_dir, options_.cache_capacity_bytes,
+      options_.handle_cache_slots);
   auto eviction = core::make_eviction_policy(options_.eviction_policy,
                                              options_.seed);
   cache_ = std::make_unique<core::CacheManager>(pfs_, std::move(store),
@@ -54,7 +55,7 @@ void HvacServer::register_handlers() {
   rpc_.register_handler(proto::kOpen, [this](const Bytes& req) {
     return handle_open(req);
   });
-  rpc_.register_handler(proto::kRead, [this](const Bytes& req) {
+  rpc_.register_payload_handler(proto::kRead, [this](const Bytes& req) {
     return handle_read(req);
   });
   rpc_.register_handler(proto::kClose, [this](const Bytes& req) {
@@ -69,12 +70,13 @@ void HvacServer::register_handlers() {
   rpc_.register_handler(proto::kMetrics, [this](const Bytes& req) {
     return handle_metrics(req);
   });
-  rpc_.register_handler(proto::kReadSegment, [this](const Bytes& req) {
+  rpc_.register_payload_handler(proto::kReadSegment,
+                                [this](const Bytes& req) {
     return handle_read_segment(req);
   });
 }
 
-Result<Bytes> HvacServer::handle_read_segment(const Bytes& req) {
+Result<rpc::Payload> HvacServer::handle_read_segment(const Bytes& req) {
   WireReader r(req);
   HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
   HVAC_ASSIGN_OR_RETURN(uint64_t seg_index, r.get_u64());
@@ -84,15 +86,15 @@ Result<Bytes> HvacServer::handle_read_segment(const Bytes& req) {
   if (count > proto::kMaxReadChunk || segment_bytes == 0) {
     return Error(ErrorCode::kInvalidArgument, "bad segment read");
   }
-  Bytes data(count);
+  // pread lands directly in a pooled payload buffer, after the blob
+  // length prefix; no copy between the file and the socket.
+  hvac::BufferPool::Lease lease =
+      hvac::BufferPool::global().acquire(rpc::kBlobPrefix + count);
   HVAC_ASSIGN_OR_RETURN(
       size_t n, cache_->pread_segment(path, seg_index, segment_bytes,
-                                      data.data(), count,
-                                      offset_in_segment));
-  data.resize(n);
-  WireWriter w;
-  w.put_blob(data.data(), data.size());
-  return std::move(w).take();
+                                      lease.data() + rpc::kBlobPrefix,
+                                      count, offset_in_segment));
+  return rpc::blob_payload(std::move(lease), n);
 }
 
 Result<Bytes> HvacServer::handle_open(const Bytes& req) {
@@ -138,7 +140,7 @@ Result<Bytes> HvacServer::handle_open(const Bytes& req) {
   return std::move(w).take();
 }
 
-Result<Bytes> HvacServer::handle_read(const Bytes& req) {
+Result<rpc::Payload> HvacServer::handle_read(const Bytes& req) {
   WireReader r(req);
   HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
   HVAC_ASSIGN_OR_RETURN(uint64_t offset, r.get_u64());
@@ -158,20 +160,18 @@ Result<Bytes> HvacServer::handle_read(const Bytes& req) {
     open_file = it->second;
   }
 
-  Bytes data(count);
+  hvac::BufferPool::Lease lease =
+      hvac::BufferPool::global().acquire(rpc::kBlobPrefix + count);
+  uint8_t* dst = lease.data() + rpc::kBlobPrefix;
   size_t n = 0;
   if (open_file->pfs_fallback) {
-    HVAC_ASSIGN_OR_RETURN(
-        n, pfs_->pread(open_file->file, data.data(), count, offset));
+    HVAC_ASSIGN_OR_RETURN(n, pfs_->pread(open_file->file, dst, count,
+                                         offset));
   } else {
-    HVAC_ASSIGN_OR_RETURN(n, open_file->file.pread(data.data(), count,
-                                                   offset));
+    HVAC_ASSIGN_OR_RETURN(n, open_file->file.pread(dst, count, offset));
   }
   cache_->record_served_bytes(n, !open_file->pfs_fallback);
-  data.resize(n);
-  WireWriter w;
-  w.put_blob(data.data(), data.size());
-  return std::move(w).take();
+  return rpc::blob_payload(std::move(lease), n);
 }
 
 Result<Bytes> HvacServer::handle_close(const Bytes& req) {

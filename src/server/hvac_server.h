@@ -37,6 +37,10 @@ struct HvacServerOptions {
   size_t data_mover_threads = 1;
   size_t rpc_handler_threads = 2;
   uint64_t seed = 0;
+  // Open-handle cache slots for the local store (default: the
+  // HVAC_HANDLE_CACHE env knob, 128; 0 = open-per-read, the seed
+  // behaviour).
+  size_t handle_cache_slots = storage::LocalStore::kHandleCacheFromEnv;
 };
 
 class HvacServer {
@@ -69,10 +73,13 @@ class HvacServer {
   void register_handlers();
 
   Result<rpc::Bytes> handle_open(const rpc::Bytes& req);
-  Result<rpc::Bytes> handle_read(const rpc::Bytes& req);
+  // The two read handlers return pooled payloads (rpc::Payload): the
+  // file bytes are pread straight into a BufferPool lease that the
+  // RPC server writes out with one gathered syscall.
+  Result<rpc::Payload> handle_read(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_close(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_stat(const rpc::Bytes& req);
-  Result<rpc::Bytes> handle_read_segment(const rpc::Bytes& req);
+  Result<rpc::Payload> handle_read_segment(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_prefetch(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_metrics(const rpc::Bytes& req);
 

@@ -8,8 +8,14 @@
 
 namespace hvac::storage {
 
-LocalStore::LocalStore(std::string root, uint64_t capacity_bytes)
+LocalStore::LocalStore(std::string root, uint64_t capacity_bytes,
+                       size_t handle_cache_slots)
     : root_(std::move(root)), capacity_(capacity_bytes) {
+  if (handle_cache_slots == kHandleCacheFromEnv) {
+    const int64_t slots = env_int_or("HVAC_HANDLE_CACHE", 128);
+    handle_cache_slots = slots > 0 ? static_cast<size_t>(slots) : 0;
+  }
+  handles_ = std::make_unique<OpenHandleCache>(handle_cache_slots);
   (void)make_directories(root_);
 }
 
@@ -50,6 +56,17 @@ Result<PosixFile> LocalStore::open(const std::string& logical_path) const {
   return PosixFile::open_read(physical_path(logical_path));
 }
 
+Result<OpenHandleCache::Pin> LocalStore::open_pinned(
+    const std::string& logical_path) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(logical_path) == 0) {
+      return Error(ErrorCode::kNotFound, "not cached: " + logical_path);
+    }
+  }
+  return handles_->acquire(logical_path, physical_path(logical_path));
+}
+
 Result<uint64_t> LocalStore::evict(const std::string& logical_path) {
   uint64_t size = 0;
   {
@@ -62,12 +79,16 @@ Result<uint64_t> LocalStore::evict(const std::string& logical_path) {
     entries_.erase(it);
     bytes_used_.fetch_sub(size, std::memory_order_relaxed);
   }
+  // Drop the cached handle before unlinking: in-flight pinned reads
+  // keep their fd (unlink doesn't invalidate it), future opens miss.
+  handles_->invalidate(logical_path);
   HVAC_RETURN_IF_ERROR(remove_file(physical_path(logical_path)));
   return size;
 }
 
 void LocalStore::purge() {
   std::lock_guard<std::mutex> lock(mutex_);
+  handles_->clear();
   for (const auto& [logical, size] : entries_) {
     (void)remove_file(physical_path(logical));
   }

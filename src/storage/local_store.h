@@ -8,21 +8,29 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/result.h"
+#include "storage/open_handle_cache.h"
 #include "storage/posix_file.h"
 
 namespace hvac::storage {
 
 class LocalStore {
  public:
+  // Sentinel: size the open-handle cache from HVAC_HANDLE_CACHE
+  // (default 128 handles; 0 disables it — the seed's
+  // open-per-read behaviour).
+  static constexpr size_t kHandleCacheFromEnv = static_cast<size_t>(-1);
+
   // `root` is created if missing. `capacity_bytes` of 0 means
   // unlimited (the paper's common case: datasets fit in aggregate
   // NVMe).
-  LocalStore(std::string root, uint64_t capacity_bytes = 0);
+  LocalStore(std::string root, uint64_t capacity_bytes = 0,
+             size_t handle_cache_slots = kHandleCacheFromEnv);
 
   // Physical path a logical path would be cached at.
   std::string physical_path(const std::string& logical_path) const;
@@ -36,6 +44,13 @@ class LocalStore {
 
   // Opens a cached file for reading.
   Result<PosixFile> open(const std::string& logical_path) const;
+
+  // Hot-path open: reads through the pinned open-handle cache, so the
+  // steady-state hit path costs one pread instead of an
+  // open/pread/close triple. The pin keeps the handle alive across a
+  // concurrent evict().
+  Result<OpenHandleCache::Pin> open_pinned(
+      const std::string& logical_path) const;
 
   // Removes one cached entry; returns its size, or kNotFound.
   Result<uint64_t> evict(const std::string& logical_path);
@@ -55,12 +70,16 @@ class LocalStore {
 
   const std::string& root() const { return root_; }
 
+  OpenHandleCache& handle_cache() const { return *handles_; }
+
  private:
   std::string root_;
   uint64_t capacity_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, uint64_t> entries_;  // logical -> size
   std::atomic<uint64_t> bytes_used_{0};
+  // Mutable: reads are logically const but touch the LRU/pin state.
+  mutable std::unique_ptr<OpenHandleCache> handles_;
 };
 
 }  // namespace hvac::storage

@@ -1,0 +1,99 @@
+#include "storage/open_handle_cache.h"
+
+namespace hvac::storage {
+
+OpenHandleCache::OpenHandleCache(size_t max_handles)
+    : max_handles_(max_handles) {}
+
+Result<OpenHandleCache::Pin> OpenHandleCache::acquire(
+    const std::string& key, const std::string& physical_path) {
+  if (!enabled()) {
+    // Cache off: one-shot handle, closed when the pin drops.
+    HVAC_ASSIGN_OR_RETURN(PosixFile file,
+                          PosixFile::open_read(physical_path));
+    auto entry = std::make_shared<Entry>();
+    entry->file = std::move(file);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Pin(std::move(entry));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Pin(it->second->second);
+    }
+  }
+
+  // Miss: open outside the lock (NVMe open is cheap but not free, and
+  // a slow open must not stall concurrent hits).
+  HVAC_ASSIGN_OR_RETURN(PosixFile file, PosixFile::open_read(physical_path));
+  auto entry = std::make_shared<Entry>();
+  entry->file = std::move(file);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another reader won the race; use its entry, ours closes here.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return Pin(it->second->second);
+  }
+  lru_.emplace_front(key, entry);
+  index_[key] = lru_.begin();
+  shrink_to_capacity_locked();
+  return Pin(std::move(entry));
+}
+
+void OpenHandleCache::shrink_to_capacity_locked() {
+  auto it = lru_.end();
+  while (index_.size() > max_handles_ && it != lru_.begin()) {
+    --it;
+    if (it->second->pins.load(std::memory_order_relaxed) > 0) continue;
+    index_.erase(it->first);
+    it = lru_.erase(it);  // last index ref dropped: fd closes here
+  }
+}
+
+void OpenHandleCache::invalidate(const std::string& key) {
+  std::shared_ptr<Entry> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    doomed = it->second->second;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  // `doomed` drops outside the lock: if no reader holds a pin the fd
+  // closes now; otherwise the last Pin's unpin closes it (deferred).
+}
+
+void OpenHandleCache::clear() {
+  LruList drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained.swap(lru_);
+    index_.clear();
+  }
+  // Handles close here, outside the lock — except pinned ones, which
+  // survive until their readers finish.
+}
+
+size_t OpenHandleCache::open_handles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+size_t OpenHandleCache::pinned_handles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t pinned = 0;
+  for (const auto& [key, entry] : lru_) {
+    if (entry->pins.load(std::memory_order_relaxed) > 0) ++pinned;
+  }
+  return pinned;
+}
+
+}  // namespace hvac::storage

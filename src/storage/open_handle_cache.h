@@ -1,0 +1,124 @@
+// LRU cache of open file handles for the read hot path.
+//
+// The seed served every cached read with an open()/pread()/close()
+// triple; on the hit path — HVAC's whole value proposition — two of
+// those three syscalls are pure overhead. This cache keeps up to
+// `max_handles` PosixFile handles resident, keyed by the store's
+// logical path, so steady-state reads are a single pread on a pinned
+// handle.
+//
+// Concurrency contract:
+//   * acquire() returns a Pin — shared ownership of the entry. A
+//     pinned handle is never closed: eviction (capacity or explicit
+//     invalidate()) only removes the entry from the index; the fd
+//     closes when the last Pin drops. Readers therefore never race a
+//     close (the evict-vs-pinned-read case the tests exercise under
+//     TSAN).
+//   * max_handles == 0 disables caching: acquire() opens a one-shot
+//     handle that closes when its Pin drops — the seed behaviour.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/result.h"
+#include "storage/posix_file.h"
+
+namespace hvac::storage {
+
+class OpenHandleCache {
+ public:
+  explicit OpenHandleCache(size_t max_handles);
+
+  class Pin {
+   public:
+    Pin() = default;
+    ~Pin() { unpin(); }
+
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    Pin(Pin&& other) noexcept : entry_(std::move(other.entry_)) {}
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        unpin();
+        entry_ = std::move(other.entry_);
+      }
+      return *this;
+    }
+
+    bool valid() const { return entry_ != nullptr; }
+    const PosixFile& file() const { return entry_->file; }
+
+    Result<size_t> pread(void* buf, size_t count, uint64_t offset) const {
+      return entry_->file.pread(buf, count, offset);
+    }
+    Result<uint64_t> size() const { return entry_->file.size(); }
+
+   private:
+    friend class OpenHandleCache;
+    struct Entry {
+      PosixFile file;
+      std::atomic<uint32_t> pins{0};
+    };
+    explicit Pin(std::shared_ptr<Entry> entry) : entry_(std::move(entry)) {
+      if (entry_) entry_->pins.fetch_add(1, std::memory_order_relaxed);
+    }
+    void unpin() {
+      if (entry_) entry_->pins.fetch_sub(1, std::memory_order_relaxed);
+      entry_.reset();
+      // If the index no longer references the entry, this drop closes
+      // the fd (PosixFile destructor) — the deferred-close path.
+    }
+
+    std::shared_ptr<Entry> entry_;
+  };
+
+  // Returns a pinned handle for `key`, opening `physical_path` on a
+  // cache miss. The pin stays valid across concurrent invalidate() /
+  // capacity eviction.
+  Result<Pin> acquire(const std::string& key,
+                      const std::string& physical_path);
+
+  // Removes `key` from the index (store eviction). Unpinned handles
+  // close immediately; pinned handles close when their last reader
+  // lets go. Missing keys are ignored.
+  void invalidate(const std::string& key);
+
+  // Drops every index entry (store purge / teardown).
+  void clear();
+
+  size_t open_handles() const;   // entries currently in the index
+  size_t pinned_handles() const; // index entries with at least one pin
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return max_handles_; }
+  bool enabled() const { return max_handles_ > 0; }
+
+ private:
+  using Entry = Pin::Entry;
+  // LRU order: front = most recent. The map points into the list.
+  using LruList = std::list<std::pair<std::string, std::shared_ptr<Entry>>>;
+
+  // Evicts least-recently-used *unpinned* entries until the index fits
+  // the budget. Pinned entries are skipped — a busy handle must not be
+  // churned — so the index can transiently exceed max_handles_ when
+  // everything is pinned. Caller holds mutex_.
+  void shrink_to_capacity_locked();
+
+  const size_t max_handles_;
+  mutable std::mutex mutex_;
+  LruList lru_;
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace hvac::storage

@@ -1,6 +1,7 @@
 // Tests for the asynchronous RPC channel (request-id multiplexing
 // over one connection) and the pipelined prefetch built on it.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <filesystem>
@@ -136,8 +137,8 @@ namespace {
 
 TEST(PrefetchMany, WarmsWholeDatasetPipelined) {
   namespace fs = std::filesystem;
-  const std::string pfs_root = ::testing::TempDir() + "hvac_pf_pfs";
-  const std::string cache_root = ::testing::TempDir() + "hvac_pf_cache";
+  const std::string pfs_root = ::testing::TempDir() + "hvac_pf_pfs_" + std::to_string(::getpid());
+  const std::string cache_root = ::testing::TempDir() + "hvac_pf_cache_" + std::to_string(::getpid());
   fs::remove_all(pfs_root);
   fs::remove_all(cache_root);
   const auto spec = workload::synthetic_small(40, 2048, 0.3);

@@ -1,7 +1,9 @@
 // Client-library edge cases: EOF semantics, bad fds, chunked bulk
 // reads across the RPC frame cap, env bootstrap, and path hygiene.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "client/hvac_client.h"
@@ -16,7 +18,8 @@ using client::HvacClient;
 using client::HvacClientOptions;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_edge_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_edge_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;
@@ -155,6 +158,175 @@ TEST_F(EdgeFixture, StatSizeFallsBackWhenServersDie) {
   const auto size = client.stat_size(pfs_root_ + "/" + rel_);
   ASSERT_TRUE(size.ok());
   EXPECT_EQ(*size, expected_.size());
+}
+
+// ---- read-ahead -----------------------------------------------------------
+
+TEST_F(EdgeFixture, ReadAheadSequentialStreamIsCorrectAndHits) {
+  auto options = base_options();
+  options.read_chunk_bytes = 1024;  // 20 chunks over the 20 KB file
+  options.readahead_chunks = 3;
+  HvacClient client(options);
+  auto vfd = client.open(pfs_root_ + "/" + rel_);
+  ASSERT_TRUE(vfd.ok());
+
+  // Stream front to back in chunk-sized reads — the DL sample pattern
+  // the read-ahead targets.
+  std::vector<uint8_t> data(expected_.size());
+  size_t pos = 0;
+  while (pos < data.size()) {
+    const auto n = client.read(*vfd, data.data() + pos, 1024);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    pos += *n;
+  }
+  EXPECT_EQ(pos, expected_.size());
+  EXPECT_EQ(data, expected_);
+  ASSERT_TRUE(client.close(*vfd).ok());
+
+  const auto s = client.stats();
+  EXPECT_GT(s.readahead_issued, 0u);
+  EXPECT_GT(s.readahead_hits, 0u);
+  EXPECT_LE(s.readahead_hits, s.readahead_issued);
+}
+
+TEST_F(EdgeFixture, ReadAheadSurvivesRandomAccess) {
+  auto options = base_options();
+  options.read_chunk_bytes = 1024;
+  options.readahead_chunks = 2;
+  HvacClient client(options);
+  auto vfd = client.open(pfs_root_ + "/" + rel_);
+  ASSERT_TRUE(vfd.ok());
+
+  // Sequential run to spin the window up, then random jumps that must
+  // invalidate it, then sequential again — bytes must stay correct
+  // throughout.
+  std::vector<uint8_t> buf(1024);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.pread(*vfd, buf.data(), 1024, i * 1024u).ok());
+    EXPECT_TRUE(std::equal(buf.begin(), buf.end(),
+                           expected_.begin() + i * 1024));
+  }
+  for (const uint64_t off : {9000u, 300u, 17'500u, 0u}) {
+    const auto n = client.pread(*vfd, buf.data(), 1024, off);
+    ASSERT_TRUE(n.ok());
+    ASSERT_EQ(*n, std::min<size_t>(1024, expected_.size() - off));
+    EXPECT_TRUE(std::equal(buf.begin(), buf.begin() + *n,
+                           expected_.begin() + off));
+  }
+  for (int i = 10; i < 14; ++i) {
+    ASSERT_TRUE(client.pread(*vfd, buf.data(), 1024, i * 1024u).ok());
+    EXPECT_TRUE(std::equal(buf.begin(), buf.end(),
+                           expected_.begin() + i * 1024));
+  }
+  ASSERT_TRUE(client.close(*vfd).ok());
+}
+
+TEST_F(EdgeFixture, ReadAheadDisabledMatchesSeedBehaviour) {
+  auto options = base_options();
+  options.read_chunk_bytes = 1024;
+  options.readahead_chunks = 0;  // HVAC_READAHEAD=0
+  HvacClient client(options);
+  auto vfd = client.open(pfs_root_ + "/" + rel_);
+  ASSERT_TRUE(vfd.ok());
+  std::vector<uint8_t> data(expected_.size());
+  ASSERT_EQ(client.pread(*vfd, data.data(), data.size(), 0).value(),
+            expected_.size());
+  EXPECT_EQ(data, expected_);
+  ASSERT_TRUE(client.close(*vfd).ok());
+  EXPECT_EQ(client.stats().readahead_issued, 0u);
+  EXPECT_EQ(client.stats().readahead_hits, 0u);
+}
+
+TEST_F(EdgeFixture, ReadAheadFailsOpenWhenServersDie) {
+  auto options = base_options();
+  options.read_chunk_bytes = 1024;
+  options.readahead_chunks = 2;
+  options.rpc.connect_timeout_ms = 200;
+  options.rpc.recv_timeout_ms = 200;
+  HvacClient client(options);
+  auto vfd = client.open(pfs_root_ + "/" + rel_);
+  ASSERT_TRUE(vfd.ok());
+
+  // Spin the window up, then kill the servers: pending chunks turn
+  // into transport errors that must degrade to the PFS, not corrupt
+  // the stream.
+  std::vector<uint8_t> data(expected_.size());
+  ASSERT_EQ(client.pread(*vfd, data.data(), 2048, 0).value(), 2048u);
+  node_->stop();
+  size_t pos = 2048;
+  while (pos < data.size()) {
+    const auto n = client.pread(*vfd, data.data() + pos,
+                                data.size() - pos, pos);
+    ASSERT_TRUE(n.ok()) << n.error().to_string();
+    if (*n == 0) break;
+    pos += *n;
+  }
+  EXPECT_EQ(pos, expected_.size());
+  EXPECT_EQ(data, expected_);
+}
+
+// A server whose frame bound admits opens (tiny request) but drops
+// every read (20-byte header + path exceeds 16 bytes) is the nastiest
+// failure shape: recover_fd re-opens remotely just fine, then the
+// next read dies again. The recovery budget must bottom out at the
+// PFS instead of recursing, and the stream must stay byte-exact —
+// the fd-table's logical offset is the only position that survives
+// the mid-stream swap.
+TEST(HostileServer, OpensPassReadsDroppedDegradesToPfsExactly) {
+  const std::string pfs_root = temp_dir("hostile_pfs");
+  const std::string rel = "h.bin";
+  const auto expected = workload::expected_contents(rel, 20'000);
+  ASSERT_TRUE(storage::write_file(pfs_root + "/" + rel,
+                                  expected.data(), expected.size())
+                  .ok());
+
+  // The bound is read from the environment at server construction;
+  // scope it tightly so parallel tests never see it.
+  ASSERT_EQ(::setenv("HVAC_MAX_FRAME_BYTES", "16", 1), 0);
+  server::NodeRuntimeOptions o;
+  o.pfs_root = pfs_root;
+  o.cache_root = temp_dir("hostile_cache");
+  auto node = std::make_unique<server::NodeRuntime>(o);
+  const auto started = node->start();
+  ::unsetenv("HVAC_MAX_FRAME_BYTES");
+  ASSERT_TRUE(started.ok());
+
+  HvacClientOptions co;
+  co.dataset_dir = pfs_root;
+  co.server_endpoints = node->endpoints();
+  co.read_chunk_bytes = 4096;
+  co.rpc.connect_timeout_ms = 500;
+  co.rpc.recv_timeout_ms = 500;
+  HvacClient client(co);
+
+  auto vfd = client.open(pfs_root + "/" + rel);
+  ASSERT_TRUE(vfd.ok());
+
+  // Sequential read() drives both the bounded recovery and the
+  // logical-offset bookkeeping: a kernel-offset desync would double
+  // or skip bytes here.
+  std::vector<uint8_t> data;
+  data.reserve(expected.size());
+  uint8_t buf[3000];
+  for (;;) {
+    const auto n = client.read(*vfd, buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.error().to_string();
+    if (*n == 0) break;
+    data.insert(data.end(), buf, buf + *n);
+    ASSERT_LE(data.size(), expected.size());
+  }
+  EXPECT_EQ(data, expected);
+
+  // And the positional path straddling a recovery boundary.
+  std::vector<uint8_t> tail(expected.size() - 5'000);
+  const auto n = client.pread(*vfd, tail.data(), tail.size(), 5'000);
+  ASSERT_TRUE(n.ok()) << n.error().to_string();
+  ASSERT_EQ(*n, tail.size());
+  EXPECT_TRUE(std::equal(tail.begin(), tail.end(),
+                         expected.begin() + 5'000));
+  ASSERT_TRUE(client.close(*vfd).ok());
+  node->stop();
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <set>
 #include <thread>
 
+#include "common/buffer_pool.h"
 #include "common/env.h"
 #include "common/hash.h"
 #include "common/mpmc_queue.h"
@@ -411,6 +413,88 @@ TEST_P(HashUniformity, StableHashBalancedModuloN) {
 
 INSTANTIATE_TEST_SUITE_P(Buckets, HashUniformity,
                          ::testing::Values(2, 3, 7, 16, 64, 128, 1024));
+
+// ---- buffer pool ---------------------------------------------------------
+
+TEST(BufferPool, AcquireRoundsUpToClassAndRecycles) {
+  BufferPool pool({.max_per_class = 4});
+  void* first_data = nullptr;
+  {
+    auto lease = pool.acquire(5000);
+    ASSERT_TRUE(lease.valid());
+    EXPECT_EQ(lease.size(), 5000u);
+    EXPECT_EQ(lease.capacity(), 8192u);  // next power-of-two class
+    first_data = lease.data();
+  }  // returned to the free list
+  auto again = pool.acquire(6000);
+  EXPECT_EQ(again.data(), first_data);  // same backing buffer reused
+  const auto s = pool.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.recycled, 1u);
+}
+
+TEST(BufferPool, OversizeAndDisabledGoUnpooled) {
+  BufferPool pool({.max_per_class = 4, .max_class_bytes = 1u << 20});
+  { auto big = pool.acquire(2u << 20); EXPECT_EQ(big.size(), 2u << 20); }
+  EXPECT_EQ(pool.stats().unpooled, 1u);
+  EXPECT_EQ(pool.stats().recycled, 0u);
+
+  BufferPool off({.max_per_class = 0});
+  { auto lease = off.acquire(4096); EXPECT_EQ(lease.size(), 4096u); }
+  EXPECT_EQ(off.stats().unpooled, 1u);
+}
+
+TEST(BufferPool, FreeListIsBounded) {
+  BufferPool pool({.max_per_class = 2});
+  {
+    auto a = pool.acquire(100);
+    auto b = pool.acquire(100);
+    auto c = pool.acquire(100);
+  }  // three leases die; only two fit in the free list
+  const auto s = pool.stats();
+  EXPECT_EQ(s.recycled, 2u);
+  EXPECT_EQ(s.dropped, 1u);
+}
+
+TEST(BufferPool, ResizeShrinksLogicalSizeOnly) {
+  BufferPool pool(BufferPoolOptions{});
+  auto lease = pool.acquire(1000);
+  lease.resize(10);
+  EXPECT_EQ(lease.size(), 10u);
+  EXPECT_EQ(lease.capacity(), 4096u);
+  lease.resize(1u << 30);  // cannot grow past the class capacity
+  EXPECT_EQ(lease.size(), 4096u);
+}
+
+TEST(BufferPool, DetachKeepsBytesOutOfPool) {
+  BufferPool pool({.max_per_class = 4});
+  auto lease = pool.acquire(16);
+  std::memset(lease.data(), 0xab, 16);
+  std::vector<uint8_t> bytes = lease.detach();
+  ASSERT_EQ(bytes.size(), 16u);
+  EXPECT_EQ(bytes[0], 0xab);
+  EXPECT_FALSE(lease.valid());
+  EXPECT_EQ(pool.stats().recycled, 0u);  // buffer left with the caller
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseIsSafe) {
+  BufferPool pool({.max_per_class = 8});
+  constexpr int kThreads = 8, kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kIters; ++i) {
+        auto lease = pool.acquire(size_t(1) << (10 + (t + i) % 4));
+        lease.data()[0] = uint8_t(i);
+        lease.resize(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses + s.unpooled, uint64_t(kThreads) * kIters);
+}
 
 }  // namespace
 }  // namespace hvac

@@ -2,6 +2,7 @@
 // cache manager's single-copy guarantee, the data-mover FIFO, and the
 // client fd table.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <filesystem>
@@ -22,7 +23,8 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_core_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_core_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

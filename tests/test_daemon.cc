@@ -30,7 +30,8 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_daemon_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_daemon_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

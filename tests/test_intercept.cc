@@ -2,6 +2,7 @@
 // dataset files through the shim against a live in-process allocation
 // (paper §III-F — portability without touching application code).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cinttypes>
 #include <cstdio>
@@ -27,8 +28,12 @@ namespace {
 
 namespace fs = std::filesystem;
 
+// Suffix every scratch path with the pid: ctest runs each test case as
+// its own process, in parallel, and a shared literal path lets one test
+// wipe another's live tree mid-run.
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_shim_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_shim_" + name + "_" +
+                          std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;
@@ -39,7 +44,8 @@ std::string run_target(const std::vector<std::string>& files,
                        const std::string& dataset_dir,
                        const std::string& servers, bool preload,
                        bool stdio_mode = false) {
-  const std::string out_file = ::testing::TempDir() + "hvac_shim_out.txt";
+  const std::string out_file = ::testing::TempDir() + "hvac_shim_out_" +
+                               std::to_string(::getpid()) + ".txt";
   std::ostringstream cmd;
   cmd << "env ";
   if (preload) cmd << "LD_PRELOAD=" << HVAC_INTERCEPT_SO << " ";

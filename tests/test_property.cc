@@ -4,6 +4,7 @@
 // invariants. All randomness is seeded per-parameter, so failures
 // reproduce exactly.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <map>
@@ -23,7 +24,8 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_prop_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_prop_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

@@ -1,10 +1,14 @@
 // Tests for the RPC substrate: wire format, frame protocol, transport
 // and the client/server pair (the Mercury-equivalent layer).
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
+#include "common/buffer_pool.h"
 #include "rpc/protocol.h"
 #include "rpc/rpc_client.h"
 #include "rpc/rpc_server.h"
@@ -278,7 +282,7 @@ TEST(RpcServer, ServerStopThenCallFails) {
 }
 
 TEST(RpcServer, UnixDomainTransport) {
-  const std::string sock = ::testing::TempDir() + "/hvac_rpc_test.sock";
+  const std::string sock = ::testing::TempDir() + "/hvac_rpc_test_" + std::to_string(::getpid()) + ".sock";
   RpcServer server(RpcServerOptions{"unix:" + sock, 2});
   server.register_handler(1, [](const Bytes& b) -> Result<Bytes> {
     Bytes out = b;
@@ -327,6 +331,128 @@ TEST_P(RpcPayloadSize, EchoAtSize) {
 INSTANTIATE_TEST_SUITE_P(Sizes, RpcPayloadSize,
                          ::testing::Values(0, 1, 13, 4096, 65537,
                                            1u << 20));
+
+// ---- gathered writes ------------------------------------------------------
+
+// send_vectored must survive partial writes: a socketpair with a tiny
+// send buffer and a slow reader forces sendmsg to accept a few KiB at
+// a time, so the iovec-advancing resume logic is exercised for both
+// the "partial inside an entry" and "entry fully consumed" cases.
+TEST(SendVectored, PartialWritesDeliverAllBytesInOrder) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const int snd = 4096;  // kernel clamps to its floor; still tiny
+  ASSERT_EQ(::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &snd, sizeof(snd)),
+            0);
+
+  Bytes header(64);
+  Bytes body(1u << 20);  // 1 MiB >> SO_SNDBUF: guarantees partials
+  for (size_t i = 0; i < header.size(); ++i) {
+    header[i] = static_cast<uint8_t>(i);
+  }
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  }
+
+  Bytes received;
+  received.reserve(header.size() + body.size());
+  std::thread reader([&] {
+    uint8_t buf[1536];  // smaller than the send buffer: drains slowly
+    for (;;) {
+      const ssize_t n = ::read(sv[1], buf, sizeof(buf));
+      if (n <= 0) break;
+      received.insert(received.end(), buf, buf + n);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  iovec iov[2];
+  iov[0].iov_base = header.data();
+  iov[0].iov_len = header.size();
+  iov[1].iov_base = body.data();
+  iov[1].iov_len = body.size();
+  EXPECT_TRUE(send_vectored(sv[0], iov, 2).ok());
+  ::close(sv[0]);  // EOF for the reader
+  reader.join();
+  ::close(sv[1]);
+
+  ASSERT_EQ(received.size(), header.size() + body.size());
+  EXPECT_TRUE(std::equal(header.begin(), header.end(), received.begin()));
+  EXPECT_TRUE(std::equal(body.begin(), body.end(),
+                         received.begin() + header.size()));
+}
+
+TEST(SendVectored, ClosedPeerReportsError) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);
+  Bytes data(1u << 16, 0x5a);
+  iovec iov[1];
+  iov[0].iov_base = data.data();
+  iov[0].iov_len = data.size();
+  // Must fail with a Status (EPIPE), not kill the process with SIGPIPE.
+  EXPECT_FALSE(send_vectored(sv[0], iov, 1).ok());
+  ::close(sv[0]);
+}
+
+// ---- frame-size bound -----------------------------------------------------
+
+TEST(RpcServer, FrameOverMaxFrameBytesDropsConnection) {
+  RpcServerOptions opts{"127.0.0.1:0", 2};
+  opts.max_frame_bytes = 1024;
+  RpcServer server(opts);
+  server.register_handler(1, [](const Bytes& b) -> Result<Bytes> {
+    Bytes out = b;
+    return out;
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  RpcClient client(server.endpoint(), RpcClientOptions{500, 500});
+  // Within the bound: served normally.
+  ASSERT_TRUE(client.call(1, Bytes(512)).ok());
+  // Over the bound: the server drops the connection before sizing a
+  // buffer to the hostile header; the client sees a dead transport.
+  const auto resp = client.call(1, Bytes(2048));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.error().code == ErrorCode::kUnavailable ||
+              resp.error().code == ErrorCode::kTimeout);
+  // The server itself stays healthy for new connections.
+  RpcClient fresh(server.endpoint());
+  EXPECT_TRUE(fresh.call(1, Bytes(256)).ok());
+}
+
+// ---- pooled payload path --------------------------------------------------
+
+TEST(RpcPayload, PayloadHandlerRoundTripThroughPool) {
+  RpcServer server(RpcServerOptions{"127.0.0.1:0", 2});
+  // Handler preads nothing — it builds a pooled blob response exactly
+  // like the server read path does.
+  server.register_payload_handler(7, [](const Bytes& req) -> Result<Payload> {
+    WireReader r(req);
+    HVAC_ASSIGN_OR_RETURN(uint32_t n, r.get_u32());
+    auto lease = BufferPool::global().acquire(kBlobPrefix + n);
+    for (uint32_t i = 0; i < n; ++i) {
+      lease.data()[kBlobPrefix + i] = static_cast<uint8_t>(i % 253);
+    }
+    return blob_payload(std::move(lease), n);
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  RpcClient client(server.endpoint());
+  for (const uint32_t n : {0u, 1u, 4096u, 1u << 20}) {
+    WireWriter w;
+    w.put_u32(n);
+    auto resp = client.call_payload(7, w.bytes());
+    ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+    WireReader r(resp->data(), resp->size());
+    const auto view = r.get_blob_view();
+    ASSERT_TRUE(view.ok());
+    ASSERT_EQ(view->size, n);
+    for (uint32_t i = 0; i < n; ++i) {
+      ASSERT_EQ(view->data[i], static_cast<uint8_t>(i % 253)) << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace hvac::rpc

@@ -3,6 +3,7 @@
 // manager's per-segment dedup/fetch, and end-to-end segmented reads
 // through live servers.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <set>
@@ -23,7 +24,8 @@ namespace fs = std::filesystem;
 using core::SegmentRange;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_seg_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_seg_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

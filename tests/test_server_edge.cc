@@ -3,6 +3,7 @@
 // a misbehaving client must never wedge or crash a server that other
 // ranks depend on.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -21,7 +22,8 @@ using rpc::WireReader;
 using rpc::WireWriter;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_sedge_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_sedge_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

@@ -1,13 +1,16 @@
 // Tests for the storage substrate: RAII files, throttling, the
 // GPFS-like PFS backend and the node-local store.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <thread>
 
 #include "common/env.h"
 #include "storage/local_store.h"
+#include "storage/open_handle_cache.h"
 #include "storage/pfs_backend.h"
 #include "storage/posix_file.h"
 #include "storage/throttle.h"
@@ -18,7 +21,8 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_storage_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_storage_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;
@@ -286,6 +290,168 @@ TEST(LocalStore, LogicalPathsSnapshot) {
   auto paths = store.logical_paths();
   std::sort(paths.begin(), paths.end());
   EXPECT_EQ(paths, (std::vector<std::string>{"x", "y"}));
+}
+
+// ---- open-handle cache ---------------------------------------------------
+
+// Writes `n` small distinct files into `dir`, returns their paths.
+std::vector<std::string> make_files(const std::string& dir, size_t n) {
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string p = dir + "/f" + std::to_string(i) + ".bin";
+    std::vector<uint8_t> data(64, uint8_t('a' + i));
+    EXPECT_TRUE(write_file(p, data.data(), data.size()).ok());
+    paths.push_back(p);
+  }
+  return paths;
+}
+
+TEST(OpenHandleCache, HitMissAccountingAndLruBound) {
+  const std::string dir = temp_dir("ohc1");
+  const auto files = make_files(dir, 4);
+  OpenHandleCache cache(2);
+  ASSERT_TRUE(cache.enabled());
+
+  // Two distinct keys: miss then hit.
+  ASSERT_TRUE(cache.acquire("k0", files[0]).ok());
+  ASSERT_TRUE(cache.acquire("k0", files[0]).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Filling past capacity evicts the least-recently-used handle.
+  ASSERT_TRUE(cache.acquire("k1", files[1]).ok());
+  ASSERT_TRUE(cache.acquire("k2", files[2]).ok());
+  EXPECT_EQ(cache.open_handles(), 2u);
+  // k0 was evicted; touching it again is a fresh miss.
+  ASSERT_TRUE(cache.acquire("k0", files[0]).ok());
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(OpenHandleCache, DisabledOpensOneShotHandles) {
+  const std::string dir = temp_dir("ohc2");
+  const auto files = make_files(dir, 1);
+  OpenHandleCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  auto pin = cache.acquire("k", files[0]);
+  ASSERT_TRUE(pin.ok());
+  uint8_t buf[8];
+  EXPECT_EQ(pin->pread(buf, sizeof(buf), 0).value(), 8u);
+  EXPECT_EQ(buf[0], 'a');
+  EXPECT_EQ(cache.open_handles(), 0u);  // never indexed
+}
+
+TEST(OpenHandleCache, PinSurvivesInvalidate) {
+  const std::string dir = temp_dir("ohc3");
+  const auto files = make_files(dir, 1);
+  OpenHandleCache cache(4);
+  auto pin = cache.acquire("k", files[0]);
+  ASSERT_TRUE(pin.ok());
+  EXPECT_EQ(cache.pinned_handles(), 1u);
+
+  cache.invalidate("k");
+  EXPECT_EQ(cache.open_handles(), 0u);
+  // The pinned handle still reads fine — the fd closes when the pin
+  // drops, not when the index entry goes.
+  uint8_t buf[16];
+  EXPECT_EQ(pin->pread(buf, sizeof(buf), 0).value(), 16u);
+  EXPECT_EQ(buf[0], 'a');
+}
+
+TEST(OpenHandleCache, EvictionSkipsPinnedEntries) {
+  const std::string dir = temp_dir("ohc4");
+  const auto files = make_files(dir, 3);
+  OpenHandleCache cache(1);
+  auto pinned = cache.acquire("k0", files[0]);
+  ASSERT_TRUE(pinned.ok());
+  // k1/k2 push the cache over budget; the pinned k0 must not be
+  // churned, so the index transiently holds the pinned entry plus the
+  // newest one.
+  ASSERT_TRUE(cache.acquire("k1", files[1]).ok());
+  ASSERT_TRUE(cache.acquire("k2", files[2]).ok());
+  EXPECT_EQ(cache.pinned_handles(), 1u);
+  ASSERT_TRUE(cache.acquire("k0", files[0]).ok());
+  EXPECT_EQ(cache.hits(), 1u);  // k0 stayed resident while pinned
+}
+
+// The TSAN target: readers pread through pins while another thread
+// storms invalidate()/clear() over the same keys. The deferred-close
+// contract means no read ever races a close.
+TEST(OpenHandleCache, ConcurrentEvictVsPinnedRead) {
+  const std::string dir = temp_dir("ohc5");
+  constexpr size_t kFiles = 8;
+  const auto files = make_files(dir, kFiles);
+  OpenHandleCache cache(2);  // tiny: constant eviction pressure
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const size_t idx = size_t(t + i) % kFiles;
+        auto pin = cache.acquire("k" + std::to_string(idx), files[idx]);
+        if (!pin.ok()) {
+          ++read_errors;
+          continue;
+        }
+        uint8_t buf[64];
+        const auto n = pin->pread(buf, sizeof(buf), 0);
+        if (!n.ok() || *n != 64u || buf[0] != uint8_t('a' + idx)) {
+          ++read_errors;
+        }
+      }
+    });
+  }
+  std::thread evictor([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      cache.invalidate("k" + std::to_string(i % kFiles));
+      if (i % 64 == 0) cache.clear();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  evictor.join();
+
+  EXPECT_EQ(read_errors.load(), 0u);
+  EXPECT_EQ(cache.pinned_handles(), 0u);
+}
+
+TEST(LocalStore, OpenPinnedReadsAndEvictInvalidatesHandle) {
+  const std::string root = temp_dir("store8");
+  LocalStore store(root, /*capacity_bytes=*/0, /*handle_cache_slots=*/8);
+  std::vector<uint8_t> data(128, 0x42);
+  ASSERT_TRUE(
+      write_file(store.physical_path("a"), data.data(), data.size()).ok());
+  ASSERT_TRUE(store.insert("a", data.size()).ok());
+
+  auto pin = store.open_pinned("a");
+  ASSERT_TRUE(pin.ok());
+  uint8_t buf[128];
+  EXPECT_EQ(pin->pread(buf, sizeof(buf), 0).value(), 128u);
+  EXPECT_EQ(store.handle_cache().open_handles(), 1u);
+
+  // Evicting the entry drops the cached handle; the held pin still
+  // reads (fail-open for in-flight requests).
+  ASSERT_TRUE(store.evict("a").ok());
+  EXPECT_EQ(store.handle_cache().open_handles(), 0u);
+  EXPECT_EQ(pin->pread(buf, sizeof(buf), 64).value(), 64u);
+
+  // A fresh open_pinned after eviction reports kNotFound.
+  EXPECT_EQ(store.open_pinned("a").error().code, ErrorCode::kNotFound);
+}
+
+TEST(LocalStore, PurgeClearsHandleCache) {
+  const std::string root = temp_dir("store9");
+  LocalStore store(root, 0, 8);
+  std::vector<uint8_t> data(32, 1);
+  ASSERT_TRUE(
+      write_file(store.physical_path("a"), data.data(), data.size()).ok());
+  ASSERT_TRUE(store.insert("a", data.size()).ok());
+  ASSERT_TRUE(store.open_pinned("a").ok());
+  EXPECT_EQ(store.handle_cache().open_handles(), 1u);
+  store.purge();
+  EXPECT_EQ(store.handle_cache().open_handles(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // every interleaving hazard (fd churn, in-flight dedup, store
 // accounting) is exercised for real.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <filesystem>
@@ -21,7 +22,8 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_stress_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_stress_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

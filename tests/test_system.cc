@@ -2,6 +2,7 @@
 // TCP RPC, multi-node/multi-instance allocations, fail-over, and the
 // Fig 14 invariant (training curves identical through the cache).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <thread>
@@ -22,7 +23,8 @@ using server::NodeRuntime;
 using server::NodeRuntimeOptions;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_sys_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_sys_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

@@ -1,6 +1,7 @@
 // Tests for the workload models (dataset specs, shuffling, file
 // trees) and the training substrate (synthetic data, trainer).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <set>
@@ -18,7 +19,8 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string temp_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + "hvac_wl_" + name;
+  const std::string dir = ::testing::TempDir() + "hvac_wl_" + name +
+                          "_" + std::to_string(::getpid());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;
