@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and flag regressions.
+
+    scripts/bench_compare.py BASELINE.json CURRENT.json \
+        [--threshold 0.15] [--report diff.md] [--strict]
+
+Used by the bench-smoke CI job: the committed BENCH_rpc.json is the
+baseline, a fresh `scripts/check.sh bench` run is the candidate. Only
+`median` aggregates are compared (means are noisy under repetitions on
+shared runners). A benchmark is a regression when its median real_time
+grew by more than --threshold (fraction, default 0.15).
+
+Exit status is 0 even when regressions are found — CI runners are too
+noisy for a hard gate — unless --strict is given. The human-readable
+diff goes to stdout and, with --report, to a markdown file uploaded as
+a CI artifact.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path):
+    """Return {benchmark name: (real_time, time_unit)} per benchmark.
+
+    Prefers `median` aggregate rows; a single-repetition run emits no
+    aggregates, so fall back to the plain iteration rows.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type") != "aggregate":
+            continue
+        if row.get("aggregate_name") != "median":
+            continue
+        base = row["name"]
+        suffix = "_median"
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+        out[base] = (float(row["real_time"]), row.get("time_unit", "ns"))
+    if not out:
+        for row in doc.get("benchmarks", []):
+            if row.get("run_type", "iteration") != "iteration":
+                continue
+            out[row["name"]] = (float(row["real_time"]),
+                                row.get("time_unit", "ns"))
+    return out, doc.get("context", {})
+
+
+def fmt_time(value, unit):
+    return f"{value:,.0f} {unit}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="regression threshold as a fraction (0.15 = 15%%)")
+    parser.add_argument("--report", help="also write a markdown diff here")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when regressions exceed the threshold")
+    args = parser.parse_args()
+
+    base, base_ctx = load_medians(args.baseline)
+    curr, curr_ctx = load_medians(args.current)
+
+    lines = []
+    lines.append("| benchmark | baseline | current | delta |")
+    lines.append("|---|---:|---:|---:|")
+    regressions = []
+    improvements = []
+    for name in sorted(base):
+        if name not in curr:
+            lines.append(f"| {name} | {fmt_time(*base[name])} | (missing) | |")
+            continue
+        b, unit = base[name]
+        c, _ = curr[name]
+        delta = (c - b) / b if b else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = " ⚠"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            improvements.append((name, delta))
+        lines.append(f"| {name} | {fmt_time(b, unit)} | {fmt_time(c, unit)} "
+                     f"| {delta:+.1%}{marker} |")
+    for name in sorted(set(curr) - set(base)):
+        lines.append(f"| {name} | (new) | {fmt_time(*curr[name])} | |")
+
+    header = [
+        "## micro_rpc bench comparison",
+        "",
+        f"baseline: `{base_ctx.get('git_sha', '?')}` ({base_ctx.get('date', '?')})"
+        f" vs current: `{curr_ctx.get('git_sha', '?')}`"
+        f" ({curr_ctx.get('date', '?')})",
+        f"threshold: {args.threshold:.0%} on median real_time",
+        "",
+    ]
+    footer = [""]
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        footer.append(
+            f"**{len(regressions)} possible regression(s)** "
+            f"(worst: {worst[0]} {worst[1]:+.1%}). Runner noise is common; "
+            "rerun locally before reading much into this.")
+    else:
+        footer.append("No regressions beyond the threshold.")
+    if improvements:
+        footer.append(f"{len(improvements)} benchmark(s) improved beyond "
+                      "the threshold.")
+
+    report = "\n".join(header + lines + footer) + "\n"
+    sys.stdout.write(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

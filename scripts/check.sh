@@ -7,6 +7,8 @@
 #                               (concurrency suites only — full TSan runs
 #                               are slow; widen TSAN_FILTER to taste)
 #   scripts/check.sh bench      run bench/micro_rpc, emit BENCH_rpc.json
+#                               (BENCH_OUT overrides the output path,
+#                               BENCH_REPS the repetition count)
 #
 # Sanitizer builds live in their own build dirs (build-asan/, build-tsan/)
 # so they never contaminate the primary build/.
@@ -44,9 +46,17 @@ case "$MODE" in
   bench)
     cmake -B build -S .
     cmake --build build -j "$JOBS" --target micro_rpc
+    # Stamp the JSON with the commit it measured so scripts/bench_compare.py
+    # (and anyone reading an uploaded artifact) can tell results apart.
+    GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    GIT_DATE="$(git show -s --format=%cI HEAD 2>/dev/null || echo unknown)"
     ./build/bench/micro_rpc \
-      --benchmark_out=BENCH_rpc.json --benchmark_out_format=json \
-      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+      --benchmark_out="${BENCH_OUT:-BENCH_rpc.json}" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-3}" \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_context=git_sha="$GIT_SHA" \
+      --benchmark_context=git_date="$GIT_DATE"
     ;;
   *)
     echo "usage: $0 [tier1|asan|tsan|bench]" >&2

@@ -6,10 +6,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include <sstream>
 #include <unordered_map>
 
 #include "common/env.h"
 #include "common/log.h"
+#include "core/metrics.h"
 #include "core/segment.h"
 #include "rpc/async_client.h"
 #include "rpc/wire.h"
@@ -111,6 +113,20 @@ rpc::AsyncRpcClient& HvacClient::async_channel(uint32_t server_index) {
 // Everything fails open: a lost or mismatched read-ahead chunk just
 // degrades to the synchronous path.
 
+// Counts the chunks of a dead window as wasted (frame v2 read-ahead
+// telemetry: bytes fetched ahead that the application never took).
+void HvacClient::discard_window(ReadAheadState& state) {
+  if (state.pending.empty()) return;
+  core::ReadAheadCounters::global().wasted.fetch_add(
+      state.pending.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.readahead_wasted += state.pending.size();
+  }
+  state.pending.clear();
+  state.issued_end = 0;
+}
+
 std::optional<HvacClient::PendingChunk> HvacClient::readahead_take(
     int vfd, uint64_t offset, uint32_t count, uint64_t file_size) {
   std::lock_guard<std::mutex> lock(ra_mutex_);
@@ -126,8 +142,7 @@ std::optional<HvacClient::PendingChunk> HvacClient::readahead_take(
       (front.count == count ||
        (front.count < count && offset + front.count >= file_size));
   if (!match) {
-    pending.clear();
-    it->second.issued_end = 0;
+    discard_window(it->second);
     return std::nullopt;
   }
   PendingChunk chunk = std::move(pending.front());
@@ -144,8 +159,7 @@ void HvacClient::readahead_advance(int vfd, const core::FdEntry& entry,
   const bool sequential = offset == state.next_expected;
   state.next_expected = offset + got;
   if (!sequential) {
-    state.pending.clear();
-    state.issued_end = 0;
+    discard_window(state);
     return;
   }
   if (got < chunk) return;  // EOF reached; nothing left to fetch
@@ -171,6 +185,8 @@ void HvacClient::readahead_advance(int vfd, const core::FdEntry& entry,
     ++issued_now;
   }
   if (issued_now > 0) {
+    core::ReadAheadCounters::global().issued.fetch_add(
+        issued_now, std::memory_order_relaxed);
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.readahead_issued += issued_now;
   }
@@ -178,7 +194,10 @@ void HvacClient::readahead_advance(int vfd, const core::FdEntry& entry,
 
 void HvacClient::readahead_drop(int vfd) {
   std::lock_guard<std::mutex> lock(ra_mutex_);
-  ra_.erase(vfd);
+  auto it = ra_.find(vfd);
+  if (it == ra_.end()) return;
+  discard_window(it->second);
+  ra_.erase(it);
 }
 
 Result<int> HvacClient::open_via_pfs(const std::string& path) {
@@ -383,6 +402,8 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
           if (view.ok() && view->size <= chunk) {
             std::memcpy(out + total, view->data, view->size);
             total += view->size;
+            core::ReadAheadCounters::global().consumed.fetch_add(
+                1, std::memory_order_relaxed);
             {
               std::lock_guard<std::mutex> lock(stats_mutex_);
               ++stats_.readahead_hits;
@@ -548,6 +569,24 @@ Result<size_t> HvacClient::prefetch_many(
 ClientStats HvacClient::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+std::string stats_to_json(const ClientStats& s) {
+  const BufferPool::Stats bp = BufferPool::global().stats();
+  std::ostringstream o;
+  o << "{\"opens\":" << s.opens << ",\"remote_opens\":" << s.remote_opens
+    << ",\"fallback_opens\":" << s.fallback_opens
+    << ",\"reads\":" << s.reads << ",\"bytes_read\":" << s.bytes_read
+    << ",\"failovers\":" << s.failovers
+    << ",\"read_ahead\":{\"issued\":" << s.readahead_issued
+    << ",\"consumed\":" << s.readahead_hits
+    << ",\"wasted\":" << s.readahead_wasted << "}"
+    << ",\"buffer_pool\":{\"leases\":" << bp.hits + bp.misses + bp.unpooled
+    << ",\"pool_hits\":" << bp.hits
+    << ",\"fallback_allocs\":" << bp.misses + bp.unpooled
+    << ",\"recycled\":" << bp.recycled << ",\"dropped\":" << bp.dropped
+    << "}}";
+  return o.str();
 }
 
 }  // namespace hvac::client

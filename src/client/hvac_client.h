@@ -69,7 +69,13 @@ struct ClientStats {
   uint64_t failovers = 0;  // replica failovers after a dead primary
   uint64_t readahead_issued = 0;  // chunks requested ahead of the app
   uint64_t readahead_hits = 0;    // reads served from a pending chunk
+  uint64_t readahead_wasted = 0;  // pending chunks discarded unread
+                                  // (non-sequential turn, close, failover)
 };
+
+// JSON rendering of the shim's exit summary (HVAC_STATS_FILE): the
+// per-client counters plus the process-wide buffer-pool stats.
+std::string stats_to_json(const ClientStats& stats);
 
 class HvacClient {
  public:
@@ -146,6 +152,10 @@ class HvacClient {
 
   // Drops all read-ahead state for `vfd` (close / failover re-open).
   void readahead_drop(int vfd);
+
+  // Clears a window, counting its in-flight chunks as wasted (caller
+  // holds ra_mutex_).
+  void discard_window(ReadAheadState& state);
 
   Result<int> open_via_pfs(const std::string& path);
 

@@ -1,17 +1,27 @@
 // hvacctl — tiny operator CLI for a running HVAC allocation.
 //
 //   hvacctl ping    HOST:PORT[,HOST:PORT...]
-//   hvacctl metrics HOST:PORT[,HOST:PORT...]
+//   hvacctl metrics HOST:PORT[,HOST:PORT...] [--json] [--watch N]
 //   hvacctl stat    HOST:PORT <relative-path>
 //   hvacctl warm    HOST:PORT <relative-path>
 //
 // Talks the same RPC schema as the client library; useful for
 // checking server health from a login node and for watching hit
-// rates during a training run.
+// rates during a training run. `metrics` decodes the metrics frame
+// v2 (handle-cache / buffer-pool / read-ahead sections and per-op
+// latency histograms) and degrades to the seven v1 counters against
+// an old server; --json emits one machine-readable document per
+// sample (the CI bench gate consumes this), --watch N resamples
+// every N seconds until interrupted.
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/env.h"
+#include "core/metrics_frame.h"
 #include "rpc/rpc_client.h"
 #include "rpc/wire.h"
 #include "server/hvac_proto.h"
@@ -36,34 +46,102 @@ int cmd_ping(const std::string& csv) {
   return failures == 0 ? 0 : 1;
 }
 
-int cmd_metrics(const std::string& csv) {
-  std::printf("%-24s %10s %10s %8s %10s %12s %12s %8s %6s\n", "endpoint",
-              "hits", "misses", "dedup", "evictions", "cache_bytes",
-              "pfs_bytes", "fallbk", "fds");
+void print_metrics_row(const std::string& endpoint,
+                       const core::MetricsFrame& f) {
+  const auto& m = f.cache;
+  std::printf("%-24s %10lu %10lu %8lu %10lu %12lu %12lu %8lu %6lu\n",
+              endpoint.c_str(), (unsigned long)m.hits,
+              (unsigned long)m.misses, (unsigned long)m.dedup_waits,
+              (unsigned long)m.evictions, (unsigned long)m.bytes_from_cache,
+              (unsigned long)m.bytes_from_pfs, (unsigned long)m.pfs_fallbacks,
+              (unsigned long)f.open_fds);
+  if (f.version < 2) return;
+  std::printf("  handle_cache hits=%lu misses=%lu open=%lu pinned=%lu "
+              "deferred_closes=%lu\n",
+              (unsigned long)f.handle_cache.hits,
+              (unsigned long)f.handle_cache.misses,
+              (unsigned long)f.handle_cache.open,
+              (unsigned long)f.handle_cache.pinned,
+              (unsigned long)f.handle_cache.deferred_closes);
+  std::printf("  buffer_pool  leases=%lu pool_hits=%lu fallback_allocs=%lu\n",
+              (unsigned long)f.buffer_pool.leases,
+              (unsigned long)f.buffer_pool.pool_hits,
+              (unsigned long)f.buffer_pool.fallback_allocs);
+  std::printf("  read_ahead   issued=%lu consumed=%lu wasted=%lu\n",
+              (unsigned long)f.readahead.issued,
+              (unsigned long)f.readahead.consumed,
+              (unsigned long)f.readahead.wasted);
+  for (const auto& [op, snap] : f.op_latency) {
+    std::printf("  latency %-12s n=%-8lu p50=%.1fus p99=%.1fus\n",
+                core::op_name(op).c_str(), (unsigned long)snap.count,
+                snap.percentile_ns(50) / 1e3, snap.percentile_ns(99) / 1e3);
+  }
+}
+
+int metrics_once(const std::vector<std::string>& endpoints, bool json) {
   int failures = 0;
-  for (const auto& endpoint : split_csv(csv)) {
+  core::MetricsFrame aggregate;
+  bool first = true;
+  std::string json_endpoints;
+  if (!json) {
+    std::printf("%-24s %10s %10s %8s %10s %12s %12s %8s %6s\n", "endpoint",
+                "hits", "misses", "dedup", "evictions", "cache_bytes",
+                "pfs_bytes", "fallbk", "fds");
+  }
+  for (const auto& endpoint : endpoints) {
     rpc::RpcClient client(rpc::Endpoint{endpoint},
                           rpc::RpcClientOptions{2000, 2000});
     const auto resp = client.call(proto::kMetrics, Bytes{});
     if (!resp.ok()) {
-      std::printf("%-24s %s\n", endpoint.c_str(),
-                  resp.error().to_string().c_str());
+      if (!json) {
+        std::printf("%-24s %s\n", endpoint.c_str(),
+                    resp.error().to_string().c_str());
+      } else {
+        std::fprintf(stderr, "%s: %s\n", endpoint.c_str(),
+                     resp.error().to_string().c_str());
+      }
       ++failures;
       continue;
     }
-    WireReader r(*resp);
-    uint64_t v[8] = {0};
-    for (auto& x : v) {
-      auto got = r.get_u64();
-      if (got.ok()) x = *got;
+    const auto frame = core::MetricsFrame::decode(*resp);
+    if (!frame.ok()) {
+      std::fprintf(stderr, "%s: %s\n", endpoint.c_str(),
+                   frame.error().to_string().c_str());
+      ++failures;
+      continue;
     }
-    std::printf("%-24s %10lu %10lu %8lu %10lu %12lu %12lu %8lu %6lu\n",
-                endpoint.c_str(), (unsigned long)v[0], (unsigned long)v[1],
-                (unsigned long)v[2], (unsigned long)v[3],
-                (unsigned long)v[4], (unsigned long)v[5],
-                (unsigned long)v[6], (unsigned long)v[7]);
+    if (json) {
+      if (!json_endpoints.empty()) json_endpoints += ",";
+      json_endpoints +=
+          "{\"endpoint\":\"" + endpoint + "\",\"metrics\":" +
+          frame->to_json() + "}";
+    } else {
+      print_metrics_row(endpoint, *frame);
+    }
+    if (first) {
+      aggregate = *frame;
+      first = false;
+    } else {
+      aggregate.merge(*frame);
+    }
   }
+  if (json) {
+    std::printf("{\"endpoints\":[%s],\"aggregate\":%s}\n",
+                json_endpoints.c_str(), aggregate.to_json().c_str());
+  } else if (endpoints.size() > 1 && !first) {
+    print_metrics_row("TOTAL", aggregate);
+  }
+  std::fflush(stdout);
   return failures == 0 ? 0 : 1;
+}
+
+int cmd_metrics(const std::string& csv, bool json, int watch_seconds) {
+  const std::vector<std::string> endpoints = split_csv(csv);
+  for (;;) {
+    const int rc = metrics_once(endpoints, json);
+    if (watch_seconds <= 0) return rc;
+    ::sleep(static_cast<unsigned>(watch_seconds));
+  }
 }
 
 int cmd_path_op(uint16_t opcode, const std::string& endpoint,
@@ -96,14 +174,30 @@ int cmd_path_op(uint16_t opcode, const std::string& endpoint,
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s ping|metrics ENDPOINTS\n"
+                 "usage: %s ping ENDPOINTS\n"
+                 "       %s metrics ENDPOINTS [--json] [--watch N]\n"
                  "       %s stat|warm ENDPOINT PATH\n",
-                 argv[0], argv[0]);
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string cmd = argv[1];
   if (cmd == "ping") return cmd_ping(argv[2]);
-  if (cmd == "metrics") return cmd_metrics(argv[2]);
+  if (cmd == "metrics") {
+    bool json = false;
+    int watch_seconds = 0;
+    for (int i = 3; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--json") {
+        json = true;
+      } else if (flag == "--watch" && i + 1 < argc) {
+        watch_seconds = std::atoi(argv[++i]);
+      } else {
+        std::fprintf(stderr, "unknown metrics flag %s\n", flag.c_str());
+        return 2;
+      }
+    }
+    return cmd_metrics(argv[2], json, watch_seconds);
+  }
   if (argc < 4) {
     std::fprintf(stderr, "%s needs ENDPOINT PATH\n", cmd.c_str());
     return 2;

@@ -4,6 +4,38 @@
 
 namespace hvac::core {
 
+double LatencySnapshot::percentile_ns(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 100.0) q = 100.0;
+  // Rank of the requested percentile (1-based, nearest-rank).
+  const uint64_t rank = static_cast<uint64_t>(q / 100.0 * double(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      const double lo = double(uint64_t{1} << i);
+      const double hi = i + 1 >= 64 ? lo * 2.0 : double(uint64_t{1} << (i + 1));
+      // Linear interpolation by rank position within the bucket.
+      const double frac = double(rank - seen - 1) / double(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets[i];
+  }
+  return double(uint64_t{1} << (kLatencyBuckets - 1));
+}
+
+void LatencySnapshot::merge(const LatencySnapshot& other) {
+  count += other.count;
+  total_ns += other.total_ns;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+ReadAheadCounters& ReadAheadCounters::global() {
+  static ReadAheadCounters counters;
+  return counters;
+}
+
 std::string MetricsSnapshot::to_string() const {
   std::ostringstream oss;
   oss << "hits=" << hits << " misses=" << misses

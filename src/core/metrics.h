@@ -1,8 +1,14 @@
-// Lightweight cache metrics, safe to bump from any thread.
+// Lightweight cache metrics, safe to bump from any thread, plus the
+// per-op latency histograms behind the metrics frame v2 (see
+// core/metrics_frame.h for the wire format).
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace hvac::core {
@@ -66,6 +72,117 @@ class Metrics {
   std::atomic<uint64_t> bytes_from_cache_{0};
   std::atomic<uint64_t> bytes_from_pfs_{0};
   std::atomic<uint64_t> pfs_fallbacks_{0};
+};
+
+// ---- latency histograms ---------------------------------------------------
+
+// Log2-bucketed latency histogram: bucket i counts samples in
+// [2^i, 2^(i+1)) nanoseconds. 40 buckets cover 1 ns .. ~18 minutes,
+// which brackets everything from an in-memory cache hit to a PFS stall.
+constexpr size_t kLatencyBuckets = 40;
+
+// Point-in-time copy of one histogram, mergeable across instances.
+struct LatencySnapshot {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  std::array<uint64_t, kLatencyBuckets> buckets{};
+
+  // Percentile estimate (q in [0, 100]) with linear interpolation
+  // inside the winning bucket. Log buckets bound the error to 2x,
+  // plenty for p50/p99 dashboards.
+  double percentile_ns(double q) const;
+  double mean_ns() const { return count == 0 ? 0.0 : double(total_ns) / double(count); }
+
+  void merge(const LatencySnapshot& other);
+};
+
+// Lock-free bump histogram: record() is one relaxed fetch_add per
+// sample (plus one for the running total), so handler threads never
+// serialize on observability.
+class LatencyHistogram {
+ public:
+  static size_t bucket_of(uint64_t ns) {
+    if (ns == 0) return 0;
+    const size_t b = std::bit_width(ns) - 1;  // floor(log2(ns))
+    return b < kLatencyBuckets ? b : kLatencyBuckets - 1;
+  }
+
+  void record(uint64_t ns) {
+    counts_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  LatencySnapshot snapshot() const {
+    LatencySnapshot s;
+    for (size_t i = 0; i < kLatencyBuckets; ++i) {
+      s.buckets[i] = counts_[i].load(std::memory_order_relaxed);
+      s.count += s.buckets[i];
+    }
+    s.total_ns = total_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> counts_{};
+  std::atomic<uint64_t> total_ns_{0};
+};
+
+// Per-opcode latency histograms for the RPC handler table. Opcodes are
+// small protocol constants (hvac::proto::Opcode, 1..8 today); anything
+// above kMaxOp lands in the overflow slot rather than growing the set.
+class OpLatencySet {
+ public:
+  static constexpr uint16_t kMaxOp = 16;
+
+  void record(uint16_t op, uint64_t ns) {
+    hist_[op <= kMaxOp ? op : 0].record(ns);
+  }
+
+  // Snapshot of every op that has seen at least one sample.
+  std::map<uint16_t, LatencySnapshot> snapshot() const {
+    std::map<uint16_t, LatencySnapshot> out;
+    for (uint16_t op = 0; op <= kMaxOp; ++op) {
+      LatencySnapshot s = hist_[op].snapshot();
+      if (s.count > 0) out.emplace(op, std::move(s));
+    }
+    return out;
+  }
+
+ private:
+  std::array<LatencyHistogram, kMaxOp + 1> hist_;
+};
+
+// RAII sample: times its own scope and records into `set` on exit.
+class ScopedLatencyTimer {
+ public:
+  ScopedLatencyTimer(OpLatencySet& set, uint16_t op)
+      : set_(set), op_(op), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatencyTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_);
+    set_.record(op_, static_cast<uint64_t>(ns.count()));
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  OpLatencySet& set_;
+  uint16_t op_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---- client read-ahead counters -------------------------------------------
+
+// Process-wide read-ahead accounting, bumped by every HvacClient in
+// the process and exported through the metrics frame. Lives in core so
+// both the client library (producer) and anything assembling a frame
+// (consumer) reach it without a client<->server dependency.
+struct ReadAheadCounters {
+  std::atomic<uint64_t> issued{0};    // chunks requested ahead of the app
+  std::atomic<uint64_t> consumed{0};  // reads served from a pending chunk
+  std::atomic<uint64_t> wasted{0};    // pending chunks discarded unread
+
+  static ReadAheadCounters& global();
 };
 
 }  // namespace hvac::core

@@ -1,0 +1,268 @@
+#include "core/metrics_frame.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace hvac::core {
+
+using rpc::Bytes;
+using rpc::WireReader;
+using rpc::WireWriter;
+
+void HandleCacheStats::merge(const HandleCacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  open += other.open;
+  pinned += other.pinned;
+  deferred_closes += other.deferred_closes;
+  capacity += other.capacity;
+}
+
+void BufferPoolStats::merge(const BufferPoolStats& other) {
+  leases += other.leases;
+  pool_hits += other.pool_hits;
+  fallback_allocs += other.fallback_allocs;
+  recycled += other.recycled;
+  dropped += other.dropped;
+}
+
+void ReadAheadStats::merge(const ReadAheadStats& other) {
+  issued += other.issued;
+  consumed += other.consumed;
+  wasted += other.wasted;
+}
+
+void MetricsFrame::merge(const MetricsFrame& other) {
+  version = version > other.version ? version : other.version;
+  cache.hits += other.cache.hits;
+  cache.misses += other.cache.misses;
+  cache.dedup_waits += other.cache.dedup_waits;
+  cache.evictions += other.cache.evictions;
+  cache.bytes_from_cache += other.cache.bytes_from_cache;
+  cache.bytes_from_pfs += other.cache.bytes_from_pfs;
+  cache.pfs_fallbacks += other.cache.pfs_fallbacks;
+  open_fds += other.open_fds;
+  handle_cache.merge(other.handle_cache);
+  buffer_pool.merge(other.buffer_pool);
+  readahead.merge(other.readahead);
+  for (const auto& [op, snap] : other.op_latency) {
+    op_latency[op].merge(snap);
+  }
+}
+
+Bytes MetricsFrame::encode() const {
+  WireWriter w;
+  // v1 prefix: byte-identical to the legacy payload.
+  w.put_u64(cache.hits);
+  w.put_u64(cache.misses);
+  w.put_u64(cache.dedup_waits);
+  w.put_u64(cache.evictions);
+  w.put_u64(cache.bytes_from_cache);
+  w.put_u64(cache.bytes_from_pfs);
+  w.put_u64(cache.pfs_fallbacks);
+  w.put_u64(open_fds);
+
+  w.put_u32(kMetricsFrameMagic);
+  w.put_u16(kFrameVersion);
+  w.put_u16(4);  // section count
+
+  {
+    WireWriter s;
+    s.put_u64(handle_cache.hits);
+    s.put_u64(handle_cache.misses);
+    s.put_u64(handle_cache.open);
+    s.put_u64(handle_cache.pinned);
+    s.put_u64(handle_cache.deferred_closes);
+    s.put_u64(handle_cache.capacity);
+    w.put_u16(kSectionHandleCache);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  {
+    WireWriter s;
+    s.put_u64(buffer_pool.leases);
+    s.put_u64(buffer_pool.pool_hits);
+    s.put_u64(buffer_pool.fallback_allocs);
+    s.put_u64(buffer_pool.recycled);
+    s.put_u64(buffer_pool.dropped);
+    w.put_u16(kSectionBufferPool);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  {
+    WireWriter s;
+    s.put_u64(readahead.issued);
+    s.put_u64(readahead.consumed);
+    s.put_u64(readahead.wasted);
+    w.put_u16(kSectionReadAhead);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  {
+    WireWriter s;
+    s.put_u16(static_cast<uint16_t>(op_latency.size()));
+    for (const auto& [op, snap] : op_latency) {
+      s.put_u16(op);
+      s.put_u64(snap.count);
+      s.put_u64(snap.total_ns);
+      s.put_u16(static_cast<uint16_t>(kLatencyBuckets));
+      for (uint64_t b : snap.buckets) s.put_u64(b);
+    }
+    w.put_u16(kSectionLatency);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  return std::move(w).take();
+}
+
+namespace {
+
+// Section bodies are decoded tolerantly: read the fields this build
+// knows, stop at the section end, ignore any newer tail. A short body
+// (older peer) leaves the remaining fields at zero.
+void read_u64s(WireReader& r, std::initializer_list<uint64_t*> fields) {
+  for (uint64_t* f : fields) {
+    auto v = r.get_u64();
+    if (!v.ok()) return;
+    *f = *v;
+  }
+}
+
+void decode_latency(WireReader& r,
+                    std::map<uint16_t, LatencySnapshot>* out) {
+  auto op_count = r.get_u16();
+  if (!op_count.ok()) return;
+  for (uint16_t i = 0; i < *op_count; ++i) {
+    auto op = r.get_u16();
+    auto count = r.get_u64();
+    auto total = r.get_u64();
+    auto n_buckets = r.get_u16();
+    if (!op.ok() || !count.ok() || !total.ok() || !n_buckets.ok()) return;
+    LatencySnapshot snap;
+    snap.count = *count;
+    snap.total_ns = *total;
+    for (uint16_t b = 0; b < *n_buckets; ++b) {
+      auto v = r.get_u64();
+      if (!v.ok()) return;
+      // A peer with more buckets than us folds its tail into our last
+      // bucket so count stays consistent with the bucket sum.
+      const size_t slot = b < kLatencyBuckets ? b : kLatencyBuckets - 1;
+      snap.buckets[slot] += *v;
+    }
+    (*out)[*op].merge(snap);
+  }
+}
+
+}  // namespace
+
+Result<MetricsFrame> MetricsFrame::decode(const Bytes& bytes) {
+  WireReader r(bytes);
+  MetricsFrame f;
+  HVAC_ASSIGN_OR_RETURN(f.cache.hits, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(f.cache.misses, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(f.cache.dedup_waits, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(f.cache.evictions, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(f.cache.bytes_from_cache, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(f.cache.bytes_from_pfs, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(f.cache.pfs_fallbacks, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(f.open_fds, r.get_u64());
+
+  // Anything past the prefix must announce itself; a missing or
+  // foreign magic means a v1 peer (or one newer than the magic itself,
+  // which a versioned magic would signal — cross that bridge then).
+  f.version = 1;
+  auto magic = r.get_u32();
+  if (!magic.ok() || *magic != kMetricsFrameMagic) return f;
+  auto version = r.get_u16();
+  auto section_count = r.get_u16();
+  if (!version.ok() || !section_count.ok()) return f;
+  f.version = *version;
+
+  for (uint16_t i = 0; i < *section_count; ++i) {
+    auto id = r.get_u16();
+    if (!id.ok()) break;
+    auto body = r.get_blob_view();
+    if (!body.ok()) break;
+    WireReader s(body->data, body->size);
+    switch (*id) {
+      case kSectionHandleCache:
+        read_u64s(s, {&f.handle_cache.hits, &f.handle_cache.misses,
+                      &f.handle_cache.open, &f.handle_cache.pinned,
+                      &f.handle_cache.deferred_closes,
+                      &f.handle_cache.capacity});
+        break;
+      case kSectionBufferPool:
+        read_u64s(s, {&f.buffer_pool.leases, &f.buffer_pool.pool_hits,
+                      &f.buffer_pool.fallback_allocs,
+                      &f.buffer_pool.recycled, &f.buffer_pool.dropped});
+        break;
+      case kSectionReadAhead:
+        read_u64s(s, {&f.readahead.issued, &f.readahead.consumed,
+                      &f.readahead.wasted});
+        break;
+      case kSectionLatency:
+        decode_latency(s, &f.op_latency);
+        break;
+      default:
+        break;  // unknown section: skipped by its length prefix
+    }
+  }
+  return f;
+}
+
+std::string op_name(uint16_t opcode) {
+  // Mirrors hvac::proto::Opcode; the frame is part of the protocol, so
+  // these names are as stable as the opcode values themselves.
+  switch (opcode) {
+    case 1: return "ping";
+    case 2: return "open";
+    case 3: return "read";
+    case 4: return "close";
+    case 5: return "stat";
+    case 6: return "prefetch";
+    case 7: return "metrics";
+    case 8: return "read_segment";
+    default: return "op" + std::to_string(opcode);
+  }
+}
+
+std::string MetricsFrame::to_json() const {
+  std::ostringstream o;
+  o << "{\"version\":" << version << ",\"cache\":{"
+    << "\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+    << ",\"hit_rate\":" << cache.hit_rate()
+    << ",\"dedup_waits\":" << cache.dedup_waits
+    << ",\"evictions\":" << cache.evictions
+    << ",\"bytes_from_cache\":" << cache.bytes_from_cache
+    << ",\"bytes_from_pfs\":" << cache.bytes_from_pfs
+    << ",\"pfs_fallbacks\":" << cache.pfs_fallbacks << "}"
+    << ",\"open_fds\":" << open_fds << ",\"handle_cache\":{"
+    << "\"hits\":" << handle_cache.hits
+    << ",\"misses\":" << handle_cache.misses
+    << ",\"open\":" << handle_cache.open
+    << ",\"pinned\":" << handle_cache.pinned
+    << ",\"deferred_closes\":" << handle_cache.deferred_closes
+    << ",\"capacity\":" << handle_cache.capacity << "}"
+    << ",\"buffer_pool\":{\"leases\":" << buffer_pool.leases
+    << ",\"pool_hits\":" << buffer_pool.pool_hits
+    << ",\"fallback_allocs\":" << buffer_pool.fallback_allocs
+    << ",\"recycled\":" << buffer_pool.recycled
+    << ",\"dropped\":" << buffer_pool.dropped << "}"
+    << ",\"read_ahead\":{\"issued\":" << readahead.issued
+    << ",\"consumed\":" << readahead.consumed
+    << ",\"wasted\":" << readahead.wasted << "}"
+    << ",\"latency_us\":{";
+  bool first = true;
+  for (const auto& [op, snap] : op_latency) {
+    if (!first) o << ",";
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"count\":%" PRIu64
+                  ",\"mean\":%.3f,\"p50\":%.3f,\"p99\":%.3f}",
+                  op_name(op).c_str(), snap.count, snap.mean_ns() / 1e3,
+                  snap.percentile_ns(50) / 1e3, snap.percentile_ns(99) / 1e3);
+    o << buf;
+  }
+  o << "}}";
+  return o.str();
+}
+
+}  // namespace hvac::core

@@ -1,0 +1,108 @@
+// Metrics frame v2 — the self-describing payload behind proto::kMetrics.
+//
+// The v1 payload was eight bare u64 counters with no version marker,
+// so it could never grow without breaking deployed hvacctl binaries.
+// v2 keeps those eight words as an immutable prefix (a v1 decoder
+// reads them and ignores the rest) and appends a versioned,
+// length-prefixed section list a v2 decoder walks by id:
+//
+//   bytes 0..63   8 x u64: hits, misses, dedup_waits, evictions,
+//                 bytes_from_cache, bytes_from_pfs, pfs_fallbacks,
+//                 open_fds                      <- v1 clients stop here
+//   u32 magic     'HVM2' (absent in a v1 frame)
+//   u16 version   kFrameVersion
+//   u16 count     number of sections
+//   sections      [u16 id][u32 byte_len][byte_len bytes] ...
+//
+// Compatibility rules (both directions hold by construction):
+//   * old client, v2 frame: the prefix is byte-identical to v1.
+//   * new client, v1 frame: no magic after the prefix -> sections
+//     default to zero and version reports 1.
+//   * unknown section ids are skipped by length; sections themselves
+//     may grow — decoders read the fields they know and ignore the
+//     tail, so adding a field is not a version bump.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "core/metrics.h"
+#include "rpc/wire.h"
+
+namespace hvac::core {
+
+constexpr uint32_t kMetricsFrameMagic = 0x324D5648;  // "HVM2"
+constexpr uint16_t kFrameVersion = 2;
+
+// Section ids. New sections get new ids; never reuse or renumber.
+enum MetricsSection : uint16_t {
+  kSectionHandleCache = 1,
+  kSectionBufferPool = 2,
+  kSectionReadAhead = 3,
+  kSectionLatency = 4,
+};
+
+struct HandleCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t open = 0;    // entries resident in the index
+  uint64_t pinned = 0;  // entries with at least one active reader
+  uint64_t deferred_closes = 0;  // evicted while pinned; fd closed late
+  uint64_t capacity = 0;
+
+  void merge(const HandleCacheStats& other);
+};
+
+struct BufferPoolStats {
+  uint64_t leases = 0;           // total acquires
+  uint64_t pool_hits = 0;        // served from a free list
+  uint64_t fallback_allocs = 0;  // had to hit the allocator
+  uint64_t recycled = 0;         // leases returned to a free list
+  uint64_t dropped = 0;          // leases freed (list full)
+
+  void merge(const BufferPoolStats& other);
+};
+
+struct ReadAheadStats {
+  uint64_t issued = 0;    // chunks requested ahead of the application
+  uint64_t consumed = 0;  // reads served from a pending chunk
+  uint64_t wasted = 0;    // pending chunks discarded unread
+
+  void merge(const ReadAheadStats& other);
+};
+
+struct MetricsFrame {
+  // Decoded frame version: kFrameVersion, or 1 for a legacy payload
+  // (sections all zero).
+  uint16_t version = kFrameVersion;
+
+  MetricsSnapshot cache;  // the seven v1 cache counters
+  uint64_t open_fds = 0;  // v1 prefix word 8
+
+  HandleCacheStats handle_cache;
+  BufferPoolStats buffer_pool;
+  ReadAheadStats readahead;
+  // Keyed by proto::Opcode value; only ops with samples are present.
+  std::map<uint16_t, LatencySnapshot> op_latency;
+
+  rpc::Bytes encode() const;
+  static Result<MetricsFrame> decode(const rpc::Bytes& bytes);
+
+  // Sums every section of `other` into this frame. Per-process
+  // sections (buffer pool, read-ahead) double-count when the merged
+  // frames come from instances sharing one process — NodeRuntime
+  // handles that case by assigning them once.
+  void merge(const MetricsFrame& other);
+
+  // JSON object (single line) with every section spelled out —
+  // the `hvacctl metrics --json` / HVAC_STATS_FILE format.
+  std::string to_json() const;
+};
+
+// Human name for a proto::Opcode value ("read", "open", ...);
+// "op<N>" for ids this build does not know.
+std::string op_name(uint16_t opcode);
+
+}  // namespace hvac::core

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -100,6 +101,23 @@ std::atomic<int> g_state{0};  // 0 = uninit, 1 = active, 2 = disabled
 HvacClient* g_client = nullptr;  // leaked on purpose: outlives exit hooks
 std::mutex g_init_mutex;
 
+// HVAC_STATS_FILE: dump the client's counters as JSON when the
+// application exits, so a training job leaves a per-rank I/O summary
+// behind without anyone instrumenting it (shim-side counterpart of
+// `hvacctl metrics --json`).
+void dump_stats_at_exit() {
+  const auto path = hvac::env_string("HVAC_STATS_FILE");
+  if (!path.has_value() || path->empty() || g_client == nullptr) return;
+  ShimGuard guard;  // plain libc I/O below must not re-enter the shim
+  FILE* out = ::fopen(path->c_str(), "w");
+  if (out == nullptr) return;
+  const std::string json =
+      hvac::client::stats_to_json(g_client->stats());
+  std::fputs(json.c_str(), out);
+  std::fputc('\n', out);
+  ::fclose(out);
+}
+
 bool client_active() {
   int state = g_state.load(std::memory_order_acquire);
   if (state == 1) return true;
@@ -122,6 +140,7 @@ bool client_active() {
   HVAC_LOG_INFO("hvac shim active; dataset="
                 << g_client->options().dataset_dir << " servers="
                 << g_client->options().server_endpoints.size());
+  std::atexit(dump_stats_at_exit);
   g_state.store(1, std::memory_order_release);
   return true;
 }

@@ -49,29 +49,40 @@ size_t HvacServer::open_remote_fds() const {
 }
 
 void HvacServer::register_handlers() {
-  rpc_.register_handler(proto::kPing, [](const Bytes&) -> Result<Bytes> {
+  // Every handler runs under a ScopedLatencyTimer so the metrics frame
+  // can report per-op p50/p99; the timer covers handler execution on
+  // the pool thread (queueing and socket time excluded).
+  rpc_.register_handler(proto::kPing, [this](const Bytes&) -> Result<Bytes> {
+    core::ScopedLatencyTimer t(latency_, proto::kPing);
     return Bytes{};
   });
   rpc_.register_handler(proto::kOpen, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kOpen);
     return handle_open(req);
   });
   rpc_.register_payload_handler(proto::kRead, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kRead);
     return handle_read(req);
   });
   rpc_.register_handler(proto::kClose, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kClose);
     return handle_close(req);
   });
   rpc_.register_handler(proto::kStat, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kStat);
     return handle_stat(req);
   });
   rpc_.register_handler(proto::kPrefetch, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kPrefetch);
     return handle_prefetch(req);
   });
   rpc_.register_handler(proto::kMetrics, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kMetrics);
     return handle_metrics(req);
   });
   rpc_.register_payload_handler(proto::kReadSegment,
                                 [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kReadSegment);
     return handle_read_segment(req);
   });
 }
@@ -209,18 +220,37 @@ Result<Bytes> HvacServer::handle_prefetch(const Bytes& req) {
   return std::move(w).take();
 }
 
+core::MetricsFrame HvacServer::metrics_frame() const {
+  core::MetricsFrame f;
+  f.cache = cache_->metrics();
+  f.open_fds = open_remote_fds();
+
+  const storage::OpenHandleCache& hc = cache_->store().handle_cache();
+  f.handle_cache.hits = hc.hits();
+  f.handle_cache.misses = hc.misses();
+  f.handle_cache.open = hc.open_handles();
+  f.handle_cache.pinned = hc.pinned_handles();
+  f.handle_cache.deferred_closes = hc.deferred_closes();
+  f.handle_cache.capacity = hc.capacity();
+
+  const BufferPool::Stats bp = BufferPool::global().stats();
+  f.buffer_pool.leases = bp.hits + bp.misses + bp.unpooled;
+  f.buffer_pool.pool_hits = bp.hits;
+  f.buffer_pool.fallback_allocs = bp.misses + bp.unpooled;
+  f.buffer_pool.recycled = bp.recycled;
+  f.buffer_pool.dropped = bp.dropped;
+
+  const core::ReadAheadCounters& ra = core::ReadAheadCounters::global();
+  f.readahead.issued = ra.issued.load(std::memory_order_relaxed);
+  f.readahead.consumed = ra.consumed.load(std::memory_order_relaxed);
+  f.readahead.wasted = ra.wasted.load(std::memory_order_relaxed);
+
+  f.op_latency = latency_.snapshot();
+  return f;
+}
+
 Result<Bytes> HvacServer::handle_metrics(const Bytes&) {
-  const core::MetricsSnapshot m = cache_->metrics();
-  WireWriter w;
-  w.put_u64(m.hits);
-  w.put_u64(m.misses);
-  w.put_u64(m.dedup_waits);
-  w.put_u64(m.evictions);
-  w.put_u64(m.bytes_from_cache);
-  w.put_u64(m.bytes_from_pfs);
-  w.put_u64(m.pfs_fallbacks);
-  w.put_u64(open_remote_fds());
-  return std::move(w).take();
+  return metrics_frame().encode();
 }
 
 }  // namespace hvac::server

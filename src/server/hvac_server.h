@@ -19,6 +19,7 @@
 #include "common/result.h"
 #include "core/cache_manager.h"
 #include "core/data_mover.h"
+#include "core/metrics_frame.h"
 #include "rpc/rpc_server.h"
 #include "server/hvac_proto.h"
 #include "storage/pfs_backend.h"
@@ -61,6 +62,13 @@ class HvacServer {
 
   core::CacheManager& cache() { return *cache_; }
   core::MetricsSnapshot metrics() const { return cache_->metrics(); }
+  // Full observability frame for this instance: cache counters plus
+  // handle-cache / buffer-pool / read-ahead sections and the per-op
+  // handler latency histograms (metrics frame v2). The buffer-pool and
+  // read-ahead sections are process-wide (the pool and the client
+  // counters are globals), so instances in one process report the same
+  // values there.
+  core::MetricsFrame metrics_frame() const;
   size_t open_remote_fds() const;
 
  private:
@@ -92,6 +100,10 @@ class HvacServer {
   std::mutex fds_mutex_;
   std::unordered_map<uint64_t, std::shared_ptr<OpenFile>> open_fds_;
   std::atomic<uint64_t> next_remote_fd_{1};
+
+  // Per-op handler-execution latency (queueing and network excluded),
+  // bumped lock-free from the handler threads.
+  mutable core::OpLatencySet latency_;
 };
 
 }  // namespace hvac::server

@@ -51,6 +51,24 @@ std::string NodeRuntime::endpoints_csv() const {
   return csv;
 }
 
+core::MetricsFrame NodeRuntime::aggregated_frame() const {
+  core::MetricsFrame total;
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    core::MetricsFrame f = servers_[i]->metrics_frame();
+    if (i == 0) {
+      total = std::move(f);
+      continue;
+    }
+    // The process-global sections repeat identically in every
+    // instance's frame; keep the first copy and merge the rest of the
+    // sections.
+    f.buffer_pool = core::BufferPoolStats{};
+    f.readahead = core::ReadAheadStats{};
+    total.merge(f);
+  }
+  return total;
+}
+
 core::MetricsSnapshot NodeRuntime::aggregated_metrics() const {
   core::MetricsSnapshot total;
   for (const auto& server : servers_) {

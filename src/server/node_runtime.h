@@ -48,6 +48,13 @@ class NodeRuntime {
   // Aggregated metrics across instances.
   core::MetricsSnapshot aggregated_metrics() const;
 
+  // Full metrics frame v2 aggregated across the node's instances.
+  // Per-instance sections (cache, fds, handle cache, latency) are
+  // summed; process-wide sections (buffer pool, read-ahead) are taken
+  // once — the instances share one process, so summing them would
+  // multiply-count the same counters.
+  core::MetricsFrame aggregated_frame() const;
+
  private:
   NodeRuntimeOptions options_;
   std::unique_ptr<storage::PfsBackend> pfs_;

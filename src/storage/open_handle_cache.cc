@@ -66,6 +66,9 @@ void OpenHandleCache::invalidate(const std::string& key) {
     doomed = it->second->second;
     lru_.erase(it->second);
     index_.erase(it);
+    if (doomed->pins.load(std::memory_order_relaxed) > 0) {
+      deferred_closes_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   // `doomed` drops outside the lock: if no reader holds a pin the fd
   // closes now; otherwise the last Pin's unpin closes it (deferred).
@@ -80,6 +83,11 @@ void OpenHandleCache::clear() {
   }
   // Handles close here, outside the lock — except pinned ones, which
   // survive until their readers finish.
+  for (const auto& [key, entry] : drained) {
+    if (entry->pins.load(std::memory_order_relaxed) > 0) {
+      deferred_closes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 size_t OpenHandleCache::open_handles() const {

@@ -99,6 +99,11 @@ class OpenHandleCache {
   uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  // Entries removed from the index while still pinned: their fds
+  // outlived eviction and closed on the last Pin drop.
+  uint64_t deferred_closes() const {
+    return deferred_closes_.load(std::memory_order_relaxed);
+  }
   size_t capacity() const { return max_handles_; }
   bool enabled() const { return max_handles_ > 0; }
 
@@ -119,6 +124,7 @@ class OpenHandleCache {
   std::unordered_map<std::string, LruList::iterator> index_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> deferred_closes_{0};
 };
 
 }  // namespace hvac::storage

@@ -48,7 +48,14 @@ std::string run_target(const std::vector<std::string>& files,
                                std::to_string(::getpid()) + ".txt";
   std::ostringstream cmd;
   cmd << "env ";
-  if (preload) cmd << "LD_PRELOAD=" << HVAC_INTERCEPT_SO << " ";
+  if (preload) {
+    cmd << "LD_PRELOAD=" << HVAC_INTERCEPT_SO << " ";
+    // In -DHVAC_SANITIZE=address builds the shim precedes the ASan
+    // runtime in the initial library list, which ASan rejects by
+    // default. The target binary itself links the runtime, so the
+    // order check is the only problem; ignored by non-ASan builds.
+    cmd << "ASAN_OPTIONS=verify_asan_link_order=0 ";
+  }
   if (!dataset_dir.empty()) cmd << "HVAC_DATASET_DIR=" << dataset_dir << " ";
   if (!servers.empty()) cmd << "HVAC_SERVERS=" << servers << " ";
   cmd << HVAC_TARGET_BIN;

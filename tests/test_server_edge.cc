@@ -7,6 +7,7 @@
 
 #include <filesystem>
 
+#include "core/metrics_frame.h"
 #include "rpc/rpc_client.h"
 #include "rpc/wire.h"
 #include "server/hvac_proto.h"
@@ -174,11 +175,22 @@ TEST_F(ServerEdge, MetricsPayloadShape) {
   (void)open_remote();
   const auto resp = client_->call(proto::kMetrics, Bytes{});
   ASSERT_TRUE(resp.ok());
+  // The v1 prefix (eight bare u64 counters) still leads the payload so
+  // legacy decoders keep working, and the v2 section list follows,
+  // announced by its magic.
   WireReader r(*resp);
   for (int i = 0; i < 8; ++i) {
     EXPECT_TRUE(r.get_u64().ok()) << "field " << i;
   }
-  EXPECT_TRUE(r.exhausted());
+  const auto magic = r.get_u32();
+  ASSERT_TRUE(magic.ok());
+  EXPECT_EQ(*magic, core::kMetricsFrameMagic);
+  const auto frame = core::MetricsFrame::decode(*resp);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->version, core::kFrameVersion);
+  EXPECT_GE(frame->handle_cache.capacity, 1u);
+  // The opens above were timed.
+  EXPECT_EQ(frame->op_latency.count(proto::kOpen), 1u);
 }
 
 TEST_F(ServerEdge, ServerCountsOpenFds) {
