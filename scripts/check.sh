@@ -9,6 +9,9 @@
 #   scripts/check.sh bench      run bench/micro_rpc, emit BENCH_rpc.json
 #                               (BENCH_OUT overrides the output path,
 #                               BENCH_REPS the repetition count)
+#   scripts/check.sh chaos      the resilience suites (fault injection,
+#                               circuit breaker, deadlines, backpressure,
+#                               drain, daemon-kill chaos) under ASan
 #
 # Sanitizer builds live in their own build dirs (build-asan/, build-tsan/)
 # so they never contaminate the primary build/.
@@ -43,6 +46,17 @@ case "$MODE" in
       "./build-tsan/tests/$t"
     done
     ;;
+  chaos)
+    # The resilience surface under ASan: the fault-injection harness,
+    # breaker transitions, call deadlines, shedding/drain, and the
+    # daemon-kill chaos scenarios, plus the channel-recovery edge
+    # cases in the async-RPC and client-edge suites.
+    cmake -B build-asan -S . -DHVAC_SANITIZE=address
+    cmake --build build-asan -j "$JOBS" \
+      --target test_chaos test_async_rpc test_client_edge
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+      -R "Fault|Breaker|CallDeadline|Backpressure|Drain|Chaos|HostileServer|AsyncRpcFixture"
+    ;;
   bench)
     cmake -B build -S .
     cmake --build build -j "$JOBS" --target micro_rpc
@@ -59,7 +73,7 @@ case "$MODE" in
       --benchmark_context=git_date="$GIT_DATE"
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|bench]" >&2
+    echo "usage: $0 [tier1|asan|tsan|bench|chaos]" >&2
     exit 2
     ;;
 esac

@@ -10,8 +10,10 @@
 #include <unordered_map>
 
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/log.h"
 #include "core/metrics.h"
+#include "rpc/health.h"
 #include "core/segment.h"
 #include "rpc/async_client.h"
 #include "rpc/wire.h"
@@ -49,6 +51,15 @@ Result<HvacClientOptions> options_from_env() {
   const int64_t readahead = env_int_or("HVAC_READAHEAD", 2);
   o.readahead_chunks =
       readahead > 0 ? static_cast<uint32_t>(readahead) : 0;
+  // Fault-domain knobs: an end-to-end deadline per call and a bounded
+  // retry budget for idempotent ops (stat / positional reads).
+  o.rpc.call_timeout_ms =
+      static_cast<int>(env_int_or("HVAC_CALL_TIMEOUT_MS",
+                                  o.rpc.call_timeout_ms));
+  o.rpc.max_retries =
+      static_cast<int>(env_int_or("HVAC_RPC_RETRIES", o.rpc.max_retries));
+  o.rpc.retry_backoff_ms = static_cast<int>(
+      env_int_or("HVAC_RPC_RETRY_BACKOFF_MS", o.rpc.retry_backoff_ms));
   return o;
 }
 
@@ -56,6 +67,7 @@ HvacClient::HvacClient(HvacClientOptions options)
     : options_(std::move(options)),
       placement_(static_cast<uint32_t>(options_.server_endpoints.size()),
                  options_.placement, options_.replicas) {
+  fault::init_from_env();
   options_.dataset_dir = lexically_normal(options_.dataset_dir);
   channels_.resize(options_.server_endpoints.size());
   async_channels_.resize(options_.server_endpoints.size());
@@ -221,6 +233,7 @@ Result<int> HvacClient::open(const std::string& path) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.opens;
   }
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kOpen));
   HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
 
   // Segment-level caching: a large file is not opened on one home
@@ -367,6 +380,7 @@ Result<size_t> HvacClient::pread(int vfd, void* buf, size_t count,
 
 Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
                                          uint64_t offset, int recoveries) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kRead));
   HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
 
   if (entry.segmented) {
@@ -420,8 +434,12 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
     w.put_u64(entry.remote_fd);
     w.put_u64(chunk_offset);
     w.put_u32(chunk);
-    Result<rpc::Payload> resp =
-        channel(entry.server_index).call_payload(proto::kRead, w.bytes());
+    // Positional reads are idempotent: transient transport errors get
+    // a bounded retry with backoff before the recover_fd machinery
+    // (replica fail-over / PFS) takes over.
+    Result<rpc::Payload> resp = channel(entry.server_index)
+                                    .call_payload_idempotent(proto::kRead,
+                                                             w.bytes());
     if (!resp.ok()) {
       const ErrorCode code = resp.error().code;
       if (code != ErrorCode::kUnavailable && code != ErrorCode::kTimeout &&
@@ -509,11 +527,14 @@ Status HvacClient::close(int vfd) {
 }
 
 Result<uint64_t> HvacClient::stat_size(const std::string& path) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kStat));
   HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
   WireWriter w;
   w.put_string(logical);
   const uint32_t server = placement_.home(logical);
-  Result<Bytes> resp = channel(server).call(proto::kStat, w);
+  // stat is idempotent: transport failures are retried with backoff
+  // (bounded, breaker-gated) before the PFS fallback takes over.
+  Result<Bytes> resp = channel(server).call_idempotent(proto::kStat, w);
   if (!resp.ok()) {
     if (options_.allow_pfs_fallback) {
       return storage::file_size(path);
@@ -585,7 +606,20 @@ std::string stats_to_json(const ClientStats& s) {
     << ",\"pool_hits\":" << bp.hits
     << ",\"fallback_allocs\":" << bp.misses + bp.unpooled
     << ",\"recycled\":" << bp.recycled << ",\"dropped\":" << bp.dropped
-    << "}}";
+    << "}";
+  const rpc::ResilienceCounters& rc = rpc::ResilienceCounters::global();
+  o << ",\"resilience\":{\"breaker_opens\":"
+    << rc.breaker_opens.load(std::memory_order_relaxed)
+    << ",\"breaker_closes\":"
+    << rc.breaker_closes.load(std::memory_order_relaxed)
+    << ",\"breaker_probes\":"
+    << rc.breaker_probes.load(std::memory_order_relaxed)
+    << ",\"breaker_shed\":"
+    << rc.breaker_shed.load(std::memory_order_relaxed)
+    << ",\"retries\":" << rc.retries.load(std::memory_order_relaxed)
+    << ",\"deadline_misses\":"
+    << rc.deadline_misses.load(std::memory_order_relaxed)
+    << ",\"faults_injected\":" << fault::total_injected() << "}}";
   return o.str();
 }
 

@@ -1,18 +1,26 @@
 // hvacctl — tiny operator CLI for a running HVAC allocation.
 //
-//   hvacctl ping    HOST:PORT[,HOST:PORT...]
-//   hvacctl metrics HOST:PORT[,HOST:PORT...] [--json] [--watch N]
-//   hvacctl stat    HOST:PORT <relative-path>
-//   hvacctl warm    HOST:PORT <relative-path>
+//   hvacctl [--timeout MS] ping    HOST:PORT[,HOST:PORT...]
+//   hvacctl [--timeout MS] health  HOST:PORT[,HOST:PORT...] [--json]
+//   hvacctl [--timeout MS] metrics HOST:PORT[,HOST:PORT...] [--json]
+//                                  [--watch N]
+//   hvacctl [--timeout MS] stat    HOST:PORT <relative-path>
+//   hvacctl [--timeout MS] warm    HOST:PORT <relative-path>
 //
 // Talks the same RPC schema as the client library; useful for
 // checking server health from a login node and for watching hit
 // rates during a training run. `metrics` decodes the metrics frame
-// v2 (handle-cache / buffer-pool / read-ahead sections and per-op
-// latency histograms) and degrades to the seven v1 counters against
-// an old server; --json emits one machine-readable document per
-// sample (the CI bench gate consumes this), --watch N resamples
-// every N seconds until interrupted.
+// v2 (handle-cache / buffer-pool / read-ahead / resilience sections
+// and per-op latency histograms) and degrades to the seven v1
+// counters against an old server; --json emits one machine-readable
+// document per sample (the CI bench gate consumes this), --watch N
+// resamples every N seconds until interrupted. `health` pings each
+// endpoint, reports the round-trip time and the server's fault-domain
+// counters, and exits nonzero when any endpoint is unreachable.
+//
+// Every RPC is bounded by --timeout (default 2000 ms, applied to
+// connect, per-recv and the whole call) so a dead or wedged server
+// cannot hang the CLI.
 #include <unistd.h>
 
 #include <cstdio>
@@ -22,6 +30,7 @@
 
 #include "common/env.h"
 #include "core/metrics_frame.h"
+#include "rpc/health.h"
 #include "rpc/rpc_client.h"
 #include "rpc/wire.h"
 #include "server/hvac_proto.h"
@@ -33,16 +42,96 @@ using rpc::WireWriter;
 
 namespace {
 
+// Short, uniform bound for an interactive tool: a dead server should
+// cost one timeout, not the library's 30 s default.
+int g_timeout_ms = 2000;
+
+rpc::RpcClientOptions cli_options() {
+  rpc::RpcClientOptions o;
+  o.connect_timeout_ms = g_timeout_ms;
+  o.recv_timeout_ms = g_timeout_ms;
+  o.call_timeout_ms = g_timeout_ms;
+  o.max_retries = 0;  // operators prefer a fast error over a retry
+  return o;
+}
+
 int cmd_ping(const std::string& csv) {
   int failures = 0;
   for (const auto& endpoint : split_csv(csv)) {
-    rpc::RpcClient client(rpc::Endpoint{endpoint},
-                          rpc::RpcClientOptions{2000, 2000});
+    rpc::RpcClient client(rpc::Endpoint{endpoint}, cli_options());
     const auto resp = client.call(proto::kPing, Bytes{});
     std::printf("%-24s %s\n", endpoint.c_str(),
                 resp.ok() ? "OK" : resp.error().to_string().c_str());
     if (!resp.ok()) ++failures;
   }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_health(const std::string& csv, bool json) {
+  int failures = 0;
+  std::string json_rows;
+  if (!json) {
+    std::printf("%-24s %-6s %8s  %s\n", "endpoint", "state", "rtt_us",
+                "resilience");
+  }
+  for (const auto& endpoint : split_csv(csv)) {
+    rpc::RpcClient client(rpc::Endpoint{endpoint}, cli_options());
+    const int64_t t0 = rpc::steady_now_us();
+    const auto ping = client.call(proto::kPing, Bytes{});
+    const int64_t rtt_us = rpc::steady_now_us() - t0;
+    core::ResilienceStats rs;
+    bool have_stats = false;
+    if (ping.ok()) {
+      const auto resp = client.call(proto::kMetrics, Bytes{});
+      if (resp.ok()) {
+        if (const auto frame = core::MetricsFrame::decode(*resp);
+            frame.ok() && frame->version >= 2) {
+          rs = frame->resilience;
+          have_stats = true;
+        }
+      }
+    }
+    if (json) {
+      if (!json_rows.empty()) json_rows += ",";
+      json_rows += "{\"endpoint\":\"" + endpoint + "\",\"up\":" +
+                   (ping.ok() ? "true" : "false") +
+                   ",\"rtt_us\":" + std::to_string(rtt_us);
+      if (have_stats) {
+        json_rows +=
+            ",\"breaker_opens\":" + std::to_string(rs.breaker_opens) +
+            ",\"breaker_shed\":" + std::to_string(rs.breaker_shed) +
+            ",\"retries\":" + std::to_string(rs.retries) +
+            ",\"deadline_misses\":" + std::to_string(rs.deadline_misses) +
+            ",\"server_shed\":" + std::to_string(rs.server_shed) +
+            ",\"mover_rejects\":" + std::to_string(rs.mover_rejects) +
+            ",\"drains\":" + std::to_string(rs.drains) +
+            ",\"faults_injected\":" + std::to_string(rs.faults_injected);
+      }
+      json_rows += "}";
+    } else if (!ping.ok()) {
+      std::printf("%-24s %-6s %8s  %s\n", endpoint.c_str(), "DOWN", "-",
+                  ping.error().to_string().c_str());
+    } else if (have_stats) {
+      std::printf("%-24s %-6s %8ld  opens=%lu shed=%lu+%lu retries=%lu "
+                  "deadline_misses=%lu mover_rejects=%lu drains=%lu\n",
+                  endpoint.c_str(), "UP", (long)rtt_us,
+                  (unsigned long)rs.breaker_opens,
+                  (unsigned long)rs.breaker_shed,
+                  (unsigned long)rs.server_shed, (unsigned long)rs.retries,
+                  (unsigned long)rs.deadline_misses,
+                  (unsigned long)rs.mover_rejects,
+                  (unsigned long)rs.drains);
+    } else {
+      std::printf("%-24s %-6s %8ld  (v1 server, no resilience section)\n",
+                  endpoint.c_str(), "UP", (long)rtt_us);
+    }
+    if (!ping.ok()) ++failures;
+  }
+  if (json) {
+    std::printf("{\"endpoints\":[%s],\"failures\":%d}\n", json_rows.c_str(),
+                failures);
+  }
+  std::fflush(stdout);
   return failures == 0 ? 0 : 1;
 }
 
@@ -71,6 +160,19 @@ void print_metrics_row(const std::string& endpoint,
               (unsigned long)f.readahead.issued,
               (unsigned long)f.readahead.consumed,
               (unsigned long)f.readahead.wasted);
+  const auto& rs = f.resilience;
+  std::printf("  resilience   breaker(opens=%lu closes=%lu probes=%lu "
+              "shed=%lu) retries=%lu deadline_misses=%lu server_shed=%lu "
+              "mover_rejects=%lu drains=%lu drained=%lu faults=%lu\n",
+              (unsigned long)rs.breaker_opens,
+              (unsigned long)rs.breaker_closes,
+              (unsigned long)rs.breaker_probes,
+              (unsigned long)rs.breaker_shed, (unsigned long)rs.retries,
+              (unsigned long)rs.deadline_misses,
+              (unsigned long)rs.server_shed,
+              (unsigned long)rs.mover_rejects, (unsigned long)rs.drains,
+              (unsigned long)rs.drained_requests,
+              (unsigned long)rs.faults_injected);
   for (const auto& [op, snap] : f.op_latency) {
     std::printf("  latency %-12s n=%-8lu p50=%.1fus p99=%.1fus\n",
                 core::op_name(op).c_str(), (unsigned long)snap.count,
@@ -89,8 +191,7 @@ int metrics_once(const std::vector<std::string>& endpoints, bool json) {
                 "pfs_bytes", "fallbk", "fds");
   }
   for (const auto& endpoint : endpoints) {
-    rpc::RpcClient client(rpc::Endpoint{endpoint},
-                          rpc::RpcClientOptions{2000, 2000});
+    rpc::RpcClient client(rpc::Endpoint{endpoint}, cli_options());
     const auto resp = client.call(proto::kMetrics, Bytes{});
     if (!resp.ok()) {
       if (!json) {
@@ -146,8 +247,7 @@ int cmd_metrics(const std::string& csv, bool json, int watch_seconds) {
 
 int cmd_path_op(uint16_t opcode, const std::string& endpoint,
                 const std::string& path) {
-  rpc::RpcClient client(rpc::Endpoint{endpoint},
-                        rpc::RpcClientOptions{5000, 30000});
+  rpc::RpcClient client(rpc::Endpoint{endpoint}, cli_options());
   WireWriter w;
   w.put_string(path);
   const auto resp = client.call(opcode, w.bytes());
@@ -169,41 +269,70 @@ int cmd_path_op(uint16_t opcode, const std::string& endpoint,
   return 0;
 }
 
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--timeout MS] ping ENDPOINTS\n"
+               "       %s [--timeout MS] health ENDPOINTS [--json]\n"
+               "       %s [--timeout MS] metrics ENDPOINTS [--json] "
+               "[--watch N]\n"
+               "       %s [--timeout MS] stat|warm ENDPOINT PATH\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s ping ENDPOINTS\n"
-                 "       %s metrics ENDPOINTS [--json] [--watch N]\n"
-                 "       %s stat|warm ENDPOINT PATH\n",
-                 argv[0], argv[0], argv[0]);
-    return 2;
+  // Strip the global --timeout flag (valid before or after the
+  // command word) so the per-command parsing below stays positional.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--timeout") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      g_timeout_ms = std::atoi(argv[++i]);
+      if (g_timeout_ms <= 0) g_timeout_ms = 2000;
+      continue;
+    }
+    args.push_back(arg);
   }
-  const std::string cmd = argv[1];
-  if (cmd == "ping") return cmd_ping(argv[2]);
+  if (args.size() < 2) return usage(argv[0]);
+  const std::string cmd = args[0];
+  if (cmd == "ping") return cmd_ping(args[1]);
+  if (cmd == "health") {
+    bool json = false;
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else {
+        std::fprintf(stderr, "unknown health flag %s\n", args[i].c_str());
+        return 2;
+      }
+    }
+    return cmd_health(args[1], json);
+  }
   if (cmd == "metrics") {
     bool json = false;
     int watch_seconds = 0;
-    for (int i = 3; i < argc; ++i) {
-      const std::string flag = argv[i];
+    for (size_t i = 2; i < args.size(); ++i) {
+      const std::string& flag = args[i];
       if (flag == "--json") {
         json = true;
-      } else if (flag == "--watch" && i + 1 < argc) {
-        watch_seconds = std::atoi(argv[++i]);
+      } else if (flag == "--watch" && i + 1 < args.size()) {
+        watch_seconds = std::atoi(args[++i].c_str());
       } else {
         std::fprintf(stderr, "unknown metrics flag %s\n", flag.c_str());
         return 2;
       }
     }
-    return cmd_metrics(argv[2], json, watch_seconds);
+    return cmd_metrics(args[1], json, watch_seconds);
   }
-  if (argc < 4) {
+  if (args.size() < 3) {
     std::fprintf(stderr, "%s needs ENDPOINT PATH\n", cmd.c_str());
     return 2;
   }
-  if (cmd == "stat") return cmd_path_op(proto::kStat, argv[2], argv[3]);
-  if (cmd == "warm") return cmd_path_op(proto::kPrefetch, argv[2], argv[3]);
+  if (cmd == "stat") return cmd_path_op(proto::kStat, args[1], args[2]);
+  if (cmd == "warm") return cmd_path_op(proto::kPrefetch, args[1], args[2]);
   std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
   return 2;
 }

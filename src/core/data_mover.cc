@@ -1,5 +1,7 @@
 #include "core/data_mover.h"
 
+#include "rpc/health.h"
+
 namespace hvac::core {
 
 DataMover::DataMover(CacheManager* cache, size_t movers,
@@ -17,11 +19,23 @@ std::future<Result<bool>> DataMover::submit(std::string logical_path) {
   auto task = std::make_unique<Task>();
   task->logical_path = std::move(logical_path);
   std::future<Result<bool>> fut = task->done.get_future();
-  Status pushed = queue_.push(std::move(task));
+  // Bounded: a full FIFO rejects instead of blocking the caller (an
+  // RPC handler thread). Blocking here under a prefetch flood would
+  // park every handler thread on the queue and stall even cache-hit
+  // reads; rejecting lets the client fall back to the PFS (fail-open)
+  // or retry later.
+  Status pushed = queue_.try_push(std::move(task));
   if (!pushed.ok()) {
-    // Queue closed: resolve immediately with the error.
+    Error error = pushed.error();
+    if (error.code == ErrorCode::kCapacity) {
+      rpc::ResilienceCounters::global().mover_rejects.fetch_add(
+          1, std::memory_order_relaxed);
+      error = Error(ErrorCode::kUnavailable,
+                    "data-mover queue saturated; retry later");
+    }
+    // Queue closed or full: resolve immediately with the error.
     std::promise<Result<bool>> p;
-    p.set_value(Result<bool>(pushed.error()));
+    p.set_value(Result<bool>(std::move(error)));
     return p.get_future();
   }
   return fut;

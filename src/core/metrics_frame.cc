@@ -33,6 +33,20 @@ void ReadAheadStats::merge(const ReadAheadStats& other) {
   wasted += other.wasted;
 }
 
+void ResilienceStats::merge(const ResilienceStats& other) {
+  breaker_opens += other.breaker_opens;
+  breaker_closes += other.breaker_closes;
+  breaker_probes += other.breaker_probes;
+  breaker_shed += other.breaker_shed;
+  retries += other.retries;
+  deadline_misses += other.deadline_misses;
+  server_shed += other.server_shed;
+  mover_rejects += other.mover_rejects;
+  drains += other.drains;
+  drained_requests += other.drained_requests;
+  faults_injected += other.faults_injected;
+}
+
 void MetricsFrame::merge(const MetricsFrame& other) {
   version = version > other.version ? version : other.version;
   cache.hits += other.cache.hits;
@@ -46,6 +60,7 @@ void MetricsFrame::merge(const MetricsFrame& other) {
   handle_cache.merge(other.handle_cache);
   buffer_pool.merge(other.buffer_pool);
   readahead.merge(other.readahead);
+  resilience.merge(other.resilience);
   for (const auto& [op, snap] : other.op_latency) {
     op_latency[op].merge(snap);
   }
@@ -65,7 +80,7 @@ Bytes MetricsFrame::encode() const {
 
   w.put_u32(kMetricsFrameMagic);
   w.put_u16(kFrameVersion);
-  w.put_u16(4);  // section count
+  w.put_u16(5);  // section count
 
   {
     WireWriter s;
@@ -107,6 +122,22 @@ Bytes MetricsFrame::encode() const {
       for (uint64_t b : snap.buckets) s.put_u64(b);
     }
     w.put_u16(kSectionLatency);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  {
+    WireWriter s;
+    s.put_u64(resilience.breaker_opens);
+    s.put_u64(resilience.breaker_closes);
+    s.put_u64(resilience.breaker_probes);
+    s.put_u64(resilience.breaker_shed);
+    s.put_u64(resilience.retries);
+    s.put_u64(resilience.deadline_misses);
+    s.put_u64(resilience.server_shed);
+    s.put_u64(resilience.mover_rejects);
+    s.put_u64(resilience.drains);
+    s.put_u64(resilience.drained_requests);
+    s.put_u64(resilience.faults_injected);
+    w.put_u16(kSectionResilience);
     w.put_blob(s.bytes().data(), s.bytes().size());
   }
   return std::move(w).take();
@@ -200,6 +231,17 @@ Result<MetricsFrame> MetricsFrame::decode(const Bytes& bytes) {
       case kSectionLatency:
         decode_latency(s, &f.op_latency);
         break;
+      case kSectionResilience:
+        read_u64s(s, {&f.resilience.breaker_opens,
+                      &f.resilience.breaker_closes,
+                      &f.resilience.breaker_probes,
+                      &f.resilience.breaker_shed, &f.resilience.retries,
+                      &f.resilience.deadline_misses,
+                      &f.resilience.server_shed,
+                      &f.resilience.mover_rejects, &f.resilience.drains,
+                      &f.resilience.drained_requests,
+                      &f.resilience.faults_injected});
+        break;
       default:
         break;  // unknown section: skipped by its length prefix
     }
@@ -248,6 +290,17 @@ std::string MetricsFrame::to_json() const {
     << ",\"read_ahead\":{\"issued\":" << readahead.issued
     << ",\"consumed\":" << readahead.consumed
     << ",\"wasted\":" << readahead.wasted << "}"
+    << ",\"resilience\":{\"breaker_opens\":" << resilience.breaker_opens
+    << ",\"breaker_closes\":" << resilience.breaker_closes
+    << ",\"breaker_probes\":" << resilience.breaker_probes
+    << ",\"breaker_shed\":" << resilience.breaker_shed
+    << ",\"retries\":" << resilience.retries
+    << ",\"deadline_misses\":" << resilience.deadline_misses
+    << ",\"server_shed\":" << resilience.server_shed
+    << ",\"mover_rejects\":" << resilience.mover_rejects
+    << ",\"drains\":" << resilience.drains
+    << ",\"drained_requests\":" << resilience.drained_requests
+    << ",\"faults_injected\":" << resilience.faults_injected << "}"
     << ",\"latency_us\":{";
   bool first = true;
   for (const auto& [op, snap] : op_latency) {

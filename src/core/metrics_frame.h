@@ -42,6 +42,7 @@ enum MetricsSection : uint16_t {
   kSectionBufferPool = 2,
   kSectionReadAhead = 3,
   kSectionLatency = 4,
+  kSectionResilience = 5,
 };
 
 struct HandleCacheStats {
@@ -73,6 +74,25 @@ struct ReadAheadStats {
   void merge(const ReadAheadStats& other);
 };
 
+// Fault-domain counters (rpc/health.h): breaker transitions, retries,
+// deadline misses, backpressure sheds, drain stats. Process-wide, like
+// the buffer pool.
+struct ResilienceStats {
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t breaker_probes = 0;
+  uint64_t breaker_shed = 0;
+  uint64_t retries = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t server_shed = 0;
+  uint64_t mover_rejects = 0;
+  uint64_t drains = 0;
+  uint64_t drained_requests = 0;
+  uint64_t faults_injected = 0;  // HVAC_FAULT harness activity
+
+  void merge(const ResilienceStats& other);
+};
+
 struct MetricsFrame {
   // Decoded frame version: kFrameVersion, or 1 for a legacy payload
   // (sections all zero).
@@ -84,6 +104,7 @@ struct MetricsFrame {
   HandleCacheStats handle_cache;
   BufferPoolStats buffer_pool;
   ReadAheadStats readahead;
+  ResilienceStats resilience;
   // Keyed by proto::Opcode value; only ops with samples are present.
   std::map<uint16_t, LatencySnapshot> op_latency;
 

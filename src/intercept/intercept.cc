@@ -30,6 +30,7 @@
 
 #include "client/hvac_client.h"
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/log.h"
 #include "core/fd_table.h"
 
@@ -130,6 +131,11 @@ bool client_active() {
     g_state.store(2, std::memory_order_release);
     return false;
   }
+  // Arm HVAC_FAULT here, inside the guard, rather than from some
+  // static constructor: interposed libc symbols are callable before
+  // our own globals are built, and the harness init only touches
+  // getenv + its own statics (constructor-safe by design).
+  hvac::fault::init_from_env();
   auto options = options_from_env();
   if (!options.ok()) {
     HVAC_LOG_INFO("hvac shim passthrough: " << options.error().to_string());

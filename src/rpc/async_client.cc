@@ -9,21 +9,49 @@
 namespace hvac::rpc {
 
 AsyncRpcClient::AsyncRpcClient(Endpoint endpoint, RpcClientOptions options)
-    : endpoint_(std::move(endpoint)), options_(options) {}
+    : endpoint_(std::move(endpoint)),
+      options_(options),
+      health_(HealthRegistry::global().get(endpoint_.address)) {}
 
 AsyncRpcClient::~AsyncRpcClient() { shutdown(); }
 
-Status AsyncRpcClient::ensure_connected_locked() {
+Status AsyncRpcClient::ensure_connected_locked(
+    std::unique_lock<std::mutex>& lock) {
   if (broken_) {
-    // The receiver exited after a transport error; reap it before
-    // dialing again.
+    // The receiver exited (or is about to) after a transport error;
+    // reap it before dialing again. The join must happen without
+    // mutex_ held — the exiting receiver takes mutex_ inside
+    // fail_all() — and the socket must be shut down (not just closed)
+    // first so a receiver still blocked in recv wakes up. Closing the
+    // fd waits until after the join: the receiver reads from the raw
+    // fd, and closing early would let another thread reuse the number.
+    if (reaping_) {
+      return Error(ErrorCode::kUnavailable,
+                   "channel to " + endpoint_.address + " reconnecting");
+    }
+    reaping_ = true;
+    if (socket_.valid()) ::shutdown(socket_.get(), SHUT_RDWR);
+    std::thread dead = std::move(receiver_);
+    lock.unlock();
+    if (dead.joinable()) dead.join();
+    lock.lock();
     socket_.reset();
-    if (receiver_.joinable()) receiver_.join();
     broken_ = false;
+    reaping_ = false;
+    if (shutting_down_) {
+      return Error(ErrorCode::kCancelled, "client shut down");
+    }
   }
   if (socket_.valid()) return Status::Ok();
-  HVAC_ASSIGN_OR_RETURN(socket_,
-                        connect_to(endpoint_, options_.connect_timeout_ms));
+  auto dialed = connect_to(endpoint_, options_.connect_timeout_ms);
+  if (!dialed.ok()) {
+    if (dialed.error().code == ErrorCode::kUnavailable ||
+        dialed.error().code == ErrorCode::kTimeout) {
+      health_->record_failure();
+    }
+    return dialed.error();
+  }
+  socket_ = std::move(dialed).value();
   if (options_.recv_timeout_ms > 0) {
     timeval tv{};
     tv.tv_sec = options_.recv_timeout_ms / 1000;
@@ -49,11 +77,15 @@ std::future<Result<Bytes>> AsyncRpcClient::call_async(uint16_t opcode,
         Error(ErrorCode::kInvalidArgument, "request exceeds max frame"));
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   if (shutting_down_) {
     return fail_now(Error(ErrorCode::kCancelled, "client shut down"));
   }
-  if (Status s = ensure_connected_locked(); !s.ok()) {
+  if (!health_->allow_request()) {
+    return fail_now(Error(ErrorCode::kUnavailable,
+                          "circuit open for " + endpoint_.address));
+  }
+  if (Status s = ensure_connected_locked(lock); !s.ok()) {
     return fail_now(s.error());
   }
 
@@ -73,6 +105,7 @@ std::future<Result<Bytes>> AsyncRpcClient::call_async(uint16_t opcode,
   if (!sent.ok()) {
     pending_.erase(header.request_id);
     broken_ = true;
+    health_->record_failure();
     return fail_now(Error(ErrorCode::kUnavailable, sent.error().message));
   }
   return fut;
@@ -113,6 +146,9 @@ void AsyncRpcClient::receiver_loop(int fd) {
       HVAC_LOG_WARN("async response for unknown id " << header->request_id);
       continue;
     }
+    // Any complete response — even a handler error — proves the
+    // endpoint alive; keep its circuit closed.
+    health_->record_success();
     if (header->status != ErrorCode::kOk) {
       WireReader r(payload);
       auto msg = r.get_string();
@@ -126,11 +162,20 @@ void AsyncRpcClient::receiver_loop(int fd) {
 
 void AsyncRpcClient::fail_all(const Error& error) {
   std::unordered_map<uint64_t, std::shared_ptr<Pending>> orphans;
+  bool count_failure = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // A local shutdown() tears the socket down on purpose; only a
+    // transport error against a live client counts against the
+    // endpoint's breaker.
+    count_failure = !shutting_down_ &&
+                    (error.code == ErrorCode::kUnavailable ||
+                     error.code == ErrorCode::kTimeout ||
+                     error.code == ErrorCode::kProtocol);
     orphans.swap(pending_);
     broken_ = true;
   }
+  if (count_failure) health_->record_failure();
   for (auto& [id, pending] : orphans) {
     pending->promise.set_value(Result<Bytes>(error));
   }

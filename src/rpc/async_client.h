@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "rpc/health.h"
 #include "rpc/protocol.h"
 #include "rpc/rpc_client.h"  // RpcClientOptions
 #include "rpc/socket.h"
@@ -47,12 +48,15 @@ class AsyncRpcClient {
     std::promise<Result<Bytes>> promise;
   };
 
-  Status ensure_connected_locked();
+  Status ensure_connected_locked(std::unique_lock<std::mutex>& lock);
   void receiver_loop(int fd);
   void fail_all(const Error& error);
 
   Endpoint endpoint_;
   RpcClientOptions options_;
+  // Shared with every other channel to this endpoint: a crash seen by
+  // the sync channel fails async calls fast too, and vice versa.
+  std::shared_ptr<EndpointHealth> health_;
 
   mutable std::mutex mutex_;
   Fd socket_;
@@ -62,6 +66,8 @@ class AsyncRpcClient {
   bool shutting_down_ = false;
   bool broken_ = false;  // receiver saw a transport error; reconnect
                          // lazily on the next call
+  bool reaping_ = false;  // a caller is joining the dead receiver
+                          // outside the lock; others fail fast
 };
 
 }  // namespace hvac::rpc

@@ -1,0 +1,181 @@
+#include "rpc/health.h"
+
+#include <time.h>
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "common/rng.h"
+
+namespace hvac::rpc {
+
+ResilienceCounters& ResilienceCounters::global() {
+  static ResilienceCounters counters;
+  return counters;
+}
+
+BreakerOptions BreakerOptions::from_env() {
+  BreakerOptions o;
+  o.failures_to_open = static_cast<int>(
+      env_int_or("HVAC_BREAKER_FAILURES", o.failures_to_open));
+  o.base_backoff_ms = static_cast<int>(
+      env_int_or("HVAC_BREAKER_BASE_MS", o.base_backoff_ms));
+  o.max_backoff_ms = static_cast<int>(
+      env_int_or("HVAC_BREAKER_MAX_MS", o.max_backoff_ms));
+  if (o.base_backoff_ms < 1) o.base_backoff_ms = 1;
+  if (o.max_backoff_ms < o.base_backoff_ms) {
+    o.max_backoff_ms = o.base_backoff_ms;
+  }
+  return o;
+}
+
+int64_t steady_now_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1'000'000;
+}
+
+int64_t steady_now_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000 + ts.tv_nsec / 1'000;
+}
+
+EndpointHealth::EndpointHealth(std::string endpoint, BreakerOptions options)
+    : endpoint_(std::move(endpoint)), options_(options) {}
+
+bool EndpointHealth::allow_request() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (steady_now_ms() >= retry_at_ms_) {
+        state_ = State::kHalfOpen;
+        probe_inflight_ = true;
+        ResilienceCounters::global().breaker_probes.fetch_add(
+            1, std::memory_order_relaxed);
+        return true;
+      }
+      break;
+    case State::kHalfOpen:
+      if (!probe_inflight_) {
+        probe_inflight_ = true;
+        ResilienceCounters::global().breaker_probes.fetch_add(
+            1, std::memory_order_relaxed);
+        return true;
+      }
+      break;
+  }
+  ResilienceCounters::global().breaker_shed.fetch_add(
+      1, std::memory_order_relaxed);
+  return false;
+}
+
+void EndpointHealth::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  probe_inflight_ = false;
+  if (state_ != State::kClosed) {
+    state_ = State::kClosed;
+    open_streak_ = 0;
+    ResilienceCounters::global().breaker_closes.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+void EndpointHealth::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_failures_;
+  probe_inflight_ = false;
+  if (options_.failures_to_open <= 0) return;  // breaker disabled
+  if (state_ == State::kHalfOpen) {
+    trip_locked();  // failed probe: straight back to open, longer wait
+  } else if (state_ == State::kClosed &&
+             consecutive_failures_ >=
+                 static_cast<uint64_t>(options_.failures_to_open)) {
+    trip_locked();
+  }
+  // A failure reported while already kOpen (an in-flight call that
+  // started before the trip) does not extend the backoff.
+}
+
+void EndpointHealth::trip_locked() {
+  state_ = State::kOpen;
+  ++open_streak_;
+  ++opens_total_;
+  ResilienceCounters::global().breaker_opens.fetch_add(
+      1, std::memory_order_relaxed);
+  const uint64_t shift = std::min<uint64_t>(open_streak_ - 1, 20);
+  int64_t backoff = std::min<int64_t>(
+      static_cast<int64_t>(options_.base_backoff_ms) << shift,
+      options_.max_backoff_ms);
+  // Deterministic +/-25% jitter (seeded by the endpoint name and the
+  // draw index) de-synchronizes probe storms from many clients while
+  // keeping test runs replayable.
+  SplitMix64 rng(mix64(std::hash<std::string>{}(endpoint_)) ^
+                 ++jitter_draws_);
+  backoff = static_cast<int64_t>(
+      static_cast<double>(backoff) * (0.75 + 0.5 * rng.next_double()));
+  retry_at_ms_ = steady_now_ms() + std::max<int64_t>(backoff, 1);
+}
+
+EndpointHealth::State EndpointHealth::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+EndpointHealth::Snapshot EndpointHealth::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.state = state_;
+  s.consecutive_failures = consecutive_failures_;
+  s.opens = opens_total_;
+  if (state_ == State::kOpen) {
+    s.retry_in_ms = std::max<int64_t>(retry_at_ms_ - steady_now_ms(), 0);
+  }
+  return s;
+}
+
+HealthRegistry& HealthRegistry::global() {
+  static HealthRegistry* registry = new HealthRegistry();  // never dtor'd
+  return *registry;
+}
+
+std::shared_ptr<EndpointHealth> HealthRegistry::get(
+    const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = map_[endpoint];
+  if (!slot) {
+    slot = std::make_shared<EndpointHealth>(endpoint,
+                                            BreakerOptions::from_env());
+  }
+  return slot;
+}
+
+std::vector<std::pair<std::string, EndpointHealth::Snapshot>>
+HealthRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, EndpointHealth::Snapshot>> out;
+  out.reserve(map_.size());
+  for (const auto& [endpoint, health] : map_) {
+    out.emplace_back(endpoint, health->snapshot());
+  }
+  return out;
+}
+
+void HealthRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+}
+
+const char* breaker_state_name(EndpointHealth::State state) {
+  switch (state) {
+    case EndpointHealth::State::kClosed: return "closed";
+    case EndpointHealth::State::kOpen: return "open";
+    case EndpointHealth::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace hvac::rpc

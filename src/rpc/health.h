@@ -1,0 +1,138 @@
+// Per-endpoint health: circuit breaker + process-wide resilience
+// counters.
+//
+// The paper's fail-open guarantee (§III-H) says a dead server must
+// never stall the application — but without memory of past failures
+// every open() on a file homed at a crashed hvacd re-pays the full
+// connect timeout before degrading. The breaker remembers: after N
+// consecutive transport failures an endpoint goes kOpen and callers
+// fail in nanoseconds (straight to replica/PFS fallback) until an
+// exponential backoff with jitter elapses; then one half-open probe
+// is allowed through, and its outcome closes or re-opens the circuit.
+//
+// One EndpointHealth per endpoint address, shared by every channel in
+// the process (sync RpcClient, async AsyncRpcClient, read-ahead,
+// prefetch) via HealthRegistry::global() — a failure seen on any
+// channel protects all of them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hvac::rpc {
+
+// Process-wide resilience counters, exported as metrics-frame section
+// 5 and by the client's HVAC_STATS_FILE dump. Server-side fields
+// (server_shed, mover_rejects, drain*) stay zero in pure clients and
+// vice versa.
+struct ResilienceCounters {
+  std::atomic<uint64_t> breaker_opens{0};
+  std::atomic<uint64_t> breaker_closes{0};
+  std::atomic<uint64_t> breaker_probes{0};
+  std::atomic<uint64_t> breaker_shed{0};     // calls failed-fast while open
+  std::atomic<uint64_t> retries{0};          // idempotent-call retries
+  std::atomic<uint64_t> deadline_misses{0};  // per-call deadline exceeded
+  std::atomic<uint64_t> server_shed{0};      // backpressure rejections
+  std::atomic<uint64_t> mover_rejects{0};    // data-mover queue full
+  std::atomic<uint64_t> drains{0};           // graceful drains started
+  std::atomic<uint64_t> drained_requests{0};  // responses delivered during
+                                              // a drain
+
+  static ResilienceCounters& global();
+};
+
+struct BreakerOptions {
+  // Consecutive transport failures before the circuit opens; <= 0
+  // disables the breaker (it never opens).
+  int failures_to_open = 3;
+  // Backoff before the first half-open probe; doubles per consecutive
+  // open, capped at max_backoff_ms, with +/-25% deterministic jitter.
+  int base_backoff_ms = 500;
+  int max_backoff_ms = 30000;
+
+  // Reads HVAC_BREAKER_FAILURES / HVAC_BREAKER_BASE_MS /
+  // HVAC_BREAKER_MAX_MS over the defaults above.
+  static BreakerOptions from_env();
+};
+
+// Monotonic milliseconds (CLOCK_MONOTONIC) — the transport's deadline
+// clock, exposed here so client and breaker share one time base.
+int64_t steady_now_ms();
+// Same clock in microseconds (RTT measurements in hvacctl health).
+int64_t steady_now_us();
+
+class EndpointHealth {
+ public:
+  enum class State : uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+  EndpointHealth(std::string endpoint, BreakerOptions options);
+
+  // Gate before dialing/sending. False means the circuit is open:
+  // fail fast (kUnavailable) without touching the network. At most
+  // one caller gets `true` per half-open window (the probe).
+  bool allow_request();
+
+  // Outcome reporting. Only *transport-level* failures (kUnavailable,
+  // kTimeout) should be recorded as failures — a healthy server
+  // returning ENOENT is not a dead endpoint.
+  void record_success();
+  void record_failure();
+
+  State state() const;
+  const std::string& endpoint() const { return endpoint_; }
+
+  struct Snapshot {
+    State state = State::kClosed;
+    uint64_t consecutive_failures = 0;
+    uint64_t opens = 0;      // times this endpoint's circuit tripped
+    int64_t retry_in_ms = 0;  // ms until the next probe (open only)
+  };
+  Snapshot snapshot() const;
+
+ private:
+  void trip_locked();  // -> kOpen with backoff
+
+  const std::string endpoint_;
+  const BreakerOptions options_;
+
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  uint64_t consecutive_failures_ = 0;
+  uint64_t open_streak_ = 0;  // consecutive opens (drives the backoff)
+  uint64_t opens_total_ = 0;
+  uint64_t jitter_draws_ = 0;
+  int64_t retry_at_ms_ = 0;
+  bool probe_inflight_ = false;
+};
+
+// Process-global endpoint -> health map. Channels to the same address
+// share one breaker regardless of which client object owns them.
+class HealthRegistry {
+ public:
+  static HealthRegistry& global();
+
+  std::shared_ptr<EndpointHealth> get(const std::string& endpoint);
+
+  std::vector<std::pair<std::string, EndpointHealth::Snapshot>> snapshot()
+      const;
+
+  // Forgets every endpoint (tests; a stale open circuit must not leak
+  // into the next fixture's ephemeral port).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<EndpointHealth>> map_;
+};
+
+const char* breaker_state_name(EndpointHealth::State state);
+
+}  // namespace hvac::rpc

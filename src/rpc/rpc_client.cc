@@ -2,13 +2,34 @@
 
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <time.h>
 
+#include <algorithm>
+#include <cerrno>
+
+#include "common/fault_injection.h"
 #include "common/log.h"
 
 namespace hvac::rpc {
 
+namespace {
+
+bool is_transport_error(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout;
+}
+
+void sleep_ms(int ms) {
+  timespec ts{ms / 1000, static_cast<long>(ms % 1000) * 1'000'000L};
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
 RpcClient::RpcClient(Endpoint endpoint, RpcClientOptions options)
-    : endpoint_(std::move(endpoint)), options_(options) {}
+    : endpoint_(std::move(endpoint)),
+      options_(options),
+      health_(HealthRegistry::global().get(endpoint_.address)) {}
 
 RpcClient::~RpcClient() = default;
 
@@ -41,7 +62,25 @@ Result<Payload> RpcClient::call_payload(uint16_t opcode,
     return Error(ErrorCode::kInvalidArgument, "request exceeds max frame");
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  HVAC_RETURN_IF_ERROR(ensure_connected());
+  if (!health_->allow_request()) {
+    return Error(ErrorCode::kUnavailable,
+                 "circuit open for " + endpoint_.address);
+  }
+  // Every exit below reports its outcome so the breaker tracks
+  // *transport* health: handler-side errors count as successes (the
+  // endpoint answered), connect/send/recv failures count against it.
+  auto fail = [this](Error error) -> Error {
+    if (is_transport_error(error.code)) health_->record_failure();
+    return error;
+  };
+
+  if (Status connected = ensure_connected(); !connected.ok()) {
+    return fail(connected.error());
+  }
+  const int64_t deadline_ms =
+      options_.call_timeout_ms > 0
+          ? steady_now_ms() + options_.call_timeout_ms
+          : -1;
 
   FrameHeader header;
   header.payload_len = static_cast<uint32_t>(request.size());
@@ -51,42 +90,58 @@ Result<Payload> RpcClient::call_payload(uint16_t opcode,
 
   uint8_t hdr[kHeaderSize];
   encode_header(header, hdr);
-  Status sent = send_all(socket_.get(), hdr, kHeaderSize);
+  Status sent = fault::check(fault::Site::kRpcSend);
+  if (sent.ok()) sent = send_all(socket_.get(), hdr, kHeaderSize);
   if (sent.ok() && !request.empty()) {
     sent = send_all(socket_.get(), request.data(), request.size());
   }
   if (!sent.ok()) {
     socket_.reset();
-    return Error(ErrorCode::kUnavailable,
-                 "send to " + endpoint_.address + " failed: " +
-                     sent.error().message);
+    return fail(Error(ErrorCode::kUnavailable,
+                      "send to " + endpoint_.address + " failed: " +
+                          sent.error().message));
   }
 
   // One outstanding call per channel, so the next response is ours —
   // but we still validate the id to catch protocol bugs early.
   for (;;) {
     uint8_t rhdr[kHeaderSize];
-    Status got = recv_all(socket_.get(), rhdr, kHeaderSize);
+    Status got = fault::check(fault::Site::kRpcRecv);
+    if (got.ok()) {
+      got = recv_all_until(socket_.get(), rhdr, kHeaderSize, deadline_ms);
+    }
     if (!got.ok()) {
       socket_.reset();
-      return Error(got.error().code == ErrorCode::kTimeout
-                       ? ErrorCode::kTimeout
-                       : ErrorCode::kUnavailable,
-                   "recv from " + endpoint_.address + " failed: " +
-                       got.error().message);
+      if (got.error().code == ErrorCode::kTimeout) {
+        ResilienceCounters::global().deadline_misses.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      return fail(Error(got.error().code == ErrorCode::kTimeout
+                            ? ErrorCode::kTimeout
+                            : ErrorCode::kUnavailable,
+                        "recv from " + endpoint_.address + " failed: " +
+                            got.error().message));
     }
     auto resp = decode_header(rhdr, kHeaderSize);
     if (!resp.ok()) {
       socket_.reset();
-      return resp.error();
+      return fail(resp.error());
     }
     BufferPool::Lease payload =
         BufferPool::global().acquire(resp->payload_len);
     if (resp->payload_len > 0) {
-      got = recv_all(socket_.get(), payload.data(), payload.size());
+      got = recv_all_until(socket_.get(), payload.data(), payload.size(),
+                           deadline_ms);
       if (!got.ok()) {
         socket_.reset();
-        return Error(ErrorCode::kUnavailable, got.error().message);
+        if (got.error().code == ErrorCode::kTimeout) {
+          ResilienceCounters::global().deadline_misses.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        return fail(Error(got.error().code == ErrorCode::kTimeout
+                              ? ErrorCode::kTimeout
+                              : ErrorCode::kUnavailable,
+                          got.error().message));
       }
     }
     if (resp->kind != FrameKind::kResponse ||
@@ -94,6 +149,7 @@ Result<Payload> RpcClient::call_payload(uint16_t opcode,
       HVAC_LOG_WARN("discarding stale frame id=" << resp->request_id);
       continue;
     }
+    health_->record_success();
     if (resp->status != ErrorCode::kOk) {
       WireReader r(payload.data(), payload.size());
       auto msg = r.get_string();
@@ -101,6 +157,32 @@ Result<Payload> RpcClient::call_payload(uint16_t opcode,
     }
     return Payload(std::move(payload));
   }
+}
+
+Result<Payload> RpcClient::call_payload_idempotent(uint16_t opcode,
+                                                   const Bytes& request) {
+  const int attempts = 1 + std::max(options_.max_retries, 0);
+  Result<Payload> result = call_payload(opcode, request);
+  for (int attempt = 1; attempt < attempts; ++attempt) {
+    if (result.ok() || !is_transport_error(result.error().code)) break;
+    // No point hammering a tripped endpoint — the caller's failover
+    // path (replica / PFS) is the productive next step.
+    if (health_->state() == EndpointHealth::State::kOpen) break;
+    ResilienceCounters::global().retries.fetch_add(
+        1, std::memory_order_relaxed);
+    if (options_.retry_backoff_ms > 0) {
+      sleep_ms(options_.retry_backoff_ms * attempt);
+    }
+    result = call_payload(opcode, request);
+  }
+  return result;
+}
+
+Result<Bytes> RpcClient::call_idempotent(uint16_t opcode,
+                                         const Bytes& request) {
+  HVAC_ASSIGN_OR_RETURN(Payload payload,
+                        call_payload_idempotent(opcode, request));
+  return std::move(payload).take_bytes();
 }
 
 }  // namespace hvac::rpc

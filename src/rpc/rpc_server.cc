@@ -5,11 +5,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "common/env.h"
 #include "common/log.h"
+#include "rpc/health.h"
 
 namespace hvac::rpc {
 
@@ -20,6 +22,8 @@ struct RpcServer::Connection {
 
   Fd fd;
   std::mutex write_mutex;
+  // Requests dispatched but not yet answered (backpressure cap).
+  std::atomic<uint32_t> inflight{0};
 
   // Read state: first kHeaderSize bytes, then payload_len bytes.
   uint8_t header_buf[kHeaderSize];
@@ -47,6 +51,19 @@ RpcServer::RpcServer(RpcServerOptions options)
   }
   if (options_.max_frame_bytes > kMaxFrame) {
     options_.max_frame_bytes = static_cast<uint32_t>(kMaxFrame);
+  }
+  // Backpressure knobs: HVAC_MAX_INFLIGHT can tighten (never widen)
+  // the per-connection in-flight cap.
+  const int64_t env_inflight = env_int_or("HVAC_MAX_INFLIGHT", 0);
+  if (env_inflight > 0 &&
+      (options_.max_inflight_per_conn == 0 ||
+       static_cast<uint64_t>(env_inflight) <
+           options_.max_inflight_per_conn)) {
+    options_.max_inflight_per_conn = static_cast<uint32_t>(env_inflight);
+  }
+  const int64_t env_retry = env_int_or("HVAC_SHED_RETRY_AFTER_MS", 0);
+  if (env_retry > 0) {
+    options_.shed_retry_after_ms = static_cast<uint32_t>(env_retry);
   }
 }
 
@@ -117,10 +134,35 @@ void RpcServer::stop() {
   if (bound_.is_unix()) ::unlink(bound_.unix_path().c_str());
 }
 
+void RpcServer::drain(int timeout_ms) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (!draining_.exchange(true, std::memory_order_acq_rel)) {
+    ResilienceCounters::global().drains.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    // The progress thread owns the listen socket; wake it so it
+    // deregisters and closes the listener (no new connections).
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+  }
+  const int64_t deadline = steady_now_ms() + std::max(timeout_ms, 0);
+  while (inflight_.load(std::memory_order_acquire) > 0 &&
+         steady_now_ms() < deadline) {
+    timespec ts{0, 1'000'000};  // 1 ms
+    ::nanosleep(&ts, nullptr);
+  }
+}
+
 void RpcServer::progress_loop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (running_.load(std::memory_order_acquire)) {
+    if (draining_.load(std::memory_order_acquire) && listen_fd_.valid()) {
+      // Drain: stop accepting. Deregister + close here (the thread
+      // that polls the fd) so no event for it can be in flight.
+      ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(),
+                  nullptr);
+      listen_fd_.reset();
+    }
     const int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, 500);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -137,10 +179,13 @@ void RpcServer::progress_loop() {
             ::read(wake_fd_.get(), &count, sizeof(count));
         continue;
       }
-      if (fd == listen_fd_.get()) {
+      if (listen_fd_.valid() && fd == listen_fd_.get()) {
         for (;;) {
           const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
-          if (cfd < 0) break;  // EAGAIN or error: done accepting
+          if (cfd < 0) {
+            if (errno == EINTR) continue;  // signal, not "done accepting"
+            break;  // EAGAIN or error: done accepting
+          }
           set_nodelay(cfd);
           auto conn = std::make_shared<Connection>(Fd(cfd));
           {
@@ -240,12 +285,60 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
   }
 }
 
+void RpcServer::shed_request(const std::shared_ptr<Connection>& conn,
+                             const FrameHeader& header,
+                             const std::string& reason) {
+  requests_shed_.fetch_add(1, std::memory_order_relaxed);
+  ResilienceCounters::global().server_shed.fetch_add(
+      1, std::memory_order_relaxed);
+  FrameHeader resp;
+  resp.request_id = header.request_id;
+  resp.opcode = header.opcode;
+  resp.kind = FrameKind::kResponse;
+  resp.status = ErrorCode::kUnavailable;
+  WireWriter w;
+  w.put_string(reason + "; retry_after_ms=" +
+               std::to_string(options_.shed_retry_after_ms));
+  // Retry hint as a structured trailer too (clients that only read
+  // the message string skip it by length).
+  w.put_u32(options_.shed_retry_after_ms);
+  const Bytes body = std::move(w).take();
+  resp.payload_len = static_cast<uint32_t>(body.size());
+  uint8_t hdr[kHeaderSize];
+  encode_header(resp, hdr);
+  iovec iov[2];
+  iov[0].iov_base = hdr;
+  iov[0].iov_len = kHeaderSize;
+  iov[1].iov_base = const_cast<uint8_t*>(body.data());
+  iov[1].iov_len = body.size();
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!send_vectored(conn->fd.get(), iov, 2).ok()) {
+    HVAC_LOG_DEBUG("shed response write failed; peer likely gone");
+  }
+}
+
 void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
                          FrameHeader header, Bytes payload) {
   if (header.kind != FrameKind::kRequest) {
     HVAC_LOG_WARN("ignoring non-request frame");
     return;
   }
+  // Backpressure, decided before the request can queue on the pool:
+  // during a drain every new request is shed (in-flight ones finish);
+  // past the per-connection cap the client is told to back off
+  // instead of deepening an unbounded queue.
+  if (draining_.load(std::memory_order_acquire)) {
+    shed_request(conn, header, "server draining");
+    return;
+  }
+  if (options_.max_inflight_per_conn > 0 &&
+      conn->inflight.load(std::memory_order_relaxed) >=
+          options_.max_inflight_per_conn) {
+    shed_request(conn, header, "server saturated");
+    return;
+  }
+  conn->inflight.fetch_add(1, std::memory_order_relaxed);
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
   auto work = [this, conn, header, payload = std::move(payload)]() mutable {
     Result<Payload> result = [&]() -> Result<Payload> {
       auto it = handlers_.find(header.opcode);
@@ -285,13 +378,23 @@ void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
     iov[1].iov_base = const_cast<uint8_t*>(body.data());
     iov[1].iov_len = body.size();
     const int iovcnt = body.empty() ? 1 : 2;
-    std::lock_guard<std::mutex> lock(conn->write_mutex);
-    if (!send_vectored(conn->fd.get(), iov, iovcnt).ok()) {
-      HVAC_LOG_DEBUG("response write failed; peer likely gone");
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (!send_vectored(conn->fd.get(), iov, iovcnt).ok()) {
+        HVAC_LOG_DEBUG("response write failed; peer likely gone");
+      }
     }
+    if (draining_.load(std::memory_order_acquire)) {
+      ResilienceCounters::global().drained_requests.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
   };
   if (!pool_->submit(std::move(work)).ok()) {
     HVAC_LOG_DEBUG("dropping request during shutdown");
+    conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 

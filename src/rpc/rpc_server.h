@@ -44,6 +44,13 @@ struct RpcServerOptions {
   // any buffer is sized to it and the connection is dropped.
   // Configurable via HVAC_MAX_FRAME_BYTES; never above kMaxFrame.
   uint32_t max_frame_bytes = static_cast<uint32_t>(kMaxFrame);
+  // Backpressure: requests in flight (dispatched, response not yet
+  // written) allowed per connection. Beyond the cap new requests are
+  // shed with kUnavailable instead of queueing unboundedly on the
+  // handler pool. 0 = unlimited. Tightened via HVAC_MAX_INFLIGHT.
+  uint32_t max_inflight_per_conn = 256;
+  // retry_after hint (ms) carried in shed responses.
+  uint32_t shed_retry_after_ms = 50;
 };
 
 class RpcServer {
@@ -66,12 +73,29 @@ class RpcServer {
   // Stops accepting, closes connections and joins threads. Idempotent.
   void stop();
 
+  // Graceful drain (SIGTERM path): stop accepting new connections,
+  // shed requests that arrive after the call, and wait (bounded by
+  // `timeout_ms`) for in-flight responses to be written. The server
+  // keeps serving reads of already-buffered frames as sheds, so
+  // clients get an answer, not a hang. Call stop() afterwards.
+  void drain(int timeout_ms = 5000);
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
   // The bound address (useful with port 0).
   const Endpoint& endpoint() const { return bound_; }
 
   // Observability for tests.
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_shed() const {
+    return requests_shed_.load(std::memory_order_relaxed);
+  }
+  uint64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -82,6 +106,10 @@ class RpcServer {
   void dispatch(const std::shared_ptr<Connection>& conn, FrameHeader header,
                 Bytes payload);
   void drop_connection(int fd);
+  // Writes a status-only error frame for `header` (shed/backpressure
+  // path — runs on the progress thread, before any pool submit).
+  void shed_request(const std::shared_ptr<Connection>& conn,
+                    const FrameHeader& header, const std::string& reason);
 
   RpcServerOptions options_;
   std::unordered_map<uint16_t, PayloadHandler> handlers_;
@@ -92,7 +120,10 @@ class RpcServer {
   std::unique_ptr<ThreadPool> pool_;
   std::thread progress_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> inflight_{0};
 
   std::mutex conns_mutex_;
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;

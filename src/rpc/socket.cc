@@ -12,6 +12,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injection.h"
+#include "rpc/health.h"  // steady_now_ms
+
 namespace hvac::rpc {
 
 void Fd::reset() {
@@ -127,6 +130,7 @@ Result<Fd> listen_on(const Endpoint& endpoint, Endpoint* bound_endpoint) {
 }
 
 Result<Fd> connect_to(const Endpoint& endpoint, int timeout_ms) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kRpcConnect));
   Fd fd;
   int rc = 0;
   if (endpoint.is_unix()) {
@@ -143,8 +147,21 @@ Result<Fd> connect_to(const Endpoint& endpoint, int timeout_ms) {
     rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
                    sizeof(addr));
     if (rc != 0 && errno == EINPROGRESS && timeout_ms > 0) {
-      pollfd pfd{fd.get(), POLLOUT, 0};
-      const int pr = ::poll(&pfd, 1, timeout_ms);
+      // poll with the *remaining* time: a signal (EINTR) mid-wait must
+      // not abort the connect, and must not reset the clock either.
+      const int64_t deadline = steady_now_ms() + timeout_ms;
+      int pr;
+      for (;;) {
+        const int64_t remaining = deadline - steady_now_ms();
+        if (remaining <= 0) {
+          pr = 0;
+          break;
+        }
+        pollfd pfd{fd.get(), POLLOUT, 0};
+        pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+        if (pr < 0 && errno == EINTR) continue;
+        break;
+      }
       if (pr == 0) {
         return Error(ErrorCode::kTimeout,
                      "connect timeout to " + endpoint.address);
@@ -215,6 +232,28 @@ Status recv_all(int fd, void* data, size_t size) {
   auto* p = static_cast<uint8_t*>(data);
   size_t got = 0;
   while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::from_errno(errno, "recv");
+    }
+    if (n == 0) {
+      return got == 0 ? Error(ErrorCode::kUnavailable, "peer closed")
+                      : Error(ErrorCode::kProtocol, "eof mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status recv_all_until(int fd, void* data, size_t size,
+                      int64_t deadline_ms) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < size) {
+    if (deadline_ms >= 0 && steady_now_ms() >= deadline_ms) {
+      return Error(ErrorCode::kTimeout, "call deadline exceeded");
+    }
     const ssize_t n = ::recv(fd, p + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;

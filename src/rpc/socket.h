@@ -74,6 +74,15 @@ Status send_vectored(int fd, iovec* iov, int iovcnt);
 // kUnavailable (peer closed); mid-frame EOF is kProtocol.
 Status recv_all(int fd, void* data, size_t size);
 
+// recv_all with an absolute deadline (CLOCK_MONOTONIC ms, as returned
+// by steady_now_ms(); < 0 disables the check). The deadline is tested
+// between recv()s, so it bounds slow-drip peers — a server trickling
+// one byte per SO_RCVTIMEO window passes the per-recv timeout forever
+// but trips this after at most deadline + one recv timeout. Expiry is
+// kTimeout; the caller must treat the stream as poisoned (bytes may
+// have been consumed mid-frame).
+Status recv_all_until(int fd, void* data, size_t size, int64_t deadline_ms);
+
 // Marks fd non-blocking (used by the epoll progress loop).
 Status set_nonblocking(int fd, bool nonblocking);
 

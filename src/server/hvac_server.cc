@@ -1,6 +1,9 @@
 #include "server/hvac_server.h"
 
+#include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/log.h"
+#include "rpc/health.h"
 #include "rpc/wire.h"
 
 namespace hvac::server {
@@ -21,14 +24,24 @@ HvacServer::HvacServer(storage::PfsBackend* pfs, HvacServerOptions options)
                                              options_.seed);
   cache_ = std::make_unique<core::CacheManager>(pfs_, std::move(store),
                                                 std::move(eviction));
-  mover_ = std::make_unique<core::DataMover>(cache_.get(),
-                                             options_.data_mover_threads);
+  size_t mover_queue = options_.mover_queue_capacity;
+  const int64_t env_queue = env_int_or("HVAC_MOVER_QUEUE", 0);
+  if (env_queue > 0 && static_cast<size_t>(env_queue) < mover_queue) {
+    mover_queue = static_cast<size_t>(env_queue);
+  }
+  mover_ = std::make_unique<core::DataMover>(
+      cache_.get(), options_.data_mover_threads, mover_queue);
   register_handlers();
 }
 
 HvacServer::~HvacServer() { stop(); }
 
-Status HvacServer::start() { return rpc_.start(); }
+Status HvacServer::start() {
+  fault::init_from_env();
+  return rpc_.start();
+}
+
+void HvacServer::drain(int timeout_ms) { rpc_.drain(timeout_ms); }
 
 void HvacServer::stop() {
   rpc_.stop();
@@ -244,6 +257,29 @@ core::MetricsFrame HvacServer::metrics_frame() const {
   f.readahead.issued = ra.issued.load(std::memory_order_relaxed);
   f.readahead.consumed = ra.consumed.load(std::memory_order_relaxed);
   f.readahead.wasted = ra.wasted.load(std::memory_order_relaxed);
+
+  // Resilience counters are process-wide (rpc/health.h globals), like
+  // the buffer pool: every instance in one process reports the same
+  // values and NodeRuntime takes them once.
+  const rpc::ResilienceCounters& rc = rpc::ResilienceCounters::global();
+  f.resilience.breaker_opens =
+      rc.breaker_opens.load(std::memory_order_relaxed);
+  f.resilience.breaker_closes =
+      rc.breaker_closes.load(std::memory_order_relaxed);
+  f.resilience.breaker_probes =
+      rc.breaker_probes.load(std::memory_order_relaxed);
+  f.resilience.breaker_shed =
+      rc.breaker_shed.load(std::memory_order_relaxed);
+  f.resilience.retries = rc.retries.load(std::memory_order_relaxed);
+  f.resilience.deadline_misses =
+      rc.deadline_misses.load(std::memory_order_relaxed);
+  f.resilience.server_shed = rc.server_shed.load(std::memory_order_relaxed);
+  f.resilience.mover_rejects =
+      rc.mover_rejects.load(std::memory_order_relaxed);
+  f.resilience.drains = rc.drains.load(std::memory_order_relaxed);
+  f.resilience.drained_requests =
+      rc.drained_requests.load(std::memory_order_relaxed);
+  f.resilience.faults_injected = fault::total_injected();
 
   f.op_latency = latency_.snapshot();
   return f;

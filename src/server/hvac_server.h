@@ -37,6 +37,10 @@ struct HvacServerOptions {
   std::string eviction_policy = "random";
   size_t data_mover_threads = 1;
   size_t rpc_handler_threads = 2;
+  // Bound on queued fetches in the data-mover FIFO; beyond it opens/
+  // prefetches are answered kUnavailable (backpressure) rather than
+  // queueing without limit. Tightened via HVAC_MOVER_QUEUE.
+  size_t mover_queue_capacity = 4096;
   uint64_t seed = 0;
   // Open-handle cache slots for the local store (default: the
   // HVAC_HANDLE_CACHE env knob, 128; 0 = open-per-read, the seed
@@ -57,6 +61,11 @@ class HvacServer {
   Status start();
   void stop();
 
+  // Graceful drain (SIGTERM path): stop accepting, shed new requests,
+  // wait for in-flight responses to be written. stop() still tears
+  // down afterwards.
+  void drain(int timeout_ms = 5000);
+
   // Bound endpoint (for building the client's server map).
   std::string address() const { return rpc_.endpoint().address; }
 
@@ -70,6 +79,7 @@ class HvacServer {
   // values there.
   core::MetricsFrame metrics_frame() const;
   size_t open_remote_fds() const;
+  rpc::RpcServer& rpc() { return rpc_; }
 
  private:
   struct OpenFile {

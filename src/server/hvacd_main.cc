@@ -103,6 +103,12 @@ int main(int argc, char** argv) {
     struct timespec ts {0, 200'000'000};
     ::nanosleep(&ts, nullptr);
   }
+  // Graceful drain: stop accepting, let in-flight responses finish,
+  // then flush a final metrics frame so the last scrape is not lost.
+  std::fprintf(stderr, "hvacd: draining\n");
+  node.drain();
+  std::fprintf(stderr, "hvacd: final metrics %s\n",
+               node.aggregated_frame().to_json().c_str());
   std::fprintf(stderr, "hvacd: shutting down, purging cache\n");
   node.stop();
   return 0;

@@ -35,6 +35,10 @@ void NodeRuntime::stop() {
   for (auto& server : servers_) server->stop();
 }
 
+void NodeRuntime::drain(int timeout_ms) {
+  for (auto& server : servers_) server->drain(timeout_ms);
+}
+
 std::vector<std::string> NodeRuntime::endpoints() const {
   std::vector<std::string> out;
   out.reserve(servers_.size());
@@ -64,6 +68,7 @@ core::MetricsFrame NodeRuntime::aggregated_frame() const {
     // sections.
     f.buffer_pool = core::BufferPoolStats{};
     f.readahead = core::ReadAheadStats{};
+    f.resilience = core::ResilienceStats{};
     total.merge(f);
   }
   return total;

@@ -36,6 +36,10 @@ class NodeRuntime {
   Status start();
   void stop();
 
+  // Graceful drain of every instance (the hvacd SIGTERM path): stop
+  // accepting, shed new requests, let in-flight responses finish.
+  void drain(int timeout_ms = 5000);
+
   // Endpoint list in server-index order; feed this to HvacClient (and
   // to the HVAC_SERVERS env variable for the shim).
   std::vector<std::string> endpoints() const;
@@ -50,9 +54,9 @@ class NodeRuntime {
 
   // Full metrics frame v2 aggregated across the node's instances.
   // Per-instance sections (cache, fds, handle cache, latency) are
-  // summed; process-wide sections (buffer pool, read-ahead) are taken
-  // once — the instances share one process, so summing them would
-  // multiply-count the same counters.
+  // summed; process-wide sections (buffer pool, read-ahead,
+  // resilience) are taken once — the instances share one process, so
+  // summing them would multiply-count the same counters.
   core::MetricsFrame aggregated_frame() const;
 
  private:

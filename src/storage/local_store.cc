@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/hash.h"
 
 namespace hvac::storage {
@@ -47,6 +48,7 @@ Status LocalStore::insert(const std::string& logical_path,
 }
 
 Result<PosixFile> LocalStore::open(const std::string& logical_path) const {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kStoreRead));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (entries_.count(logical_path) == 0) {
@@ -58,6 +60,7 @@ Result<PosixFile> LocalStore::open(const std::string& logical_path) const {
 
 Result<OpenHandleCache::Pin> LocalStore::open_pinned(
     const std::string& logical_path) const {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kStoreRead));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (entries_.count(logical_path) == 0) {

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/env.h"
+#include "common/fault_injection.h"
 
 namespace hvac::storage {
 
@@ -44,6 +45,7 @@ void PfsBackend::charge_bandwidth(uint64_t bytes) {
 }
 
 Result<PosixFile> PfsBackend::open(const std::string& relative_path) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kPfsRead));
   charge_metadata();
   return PosixFile::open_read(absolute(relative_path));
 }
@@ -100,6 +102,7 @@ Result<uint64_t> PfsBackend::copy_range_out(const std::string& relative_path,
 
 Result<size_t> PfsBackend::pread(PosixFile& file, void* buf, size_t count,
                                  uint64_t offset) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kPfsRead));
   HVAC_ASSIGN_OR_RETURN(size_t n, file.pread(buf, count, offset));
   charge_bandwidth(n);
   return n;

@@ -112,6 +112,33 @@ TEST_F(AsyncRpcFixture, ServerLossFailsSubsequentCalls) {
   EXPECT_FALSE(resp.ok());
 }
 
+TEST_F(AsyncRpcFixture, BrokenChannelReconnectsWhenServerReturns) {
+  AsyncRpcClient client(server_.endpoint());
+  ASSERT_TRUE(client.call(1, Bytes{1}).ok());
+
+  // Kill the server: the channel breaks and calls fail.
+  const std::string address = server_.endpoint().address;
+  server_.stop();
+  EXPECT_FALSE(client.call(1, Bytes{2}).ok());
+
+  // A new server on the same port (listen_on sets SO_REUSEADDR): the
+  // next call must dial a fresh connection instead of staying broken
+  // forever.
+  RpcServer revived{RpcServerOptions{address, 2}};
+  revived.register_handler(1, [](const Bytes& req) -> Result<Bytes> {
+    Bytes out = req;
+    return out;
+  });
+  ASSERT_TRUE(revived.start().ok());
+  Result<Bytes> resp = client.call(1, Bytes{3});
+  // The first call after revival may race the broken-fd teardown;
+  // one retry must land on the fresh connection.
+  if (!resp.ok()) resp = client.call(1, Bytes{3});
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ((*resp)[0], 3);
+  revived.stop();
+}
+
 TEST_F(AsyncRpcFixture, ConcurrentIssuersShareChannel) {
   AsyncRpcClient client(server_.endpoint());
   std::atomic<int> ok{0};

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 
 #include "client/hvac_client.h"
@@ -326,6 +327,55 @@ TEST(HostileServer, OpensPassReadsDroppedDegradesToPfsExactly) {
   EXPECT_TRUE(std::equal(tail.begin(), tail.end(),
                          expected.begin() + 5'000));
   ASSERT_TRUE(client.close(*vfd).ok());
+  node->stop();
+}
+
+// Same hostile shape with the PFS escape hatch closed: the bounded
+// recovery budget must surface an error after kMaxRecoveries instead
+// of looping open/fail forever.
+TEST(HostileServer, RecoveryBudgetExhaustsWithoutPfsFallback) {
+  const std::string pfs_root = temp_dir("budget_pfs");
+  const std::string rel = "b.bin";
+  const auto expected = workload::expected_contents(rel, 8'000);
+  ASSERT_TRUE(storage::write_file(pfs_root + "/" + rel,
+                                  expected.data(), expected.size())
+                  .ok());
+
+  ASSERT_EQ(::setenv("HVAC_MAX_FRAME_BYTES", "16", 1), 0);
+  server::NodeRuntimeOptions o;
+  o.pfs_root = pfs_root;
+  o.cache_root = temp_dir("budget_cache");
+  auto node = std::make_unique<server::NodeRuntime>(o);
+  const auto started = node->start();
+  ::unsetenv("HVAC_MAX_FRAME_BYTES");
+  ASSERT_TRUE(started.ok());
+
+  HvacClientOptions co;
+  co.dataset_dir = pfs_root;
+  co.server_endpoints = node->endpoints();
+  co.allow_pfs_fallback = false;
+  co.rpc.connect_timeout_ms = 500;
+  co.rpc.recv_timeout_ms = 500;
+  co.rpc.max_retries = 0;
+  HvacClient client(co);
+
+  auto vfd = client.open(pfs_root + "/" + rel);
+  ASSERT_TRUE(vfd.ok());  // tiny open frames pass the 16-byte bound
+
+  uint8_t buf[256];
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto n = client.pread(*vfd, buf, sizeof(buf), 0);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.error().code, ErrorCode::kUnavailable);
+  // kMaxRecoveries re-opens plus the dropped reads, each bounded by
+  // the 500 ms recv timeout — nowhere near an unbounded loop.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed)
+                .count(),
+            20);
+
+  // The fd is still usable bookkeeping-wise: close must not hang.
+  (void)client.close(*vfd);
   node->stop();
 }
 
