@@ -3,6 +3,10 @@
 // bandwidth — the functional analogue of Mercury's performance
 // envelope.
 #include <benchmark/benchmark.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdlib>
 
 #include "common/buffer_pool.h"
 #include "rpc/async_client.h"
@@ -13,10 +17,33 @@ namespace {
 
 using namespace hvac::rpc;
 
+// Backing file for the extent (zero-copy) benchmarks: 8 MiB of
+// pattern bytes, unlinked, fd kept open for the binary's lifetime.
+constexpr size_t kBenchFileSize = 8 << 20;
+
+int shared_file() {
+  static const int fd = [] {
+    std::string path = "/tmp/hvac_bench_src_XXXXXX";
+    const int f = ::mkstemp(path.data());
+    if (f < 0) std::abort();
+    ::unlink(path.c_str());
+    Bytes data(kBenchFileSize);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>((i * 31 + 7) % 251);
+    }
+    if (::pwrite(f, data.data(), data.size(), 0) !=
+        ssize_t(data.size())) {
+      std::abort();
+    }
+    return f;
+  }();
+  return fd;
+}
+
 // One server for the whole binary.
 RpcServer& shared_server() {
   static RpcServer* server = [] {
-    auto* s = new RpcServer(RpcServerOptions{"127.0.0.1:0", 2});
+    auto* s = new RpcServer(RpcServerOptions{"127.0.0.1:0", 8});
     s->register_handler(1, [](const Bytes& req) -> hvac::Result<Bytes> {
       Bytes out = req;
       return out;
@@ -28,16 +55,58 @@ RpcServer& shared_server() {
       Bytes out(n.ok() ? *n : 0);
       return out;
     });
-    // Opcode 3 is opcode 2 on the zero-copy path: the payload lives in
-    // a pooled lease and goes out with one gathered write, the way the
-    // server's read handlers respond.
+    // Opcode 3 is opcode 2 on the pooled hot path: pread the bytes
+    // into a pooled lease and send them with one gathered write, the
+    // way the server's read handlers respond with zero-copy off.
     s->register_payload_handler(3, [](const Bytes& req)
                                        -> hvac::Result<Payload> {
       WireReader r(req);
       auto n = r.get_u32();
       const uint32_t count = n.ok() ? *n : 0;
       auto lease = hvac::BufferPool::global().acquire(kBlobPrefix + count);
+      if (::pread(shared_file(), lease.data() + kBlobPrefix, count, 0) !=
+          ssize_t(count)) {
+        return hvac::Error(hvac::ErrorCode::kIoError, "bench pread");
+      }
       return blob_payload(std::move(lease), count);
+    });
+    // Opcode 4 is opcode 3 with a file-backed body: the bytes go out
+    // kernel-to-kernel (sendfile by default; HVAC_ZEROCOPY picks the
+    // rung) and never touch user space on the server.
+    s->register_payload_handler(4, [](const Bytes& req)
+                                       -> hvac::Result<Payload> {
+      WireReader r(req);
+      auto n = r.get_u32();
+      FileExtent ext;
+      ext.fd = shared_file();
+      ext.offset = 0;
+      ext.length = n.ok() ? *n : 0;
+      return blob_extent_payload(std::move(ext));
+    });
+    // Opcode 5: scatter frame — n extents of `len` bytes each in ONE
+    // framed response, the shape a read-ahead batch collapses into.
+    s->register_payload_handler(5, [](const Bytes& req)
+                                       -> hvac::Result<Payload> {
+      WireReader r(req);
+      auto n = r.get_u32();
+      auto len = r.get_u32();
+      const uint32_t count = n.ok() ? *n : 0;
+      const uint32_t each = len.ok() ? *len : 0;
+      WireWriter table;
+      table.put_u32(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        table.put_u64(uint64_t(i) * each);
+        table.put_u32(each);
+      }
+      Payload p(table.bytes());
+      for (uint32_t i = 0; i < count; ++i) {
+        FileExtent ext;
+        ext.fd = shared_file();
+        ext.offset = uint64_t(i) * each;
+        ext.length = each;
+        p.add_extent(std::move(ext));
+      }
+      return p;
     });
     if (!s->start().ok()) std::abort();
     return s;
@@ -86,17 +155,19 @@ void BM_BulkRead(benchmark::State& state) {
 }
 BENCHMARK(BM_BulkRead)->Arg(64 << 10)->Arg(1 << 20)->Arg(4 << 20);
 
-// The same bulk read over the zero-copy path: pooled payload handler
-// and gathered write on the server, pooled receive buffer and blob
-// view on the client. Compare against BM_BulkRead at equal sizes for
-// the hot-path win ("BENCH_rpc.json" carries both series).
-void BM_BulkReadPooled(benchmark::State& state) {
+// Shared body for the pooled-vs-zerocopy comparison: each benchmark
+// thread is an independent client issuing bulk reads, the way N
+// DataLoader workers hammer one HVAC server. Concurrency matters for
+// the comparison — zero-copy's win is the server-side staging work it
+// deletes, which only shows once more than one stream contends for
+// the CPU.
+void bulk_read_payload(benchmark::State& state, uint16_t opcode) {
   RpcClient client(shared_server().endpoint());
   WireWriter w;
   w.put_u32(uint32_t(state.range(0)));
   const Bytes req = w.bytes();
   for (auto _ : state) {
-    auto resp = client.call_payload(3, req);
+    auto resp = client.call_payload(opcode, req);
     if (!resp.ok()) {
       state.SkipWithError("call failed");
       continue;
@@ -110,7 +181,60 @@ void BM_BulkReadPooled(benchmark::State& state) {
   }
   state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
 }
-BENCHMARK(BM_BulkReadPooled)->Arg(64 << 10)->Arg(1 << 20)->Arg(4 << 20);
+
+// The bulk read the way the server answers with zero-copy off: pread
+// into a pooled lease, one gathered write ("BENCH_rpc.json" carries
+// both series; scripts/bench_compare.py reports the ratio).
+void BM_BulkReadPooled(benchmark::State& state) {
+  bulk_read_payload(state, 3);
+}
+BENCHMARK(BM_BulkReadPooled)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Arg(4 << 20)
+    ->Threads(8)
+    ->UseRealTime();
+
+// The same bulk read with the response body sent straight from the
+// kernel page cache (sendfile): the server stages zero payload bytes
+// in user space.
+void BM_BulkReadZeroCopy(benchmark::State& state) {
+  bulk_read_payload(state, 4);
+}
+BENCHMARK(BM_BulkReadZeroCopy)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Arg(4 << 20)
+    ->Threads(8)
+    ->UseRealTime();
+
+// A read-ahead batch as one scatter response: n extents of 128 KiB in
+// a single frame versus n separate round trips (BM_BulkReadZeroCopy at
+// 128 KiB, n times).
+void BM_ScatterRead(benchmark::State& state) {
+  RpcClient client(shared_server().endpoint());
+  const uint32_t n = uint32_t(state.range(0));
+  const uint32_t each = 128 << 10;
+  WireWriter w;
+  w.put_u32(n);
+  w.put_u32(each);
+  const Bytes req = w.bytes();
+  for (auto _ : state) {
+    auto resp = client.call_payload(5, req);
+    if (!resp.ok()) {
+      state.SkipWithError("call failed");
+      continue;
+    }
+    auto view = decode_scatter(resp->data(), resp->size());
+    if (!view.ok() || view->extents.size() != n) {
+      state.SkipWithError("bad scatter frame");
+    }
+    benchmark::DoNotOptimize(view->extents.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(n) *
+                          int64_t(each));
+}
+BENCHMARK(BM_ScatterRead)->Arg(1)->Arg(4)->Arg(16);
 
 }  // namespace
 

@@ -51,6 +51,7 @@ Result<HvacClientOptions> options_from_env() {
   const int64_t readahead = env_int_or("HVAC_READAHEAD", 2);
   o.readahead_chunks =
       readahead > 0 ? static_cast<uint32_t>(readahead) : 0;
+  o.meta_ttl_ms = env_int_or("HVAC_META_TTL_MS", o.meta_ttl_ms);
   // Fault-domain knobs: an end-to-end deadline per call and a bounded
   // retry budget for idempotent ops (stat / positional reads).
   o.rpc.call_timeout_ms =
@@ -66,7 +67,8 @@ Result<HvacClientOptions> options_from_env() {
 HvacClient::HvacClient(HvacClientOptions options)
     : options_(std::move(options)),
       placement_(static_cast<uint32_t>(options_.server_endpoints.size()),
-                 options_.placement, options_.replicas) {
+                 options_.placement, options_.replicas),
+      meta_(options_.meta_ttl_ms) {
   fault::init_from_env();
   options_.dataset_dir = lexically_normal(options_.dataset_dir);
   channels_.resize(options_.server_endpoints.size());
@@ -178,30 +180,52 @@ void HvacClient::readahead_advance(int vfd, const core::FdEntry& entry,
   if (state.issued_end < state.next_expected) {
     state.issued_end = state.next_expected;
   }
-  uint64_t issued_now = 0;
-  while (state.pending.size() < options_.readahead_chunks &&
-         state.issued_end < entry.size) {
-    const uint32_t next_count = static_cast<uint32_t>(std::min<uint64_t>(
-        chunk, entry.size - state.issued_end));
-    WireWriter w;
+  // The whole top-up goes out as ONE kReadScatter call: N chunks, one
+  // framed response (single header, single kernel-copied burst on the
+  // server's hit path) instead of N round trips' worth of frames.
+  std::vector<std::pair<uint64_t, uint32_t>> batch;
+  uint64_t batch_bytes = 0;
+  uint64_t cursor = state.issued_end;
+  while (state.pending.size() + batch.size() < options_.readahead_chunks &&
+         batch.size() < proto::kMaxScatterExtents && cursor < entry.size) {
+    const uint32_t next_count = static_cast<uint32_t>(
+        std::min<uint64_t>(chunk, entry.size - cursor));
+    if (batch_bytes + next_count > proto::kMaxScatterBytes) break;
+    batch.emplace_back(cursor, next_count);
+    batch_bytes += next_count;
+    cursor += next_count;
+  }
+  if (batch.empty()) return;
+  WireWriter w;
+  if (entry.path_mode) {
+    w.put_u8(1);  // by path
+    w.put_string(entry.logical_path);
+  } else {
+    w.put_u8(0);  // by remote fd
     w.put_u64(entry.remote_fd);
-    w.put_u64(state.issued_end);
-    w.put_u32(next_count);
+  }
+  w.put_u32(static_cast<uint32_t>(batch.size()));
+  for (const auto& [off, len] : batch) {
+    w.put_u64(off);
+    w.put_u32(len);
+  }
+  const std::shared_future<Result<Bytes>> shared =
+      async_channel(entry.server_index)
+          .call_async(proto::kReadScatter, w.bytes())
+          .share();
+  for (uint32_t i = 0; i < batch.size(); ++i) {
     PendingChunk next;
-    next.offset = state.issued_end;
-    next.count = next_count;
-    next.data = async_channel(entry.server_index)
-                    .call_async(proto::kRead, w.bytes());
+    next.offset = batch[i].first;
+    next.count = batch[i].second;
+    next.data = shared;
+    next.extent_index = i;
     state.pending.push_back(std::move(next));
-    state.issued_end += next_count;
-    ++issued_now;
   }
-  if (issued_now > 0) {
-    core::ReadAheadCounters::global().issued.fetch_add(
-        issued_now, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    stats_.readahead_issued += issued_now;
-  }
+  state.issued_end = cursor;
+  core::ReadAheadCounters::global().issued.fetch_add(
+      batch.size(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  stats_.readahead_issued += batch.size();
 }
 
 void HvacClient::readahead_drop(int vfd) {
@@ -226,6 +250,32 @@ Result<int> HvacClient::open_via_pfs(const std::string& path) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.fallback_opens;
   return vfd;
+}
+
+std::optional<MetaEntry> HvacClient::meta_lookup(const std::string& logical) {
+  if (!meta_.enabled()) return std::nullopt;
+  std::optional<MetaEntry> meta = meta_.lookup(logical);
+  if (meta.has_value() &&
+      meta->home < options_.server_endpoints.size()) {
+    // Breaker-trip invalidation: the entry's home has an open circuit,
+    // so acting on the cached location would only fail fast anyway.
+    // Drop everything we remembered about that server.
+    auto health = rpc::HealthRegistry::global().get(
+        options_.server_endpoints[meta->home]);
+    if (health->state() == rpc::EndpointHealth::State::kOpen) {
+      meta_.invalidate_home(meta->home);
+      meta.reset();
+    }
+  } else {
+    meta.reset();
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (meta.has_value()) {
+    ++stats_.meta_hits;
+  } else {
+    ++stats_.meta_misses;
+  }
+  return meta;
 }
 
 Result<int> HvacClient::open(const std::string& path) {
@@ -253,8 +303,32 @@ Result<int> HvacClient::open(const std::string& path) {
     }
   }
 
-  // Try the primary home, then the replicas (paper §III-H fail-over).
-  const std::vector<uint32_t> homes = placement_.homes(logical);
+  // Metadata-cache fast path: a fresh entry saying "home X holds a
+  // cached copy of this file" lets us skip the open round trip and
+  // hand out a path-mode fd — reads address the file by logical path
+  // (kReadScatter mode 1), and the server re-resolves its cached copy
+  // per read. If the copy was evicted meanwhile the server degrades
+  // that read to its PFS path, so a stale entry costs latency, never
+  // correctness.
+  if (std::optional<MetaEntry> meta = meta_lookup(logical);
+      meta.has_value() && meta->cached) {
+    core::FdEntry entry;
+    entry.logical_path = logical;
+    entry.server_index = meta->home;
+    entry.path_mode = true;
+    entry.size = meta->size;
+    const int vfd = fds_.insert(std::move(entry));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.remote_opens;
+    return vfd;
+  }
+
+  // Try the primary home, then the replicas (paper §III-H fail-over) —
+  // but walk replicas whose breaker is open LAST, so a file homed at a
+  // known-dead primary goes straight to a live replica instead of
+  // burning a shed/backoff cycle first.
+  const std::vector<uint32_t> homes = core::order_by_health(
+      placement_.homes(logical), options_.server_endpoints);
   Error last_error(ErrorCode::kUnavailable, "no servers");
   for (size_t attempt = 0; attempt < homes.size(); ++attempt) {
     const uint32_t server = homes[attempt];
@@ -266,13 +340,15 @@ Result<int> HvacClient::open(const std::string& path) {
       HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
       HVAC_ASSIGN_OR_RETURN(uint64_t size, r.get_u64());
       HVAC_ASSIGN_OR_RETURN(uint8_t served_from, r.get_u8());
-      (void)served_from;
       core::FdEntry entry;
       entry.logical_path = logical;
       entry.server_index = server;
       entry.remote_fd = remote_fd;
       entry.size = size;
       const int vfd = fds_.insert(std::move(entry));
+      meta_.put(logical,
+                MetaEntry{size, server,
+                          served_from == proto::kFromCache});
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.remote_opens;
       if (attempt > 0) ++stats_.failovers;
@@ -285,6 +361,7 @@ Result<int> HvacClient::open(const std::string& path) {
         last_error.code != ErrorCode::kTimeout) {
       return last_error;
     }
+    meta_.invalidate(logical);
     HVAC_LOG_DEBUG("open failover from server " << server << ": "
                                                 << last_error.to_string());
   }
@@ -356,6 +433,9 @@ Status HvacClient::recover_fd(int vfd, const core::FdEntry& stale,
                                  << " after server loss");
   const std::string abs_path =
       path_join(options_.dataset_dir, stale.logical_path);
+  // Whatever the meta cache believed about this file routed us to the
+  // server we just lost — the re-open below must not trust it.
+  meta_.invalidate(stale.logical_path);
   if (force_pfs && !options_.allow_pfs_fallback) {
     return Error(ErrorCode::kUnavailable,
                  "remote reads keep failing and PFS fallback is disabled");
@@ -404,41 +484,58 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
     const uint64_t chunk_offset = offset + total;
 
     // Read-ahead hit: the chunk is already in flight (or landed); take
-    // its bytes instead of a fresh round trip. A transport/parse
-    // failure falls through to the synchronous path below.
+    // its bytes instead of a fresh round trip. The whole issue batch
+    // came back as one scatter frame — this chunk is one extent of it.
+    // A transport/parse failure falls through to the synchronous path
+    // below.
     if (options_.readahead_chunks > 0) {
       if (auto pending =
               readahead_take(vfd, chunk_offset, chunk, entry.size)) {
-        Result<Bytes> ready = pending->data.get();
+        const Result<Bytes>& ready = pending->data.get();
         if (ready.ok()) {
-          WireReader r(*ready);
-          auto view = r.get_blob_view();
-          if (view.ok() && view->size <= chunk) {
-            std::memcpy(out + total, view->data, view->size);
-            total += view->size;
-            core::ReadAheadCounters::global().consumed.fetch_add(
-                1, std::memory_order_relaxed);
-            {
-              std::lock_guard<std::mutex> lock(stats_mutex_);
-              ++stats_.readahead_hits;
+          auto view = rpc::decode_scatter(ready->data(), ready->size());
+          if (view.ok() && pending->extent_index < view->extents.size()) {
+            const auto& ext = view->extents[pending->extent_index];
+            if (ext.offset == chunk_offset && ext.length <= chunk) {
+              std::memcpy(out + total, ext.data, ext.length);
+              total += ext.length;
+              core::ReadAheadCounters::global().consumed.fetch_add(
+                  1, std::memory_order_relaxed);
+              {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.readahead_hits;
+              }
+              readahead_advance(vfd, entry, chunk_offset, ext.length,
+                                chunk);
+              if (ext.length < chunk) break;  // EOF
+              continue;
             }
-            readahead_advance(vfd, entry, chunk_offset, view->size, chunk);
-            if (view->size < chunk) break;  // EOF
-            continue;
           }
         }
       }
     }
 
-    WireWriter w;
-    w.put_u64(entry.remote_fd);
-    w.put_u64(chunk_offset);
-    w.put_u32(chunk);
     // Positional reads are idempotent: transient transport errors get
     // a bounded retry with backoff before the recover_fd machinery
-    // (replica fail-over / PFS) takes over.
+    // (replica fail-over / PFS) takes over. Path-mode fds (opened from
+    // the meta cache, no remote fd) read by logical path via a
+    // single-extent scatter request.
+    WireWriter w;
+    uint16_t opcode = proto::kRead;
+    if (entry.path_mode) {
+      opcode = proto::kReadScatter;
+      w.put_u8(1);  // by path
+      w.put_string(entry.logical_path);
+      w.put_u32(1);
+      w.put_u64(chunk_offset);
+      w.put_u32(chunk);
+    } else {
+      w.put_u64(entry.remote_fd);
+      w.put_u64(chunk_offset);
+      w.put_u32(chunk);
+    }
     Result<rpc::Payload> resp = channel(entry.server_index)
-                                    .call_payload_idempotent(proto::kRead,
+                                    .call_payload_idempotent(opcode,
                                                              w.bytes());
     if (!resp.ok()) {
       const ErrorCode code = resp.error().code;
@@ -446,6 +543,7 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
           code != ErrorCode::kBadFd) {
         return resp.error();
       }
+      meta_.invalidate(entry.logical_path);
       // The home server died (or restarted and lost the fd) while we
       // held it open: re-open via replicas/PFS and finish the read
       // there (fail-open extends to in-flight fds, §III-H). Recovery
@@ -461,13 +559,26 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
                                           chunk_offset, recoveries + 1));
       return total + rest;
     }
-    WireReader r(resp->data(), resp->size());
-    HVAC_ASSIGN_OR_RETURN(WireReader::BlobView data, r.get_blob_view());
     // Single copy: response buffer (pooled) -> caller's buffer.
-    std::memcpy(out + total, data.data, data.size);
-    total += data.size;
-    readahead_advance(vfd, entry, chunk_offset, data.size, chunk);
-    if (data.size < chunk) break;  // EOF
+    size_t got = 0;
+    if (entry.path_mode) {
+      HVAC_ASSIGN_OR_RETURN(
+          rpc::ScatterView sv,
+          rpc::decode_scatter(resp->data(), resp->size()));
+      if (sv.extents.size() != 1 || sv.extents[0].length > chunk) {
+        return Error(ErrorCode::kProtocol, "bad scatter response shape");
+      }
+      std::memcpy(out + total, sv.extents[0].data, sv.extents[0].length);
+      got = sv.extents[0].length;
+    } else {
+      WireReader r(resp->data(), resp->size());
+      HVAC_ASSIGN_OR_RETURN(WireReader::BlobView data, r.get_blob_view());
+      std::memcpy(out + total, data.data, data.size);
+      got = data.size;
+    }
+    total += got;
+    readahead_advance(vfd, entry, chunk_offset, got, chunk);
+    if (got < chunk) break;  // EOF
   }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.reads;
@@ -508,7 +619,8 @@ Result<int64_t> HvacClient::lseek(int vfd, int64_t offset, int whence) {
 Status HvacClient::close(int vfd) {
   HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.erase(vfd));
   readahead_drop(vfd);
-  if (entry.segmented) return Status::Ok();  // no remote state
+  // Segmented and path-mode fds never opened anything remotely.
+  if (entry.segmented || entry.path_mode) return Status::Ok();
   if (entry.fallback_pfs) {
     if (::close(entry.pfs_fd) != 0) {
       return Error::from_errno(errno, "close(pfs)");
@@ -529,6 +641,9 @@ Status HvacClient::close(int vfd) {
 Result<uint64_t> HvacClient::stat_size(const std::string& path) {
   HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kStat));
   HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+  if (std::optional<MetaEntry> meta = meta_lookup(logical)) {
+    return meta->size;
+  }
   WireWriter w;
   w.put_string(logical);
   const uint32_t server = placement_.home(logical);
@@ -536,13 +651,20 @@ Result<uint64_t> HvacClient::stat_size(const std::string& path) {
   // (bounded, breaker-gated) before the PFS fallback takes over.
   Result<Bytes> resp = channel(server).call_idempotent(proto::kStat, w);
   if (!resp.ok()) {
+    meta_.invalidate(logical);
     if (options_.allow_pfs_fallback) {
       return storage::file_size(path);
     }
     return resp.error();
   }
   WireReader r(*resp);
-  return r.get_u64();
+  HVAC_ASSIGN_OR_RETURN(uint64_t size, r.get_u64());
+  // Trailing cached flag: new servers append it; its absence (an old
+  // server) just means we cannot vouch for a cached copy.
+  auto cached = r.get_u8();
+  meta_.put(logical,
+            MetaEntry{size, server, cached.ok() && *cached == 1});
+  return size;
 }
 
 Status HvacClient::prefetch(const std::string& path) {
@@ -557,8 +679,10 @@ Status HvacClient::prefetch(const std::string& path) {
 
 Result<size_t> HvacClient::prefetch_many(
     const std::vector<std::string>& paths) {
-  // Group by home server, one async channel per involved server, all
-  // prefetches in flight at once (Mercury-style pipelining).
+  // Group by home server, then batch: one kPrefetchBatch call warms up
+  // to kMaxPrefetchBatch files in a single round trip, and the batches
+  // of different servers are in flight concurrently (Mercury-style
+  // pipelining with far fewer frames than one call per file).
   std::unordered_map<uint32_t, std::vector<std::string>> by_server;
   for (const auto& path : paths) {
     HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
@@ -566,23 +690,34 @@ Result<size_t> HvacClient::prefetch_many(
   }
   std::vector<std::unique_ptr<rpc::AsyncRpcClient>> channels;
   std::vector<std::future<Result<rpc::Bytes>>> futures;
+  std::vector<uint32_t> batch_sizes;
   for (auto& [server, logicals] : by_server) {
     channels.push_back(std::make_unique<rpc::AsyncRpcClient>(
         rpc::Endpoint{options_.server_endpoints.at(server)}, options_.rpc));
-    for (const auto& logical : logicals) {
+    for (size_t base = 0; base < logicals.size();
+         base += proto::kMaxPrefetchBatch) {
+      const uint32_t n = static_cast<uint32_t>(
+          std::min<size_t>(proto::kMaxPrefetchBatch,
+                           logicals.size() - base));
       WireWriter w;
-      w.put_string(logical);
+      w.put_u32(n);
+      for (uint32_t i = 0; i < n; ++i) w.put_string(logicals[base + i]);
       futures.push_back(
-          channels.back()->call_async(proto::kPrefetch, w.bytes()));
+          channels.back()->call_async(proto::kPrefetchBatch, w.bytes()));
+      batch_sizes.push_back(n);
     }
   }
   size_t warmed = 0;
-  for (auto& fut : futures) {
-    Result<rpc::Bytes> resp = fut.get();
+  for (size_t b = 0; b < futures.size(); ++b) {
+    Result<rpc::Bytes> resp = futures[b].get();
     if (!resp.ok()) continue;  // fail-open: count, don't abort
     WireReader r(*resp);
-    auto cached = r.get_u8();
-    if (cached.ok() && *cached == 1) ++warmed;
+    auto n = r.get_u32();
+    if (!n.ok() || *n != batch_sizes[b]) continue;
+    for (uint32_t i = 0; i < *n; ++i) {
+      auto cached = r.get_u8();
+      if (cached.ok() && *cached == 1) ++warmed;
+    }
   }
   return warmed;
 }
@@ -607,6 +742,12 @@ std::string stats_to_json(const ClientStats& s) {
     << ",\"fallback_allocs\":" << bp.misses + bp.unpooled
     << ",\"recycled\":" << bp.recycled << ",\"dropped\":" << bp.dropped
     << "}";
+  const core::MetaCacheCounters& mc = core::MetaCacheCounters::global();
+  o << ",\"meta_cache\":{\"hits\":" << s.meta_hits
+    << ",\"misses\":" << s.meta_misses
+    << ",\"expired\":" << mc.expired.load(std::memory_order_relaxed)
+    << ",\"invalidated\":"
+    << mc.invalidated.load(std::memory_order_relaxed) << "}";
   const rpc::ResilienceCounters& rc = rpc::ResilienceCounters::global();
   o << ",\"resilience\":{\"breaker_opens\":"
     << rc.breaker_opens.load(std::memory_order_relaxed)

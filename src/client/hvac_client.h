@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "client/meta_cache.h"
 #include "common/result.h"
 #include "core/fd_table.h"
 #include "core/placement.h"
@@ -52,6 +53,10 @@ struct HvacClientOptions {
   // overlapping network latency with compute. 0 disables (the seed
   // behaviour: every chunk is a synchronous round trip).
   uint32_t readahead_chunks = 2;
+  // TTL for the client metadata cache (HVAC_META_TTL_MS): per-epoch
+  // re-opens of a file whose {size, home, cached} is still fresh skip
+  // the stat/open round trip entirely (path-mode fds). 0 disables.
+  int64_t meta_ttl_ms = 3000;
   rpc::RpcClientOptions rpc;
 };
 
@@ -71,6 +76,8 @@ struct ClientStats {
   uint64_t readahead_hits = 0;    // reads served from a pending chunk
   uint64_t readahead_wasted = 0;  // pending chunks discarded unread
                                   // (non-sequential turn, close, failover)
+  uint64_t meta_hits = 0;    // opens/stats answered from the meta cache
+  uint64_t meta_misses = 0;  // lookups that had to pay the round trip
 };
 
 // JSON rendering of the shim's exit summary (HVAC_STATS_FILE): the
@@ -116,11 +123,15 @@ class HvacClient {
   const HvacClientOptions& options() const { return options_; }
 
  private:
-  // One chunk requested ahead of the application's read position.
+  // One chunk requested ahead of the application's read position. A
+  // whole issue batch rides in ONE kReadScatter call, so the chunks of
+  // a batch share the response future and each remembers which extent
+  // of the scatter frame is theirs.
   struct PendingChunk {
     uint64_t offset = 0;
     uint32_t count = 0;
-    std::future<Result<rpc::Bytes>> data;
+    std::shared_future<Result<rpc::Bytes>> data;
+    uint32_t extent_index = 0;
   };
 
   // Per-vfd sequential-pattern tracker and in-flight chunk window.
@@ -159,6 +170,12 @@ class HvacClient {
 
   Result<int> open_via_pfs(const std::string& path);
 
+  // Meta-cache lookup with the breaker check folded in: an entry whose
+  // home endpoint has an open circuit is invalidated on the spot (the
+  // cached location is unusable until the breaker half-opens). Bumps
+  // the per-client hit/miss stats.
+  std::optional<MetaEntry> meta_lookup(const std::string& logical);
+
   // Segment-granular positional read (entry.segmented == true).
   Result<size_t> pread_segmented(const core::FdEntry& entry, void* buf,
                                  size_t count, uint64_t offset);
@@ -178,6 +195,7 @@ class HvacClient {
   HvacClientOptions options_;
   core::Placement placement_;
   core::FdTable fds_;
+  MetaCache meta_;
   std::vector<std::unique_ptr<rpc::RpcClient>> channels_;
   std::vector<std::unique_ptr<rpc::AsyncRpcClient>> async_channels_;
   std::mutex channels_mutex_;

@@ -1,0 +1,66 @@
+#include "client/meta_cache.h"
+
+#include "core/metrics.h"
+#include "rpc/health.h"  // steady_now_ms — shared monotonic time base
+
+namespace hvac::client {
+
+namespace {
+core::MetaCacheCounters& counters() {
+  return core::MetaCacheCounters::global();
+}
+}  // namespace
+
+MetaCache::MetaCache(int64_t ttl_ms) : ttl_ms_(ttl_ms) {}
+
+std::optional<MetaEntry> MetaCache::lookup(const std::string& logical) {
+  if (!enabled()) return std::nullopt;
+  const int64_t now = rpc::steady_now_ms();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(logical);
+  if (it == map_.end()) {
+    counters().misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (now >= it->second.expires_ms) {
+    map_.erase(it);
+    counters().expired.fetch_add(1, std::memory_order_relaxed);
+    counters().misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  counters().hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second.meta;
+}
+
+void MetaCache::put(const std::string& logical, const MetaEntry& entry) {
+  if (!enabled()) return;
+  const int64_t expires = rpc::steady_now_ms() + ttl_ms_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_[logical] = Slot{entry, expires};
+}
+
+void MetaCache::invalidate(const std::string& logical) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (map_.erase(logical) > 0) {
+    counters().invalidated.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MetaCache::invalidate_home(uint32_t home) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second.meta.home == home) {
+      it = map_.erase(it);
+      counters().invalidated.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t MetaCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+}  // namespace hvac::client

@@ -20,10 +20,11 @@ namespace {
 constexpr size_t kSiteCount = static_cast<size_t>(Site::kCount);
 
 struct Rule {
-  enum class Action { kError, kDelay };
+  enum class Action { kError, kDelay, kShort };
   Action action = Action::kError;
   ErrorCode code = ErrorCode::kIoError;
   uint32_t delay_ms = 0;
+  uint64_t cap_bytes = 0;  // kShort: per-transfer byte budget
   double probability = 1.0;
   uint64_t seed = 0;
   uint64_t after = 0;
@@ -46,6 +47,7 @@ struct AtomicSiteStats {
   std::atomic<uint64_t> checks{0};
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> delays{0};
+  std::atomic<uint64_t> shorts{0};
 };
 AtomicSiteStats g_stats[kSiteCount];
 
@@ -112,6 +114,12 @@ Status parse_rule(const std::string& text, Config* config) {
     rule->action = Rule::Action::kDelay;
     HVAC_ASSIGN_OR_RETURN(uint64_t ms, parse_u64(action.substr(9)));
     rule->delay_ms = static_cast<uint32_t>(ms);
+  } else if (action.rfind("short=", 0) == 0) {
+    rule->action = Rule::Action::kShort;
+    HVAC_ASSIGN_OR_RETURN(rule->cap_bytes, parse_u64(action.substr(6)));
+    if (rule->cap_bytes == 0) {
+      return Error(ErrorCode::kInvalidArgument, "short=0 would stall");
+    }
   } else {
     return Error(ErrorCode::kInvalidArgument,
                  "unknown fault action: " + action);
@@ -158,6 +166,8 @@ const char* site_name(Site site) {
     case Site::kStat: return "stat";
     case Site::kStoreRead: return "store_read";
     case Site::kPfsRead: return "pfs_read";
+    case Site::kZcSend: return "zc_send";
+    case Site::kZcSplice: return "zc_splice";
     case Site::kCount: break;
   }
   return "?";
@@ -178,6 +188,7 @@ Status inject(Site site) {
   g_stats[idx].checks.fetch_add(1, std::memory_order_relaxed);
 
   for (const auto& rule : config->rules[idx]) {
+    if (rule->action == Rule::Action::kShort) continue;  // cap() only
     const uint64_t k = rule->checks.fetch_add(1, std::memory_order_relaxed);
     if (k < rule->after) continue;
     if (rule->fires.load(std::memory_order_relaxed) >= rule->max_fires) {
@@ -200,6 +211,34 @@ Status inject(Site site) {
   return Status::Ok();
 }
 
+size_t cap(Site site, size_t want) {
+  std::shared_ptr<Config> config;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    config = g_config;
+  }
+  if (!config) return want;
+  const size_t idx = static_cast<size_t>(site);
+  size_t budget = want;
+  for (const auto& rule : config->rules[idx]) {
+    if (rule->action != Rule::Action::kShort) continue;
+    const uint64_t k = rule->checks.fetch_add(1, std::memory_order_relaxed);
+    if (k < rule->after) continue;
+    if (rule->fires.load(std::memory_order_relaxed) >= rule->max_fires) {
+      continue;
+    }
+    if (rule->probability < 1.0 &&
+        SplitMix64(rule->seed + k).next_double() >= rule->probability) {
+      continue;
+    }
+    if (rule->cap_bytes >= budget) continue;  // no-op cap: not a fire
+    rule->fires.fetch_add(1, std::memory_order_relaxed);
+    g_stats[idx].shorts.fetch_add(1, std::memory_order_relaxed);
+    budget = static_cast<size_t>(rule->cap_bytes);
+  }
+  return budget;
+}
+
 }  // namespace detail
 
 Status configure(const std::string& spec) {
@@ -218,6 +257,7 @@ Status configure(const std::string& spec) {
     s.checks.store(0, std::memory_order_relaxed);
     s.errors.store(0, std::memory_order_relaxed);
     s.delays.store(0, std::memory_order_relaxed);
+    s.shorts.store(0, std::memory_order_relaxed);
   }
   detail::g_enabled.store(any, std::memory_order_release);
   return Status::Ok();
@@ -241,14 +281,16 @@ SiteStats stats(Site site) {
   const auto& s = g_stats[static_cast<size_t>(site)];
   return SiteStats{s.checks.load(std::memory_order_relaxed),
                    s.errors.load(std::memory_order_relaxed),
-                   s.delays.load(std::memory_order_relaxed)};
+                   s.delays.load(std::memory_order_relaxed),
+                   s.shorts.load(std::memory_order_relaxed)};
 }
 
 uint64_t total_injected() {
   uint64_t total = 0;
   for (const auto& s : g_stats) {
     total += s.errors.load(std::memory_order_relaxed) +
-             s.delays.load(std::memory_order_relaxed);
+             s.delays.load(std::memory_order_relaxed) +
+             s.shorts.load(std::memory_order_relaxed);
   }
   return total;
 }

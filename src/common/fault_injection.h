@@ -11,11 +11,14 @@
 //
 // Grammar: rules separated by ';', each rule `site:action[:token]*`.
 //   site    rpc_connect | rpc_send | rpc_recv | open | read | stat |
-//           store_read | pfs_read
+//           store_read | pfs_read | zc_send | zc_splice
 //   action  error            inject kIoError
 //           error=CODE       CODE in {unavailable, timeout, io,
 //                            not_found, capacity, protocol}
 //           delay_ms=N       sleep N ms, then continue
+//           short=N          cap one kernel transfer at N bytes
+//                            (cap_len sites only: zc_send/zc_splice —
+//                            forces the short-sendfile resume loop)
 //   tokens  a bare float     probability of firing (default 1.0)
 //           seed=N           decision-stream seed (default 0)
 //           after=N          skip the first N checks of this rule
@@ -47,6 +50,8 @@ enum class Site : uint8_t {
   kStat,
   kStoreRead,
   kPfsRead,
+  kZcSend,    // sendfile() leg of the zero-copy response path
+  kZcSplice,  // splice() leg of the zero-copy response path
   kCount,  // sentinel
 };
 
@@ -55,6 +60,7 @@ const char* site_name(Site site);
 namespace detail {
 extern std::atomic<bool> g_enabled;
 Status inject(Site site);
+size_t cap(Site site, size_t want);
 }  // namespace detail
 
 // True when any fault rule is active.
@@ -73,6 +79,17 @@ inline Status check(Site site) {
   return detail::inject(site);
 }
 
+// Transfer-length hook for the zero-copy send loops: returns the
+// byte budget for one kernel transfer — `want`, or less when a
+// matching `short=N` rule fires. The resume loop around sendfile/
+// splice must deliver every byte regardless of how small the cap is.
+inline size_t cap_len(Site site, size_t want) {
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) {
+    return want;
+  }
+  return detail::cap(site, want);
+}
+
 // Installs a spec, replacing any previous one. An empty spec disables
 // injection entirely. kInvalidArgument on a malformed spec.
 Status configure(const std::string& spec);
@@ -87,6 +104,7 @@ struct SiteStats {
   uint64_t checks = 0;
   uint64_t errors = 0;
   uint64_t delays = 0;
+  uint64_t shorts = 0;  // transfers capped by a short=N rule
 };
 SiteStats stats(Site site);
 

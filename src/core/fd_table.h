@@ -30,6 +30,10 @@ struct FdEntry {
   int pfs_fd = -1;            // real fd when fallback_pfs
   bool segmented = false;     // true: stateless segment-granular reads
                               // (no remote fd; see core/segment.h)
+  bool path_mode = false;     // true: opened from the metadata cache
+                              // with no open RPC — reads address the
+                              // file by logical path (kReadScatter
+                              // mode 1), close has no remote state
 };
 
 class FdTable {

@@ -36,6 +36,11 @@ ReadAheadCounters& ReadAheadCounters::global() {
   return counters;
 }
 
+MetaCacheCounters& MetaCacheCounters::global() {
+  static MetaCacheCounters counters;
+  return counters;
+}
+
 std::string MetricsSnapshot::to_string() const {
   std::ostringstream oss;
   oss << "hits=" << hits << " misses=" << misses

@@ -47,6 +47,22 @@ void ResilienceStats::merge(const ResilienceStats& other) {
   faults_injected += other.faults_injected;
 }
 
+void ZeroCopyStats::merge(const ZeroCopyStats& other) {
+  sendfile_sends += other.sendfile_sends;
+  splice_sends += other.splice_sends;
+  fallback_sends += other.fallback_sends;
+  sendfile_bytes += other.sendfile_bytes;
+  splice_bytes += other.splice_bytes;
+  short_resumes += other.short_resumes;
+}
+
+void MetaCacheStats::merge(const MetaCacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  expired += other.expired;
+  invalidated += other.invalidated;
+}
+
 void MetricsFrame::merge(const MetricsFrame& other) {
   version = version > other.version ? version : other.version;
   cache.hits += other.cache.hits;
@@ -61,6 +77,8 @@ void MetricsFrame::merge(const MetricsFrame& other) {
   buffer_pool.merge(other.buffer_pool);
   readahead.merge(other.readahead);
   resilience.merge(other.resilience);
+  zerocopy.merge(other.zerocopy);
+  meta_cache.merge(other.meta_cache);
   for (const auto& [op, snap] : other.op_latency) {
     op_latency[op].merge(snap);
   }
@@ -80,7 +98,7 @@ Bytes MetricsFrame::encode() const {
 
   w.put_u32(kMetricsFrameMagic);
   w.put_u16(kFrameVersion);
-  w.put_u16(5);  // section count
+  w.put_u16(7);  // section count
 
   {
     WireWriter s;
@@ -138,6 +156,26 @@ Bytes MetricsFrame::encode() const {
     s.put_u64(resilience.drained_requests);
     s.put_u64(resilience.faults_injected);
     w.put_u16(kSectionResilience);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  {
+    WireWriter s;
+    s.put_u64(zerocopy.sendfile_sends);
+    s.put_u64(zerocopy.splice_sends);
+    s.put_u64(zerocopy.fallback_sends);
+    s.put_u64(zerocopy.sendfile_bytes);
+    s.put_u64(zerocopy.splice_bytes);
+    s.put_u64(zerocopy.short_resumes);
+    w.put_u16(kSectionZeroCopy);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  {
+    WireWriter s;
+    s.put_u64(meta_cache.hits);
+    s.put_u64(meta_cache.misses);
+    s.put_u64(meta_cache.expired);
+    s.put_u64(meta_cache.invalidated);
+    w.put_u16(kSectionMetaCache);
     w.put_blob(s.bytes().data(), s.bytes().size());
   }
   return std::move(w).take();
@@ -242,6 +280,16 @@ Result<MetricsFrame> MetricsFrame::decode(const Bytes& bytes) {
                       &f.resilience.drained_requests,
                       &f.resilience.faults_injected});
         break;
+      case kSectionZeroCopy:
+        read_u64s(s, {&f.zerocopy.sendfile_sends, &f.zerocopy.splice_sends,
+                      &f.zerocopy.fallback_sends,
+                      &f.zerocopy.sendfile_bytes, &f.zerocopy.splice_bytes,
+                      &f.zerocopy.short_resumes});
+        break;
+      case kSectionMetaCache:
+        read_u64s(s, {&f.meta_cache.hits, &f.meta_cache.misses,
+                      &f.meta_cache.expired, &f.meta_cache.invalidated});
+        break;
       default:
         break;  // unknown section: skipped by its length prefix
     }
@@ -261,6 +309,8 @@ std::string op_name(uint16_t opcode) {
     case 6: return "prefetch";
     case 7: return "metrics";
     case 8: return "read_segment";
+    case 9: return "read_scatter";
+    case 10: return "prefetch_batch";
     default: return "op" + std::to_string(opcode);
   }
 }
@@ -301,6 +351,16 @@ std::string MetricsFrame::to_json() const {
     << ",\"drains\":" << resilience.drains
     << ",\"drained_requests\":" << resilience.drained_requests
     << ",\"faults_injected\":" << resilience.faults_injected << "}"
+    << ",\"zero_copy\":{\"sendfile_sends\":" << zerocopy.sendfile_sends
+    << ",\"splice_sends\":" << zerocopy.splice_sends
+    << ",\"fallback_sends\":" << zerocopy.fallback_sends
+    << ",\"sendfile_bytes\":" << zerocopy.sendfile_bytes
+    << ",\"splice_bytes\":" << zerocopy.splice_bytes
+    << ",\"short_resumes\":" << zerocopy.short_resumes << "}"
+    << ",\"meta_cache\":{\"hits\":" << meta_cache.hits
+    << ",\"misses\":" << meta_cache.misses
+    << ",\"expired\":" << meta_cache.expired
+    << ",\"invalidated\":" << meta_cache.invalidated << "}"
     << ",\"latency_us\":{";
   bool first = true;
   for (const auto& [op, snap] : op_latency) {

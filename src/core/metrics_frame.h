@@ -43,6 +43,8 @@ enum MetricsSection : uint16_t {
   kSectionReadAhead = 3,
   kSectionLatency = 4,
   kSectionResilience = 5,
+  kSectionZeroCopy = 6,
+  kSectionMetaCache = 7,
 };
 
 struct HandleCacheStats {
@@ -93,6 +95,31 @@ struct ResilienceStats {
   void merge(const ResilienceStats& other);
 };
 
+// Kernel zero-copy send path (rpc/socket.h ZeroCopyCounters):
+// sendfile/splice response sends, their byte volume, and how often the
+// pooled fallback carried extents instead. Process-wide.
+struct ZeroCopyStats {
+  uint64_t sendfile_sends = 0;
+  uint64_t splice_sends = 0;
+  uint64_t fallback_sends = 0;  // extents staged through the pool
+  uint64_t sendfile_bytes = 0;
+  uint64_t splice_bytes = 0;
+  uint64_t short_resumes = 0;  // partial kernel sends resumed in-place
+
+  void merge(const ZeroCopyStats& other);
+};
+
+// Client metadata cache (client/meta_cache.h). Process-wide, like the
+// read-ahead counters.
+struct MetaCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t expired = 0;
+  uint64_t invalidated = 0;
+
+  void merge(const MetaCacheStats& other);
+};
+
 struct MetricsFrame {
   // Decoded frame version: kFrameVersion, or 1 for a legacy payload
   // (sections all zero).
@@ -105,6 +132,8 @@ struct MetricsFrame {
   BufferPoolStats buffer_pool;
   ReadAheadStats readahead;
   ResilienceStats resilience;
+  ZeroCopyStats zerocopy;
+  MetaCacheStats meta_cache;
   // Keyed by proto::Opcode value; only ops with samples are present.
   std::map<uint16_t, LatencySnapshot> op_latency;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "rpc/health.h"
 
 namespace hvac::core {
 
@@ -72,6 +73,18 @@ std::vector<uint32_t> Placement::homes(std::string_view path) const {
     out.push_back((primary + r) % num_servers_);
   }
   return out;
+}
+
+std::vector<uint32_t> order_by_health(
+    std::vector<uint32_t> homes, const std::vector<std::string>& endpoints) {
+  auto& registry = rpc::HealthRegistry::global();
+  std::stable_partition(
+      homes.begin(), homes.end(), [&](uint32_t server) {
+        if (server >= endpoints.size()) return true;
+        return registry.get(endpoints[server])->state() !=
+               rpc::EndpointHealth::State::kOpen;
+      });
+  return homes;
 }
 
 }  // namespace hvac::core

@@ -62,4 +62,15 @@ class Placement {
   uint32_t replicas_;
 };
 
+// Breaker-aware replica ordering (paper §III-H meets rpc/health.h):
+// reorders an ordered replica list so servers whose circuit is
+// currently OPEN sink to the back, preserving the placement order
+// within each group. The open ones are kept (not dropped) — when every
+// replica is down they are still the last resort before the PFS, and
+// a half-open probe needs traffic to close the circuit again.
+// `endpoints` maps server index -> address (the client's server map);
+// indices out of range are left in place.
+std::vector<uint32_t> order_by_health(
+    std::vector<uint32_t> homes, const std::vector<std::string>& endpoints);
+
 }  // namespace hvac::core

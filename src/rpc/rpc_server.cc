@@ -22,6 +22,11 @@ struct RpcServer::Connection {
 
   Fd fd;
   std::mutex write_mutex;
+  // Scratch pipe for the splice rung, created lazily on the first
+  // extent-bearing response and reused for the connection's lifetime
+  // (guarded by write_mutex like all response writes).
+  Fd pipe_rd;
+  Fd pipe_wr;
   // Requests dispatched but not yet answered (backpressure cap).
   std::atomic<uint32_t> inflight{0};
 
@@ -110,10 +115,13 @@ Status RpcServer::start() {
     return Error::from_errno(errno, "epoll_ctl(wake)");
   }
 
+  zerocopy_mode_ = resolve_zerocopy_mode();
   pool_ = std::make_unique<ThreadPool>(options_.handler_threads);
   running_.store(true, std::memory_order_release);
   progress_ = std::thread([this] { progress_loop(); });
-  HVAC_LOG_INFO("rpc server listening on " << bound_.address);
+  HVAC_LOG_INFO("rpc server listening on "
+                << bound_.address << " (zerocopy="
+                << zerocopy_mode_name(zerocopy_mode_) << ")");
   return Status::Ok();
 }
 
@@ -317,6 +325,99 @@ void RpcServer::shed_request(const std::shared_ptr<Connection>& conn,
   }
 }
 
+Status RpcServer::write_response(const std::shared_ptr<Connection>& conn,
+                                 FrameHeader resp, const Payload& body) {
+  uint8_t hdr[kHeaderSize];
+  iovec iov[3];
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+
+  if (!body.has_extents()) {
+    encode_header(resp, hdr);
+    // Header + body leave in one gathered syscall; for a pooled body
+    // the bytes go kernel-to-socket with no intermediate copy at all.
+    iov[0].iov_base = hdr;
+    iov[0].iov_len = kHeaderSize;
+    iov[1].iov_base = const_cast<uint8_t*>(body.data());
+    iov[1].iov_len = body.size();
+    return send_vectored(conn->fd.get(), iov, body.size() == 0 ? 1 : 2);
+  }
+
+  ZeroCopyMode mode = zerocopy_mode_;
+  if (mode == ZeroCopyMode::kSplice && !conn->pipe_rd.valid()) {
+    int pfd[2] = {-1, -1};
+    if (::pipe(pfd) == 0) {
+      conn->pipe_rd = Fd(pfd[0]);
+      conn->pipe_wr = Fd(pfd[1]);
+    } else {
+      // Out of fds for the scratch pipe: sendfile needs none and works
+      // wherever splice does on this kernel.
+      mode = ZeroCopyMode::kSendfile;
+    }
+  }
+
+  if (mode == ZeroCopyMode::kOff) {
+    // Pooled fallback: stage the extent bytes in user space, then one
+    // gathered send — same syscall shape as the extent-free path.
+    auto& zc = ZeroCopyCounters::global();
+    Bytes staged(body.total_size() - body.size());
+    size_t at = 0;
+    for (const auto& e : body.extents()) {
+      size_t got = 0;
+      while (got < e.length) {
+        const ssize_t n =
+            ::pread(e.fd, staged.data() + at + got, e.length - got,
+                    static_cast<off_t>(e.offset + got));
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          return Error::from_errno(errno, "pread(extent fallback)");
+        }
+        if (n == 0) {
+          return Error(ErrorCode::kProtocol, "extent eof in fallback");
+        }
+        got += static_cast<size_t>(n);
+      }
+      at += e.length;
+      zc.fallback_sends.fetch_add(1, std::memory_order_relaxed);
+    }
+    encode_header(resp, hdr);
+    iov[0].iov_base = hdr;
+    iov[0].iov_len = kHeaderSize;
+    iov[1].iov_base = const_cast<uint8_t*>(body.data());
+    iov[1].iov_len = body.size();
+    iov[2].iov_base = staged.data();
+    iov[2].iov_len = staged.size();
+    return send_vectored(conn->fd.get(), iov, staged.empty() ? 2 : 3);
+  }
+
+  // Zero-copy rung: cork the header + memory head with MSG_MORE, then
+  // kernel-copy each extent; the last transfer flushes the cork. When
+  // every extent is empty nothing would follow to flush it, so send
+  // uncorked instead of stalling the frame in the kernel.
+  uint64_t extent_bytes = 0;
+  for (const auto& e : body.extents()) extent_bytes += e.length;
+  encode_header(resp, hdr);
+  iov[0].iov_base = hdr;
+  iov[0].iov_len = kHeaderSize;
+  iov[1].iov_base = const_cast<uint8_t*>(body.data());
+  iov[1].iov_len = body.size();
+  const int head_cnt = body.size() == 0 ? 1 : 2;
+  HVAC_RETURN_IF_ERROR(
+      extent_bytes > 0 ? send_vectored_more(conn->fd.get(), iov, head_cnt)
+                       : send_vectored(conn->fd.get(), iov, head_cnt));
+  for (const auto& e : body.extents()) {
+    if (e.length == 0) continue;
+    if (mode == ZeroCopyMode::kSendfile) {
+      HVAC_RETURN_IF_ERROR(
+          sendfile_exact(conn->fd.get(), e.fd, e.offset, e.length));
+    } else {
+      HVAC_RETURN_IF_ERROR(splice_exact(conn->fd.get(), e.fd, e.offset,
+                                        e.length, conn->pipe_rd.get(),
+                                        conn->pipe_wr.get()));
+    }
+  }
+  return Status::Ok();
+}
+
 void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
                          FrameHeader header, Bytes payload) {
   if (header.kind != FrameKind::kRequest) {
@@ -363,26 +464,17 @@ void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
       w.put_string(result.error().message);
       body = Payload(std::move(w).take());
     }
-    resp.payload_len = static_cast<uint32_t>(body.size());
+    resp.payload_len = static_cast<uint32_t>(body.total_size());
 
-    uint8_t hdr[kHeaderSize];
-    encode_header(resp, hdr);
     // Count before the write so a client that has already seen the
     // response also sees the counter (tests rely on this ordering).
     requests_served_.fetch_add(1, std::memory_order_relaxed);
-    // Header + body leave in one gathered syscall; for a pooled body
-    // the bytes go kernel-to-socket with no intermediate copy at all.
-    iovec iov[2];
-    iov[0].iov_base = hdr;
-    iov[0].iov_len = kHeaderSize;
-    iov[1].iov_base = const_cast<uint8_t*>(body.data());
-    iov[1].iov_len = body.size();
-    const int iovcnt = body.empty() ? 1 : 2;
-    {
-      std::lock_guard<std::mutex> lock(conn->write_mutex);
-      if (!send_vectored(conn->fd.get(), iov, iovcnt).ok()) {
-        HVAC_LOG_DEBUG("response write failed; peer likely gone");
-      }
+    if (Status ws = write_response(conn, resp, body); !ws.ok()) {
+      // The header may already be on the wire with the payload short:
+      // nothing valid can follow, so shut the socket down and let the
+      // progress thread reap the connection (it owns drop_connection).
+      HVAC_LOG_DEBUG("response write failed: " << ws.error().to_string());
+      ::shutdown(conn->fd.get(), SHUT_RDWR);
     }
     if (draining_.load(std::memory_order_acquire)) {
       ResilienceCounters::global().drained_requests.fetch_add(

@@ -87,6 +87,11 @@ class RpcServer {
   // The bound address (useful with port 0).
   const Endpoint& endpoint() const { return bound_; }
 
+  // The zero-copy send mode resolved at start() (HVAC_ZEROCOPY or the
+  // capability probe). Handlers consult this to decide whether to
+  // return file extents or stage bytes through the buffer pool.
+  ZeroCopyMode zerocopy_mode() const { return zerocopy_mode_; }
+
   // Observability for tests.
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
@@ -105,6 +110,12 @@ class RpcServer {
   void handle_readable(const std::shared_ptr<Connection>& conn);
   void dispatch(const std::shared_ptr<Connection>& conn, FrameHeader header,
                 Bytes payload);
+  // Writes one response frame (header + memory head + extents) under
+  // the connection write lock, choosing the zero-copy rung for extent
+  // bytes. A failure after the header bytes hit the wire leaves the
+  // stream mid-frame: the caller must shut the connection down.
+  Status write_response(const std::shared_ptr<Connection>& conn,
+                        FrameHeader resp, const Payload& body);
   void drop_connection(int fd);
   // Writes a status-only error frame for `header` (shed/backpressure
   // path — runs on the progress thread, before any pool submit).
@@ -119,6 +130,7 @@ class RpcServer {
   Fd wake_fd_;  // eventfd used to interrupt epoll_wait on stop()
   std::unique_ptr<ThreadPool> pool_;
   std::thread progress_;
+  ZeroCopyMode zerocopy_mode_ = ZeroCopyMode::kOff;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> requests_served_{0};

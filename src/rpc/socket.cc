@@ -5,13 +5,19 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/sendfile.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/fault_injection.h"
 #include "rpc/health.h"  // steady_now_ms
 
@@ -200,15 +206,19 @@ Status send_all(int fd, const void* data, size_t size) {
   return Status::Ok();
 }
 
-Status send_vectored(int fd, iovec* iov, int iovcnt) {
+namespace {
+
+Status send_vectored_flags(int fd, iovec* iov, int iovcnt, int flags) {
   // sendmsg (not writev) so MSG_NOSIGNAL applies, matching send_all's
-  // no-SIGPIPE behaviour on dead peers.
+  // no-SIGPIPE behaviour on dead peers. `flags` carries MSG_NOSIGNAL
+  // (always) plus MSG_MORE for the corked variant; every retry after
+  // EINTR or a short write re-sends with the same flags.
   int first = 0;
   while (first < iovcnt) {
     msghdr msg{};
     msg.msg_iov = iov + first;
     msg.msg_iovlen = static_cast<size_t>(iovcnt - first);
-    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    const ssize_t n = ::sendmsg(fd, &msg, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Error::from_errno(errno, "sendmsg");
@@ -226,6 +236,16 @@ Status send_vectored(int fd, iovec* iov, int iovcnt) {
     }
   }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status send_vectored(int fd, iovec* iov, int iovcnt) {
+  return send_vectored_flags(fd, iov, iovcnt, MSG_NOSIGNAL);
+}
+
+Status send_vectored_more(int fd, iovec* iov, int iovcnt) {
+  return send_vectored_flags(fd, iov, iovcnt, MSG_NOSIGNAL | MSG_MORE);
 }
 
 Status recv_all(int fd, void* data, size_t size) {
@@ -282,6 +302,216 @@ Status set_nonblocking(int fd, bool nonblocking) {
 void set_nodelay(int fd) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// ---- Zero-copy send ladder -------------------------------------------
+
+namespace {
+
+// sendfile/splice have no MSG_NOSIGNAL: a dead peer raises SIGPIPE at
+// the thread that wrote. Block it for the scope of the transfer and
+// swallow any instance it generated, so the zero-copy rungs keep the
+// same no-SIGPIPE contract as send_all/send_vectored. If SIGPIPE was
+// already blocked (or the mask call failed) this is a no-op.
+class ScopedSigpipeBlock {
+ public:
+  ScopedSigpipeBlock() {
+    sigset_t block;
+    sigemptyset(&block);
+    sigaddset(&block, SIGPIPE);
+    armed_ = ::pthread_sigmask(SIG_BLOCK, &block, &old_) == 0 &&
+             !sigismember(&old_, SIGPIPE);
+  }
+  ~ScopedSigpipeBlock() {
+    if (!armed_) return;
+    sigset_t pending;
+    if (::sigpending(&pending) == 0 && sigismember(&pending, SIGPIPE)) {
+      sigset_t just_pipe;
+      sigemptyset(&just_pipe);
+      sigaddset(&just_pipe, SIGPIPE);
+      const timespec zero{0, 0};
+      (void)::sigtimedwait(&just_pipe, nullptr, &zero);
+    }
+    (void)::pthread_sigmask(SIG_SETMASK, &old_, nullptr);
+  }
+  ScopedSigpipeBlock(const ScopedSigpipeBlock&) = delete;
+  ScopedSigpipeBlock& operator=(const ScopedSigpipeBlock&) = delete;
+
+ private:
+  sigset_t old_{};
+  bool armed_ = false;
+};
+
+// Blocks until `fd` is writable again (EAGAIN on a non-blocking
+// socket mid-extent: there is no epoll re-arm for a half-sent frame,
+// the writer owns the stream until the frame is complete).
+Status wait_writable(int fd) {
+  for (;;) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int pr = ::poll(&pfd, 1, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Error::from_errno(errno, "poll(POLLOUT)");
+    }
+    if (pr > 0) return Status::Ok();
+  }
+}
+
+// One real end-to-end transfer over a socketpair + unlinked temp file;
+// returns true when the syscall path works on this kernel/filesystem.
+bool probe_rung(ZeroCopyMode rung) {
+  int sv[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+  Fd sock_a(sv[0]);
+  Fd sock_b(sv[1]);
+
+  char tmpl[] = "/tmp/hvac_zc_probe_XXXXXX";
+  const int raw = ::mkstemp(tmpl);
+  if (raw < 0) return false;
+  Fd file(raw);
+  ::unlink(tmpl);
+  const char byte = 'z';
+  if (::pwrite(file.get(), &byte, 1, 0) != 1) return false;
+
+  bool ok = false;
+  if (rung == ZeroCopyMode::kSendfile) {
+    off_t off = 0;
+    ok = ::sendfile(sock_a.get(), file.get(), &off, 1) == 1;
+  } else if (rung == ZeroCopyMode::kSplice) {
+    int pfd[2] = {-1, -1};
+    if (::pipe(pfd) != 0) return false;
+    Fd pipe_rd(pfd[0]);
+    Fd pipe_wr(pfd[1]);
+    off_t off = 0;
+    ok = ::splice(file.get(), &off, pipe_wr.get(), nullptr, 1,
+                  SPLICE_F_MOVE) == 1 &&
+         ::splice(pipe_rd.get(), nullptr, sock_a.get(), nullptr, 1,
+                  SPLICE_F_MOVE) == 1;
+  }
+  if (ok) {
+    char echo = 0;
+    ok = ::recv(sock_b.get(), &echo, 1, 0) == 1 && echo == byte;
+  }
+  return ok;
+}
+
+}  // namespace
+
+const char* zerocopy_mode_name(ZeroCopyMode mode) {
+  switch (mode) {
+    case ZeroCopyMode::kOff: return "off";
+    case ZeroCopyMode::kSendfile: return "sendfile";
+    case ZeroCopyMode::kSplice: return "splice";
+  }
+  return "?";
+}
+
+ZeroCopyMode resolve_zerocopy_mode() {
+  // Probe once per process; the env override is re-read every call so
+  // tests can flip HVAC_ZEROCOPY between server instances.
+  static const ZeroCopyMode probed = [] {
+    if (probe_rung(ZeroCopyMode::kSendfile)) return ZeroCopyMode::kSendfile;
+    if (probe_rung(ZeroCopyMode::kSplice)) return ZeroCopyMode::kSplice;
+    return ZeroCopyMode::kOff;
+  }();
+  if (const auto forced = env_string("HVAC_ZEROCOPY")) {
+    if (*forced == "off") return ZeroCopyMode::kOff;
+    if (*forced == "sendfile") return ZeroCopyMode::kSendfile;
+    if (*forced == "splice") return ZeroCopyMode::kSplice;
+    if (!forced->empty()) {
+      std::fprintf(stderr,
+                   "hvac: unknown HVAC_ZEROCOPY=%s, using probe result %s\n",
+                   forced->c_str(), zerocopy_mode_name(probed));
+    }
+  }
+  return probed;
+}
+
+Status sendfile_exact(int sock_fd, int file_fd, uint64_t offset,
+                      size_t size) {
+  ScopedSigpipeBlock no_sigpipe;
+  auto& zc = ZeroCopyCounters::global();
+  off_t off = static_cast<off_t>(offset);
+  size_t left = size;
+  while (left > 0) {
+    HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kZcSend));
+    const size_t want = fault::cap_len(fault::Site::kZcSend, left);
+    const ssize_t n = ::sendfile(sock_fd, file_fd, &off, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        HVAC_RETURN_IF_ERROR(wait_writable(sock_fd));
+        continue;
+      }
+      return Error::from_errno(errno, "sendfile");
+    }
+    if (n == 0) {
+      // The file shrank under the extent we promised in the header:
+      // nothing valid can follow on this stream.
+      return Error(ErrorCode::kProtocol, "sendfile: eof inside extent");
+    }
+    left -= static_cast<size_t>(n);
+    if (left > 0) zc.short_resumes.fetch_add(1, std::memory_order_relaxed);
+  }
+  zc.sendfile_sends.fetch_add(1, std::memory_order_relaxed);
+  zc.sendfile_bytes.fetch_add(size, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status splice_exact(int sock_fd, int file_fd, uint64_t offset, size_t size,
+                    int pipe_rd, int pipe_wr) {
+  ScopedSigpipeBlock no_sigpipe;
+  auto& zc = ZeroCopyCounters::global();
+  off_t off = static_cast<off_t>(offset);
+  size_t left = size;
+  while (left > 0) {
+    HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kZcSplice));
+    const size_t want = fault::cap_len(fault::Site::kZcSplice, left);
+    const ssize_t in = ::splice(file_fd, &off, pipe_wr, nullptr, want,
+                                SPLICE_F_MOVE | SPLICE_F_MORE);
+    if (in < 0) {
+      if (errno == EINTR) continue;
+      return Error::from_errno(errno, "splice(file->pipe)");
+    }
+    if (in == 0) {
+      return Error(ErrorCode::kProtocol, "splice: eof inside extent");
+    }
+    // The pipe now holds `in` bytes that MUST reach the socket: a
+    // failure here poisons the stream (header already promised them).
+    // SPLICE_F_MORE only while more of the extent follows — corking
+    // the final chunk would strand the frame's tail in the kernel
+    // until a timer flushes it, stalling the waiting client.
+    const unsigned int flags =
+        SPLICE_F_MOVE |
+        (left > static_cast<size_t>(in) ? SPLICE_F_MORE : 0);
+    size_t pending = static_cast<size_t>(in);
+    while (pending > 0) {
+      const ssize_t out = ::splice(pipe_rd, nullptr, sock_fd, nullptr,
+                                   pending, flags);
+      if (out < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          HVAC_RETURN_IF_ERROR(wait_writable(sock_fd));
+          continue;
+        }
+        return Error::from_errno(errno, "splice(pipe->socket)");
+      }
+      if (out == 0) {
+        return Error(ErrorCode::kProtocol, "splice: socket closed");
+      }
+      pending -= static_cast<size_t>(out);
+    }
+    left -= static_cast<size_t>(in);
+    if (left > 0) zc.short_resumes.fetch_add(1, std::memory_order_relaxed);
+  }
+  zc.splice_sends.fetch_add(1, std::memory_order_relaxed);
+  zc.splice_bytes.fetch_add(size, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+ZeroCopyCounters& ZeroCopyCounters::global() {
+  static ZeroCopyCounters counters;
+  return counters;
 }
 
 }  // namespace hvac::rpc

@@ -5,6 +5,7 @@
 
 #include <sys/uio.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -64,11 +65,70 @@ Status send_all(int fd, const void* data, size_t size);
 
 // Gathered write: sends every byte of `iov[0..iovcnt)` in order,
 // handling EINTR and partial writev()s (a short write mid-iovec
-// resumes at the exact byte where the kernel stopped). The iovec
-// array is clobbered as progress bookkeeping — pass a scratch copy.
-// One syscall in the common case, so a frame header + payload go out
+// resumes at the exact byte where the kernel stopped; the retry after
+// EINTR re-sends only the unconsumed tail, with MSG_NOSIGNAL still
+// applied — no SIGPIPE and no duplicated bytes). The iovec array is
+// clobbered as progress bookkeeping — pass a scratch copy. One
+// syscall in the common case, so a frame header + payload go out
 // together instead of as two send_all round trips.
 Status send_vectored(int fd, iovec* iov, int iovcnt);
+
+// send_vectored with MSG_MORE: corks the bytes so the kernel holds
+// them until the next uncorked send on the fd. Used to emit a frame
+// header immediately before a sendfile/splice payload — header and
+// first payload bytes then leave in one segment instead of two.
+// MSG_NOSIGNAL and EINTR handling are identical to send_vectored
+// (MSG_MORE is advisory; a partial send resumed after EINTR keeps
+// both flags on every retry).
+Status send_vectored_more(int fd, iovec* iov, int iovcnt);
+
+// ---- Zero-copy send ladder -------------------------------------------
+//
+// The server hit path can move payload bytes kernel-to-kernel instead
+// of staging them through a pooled buffer. Three rungs, probed at
+// runtime and forcible with HVAC_ZEROCOPY=off|sendfile|splice:
+//   kSendfile  sendfile(2) from the cache fd straight to the socket
+//   kSplice    splice(2) through a pipe pair (per connection, lazy)
+//   kOff       today's pooled pread + send_vectored path
+enum class ZeroCopyMode : uint8_t { kOff = 0, kSendfile, kSplice };
+
+const char* zerocopy_mode_name(ZeroCopyMode mode);
+
+// Resolves the mode: HVAC_ZEROCOPY wins when set (unknown values fall
+// back to the probe); otherwise a one-time capability probe (real
+// sendfile/splice over a socketpair + temp file) picks the best rung.
+// The env var is re-read on every call so tests can flip it between
+// server instances; only the probe result is cached.
+ZeroCopyMode resolve_zerocopy_mode();
+
+// Sends exactly `size` bytes of `file_fd` starting at `offset` to the
+// socket via sendfile(2), resuming short kernel transfers, EINTR and
+// EAGAIN (poll POLLOUT) until the extent is fully on the wire. SIGPIPE
+// is blocked-and-drained for the calling thread (sendfile has no
+// MSG_NOSIGNAL). Fault sites: zc_send (error/delay via check,
+// short=N via cap_len). Any failure after the first byte leaves the
+// stream mid-frame — the caller must drop the connection.
+Status sendfile_exact(int sock_fd, int file_fd, uint64_t offset, size_t size);
+
+// Same contract as sendfile_exact but moves bytes file→pipe→socket
+// with splice(2). `pipe_rd`/`pipe_wr` are a scratch pipe owned by the
+// caller (per-connection, reused across sends); the pipe is always
+// fully drained to the socket before returning, success or not —
+// except on a mid-drain failure, after which the connection must be
+// dropped anyway. Fault site: zc_splice.
+Status splice_exact(int sock_fd, int file_fd, uint64_t offset, size_t size,
+                    int pipe_rd, int pipe_wr);
+
+// Process-global zero-copy telemetry (metrics frame v2 section 6).
+struct ZeroCopyCounters {
+  std::atomic<uint64_t> sendfile_sends{0};   // extents sent via sendfile
+  std::atomic<uint64_t> splice_sends{0};     // extents sent via splice
+  std::atomic<uint64_t> fallback_sends{0};   // extents sent pooled (kOff)
+  std::atomic<uint64_t> sendfile_bytes{0};
+  std::atomic<uint64_t> splice_bytes{0};
+  std::atomic<uint64_t> short_resumes{0};    // kernel returned < asked
+  static ZeroCopyCounters& global();
+};
 
 // Reads exactly `size` bytes. A clean EOF at offset 0 is reported as
 // kUnavailable (peer closed); mid-frame EOF is kProtocol.

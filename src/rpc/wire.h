@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -20,10 +22,25 @@ namespace hvac::rpc {
 
 using Bytes = std::vector<uint8_t>;
 
-// A response payload: either an owned byte vector (the general case)
-// or a pooled buffer lease (the read hot path — the handler preads
-// straight into pool storage and the server writes it out with writev,
-// so the bytes are never copied between kernel and socket).
+// A file-backed span of a response payload: `length` bytes at `offset`
+// of `fd`. The server sends it kernel-to-kernel (sendfile/splice) —
+// or preads it into a pooled buffer when zero-copy is off — so handler
+// code never stages these bytes in user space. `owner` is an opaque
+// keepalive (an OpenHandleCache pin, a shared OpenFile, …) that must
+// keep `fd` valid until the response is fully on the wire.
+struct FileExtent {
+  std::shared_ptr<const void> owner;
+  int fd = -1;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+// A response payload: a memory head (owned byte vector in the general
+// case, pooled buffer lease on the read hot path) optionally followed
+// by file-backed extents. On the wire the head and extents form one
+// contiguous payload of total_size() bytes; how the extent bytes reach
+// the socket (sendfile, splice, or pooled pread fallback) is the
+// server's choice and invisible to the client.
 class Payload {
  public:
   Payload() = default;
@@ -31,6 +48,8 @@ class Payload {
   Payload(BufferPool::Lease lease)                  // NOLINT implicit
       : rep_(std::move(lease)) {}
 
+  // Memory head accessors (extent bytes are not addressable here —
+  // they live in the kernel page cache until send time).
   const uint8_t* data() const {
     if (const auto* b = std::get_if<Bytes>(&rep_)) return b->data();
     return std::get<BufferPool::Lease>(rep_).data();
@@ -39,10 +58,25 @@ class Payload {
     if (const auto* b = std::get_if<Bytes>(&rep_)) return b->size();
     return std::get<BufferPool::Lease>(rep_).size();
   }
-  bool empty() const { return size() == 0; }
 
-  // Converts to a plain vector: moves when owned, copies when pooled
-  // (the lease's storage still returns to the pool).
+  void add_extent(FileExtent extent) {
+    extents_.push_back(std::move(extent));
+  }
+  const std::vector<FileExtent>& extents() const { return extents_; }
+  bool has_extents() const { return !extents_.empty(); }
+
+  // Wire size of the whole payload: memory head + every extent.
+  size_t total_size() const {
+    size_t total = size();
+    for (const auto& e : extents_) total += e.length;
+    return total;
+  }
+  bool empty() const { return total_size() == 0; }
+
+  // Converts the memory head to a plain vector: moves when owned,
+  // copies when pooled (the lease's storage still returns to the
+  // pool). Only meaningful for extent-free payloads — received
+  // payloads and generic handler responses never carry extents.
   Bytes take_bytes() && {
     if (auto* b = std::get_if<Bytes>(&rep_)) return std::move(*b);
     const auto& lease = std::get<BufferPool::Lease>(rep_);
@@ -51,6 +85,7 @@ class Payload {
 
  private:
   std::variant<Bytes, BufferPool::Lease> rep_;
+  std::vector<FileExtent> extents_;
 };
 
 // Wire size of the length prefix put_blob/get_blob use.
@@ -66,6 +101,50 @@ inline Payload blob_payload(BufferPool::Lease lease, size_t data_len) {
   std::memcpy(lease.data(), &len, kBlobPrefix);
   return Payload(std::move(lease));
 }
+
+// Frames a single-blob response whose bytes live in a file: the
+// memory head is just the [u32 len] prefix, the body is a
+// kernel-copied extent. Wire-identical to blob_payload, so the client
+// parses both with get_blob_view.
+inline Payload blob_extent_payload(FileExtent extent) {
+  Bytes head(kBlobPrefix);
+  const uint32_t len = static_cast<uint32_t>(extent.length);
+  std::memcpy(head.data(), &len, kBlobPrefix);
+  Payload p(std::move(head));
+  p.add_extent(std::move(extent));
+  return p;
+}
+
+// ---- Scatter response frame ------------------------------------------
+//
+// One reply carrying N extents of a single logical file, so a
+// read-ahead batch or prefetch collapses into one framed response:
+//
+//   [u32 n] [ (u64 offset, u32 len) * n ] [extent bytes, concatenated]
+//
+// `len` is the byte count actually served for that extent (an extent
+// that crosses EOF comes back short; a fully-past-EOF extent has
+// len 0). The table is the payload's memory head; the bytes are
+// kernel-copied extents on the server side and one contiguous pooled
+// buffer on the client side.
+constexpr size_t kScatterTableEntry = 8 + 4;
+
+inline size_t scatter_table_size(size_t n) {
+  return 4 + n * kScatterTableEntry;
+}
+
+// Decoded client-side view into a received scatter payload: `data`
+// points into the receive buffer (valid while it lives).
+struct ScatterView {
+  struct Extent {
+    uint64_t offset = 0;
+    uint32_t length = 0;
+    const uint8_t* data = nullptr;
+  };
+  std::vector<Extent> extents;
+};
+
+// (decode_scatter is defined after WireReader below.)
 
 class WireWriter {
  public:
@@ -194,5 +273,31 @@ class WireReader {
   size_t size_;
   size_t pos_ = 0;
 };
+
+inline Result<ScatterView> decode_scatter(const uint8_t* payload,
+                                          size_t size) {
+  WireReader r(payload, size);
+  HVAC_ASSIGN_OR_RETURN(uint32_t n, r.get_u32());
+  if (r.remaining() < static_cast<size_t>(n) * kScatterTableEntry) {
+    return Error(ErrorCode::kProtocol, "scatter table exceeds frame");
+  }
+  ScatterView view;
+  view.extents.resize(n);
+  uint64_t data_bytes = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    HVAC_ASSIGN_OR_RETURN(view.extents[i].offset, r.get_u64());
+    HVAC_ASSIGN_OR_RETURN(view.extents[i].length, r.get_u32());
+    data_bytes += view.extents[i].length;
+  }
+  if (r.remaining() != data_bytes) {
+    return Error(ErrorCode::kProtocol, "scatter data length mismatch");
+  }
+  const uint8_t* cursor = payload + (size - r.remaining());
+  for (auto& e : view.extents) {
+    e.data = cursor;
+    cursor += e.length;
+  }
+  return view;
+}
 
 }  // namespace hvac::rpc

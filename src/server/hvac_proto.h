@@ -21,6 +21,14 @@ enum Opcode : uint16_t {
                      // Stateless segment-granular read: the unit of
                      // caching is one segment, homed independently by
                      // segment_key(path, idx) (paper §III-E extension).
+  kReadScatter = 9,  // (mode: u8 0=fd/1=path, remote_fd u64 | path,
+                     //  n u32, (offset u64, len u32) * n)
+                     // -> scatter frame (rpc/wire.h decode_scatter):
+                     // one reply, N extents, each kernel-copied on the
+                     // hit path. Extents crossing EOF come back short.
+  kPrefetchBatch = 10,  // (n u32, path * n) -> (n u32, cached u8 * n)
+                        // batched kPrefetch: one round trip warms a
+                        // whole epoch's worth of files.
 };
 
 // served_from values in the kOpen response.
@@ -33,5 +41,15 @@ enum ServedFrom : uint8_t {
 // transfer" chunk size; Mercury would do an RDMA pull of similar
 // granularity).
 constexpr uint32_t kMaxReadChunk = 4u << 20;
+
+// Bounds on one kReadScatter request: at most kMaxScatterExtents
+// extents of at most kMaxReadChunk each, and at most kMaxScatterBytes
+// total so the framed response (table + data) stays well under the
+// 64 MiB frame bound.
+constexpr uint32_t kMaxScatterExtents = 16;
+constexpr uint32_t kMaxScatterBytes = 32u << 20;
+
+// Bound on one kPrefetchBatch request.
+constexpr uint32_t kMaxPrefetchBatch = 256;
 
 }  // namespace hvac::proto

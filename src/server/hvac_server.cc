@@ -1,5 +1,8 @@
 #include "server/hvac_server.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/log.h"
@@ -98,6 +101,15 @@ void HvacServer::register_handlers() {
     core::ScopedLatencyTimer t(latency_, proto::kReadSegment);
     return handle_read_segment(req);
   });
+  rpc_.register_payload_handler(proto::kReadScatter,
+                                [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kReadScatter);
+    return handle_read_scatter(req);
+  });
+  rpc_.register_handler(proto::kPrefetchBatch, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kPrefetchBatch);
+    return handle_prefetch_batch(req);
+  });
 }
 
 Result<rpc::Payload> HvacServer::handle_read_segment(const Bytes& req) {
@@ -148,6 +160,7 @@ Result<Bytes> HvacServer::handle_open(const Bytes& req) {
     HVAC_ASSIGN_OR_RETURN(open_file->file, pfs_->open(path));
   }
   HVAC_ASSIGN_OR_RETURN(size, open_file->file.size());
+  open_file->size = size;
   const bool cached = !open_file->pfs_fallback;
 
   const uint64_t remote_fd =
@@ -184,6 +197,26 @@ Result<rpc::Payload> HvacServer::handle_read(const Bytes& req) {
     open_file = it->second;
   }
 
+  // Zero-copy hit path: hand the RPC server a FileExtent — it
+  // sendfiles (or splices) the bytes from the cached fd straight to
+  // the socket. The OpenFile shared_ptr rides along as the keepalive,
+  // so a concurrent kClose cannot close the fd mid-send. Cached
+  // copies are immutable, so the open-time size clamps the extent
+  // exactly like pread's short read would.
+  if (!open_file->pfs_fallback &&
+      rpc_.zerocopy_mode() != rpc::ZeroCopyMode::kOff) {
+    const uint64_t avail =
+        offset < open_file->size ? open_file->size - offset : 0;
+    const uint64_t n = std::min<uint64_t>(count, avail);
+    cache_->record_served_bytes(n, true);
+    rpc::FileExtent extent;
+    extent.owner = open_file;
+    extent.fd = open_file->file.fd();
+    extent.offset = offset;
+    extent.length = n;
+    return rpc::blob_extent_payload(std::move(extent));
+  }
+
   hvac::BufferPool::Lease lease =
       hvac::BufferPool::global().acquire(rpc::kBlobPrefix + count);
   uint8_t* dst = lease.data() + rpc::kBlobPrefix;
@@ -196,6 +229,138 @@ Result<rpc::Payload> HvacServer::handle_read(const Bytes& req) {
   }
   cache_->record_served_bytes(n, !open_file->pfs_fallback);
   return rpc::blob_payload(std::move(lease), n);
+}
+
+Result<rpc::Payload> HvacServer::handle_read_scatter(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(uint8_t mode, r.get_u8());
+  std::shared_ptr<OpenFile> open_file;
+  std::string path;
+  if (mode == 0) {
+    HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
+    std::lock_guard<std::mutex> lock(fds_mutex_);
+    auto it = open_fds_.find(remote_fd);
+    if (it == open_fds_.end()) {
+      return Error(ErrorCode::kBadFd,
+                   "unknown remote fd " + std::to_string(remote_fd));
+    }
+    open_file = it->second;
+  } else if (mode == 1) {
+    HVAC_ASSIGN_OR_RETURN(path, r.get_string());
+  } else {
+    return Error(ErrorCode::kInvalidArgument, "bad scatter mode");
+  }
+  HVAC_ASSIGN_OR_RETURN(uint32_t n, r.get_u32());
+  if (n == 0 || n > proto::kMaxScatterExtents) {
+    return Error(ErrorCode::kInvalidArgument, "bad scatter extent count");
+  }
+  std::vector<std::pair<uint64_t, uint32_t>> want(n);
+  uint64_t total = 0;
+  for (auto& [off, len] : want) {
+    HVAC_ASSIGN_OR_RETURN(off, r.get_u64());
+    HVAC_ASSIGN_OR_RETURN(len, r.get_u32());
+    if (len > proto::kMaxReadChunk) {
+      return Error(ErrorCode::kInvalidArgument, "scatter extent too large");
+    }
+    total += len;
+  }
+  if (total > proto::kMaxScatterBytes) {
+    return Error(ErrorCode::kInvalidArgument, "scatter request too large");
+  }
+
+  // Resolve a cached fd for the extents when one exists. In path mode
+  // the file may have been evicted since the client's metadata said
+  // "cached" — then every extent degrades to pread_through, which
+  // re-fetches or reads the PFS (and does its own byte accounting).
+  std::shared_ptr<const void> owner;
+  int src_fd = -1;
+  uint64_t src_size = 0;
+  bool cached_fd = false;
+  std::shared_ptr<storage::OpenHandleCache::Pin> pin;
+  if (open_file != nullptr) {
+    path = open_file->logical_path;
+    if (!open_file->pfs_fallback) {
+      owner = open_file;
+      src_fd = open_file->file.fd();
+      src_size = open_file->size;
+      cached_fd = true;
+    }
+  } else if (cache_->is_cached(path)) {
+    auto pinned = cache_->store().open_pinned(path);
+    if (pinned.ok()) {
+      pin = std::make_shared<storage::OpenHandleCache::Pin>(
+          std::move(pinned).value());
+      HVAC_ASSIGN_OR_RETURN(src_size, pin->size());
+      src_fd = pin->file().fd();
+      owner = pin;
+      cached_fd = true;
+    }
+  }
+
+  if (cached_fd && rpc_.zerocopy_mode() != rpc::ZeroCopyMode::kOff) {
+    WireWriter table;
+    table.put_u32(n);
+    uint64_t total_act = 0;
+    for (auto& [off, len] : want) {
+      const uint64_t avail = off < src_size ? src_size - off : 0;
+      len = static_cast<uint32_t>(std::min<uint64_t>(len, avail));
+      table.put_u64(off);
+      table.put_u32(len);
+      total_act += len;
+    }
+    rpc::Payload p(std::move(table).take());
+    for (const auto& [off, len] : want) {
+      if (len == 0) continue;
+      p.add_extent(rpc::FileExtent{owner, src_fd, off, len});
+    }
+    cache_->record_served_bytes(total_act, true);
+    return p;
+  }
+
+  // Pooled path: stage the extents packed behind the table in one
+  // lease. Actual lengths (EOF clamps) are only known after the
+  // preads, so the table is stamped last.
+  const size_t table_size = rpc::scatter_table_size(n);
+  hvac::BufferPool::Lease lease =
+      hvac::BufferPool::global().acquire(table_size + total);
+  uint8_t* data = lease.data() + table_size;
+  size_t cursor = 0;
+  std::vector<uint32_t> actual(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const auto [off, len] = want[i];
+    size_t got = 0;
+    if (cached_fd) {
+      const uint64_t avail = off < src_size ? src_size - off : 0;
+      const size_t clamped = static_cast<size_t>(
+          std::min<uint64_t>(len, avail));
+      if (open_file != nullptr) {
+        HVAC_ASSIGN_OR_RETURN(
+            got, open_file->file.pread(data + cursor, clamped, off));
+      } else {
+        HVAC_ASSIGN_OR_RETURN(got, pin->pread(data + cursor, clamped, off));
+      }
+      cache_->record_served_bytes(got, true);
+    } else if (open_file != nullptr) {
+      // PFS-fallback remote fd: read through the borrowed PFS handle.
+      HVAC_ASSIGN_OR_RETURN(
+          got, pfs_->pread(open_file->file, data + cursor, len, off));
+      cache_->record_served_bytes(got, false);
+    } else {
+      HVAC_ASSIGN_OR_RETURN(
+          got, cache_->pread_through(path, data + cursor, len, off));
+    }
+    actual[i] = static_cast<uint32_t>(got);
+    cursor += got;
+  }
+  WireWriter table;
+  table.put_u32(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    table.put_u64(want[i].first);
+    table.put_u32(actual[i]);
+  }
+  std::memcpy(lease.data(), table.bytes().data(), table_size);
+  lease.resize(table_size + cursor);
+  return rpc::Payload(std::move(lease));
 }
 
 Result<Bytes> HvacServer::handle_close(const Bytes& req) {
@@ -213,14 +378,20 @@ Result<Bytes> HvacServer::handle_stat(const Bytes& req) {
   WireReader r(req);
   HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
   uint64_t size = 0;
+  bool cached = false;
   if (cache_->is_cached(path)) {
     HVAC_ASSIGN_OR_RETURN(storage::PosixFile f, cache_->open_cached(path));
     HVAC_ASSIGN_OR_RETURN(size, f.size());
+    cached = true;
   } else {
     HVAC_ASSIGN_OR_RETURN(size, pfs_->size_of(path));
   }
   WireWriter w;
   w.put_u64(size);
+  // Trailing cached flag (added for the client metadata cache). Old
+  // clients read the u64 and stop; new clients treat a missing flag as
+  // not-cached.
+  w.put_u8(cached ? 1 : 0);
   return std::move(w).take();
 }
 
@@ -230,6 +401,24 @@ Result<Bytes> HvacServer::handle_prefetch(const Bytes& req) {
   HVAC_ASSIGN_OR_RETURN(bool cached, mover_->fetch(path));
   WireWriter w;
   w.put_u8(cached ? 1 : 0);
+  return std::move(w).take();
+}
+
+Result<Bytes> HvacServer::handle_prefetch_batch(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(uint32_t n, r.get_u32());
+  if (n == 0 || n > proto::kMaxPrefetchBatch) {
+    return Error(ErrorCode::kInvalidArgument, "bad prefetch batch size");
+  }
+  WireWriter w;
+  w.put_u32(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+    // A single failed fetch must not fail the batch: report the path
+    // as not-cached and keep warming the rest.
+    auto cached = mover_->fetch(path);
+    w.put_u8(cached.ok() && cached.value() ? 1 : 0);
+  }
   return std::move(w).take();
 }
 
@@ -280,6 +469,27 @@ core::MetricsFrame HvacServer::metrics_frame() const {
   f.resilience.drained_requests =
       rc.drained_requests.load(std::memory_order_relaxed);
   f.resilience.faults_injected = fault::total_injected();
+
+  // Zero-copy send and client meta-cache counters are process-wide
+  // globals too.
+  const rpc::ZeroCopyCounters& zc = rpc::ZeroCopyCounters::global();
+  f.zerocopy.sendfile_sends =
+      zc.sendfile_sends.load(std::memory_order_relaxed);
+  f.zerocopy.splice_sends = zc.splice_sends.load(std::memory_order_relaxed);
+  f.zerocopy.fallback_sends =
+      zc.fallback_sends.load(std::memory_order_relaxed);
+  f.zerocopy.sendfile_bytes =
+      zc.sendfile_bytes.load(std::memory_order_relaxed);
+  f.zerocopy.splice_bytes = zc.splice_bytes.load(std::memory_order_relaxed);
+  f.zerocopy.short_resumes =
+      zc.short_resumes.load(std::memory_order_relaxed);
+
+  const core::MetaCacheCounters& mc = core::MetaCacheCounters::global();
+  f.meta_cache.hits = mc.hits.load(std::memory_order_relaxed);
+  f.meta_cache.misses = mc.misses.load(std::memory_order_relaxed);
+  f.meta_cache.expired = mc.expired.load(std::memory_order_relaxed);
+  f.meta_cache.invalidated =
+      mc.invalidated.load(std::memory_order_relaxed);
 
   f.op_latency = latency_.snapshot();
   return f;

@@ -85,6 +85,7 @@ class HvacServer {
   struct OpenFile {
     storage::PosixFile file;
     std::string logical_path;
+    uint64_t size = 0;  // at open time; cached copies are immutable
     bool pfs_fallback = false;
   };
 
@@ -98,7 +99,13 @@ class HvacServer {
   Result<rpc::Bytes> handle_close(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_stat(const rpc::Bytes& req);
   Result<rpc::Payload> handle_read_segment(const rpc::Bytes& req);
+  // Scatter read: N extents of one file in one framed reply. On the
+  // cache-hit path with zero-copy enabled the extents ride as
+  // FileExtents (kernel-copied at send time); otherwise they are
+  // staged packed into one pooled lease behind the extent table.
+  Result<rpc::Payload> handle_read_scatter(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_prefetch(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_prefetch_batch(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_metrics(const rpc::Bytes& req);
 
   storage::PfsBackend* pfs_;

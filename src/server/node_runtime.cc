@@ -69,6 +69,8 @@ core::MetricsFrame NodeRuntime::aggregated_frame() const {
     f.buffer_pool = core::BufferPoolStats{};
     f.readahead = core::ReadAheadStats{};
     f.resilience = core::ResilienceStats{};
+    f.zerocopy = core::ZeroCopyStats{};
+    f.meta_cache = core::MetaCacheStats{};
     total.merge(f);
   }
   return total;

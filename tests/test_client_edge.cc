@@ -6,8 +6,12 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <thread>
 
 #include "client/hvac_client.h"
+#include "client/meta_cache.h"
+#include "rpc/health.h"
+#include "server/hvac_proto.h"
 #include "server/node_runtime.h"
 #include "workload/file_tree.h"
 
@@ -377,6 +381,142 @@ TEST(HostileServer, RecoveryBudgetExhaustsWithoutPfsFallback) {
   // The fd is still usable bookkeeping-wise: close must not hang.
   (void)client.close(*vfd);
   node->stop();
+}
+
+// ---- client metadata cache ------------------------------------------------
+
+TEST(MetaCacheUnit, PutLookupInvalidateHomeAndTtl) {
+  client::MetaCache cache(60);
+  ASSERT_TRUE(cache.enabled());
+  cache.put("a", client::MetaEntry{100, 0, true});
+  cache.put("b", client::MetaEntry{200, 1, false});
+  const auto a = cache.lookup("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->size, 100u);
+  EXPECT_EQ(a->home, 0u);
+  EXPECT_TRUE(a->cached);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.invalidate("a");
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_TRUE(cache.lookup("b").has_value());
+
+  // invalidate_home drops every entry routed to that server, and only
+  // those.
+  cache.put("c", client::MetaEntry{1, 1, true});
+  cache.put("d", client::MetaEntry{2, 0, true});
+  cache.invalidate_home(1);
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_FALSE(cache.lookup("c").has_value());
+  EXPECT_TRUE(cache.lookup("d").has_value());
+
+  // Entries expire after the TTL.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(cache.lookup("d").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+
+  // ttl_ms = 0 disables the cache entirely.
+  client::MetaCache off(0);
+  EXPECT_FALSE(off.enabled());
+  off.put("x", client::MetaEntry{1, 0, true});
+  EXPECT_FALSE(off.lookup("x").has_value());
+}
+
+TEST_F(EdgeFixture, MetaCachePathModeReopenSkipsOpenRpc) {
+  HvacClient client(base_options());  // default HVAC_META_TTL_MS: 3 s
+  const std::string path = pfs_root_ + "/" + rel_;
+  std::vector<uint8_t> buf(expected_.size());
+
+  // Warm the server cache: the pass-1 read-through schedules caching
+  // (possibly asynchronously), so loop until reads come from cache.
+  for (int i = 0; i < 200; ++i) {
+    auto vfd = client.open(path);
+    ASSERT_TRUE(vfd.ok());
+    ASSERT_TRUE(client.pread(*vfd, buf.data(), buf.size(), 0).ok());
+    ASSERT_TRUE(client.close(*vfd).ok());
+    if (node_->aggregated_metrics().bytes_from_cache >=
+        expected_.size()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // One more open/close: its reply says "served from cache", which is
+  // what makes the client remember {size, home, cached=true}.
+  {
+    auto vfd = client.open(path);
+    ASSERT_TRUE(vfd.ok());
+    ASSERT_TRUE(client.close(*vfd).ok());
+  }
+
+  const uint64_t opens_before =
+      node_->aggregated_frame().op_latency[proto::kOpen].count;
+  const auto stats_before = client.stats();
+
+  // This open must be answered from the meta cache alone: no kOpen
+  // RPC reaches the server, and the path-mode fd still reads the
+  // exact bytes.
+  auto vfd = client.open(path);
+  ASSERT_TRUE(vfd.ok());
+  std::fill(buf.begin(), buf.end(), 0);
+  const auto n = client.pread(*vfd, buf.data(), buf.size(), 0);
+  ASSERT_TRUE(n.ok()) << n.error().to_string();
+  EXPECT_EQ(*n, expected_.size());
+  EXPECT_EQ(buf, expected_);
+  ASSERT_TRUE(client.close(*vfd).ok());
+
+  EXPECT_EQ(node_->aggregated_frame().op_latency[proto::kOpen].count,
+            opens_before);
+  EXPECT_GT(client.stats().meta_hits, stats_before.meta_hits);
+}
+
+TEST_F(EdgeFixture, MetaCacheTtlExpiryForcesRestat) {
+  auto options = base_options();
+  options.meta_ttl_ms = 80;
+  HvacClient client(options);
+  const std::string path = pfs_root_ + "/" + rel_;
+
+  ASSERT_TRUE(client.stat_size(path).ok());  // miss: populates
+  const auto s1 = client.stats();
+  ASSERT_TRUE(client.stat_size(path).ok());  // within TTL
+  const auto s2 = client.stats();
+  EXPECT_EQ(s2.meta_hits, s1.meta_hits + 1);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(160));
+  const auto size = client.stat_size(path);  // expired: re-stats
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, expected_.size());
+  const auto s3 = client.stats();
+  EXPECT_EQ(s3.meta_hits, s2.meta_hits);
+  EXPECT_GT(s3.meta_misses, s2.meta_misses);
+}
+
+TEST_F(EdgeFixture, BreakerTripInvalidatesMetaEntries) {
+  rpc::HealthRegistry::global().reset();
+  HvacClient client(base_options());
+  const std::string path = pfs_root_ + "/" + rel_;
+
+  ASSERT_TRUE(client.stat_size(path).ok());  // populate {size, home}
+  const auto s1 = client.stats();
+  ASSERT_TRUE(client.stat_size(path).ok());
+  EXPECT_GT(client.stats().meta_hits, s1.meta_hits);
+
+  // Trip the breaker on the entry's home endpoint by hand.
+  auto health = rpc::HealthRegistry::global().get(node_->endpoints()[0]);
+  while (health->state() != rpc::EndpointHealth::State::kOpen) {
+    health->record_failure();
+  }
+
+  // The next lookup sees the open circuit and drops everything cached
+  // for that home instead of trusting a route that would fail fast —
+  // a miss, answered via re-stat or the PFS fallback.
+  const auto s2 = client.stats();
+  const auto size = client.stat_size(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, expected_.size());
+  const auto s3 = client.stats();
+  EXPECT_EQ(s3.meta_hits, s2.meta_hits);
+  EXPECT_GT(s3.meta_misses, s2.meta_misses);
+  rpc::HealthRegistry::global().reset();
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "core/eviction.h"
 #include "core/fd_table.h"
 #include "core/placement.h"
+#include "rpc/health.h"
 #include "storage/posix_file.h"
 #include "workload/dataset_spec.h"
 
@@ -124,6 +125,39 @@ INSTANTIATE_TEST_SUITE_P(
                                          PlacementPolicy::kRendezvous,
                                          PlacementPolicy::kJump),
                        ::testing::Values(4, 16, 64, 256)));
+
+TEST(Placement, OrderByHealthSinksOpenCircuits) {
+  const std::vector<std::string> endpoints = {"10.0.0.1:1", "10.0.0.2:1",
+                                              "10.0.0.3:1"};
+  rpc::HealthRegistry::global().reset();
+
+  // All circuits closed: the replica order is untouched.
+  EXPECT_EQ(order_by_health({2, 0, 1}, endpoints),
+            (std::vector<uint32_t>{2, 0, 1}));
+
+  // Trip server 0's breaker: it sinks to the back, the relative order
+  // of the healthy servers is preserved (stable), and it is kept —
+  // an open circuit is still a better last resort than nothing.
+  auto health = rpc::HealthRegistry::global().get(endpoints[0]);
+  while (health->state() != rpc::EndpointHealth::State::kOpen) {
+    health->record_failure();
+  }
+  EXPECT_EQ(order_by_health({0, 2, 1}, endpoints),
+            (std::vector<uint32_t>{2, 1, 0}));
+  EXPECT_EQ(order_by_health({2, 0, 1}, endpoints),
+            (std::vector<uint32_t>{2, 1, 0}));
+
+  // Out-of-range indices (stale placement vs a shrunk endpoint list)
+  // are left in place rather than dereferenced.
+  EXPECT_EQ(order_by_health({7, 1}, endpoints),
+            (std::vector<uint32_t>{7, 1}));
+
+  // Recovery: a closed circuit stops sinking.
+  health->record_success();
+  rpc::HealthRegistry::global().reset();
+  EXPECT_EQ(order_by_health({0, 2, 1}, endpoints),
+            (std::vector<uint32_t>{0, 2, 1}));
+}
 
 // ---- eviction ---------------------------------------------------------------
 

@@ -94,7 +94,11 @@ TEST_P(DeployMatrix, EndToEndcorrectness) {
     total.misses += m.misses;
   }
   EXPECT_GT(total.misses, 0u);
-  EXPECT_GE(total.hits, total.misses);  // epoch 2 was all hits
+  // Epoch 2 was served without new PFS copies: as server-side open
+  // hits where the client still round-tripped, or as client meta-cache
+  // hits where the re-open was skipped entirely (path-mode reads out
+  // of the already-cached copy).
+  EXPECT_GE(total.hits + client.stats().meta_hits, total.misses);
   for (auto& node : nodes) node->stop();
 }
 

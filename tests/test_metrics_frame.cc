@@ -39,6 +39,8 @@ MetricsFrame sample_frame() {
   f.handle_cache = {5, 2, 4, 1, 3, 128};
   f.buffer_pool = {100, 90, 10, 80, 5};
   f.readahead = {40, 30, 6};
+  f.zerocopy = {50, 8, 3, 1 << 20, 1 << 16, 2};
+  f.meta_cache = {25, 9, 4, 2};
   LatencySnapshot lat;
   lat.count = 2;
   lat.total_ns = 3000;
@@ -63,6 +65,11 @@ TEST(MetricsFrame, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded->buffer_pool.fallback_allocs, 10u);
   EXPECT_EQ(decoded->readahead.issued, 40u);
   EXPECT_EQ(decoded->readahead.wasted, 6u);
+  EXPECT_EQ(decoded->zerocopy.sendfile_sends, 50u);
+  EXPECT_EQ(decoded->zerocopy.sendfile_bytes, uint64_t{1} << 20);
+  EXPECT_EQ(decoded->zerocopy.short_resumes, 2u);
+  EXPECT_EQ(decoded->meta_cache.hits, 25u);
+  EXPECT_EQ(decoded->meta_cache.invalidated, 2u);
   ASSERT_EQ(decoded->op_latency.count(proto::kRead), 1u);
   const LatencySnapshot& lat = decoded->op_latency.at(proto::kRead);
   EXPECT_EQ(lat.count, 2u);
@@ -189,6 +196,8 @@ TEST(MetricsFrame, MergeSumsSections) {
   EXPECT_EQ(a.handle_cache.deferred_closes, 6u);
   EXPECT_EQ(a.buffer_pool.leases, 200u);
   EXPECT_EQ(a.readahead.consumed, 60u);
+  EXPECT_EQ(a.zerocopy.sendfile_sends, 100u);
+  EXPECT_EQ(a.meta_cache.hits, 50u);
   EXPECT_EQ(a.op_latency.at(proto::kRead).count, 4u);
   EXPECT_EQ(a.op_latency.at(proto::kRead).buckets[10], 4u);
 }
@@ -198,7 +207,9 @@ TEST(MetricsFrame, JsonSpellsOutEverySection) {
   for (const char* key :
        {"\"version\":2", "\"cache\"", "\"handle_cache\"", "\"buffer_pool\"",
         "\"read_ahead\"", "\"latency_us\"", "\"read\"", "\"p50\"",
-        "\"p99\"", "\"deferred_closes\":3", "\"wasted\":6"}) {
+        "\"p99\"", "\"deferred_closes\":3", "\"wasted\":6",
+        "\"zero_copy\"", "\"sendfile_sends\":50",
+        "\"meta_cache\"", "\"invalidated\":2"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
 }
@@ -228,8 +239,11 @@ TEST(MetricsFrameAggregation, NodeRuntimeAggregatesInstances) {
   copts.dataset_dir = pfs_root;
   copts.server_endpoints = node.endpoints();
   // Keep reads synchronous so no read-ahead RPC is still in flight
-  // when the frames are sampled below.
+  // when the frames are sampled below, and disable the meta cache so
+  // round two really re-opens (the exact per-op counts below depend on
+  // every round hitting the server).
   copts.readahead_chunks = 0;
+  copts.meta_ttl_ms = 0;
   client::HvacClient client(copts);
 
   std::vector<uint8_t> buf(8192);
