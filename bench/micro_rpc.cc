@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "common/buffer_pool.h"
+#include "common/trace.h"
 #include "rpc/async_client.h"
 #include "rpc/rpc_client.h"
 #include "rpc/rpc_server.h"
@@ -235,6 +236,51 @@ void BM_ScatterRead(benchmark::State& state) {
                           int64_t(each));
 }
 BENCHMARK(BM_ScatterRead)->Arg(1)->Arg(4)->Arg(16);
+
+// BM_BulkReadZeroCopy with tracing ON: every iteration roots a span
+// (like a traced client read) and the RPC stack emits its usual span
+// set, so the pair quantifies the *enabled* tracing tax. The untraced
+// series above stays the bench_compare.py regression baseline — its
+// only cost when HVAC_TRACE=0 is one relaxed load per site.
+void BM_BulkReadZeroCopyTraced(benchmark::State& state) {
+  hvac::trace::init_for_test(true, 1u << 15);
+  RpcClient client(shared_server().endpoint());
+  WireWriter w;
+  w.put_u32(uint32_t(state.range(0)));
+  const Bytes req = w.bytes();
+  int64_t n = 0;
+  for (auto _ : state) {
+    hvac::trace::Span span("bench.read", uint64_t(state.range(0)));
+    auto resp = client.call_payload(4, req);
+    if (!resp.ok()) {
+      state.SkipWithError("call failed");
+      continue;
+    }
+    WireReader r(resp->data(), resp->size());
+    auto view = r.get_blob_view();
+    if (!view.ok() || view->size != size_t(state.range(0))) {
+      state.SkipWithError("bad blob");
+    }
+    benchmark::DoNotOptimize(view->data);
+    // One thread plays the metrics poller so rings don't sit full and
+    // the push path (not the cheaper drop path) is what gets timed.
+    if (state.thread_index() == 0 && (++n & 1023) == 0) {
+      benchmark::DoNotOptimize(hvac::trace::drain().size());
+    }
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+  if (state.thread_index() == 0) {
+    benchmark::DoNotOptimize(hvac::trace::drain().size());
+    hvac::trace::init_for_test(false, 0);
+  }
+}
+BENCHMARK(BM_BulkReadZeroCopyTraced)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Arg(4 << 20)
+    ->Threads(8)
+    ->UseRealTime();
+
 
 }  // namespace
 

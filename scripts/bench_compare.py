@@ -71,6 +71,26 @@ def zerocopy_ratios(rows):
             if zerocopy[size] > 0]
 
 
+def trace_overhead(rows):
+    """Pair BM_BulkReadZeroCopy with BM_BulkReadZeroCopyTraced by size.
+
+    Returns [(size_bytes, traced_time / untraced_time), ...] — the
+    multiplicative cost of running with HVAC_TRACE=1. The *untraced*
+    series is separately held to the baseline by the regular regression
+    table above (a disabled tracer must stay within noise of the
+    pre-tracing baseline).
+    """
+    plain, traced = {}, {}
+    for name, (t, _unit) in rows.items():
+        m = re.match(r"BM_BulkReadZeroCopy(Traced)?/(\d+)", name)
+        if not m:
+            continue
+        (traced if m.group(1) else plain)[int(m.group(2))] = t
+    return [(size, traced[size] / plain[size])
+            for size in sorted(set(plain) & set(traced))
+            if plain[size] > 0]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -147,6 +167,26 @@ def main():
         if zc_regressions:
             footer.append(f"**zero-copy regresses below the pooled "
                           f"baseline at {len(zc_regressions)} size(s)**")
+
+    # Advisory tracing-tax gate: HVAC_TRACE=1 buys span trees with the
+    # per-span push cost; flag it when the traced series costs more
+    # than 10% over the untraced one at any payload size.
+    tr = trace_overhead(curr)
+    if tr:
+        footer.append("")
+        footer.append("### tracing overhead (current run, traced/untraced)")
+        slow = []
+        for size, ratio in tr:
+            marker = ""
+            if ratio > 1.10:
+                marker = " ⚠ traced run >10% over untraced"
+                slow.append((size, ratio))
+            footer.append(f"- {size:,} B: HVAC_TRACE=1 costs {ratio:.3f}x "
+                          f"the untraced median{marker}")
+        if slow:
+            footer.append(f"**tracing overhead exceeds 10% at "
+                          f"{len(slow)} size(s)** — check for span sites "
+                          "inside per-byte loops.")
 
     report = "\n".join(header + lines + footer) + "\n"
     sys.stdout.write(report)

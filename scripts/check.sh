@@ -12,6 +12,11 @@
 #   scripts/check.sh chaos      the resilience suites (fault injection,
 #                               circuit breaker, deadlines, backpressure,
 #                               drain, daemon-kill chaos) under ASan
+#   scripts/check.sh trace      end-to-end tracing smoke: hvacd under
+#                               HVAC_TRACE=1, traffic via hvacctl, dump
+#                               with `hvacctl trace --chrome` and validate
+#                               the JSON against the Chrome trace-event
+#                               schema (TRACE_OUT overrides the path)
 #
 # Sanitizer builds live in their own build dirs (build-asan/, build-tsan/)
 # so they never contaminate the primary build/.
@@ -24,7 +29,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # The concurrency-sensitive suites worth a TSan pass: the pinned-handle
 # cache, the buffer pool, the RPC stack and the client read path.
 TSAN_SUITES="test_storage test_common test_rpc test_async_rpc \
-test_client_edge test_stress"
+test_client_edge test_stress test_trace"
 
 case "$MODE" in
   tier1)
@@ -57,6 +62,44 @@ case "$MODE" in
     ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
       -R "Fault|Breaker|CallDeadline|Backpressure|Drain|Chaos|HostileServer|AsyncRpcFixture"
     ;;
+  trace)
+    cmake -B build -S .
+    cmake --build build -j "$JOBS" --target hvacd hvacctl
+    TRACE_OUT="${TRACE_OUT:-trace.json}"
+    TMP="$(mktemp -d)"
+    HVACD_PID=""
+    cleanup() {
+      if [ -n "$HVACD_PID" ]; then
+        kill "$HVACD_PID" 2>/dev/null || true
+        wait "$HVACD_PID" 2>/dev/null || true
+      fi
+      rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    mkdir -p "$TMP/pfs"
+    for i in 0 1 2 3; do
+      head -c 65536 /dev/urandom > "$TMP/pfs/f$i.bin"
+    done
+    HVAC_TRACE=1 HVAC_TRACE_RING=8192 ./build/src/server/hvacd \
+      --pfs-root "$TMP/pfs" --cache-dir "$TMP/cache" \
+      --port-file "$TMP/ports" &
+    HVACD_PID=$!
+    for _ in $(seq 50); do
+      [ -s "$TMP/ports" ] && break
+      sleep 0.2
+    done
+    [ -s "$TMP/ports" ] || { echo "hvacd never published ports" >&2; exit 1; }
+    EP="$(cat "$TMP/ports")"
+    # Drive the miss path (warm), the metadata path (stat) and a second
+    # warm (hit) so the dump carries dispatch, mover and send spans.
+    for i in 0 1 2 3; do
+      ./build/src/client/hvacctl warm "$EP" "f$i.bin" > /dev/null
+      ./build/src/client/hvacctl stat "$EP" "f$i.bin" > /dev/null
+      ./build/src/client/hvacctl warm "$EP" "f$i.bin" > /dev/null
+    done
+    ./build/src/client/hvacctl trace "$EP" --chrome > "$TRACE_OUT"
+    python3 scripts/check_trace_schema.py "$TRACE_OUT" --min-events 8
+    ;;
   bench)
     cmake -B build -S .
     cmake --build build -j "$JOBS" --target micro_rpc
@@ -73,7 +116,7 @@ case "$MODE" in
       --benchmark_context=git_date="$GIT_DATE"
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|bench|chaos]" >&2
+    echo "usage: $0 [tier1|asan|tsan|bench|chaos|trace]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validate an exported trace.json against the Chrome trace-event schema.
+
+    scripts/check_trace_schema.py trace.json [--min-events N]
+
+Checks the subset of the format that `hvacctl trace --chrome` emits
+(and chrome://tracing / ui.perfetto.dev require to load the file):
+
+  - top level: object with a "traceEvents" array
+  - every event: dict with string "name", "ph" in {"X", "M"},
+    integer "pid"/"tid", and an "args" object
+  - "X" (complete) events: numeric "ts" and "dur" >= 0, plus the hvac
+    ids (16-hex-digit "trace_id", integer "span_id"/"parent_id")
+  - "M" (metadata) events: process_name with an args.name string
+  - at least --min-events "X" events overall (default 1) — an empty
+    export from a traced run means the dump pipeline is broken
+
+stdlib only; exits nonzero with one line per violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def check(doc, min_events):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ['missing or non-array "traceEvents"']
+    x_events = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing string name")
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            errors.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                errors.append(f"{where}: missing integer {key}")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            errors.append(f"{where}: missing args object")
+            continue
+        if ph == "M":
+            if ev.get("name") == "process_name" and not isinstance(
+                    args.get("name"), str):
+                errors.append(f"{where}: process_name without args.name")
+            continue
+        x_events += 1
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                errors.append(f"{where}: bad {key} {v!r}")
+        tid = args.get("trace_id")
+        if not isinstance(tid, str) or not TRACE_ID_RE.match(tid):
+            errors.append(f"{where}: bad args.trace_id {tid!r}")
+        for key in ("span_id", "parent_id"):
+            if not isinstance(args.get(key), int):
+                errors.append(f"{where}: missing integer args.{key}")
+    if x_events < min_events:
+        errors.append(
+            f"only {x_events} X event(s), expected >= {min_events}")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace_json")
+    parser.add_argument("--min-events", type=int, default=1)
+    args = parser.parse_args()
+    try:
+        with open(args.trace_json) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.trace_json}: {e}", file=sys.stderr)
+        return 1
+    errors = check(doc, args.min_events)
+    for e in errors:
+        print(f"{args.trace_json}: {e}", file=sys.stderr)
+    if not errors:
+        events = sum(1 for ev in doc["traceEvents"] if ev.get("ph") == "X")
+        print(f"{args.trace_json}: OK ({events} spans)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

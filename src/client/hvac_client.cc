@@ -12,6 +12,7 @@
 #include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/log.h"
+#include "common/trace.h"
 #include "core/metrics.h"
 #include "rpc/health.h"
 #include "core/segment.h"
@@ -279,6 +280,7 @@ std::optional<MetaEntry> HvacClient::meta_lookup(const std::string& logical) {
 }
 
 Result<int> HvacClient::open(const std::string& path) {
+  trace::Span span("client.open");
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.opens;
@@ -455,6 +457,7 @@ Status HvacClient::recover_fd(int vfd, const core::FdEntry& stale,
 
 Result<size_t> HvacClient::pread(int vfd, void* buf, size_t count,
                                  uint64_t offset) {
+  trace::Span span("client.pread", count);
   return pread_attempt(vfd, buf, count, offset, /*recoveries=*/0);
 }
 
@@ -617,6 +620,7 @@ Result<int64_t> HvacClient::lseek(int vfd, int64_t offset, int whence) {
 }
 
 Status HvacClient::close(int vfd) {
+  trace::Span span("client.close");
   HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.erase(vfd));
   readahead_drop(vfd);
   // Segmented and path-mode fds never opened anything remotely.
@@ -639,6 +643,7 @@ Status HvacClient::close(int vfd) {
 }
 
 Result<uint64_t> HvacClient::stat_size(const std::string& path) {
+  trace::Span span("client.stat");
   HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kStat));
   HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
   if (std::optional<MetaEntry> meta = meta_lookup(logical)) {

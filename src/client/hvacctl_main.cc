@@ -6,6 +6,7 @@
 //                                  [--watch N]
 //   hvacctl [--timeout MS] stat    HOST:PORT <relative-path>
 //   hvacctl [--timeout MS] warm    HOST:PORT <relative-path>
+//   hvacctl [--timeout MS] trace   HOST:PORT[,HOST:PORT...] [--chrome]
 //
 // Talks the same RPC schema as the client library; useful for
 // checking server health from a login node and for watching hit
@@ -21,8 +22,15 @@
 // Every RPC is bounded by --timeout (default 2000 ms, applied to
 // connect, per-recv and the whole call) so a dead or wedged server
 // cannot hang the CLI.
+// `trace` drains each server's span rings (servers run with
+// HVAC_TRACE=1) and prints a per-span table, or with --chrome a
+// trace.json loadable in chrome://tracing / ui.perfetto.dev. The
+// dump is consuming: each span is returned to exactly one poller.
+#include <csignal>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,6 +38,7 @@
 
 #include "common/env.h"
 #include "core/metrics_frame.h"
+#include "core/trace_wire.h"
 #include "rpc/health.h"
 #include "rpc/rpc_client.h"
 #include "rpc/wire.h"
@@ -236,13 +245,73 @@ int metrics_once(const std::vector<std::string>& endpoints, bool json) {
   return failures == 0 ? 0 : 1;
 }
 
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void on_interrupt(int) { g_interrupted = 1; }
+
 int cmd_metrics(const std::string& csv, bool json, int watch_seconds) {
   const std::vector<std::string> endpoints = split_csv(csv);
+  if (watch_seconds > 0) {
+    // Watch mode is routinely piped (`hvacctl metrics --watch | head`)
+    // and interrupted. SIGPIPE would kill us mid-printf with a noisy
+    // 141; instead ignore it and treat a write failure as a normal
+    // end-of-watch. SIGINT just stops the loop cleanly (exit 0).
+    std::signal(SIGINT, on_interrupt);
+    std::signal(SIGPIPE, SIG_IGN);
+  }
   for (;;) {
     const int rc = metrics_once(endpoints, json);
     if (watch_seconds <= 0) return rc;
-    ::sleep(static_cast<unsigned>(watch_seconds));
+    if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) return 0;
+    if (g_interrupted) return 0;
+    ::sleep(static_cast<unsigned>(watch_seconds));  // SIGINT interrupts this
+    if (g_interrupted) return 0;
   }
+}
+
+int cmd_trace(const std::string& csv, bool chrome) {
+  int failures = 0;
+  std::vector<std::pair<std::string, std::vector<core::SpanDump>>> endpoints;
+  for (const auto& endpoint : split_csv(csv)) {
+    rpc::RpcClient client(rpc::Endpoint{endpoint}, cli_options());
+    const auto resp = client.call(proto::kTraceDump, Bytes{});
+    if (!resp.ok()) {
+      std::fprintf(stderr, "%s: %s\n", endpoint.c_str(),
+                   resp.error().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    auto spans = core::decode_spans(*resp);
+    if (!spans.ok()) {
+      std::fprintf(stderr, "%s: %s\n", endpoint.c_str(),
+                   spans.error().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    endpoints.emplace_back(endpoint, std::move(*spans));
+  }
+  if (chrome) {
+    std::printf("%s\n", core::spans_to_chrome_json(endpoints).c_str());
+  } else {
+    std::printf("%-24s %-16s %9s %9s %-18s %10s %10s %8s\n", "endpoint",
+                "trace", "span", "parent", "name", "t_ms", "dur_ms", "arg");
+    for (const auto& [endpoint, spans] : endpoints) {
+      if (spans.empty()) continue;
+      uint64_t min_start = UINT64_MAX;
+      for (const auto& s : spans) {
+        min_start = std::min(min_start, s.start_ns);
+      }
+      for (const auto& s : spans) {
+        std::printf("%-24s %016" PRIx64 " %9u %9u %-18s %10.3f %10.3f "
+                    "%8" PRIu64 "\n",
+                    endpoint.c_str(), s.trace_id, s.span_id, s.parent_id,
+                    s.name.c_str(), double(s.start_ns - min_start) / 1e6,
+                    double(s.dur_ns) / 1e6, s.arg);
+      }
+    }
+  }
+  std::fflush(stdout);
+  return failures == 0 ? 0 : 1;
 }
 
 int cmd_path_op(uint16_t opcode, const std::string& endpoint,
@@ -275,8 +344,9 @@ int usage(const char* argv0) {
                "       %s [--timeout MS] health ENDPOINTS [--json]\n"
                "       %s [--timeout MS] metrics ENDPOINTS [--json] "
                "[--watch N]\n"
-               "       %s [--timeout MS] stat|warm ENDPOINT PATH\n",
-               argv0, argv0, argv0, argv0);
+               "       %s [--timeout MS] stat|warm ENDPOINT PATH\n"
+               "       %s [--timeout MS] trace ENDPOINTS [--chrome]\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -326,6 +396,18 @@ int main(int argc, char** argv) {
       }
     }
     return cmd_metrics(args[1], json, watch_seconds);
+  }
+  if (cmd == "trace") {
+    bool chrome = false;
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--chrome") {
+        chrome = true;
+      } else {
+        std::fprintf(stderr, "unknown trace flag %s\n", args[i].c_str());
+        return 2;
+      }
+    }
+    return cmd_trace(args[1], chrome);
   }
   if (args.size() < 3) {
     std::fprintf(stderr, "%s needs ENDPOINT PATH\n", cmd.c_str());

@@ -1,5 +1,6 @@
 #include "client/meta_cache.h"
 
+#include "common/trace.h"
 #include "core/metrics.h"
 #include "rpc/health.h"  // steady_now_ms — shared monotonic time base
 
@@ -20,15 +21,18 @@ std::optional<MetaEntry> MetaCache::lookup(const std::string& logical) {
   auto it = map_.find(logical);
   if (it == map_.end()) {
     counters().misses.fetch_add(1, std::memory_order_relaxed);
+    trace::Span::event("meta.miss");
     return std::nullopt;
   }
   if (now >= it->second.expires_ms) {
     map_.erase(it);
     counters().expired.fetch_add(1, std::memory_order_relaxed);
     counters().misses.fetch_add(1, std::memory_order_relaxed);
+    trace::Span::event("meta.expired");
     return std::nullopt;
   }
   counters().hits.fetch_add(1, std::memory_order_relaxed);
+  trace::Span::event("meta.hit");
   return it->second.meta;
 }
 

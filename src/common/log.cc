@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
+
+#include "common/trace.h"
 
 namespace hvac::log {
 namespace {
@@ -69,11 +72,20 @@ void emit(Level level, const char* file, int line, const std::string& msg) {
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
+  // When a trace is active the line carries its ids, so spans and log
+  // lines are joinable after the fact. Empty otherwise — untraced
+  // output is byte-identical to before.
+  char span_tag[40] = "";
+  if (const uint64_t trace_id = trace::current_trace_id(); trace_id != 0) {
+    std::snprintf(span_tag, sizeof(span_tag),
+                  " [t=%016" PRIx64 " s=%08x]", trace_id,
+                  trace::current_span_id());
+  }
   std::lock_guard<std::mutex> lock(sink_mutex());
-  std::fprintf(stderr, "[%10.6f %s %s:%d t%zu] %s\n", secs, level_name(level),
-               base, line,
+  std::fprintf(stderr, "[%10.6f %s %s:%d t%zu]%s %s\n", secs,
+               level_name(level), base, line,
                std::hash<std::thread::id>{}(std::this_thread::get_id()) % 1000,
-               msg.c_str());
+               span_tag, msg.c_str());
 }
 
 }  // namespace hvac::log

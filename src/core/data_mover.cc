@@ -18,6 +18,10 @@ DataMover::~DataMover() { shutdown(); }
 std::future<Result<bool>> DataMover::submit(std::string logical_path) {
   auto task = std::make_unique<Task>();
   task->logical_path = std::move(logical_path);
+  if (trace::enabled()) {
+    task->ctx = trace::current_context();
+    task->enqueue_ns = trace::now_ns();
+  }
   std::future<Result<bool>> fut = task->done.get_future();
   // Bounded: a full FIFO rejects instead of blocking the caller (an
   // RPC handler thread). Blocking here under a prefetch flood would
@@ -56,6 +60,14 @@ void DataMover::mover_loop() {
   for (;;) {
     auto task = queue_.pop();
     if (!task.ok()) return;  // closed and drained
+    // Queue wait (submit → pop) and the fetch itself are separate
+    // spans, so "mover was backed up" and "PFS was slow" are
+    // distinguishable in a trace.
+    trace::ScopedContext adopt((*task)->ctx);
+    if ((*task)->enqueue_ns != 0 && (*task)->ctx.valid()) {
+      trace::emit("mover.queue", (*task)->enqueue_ns, trace::now_ns());
+    }
+    trace::Span span("mover.fetch");
     (*task)->done.set_value(cache_->ensure_cached((*task)->logical_path));
   }
 }

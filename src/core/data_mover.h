@@ -17,6 +17,7 @@
 
 #include "common/mpmc_queue.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/cache_manager.h"
 
 namespace hvac::core {
@@ -48,6 +49,10 @@ class DataMover {
   struct Task {
     std::string logical_path;
     std::promise<Result<bool>> done;
+    // Submitter's trace context + enqueue time: the mover thread
+    // adopts the context and reports the FIFO wait as its own span.
+    trace::TraceContext ctx;
+    uint64_t enqueue_ns = 0;
   };
 
   void mover_loop();

@@ -63,6 +63,14 @@ void MetaCacheStats::merge(const MetaCacheStats& other) {
   invalidated += other.invalidated;
 }
 
+void TraceStats::merge(const TraceStats& other) {
+  emitted += other.emitted;
+  dropped += other.dropped;
+  rings += other.rings;
+  ring_capacity += other.ring_capacity;
+  occupancy += other.occupancy;
+}
+
 void MetricsFrame::merge(const MetricsFrame& other) {
   version = version > other.version ? version : other.version;
   cache.hits += other.cache.hits;
@@ -79,6 +87,7 @@ void MetricsFrame::merge(const MetricsFrame& other) {
   resilience.merge(other.resilience);
   zerocopy.merge(other.zerocopy);
   meta_cache.merge(other.meta_cache);
+  trace.merge(other.trace);
   for (const auto& [op, snap] : other.op_latency) {
     op_latency[op].merge(snap);
   }
@@ -98,7 +107,7 @@ Bytes MetricsFrame::encode() const {
 
   w.put_u32(kMetricsFrameMagic);
   w.put_u16(kFrameVersion);
-  w.put_u16(7);  // section count
+  w.put_u16(8);  // section count
 
   {
     WireWriter s;
@@ -176,6 +185,16 @@ Bytes MetricsFrame::encode() const {
     s.put_u64(meta_cache.expired);
     s.put_u64(meta_cache.invalidated);
     w.put_u16(kSectionMetaCache);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  {
+    WireWriter s;
+    s.put_u64(trace.emitted);
+    s.put_u64(trace.dropped);
+    s.put_u64(trace.rings);
+    s.put_u64(trace.ring_capacity);
+    s.put_u64(trace.occupancy);
+    w.put_u16(kSectionTrace);
     w.put_blob(s.bytes().data(), s.bytes().size());
   }
   return std::move(w).take();
@@ -290,6 +309,10 @@ Result<MetricsFrame> MetricsFrame::decode(const Bytes& bytes) {
         read_u64s(s, {&f.meta_cache.hits, &f.meta_cache.misses,
                       &f.meta_cache.expired, &f.meta_cache.invalidated});
         break;
+      case kSectionTrace:
+        read_u64s(s, {&f.trace.emitted, &f.trace.dropped, &f.trace.rings,
+                      &f.trace.ring_capacity, &f.trace.occupancy});
+        break;
       default:
         break;  // unknown section: skipped by its length prefix
     }
@@ -311,6 +334,7 @@ std::string op_name(uint16_t opcode) {
     case 8: return "read_segment";
     case 9: return "read_scatter";
     case 10: return "prefetch_batch";
+    case 11: return "trace";
     default: return "op" + std::to_string(opcode);
   }
 }
@@ -361,6 +385,10 @@ std::string MetricsFrame::to_json() const {
     << ",\"misses\":" << meta_cache.misses
     << ",\"expired\":" << meta_cache.expired
     << ",\"invalidated\":" << meta_cache.invalidated << "}"
+    << ",\"trace\":{\"emitted\":" << trace.emitted
+    << ",\"dropped\":" << trace.dropped << ",\"rings\":" << trace.rings
+    << ",\"ring_capacity\":" << trace.ring_capacity
+    << ",\"occupancy\":" << trace.occupancy << "}"
     << ",\"latency_us\":{";
   bool first = true;
   for (const auto& [op, snap] : op_latency) {

@@ -45,6 +45,7 @@ enum MetricsSection : uint16_t {
   kSectionResilience = 5,
   kSectionZeroCopy = 6,
   kSectionMetaCache = 7,
+  kSectionTrace = 8,
 };
 
 struct HandleCacheStats {
@@ -120,6 +121,18 @@ struct MetaCacheStats {
   void merge(const MetaCacheStats& other);
 };
 
+// Trace-ring health (common/trace.h). Process-wide; `dropped` rising
+// means HVAC_TRACE_RING is too small for the drain cadence.
+struct TraceStats {
+  uint64_t emitted = 0;
+  uint64_t dropped = 0;
+  uint64_t rings = 0;
+  uint64_t ring_capacity = 0;
+  uint64_t occupancy = 0;
+
+  void merge(const TraceStats& other);
+};
+
 struct MetricsFrame {
   // Decoded frame version: kFrameVersion, or 1 for a legacy payload
   // (sections all zero).
@@ -134,6 +147,7 @@ struct MetricsFrame {
   ResilienceStats resilience;
   ZeroCopyStats zerocopy;
   MetaCacheStats meta_cache;
+  TraceStats trace;
   // Keyed by proto::Opcode value; only ops with samples are present.
   std::map<uint16_t, LatencySnapshot> op_latency;
 

@@ -1,0 +1,125 @@
+#include "core/trace_wire.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace hvac::core {
+
+using rpc::Bytes;
+using rpc::WireReader;
+using rpc::WireWriter;
+
+namespace {
+constexpr uint32_t kSpanDumpVersion = 1;
+}  // namespace
+
+Bytes encode_spans(const std::vector<trace::SpanRecord>& spans) {
+  WireWriter w;
+  w.put_u32(kSpanDumpVersion);
+  w.put_u32(static_cast<uint32_t>(spans.size()));
+  for (const auto& s : spans) {
+    w.put_u64(s.trace_id);
+    w.put_u64(s.start_ns);
+    w.put_u64(s.dur_ns);
+    w.put_u64(s.arg);
+    w.put_u32(s.span_id);
+    w.put_u32(s.parent_id);
+    w.put_u32(s.tid);
+    w.put_u32(s.flags);
+    w.put_string(s.name != nullptr ? s.name : "?");
+  }
+  return std::move(w).take();
+}
+
+Result<std::vector<SpanDump>> decode_spans(const Bytes& payload) {
+  WireReader r(payload);
+  HVAC_ASSIGN_OR_RETURN(uint32_t version, r.get_u32());
+  if (version != kSpanDumpVersion) {
+    return Error(ErrorCode::kProtocol, "unknown span dump version");
+  }
+  HVAC_ASSIGN_OR_RETURN(uint32_t count, r.get_u32());
+  std::vector<SpanDump> out;
+  out.reserve(std::min<uint32_t>(count, 1u << 20));
+  for (uint32_t i = 0; i < count; ++i) {
+    SpanDump d;
+    HVAC_ASSIGN_OR_RETURN(d.trace_id, r.get_u64());
+    HVAC_ASSIGN_OR_RETURN(d.start_ns, r.get_u64());
+    HVAC_ASSIGN_OR_RETURN(d.dur_ns, r.get_u64());
+    HVAC_ASSIGN_OR_RETURN(d.arg, r.get_u64());
+    HVAC_ASSIGN_OR_RETURN(d.span_id, r.get_u32());
+    HVAC_ASSIGN_OR_RETURN(d.parent_id, r.get_u32());
+    HVAC_ASSIGN_OR_RETURN(d.tid, r.get_u32());
+    HVAC_ASSIGN_OR_RETURN(d.flags, r.get_u32());
+    HVAC_ASSIGN_OR_RETURN(d.name, r.get_string());
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string spans_to_chrome_json(
+    const std::vector<std::pair<std::string, std::vector<SpanDump>>>&
+        endpoints) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (size_t pid = 0; pid < endpoints.size(); ++pid) {
+    const auto& [endpoint, spans] = endpoints[pid];
+    // Process-name metadata row so chrome://tracing labels each
+    // endpoint by its address rather than a bare pid number.
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+                  "\"tid\":0,\"args\":{\"name\":\"",
+                  pid);
+    out += buf;
+    append_json_escaped(out, endpoint);
+    out += "\"}}";
+    if (spans.empty()) continue;
+    uint64_t min_start = UINT64_MAX;
+    for (const auto& s : spans) min_start = std::min(min_start, s.start_ns);
+    for (const auto& s : spans) {
+      out += ",{\"name\":\"";
+      append_json_escaped(out, s.name);
+      // Chrome wants microsecond floats; keep ns precision in the
+      // fraction. Ids go in args so spans stay joinable after export.
+      std::snprintf(
+          buf, sizeof(buf),
+          "\",\"cat\":\"hvac\",\"ph\":\"X\",\"pid\":%zu,\"tid\":%u,"
+          "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":\"%016" PRIx64
+          "\",\"span_id\":%u,\"parent_id\":%u,\"arg\":%" PRIu64 "}}",
+          pid, s.tid, double(s.start_ns - min_start) / 1e3,
+          double(s.dur_ns) / 1e3, s.trace_id, s.span_id, s.parent_id, s.arg);
+      out += buf;
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace hvac::core

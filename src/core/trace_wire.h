@@ -1,0 +1,48 @@
+// Wire codec and Chrome export for trace spans.
+//
+// The kTraceDump RPC returns the server's drained rings in this
+// format; hvacctl decodes dumps from every endpoint and renders them
+// either as a table or as Chrome trace-event JSON (load trace.json in
+// chrome://tracing or https://ui.perfetto.dev). Span names cross the
+// wire as strings — the in-memory SpanRecord's static-literal pointer
+// trick stops at the process boundary.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/trace.h"
+#include "rpc/wire.h"
+
+namespace hvac::core {
+
+// A SpanRecord with the name materialized.
+struct SpanDump {
+  uint64_t trace_id = 0;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint64_t arg = 0;
+  uint32_t span_id = 0;
+  uint32_t parent_id = 0;
+  uint32_t tid = 0;
+  uint32_t flags = 0;
+  std::string name;
+};
+
+// Payload: [u32 version=1][u32 count] then per span
+// [u64 trace_id][u64 start_ns][u64 dur_ns][u64 arg]
+// [u32 span_id][u32 parent_id][u32 tid][u32 flags][string name].
+rpc::Bytes encode_spans(const std::vector<trace::SpanRecord>& spans);
+Result<std::vector<SpanDump>> decode_spans(const rpc::Bytes& payload);
+
+// Chrome trace-event JSON ("traceEvents" array of "X" duration events,
+// one pid per endpoint, one tid row per emitting thread). Each
+// endpoint's clock is CLOCK_MONOTONIC of its own process; timestamps
+// are shifted so the earliest span of each endpoint sits at 0.
+std::string spans_to_chrome_json(
+    const std::vector<std::pair<std::string, std::vector<SpanDump>>>&
+        endpoints);
+
+}  // namespace hvac::core

@@ -32,6 +32,7 @@
 #include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/log.h"
+#include "common/trace.h"
 #include "core/fd_table.h"
 
 namespace {
@@ -164,6 +165,9 @@ bool want_intercept(const char* path, int flags) {
 
 int do_open(const char* path) {
   ShimGuard guard;
+  // Shim entry points root the trace: everything below (client open,
+  // RPCs, mover work on the server) hangs off this span.
+  hvac::trace::Span span("shim.open");
   auto vfd = g_client->open(path);
   if (!vfd.ok()) {
     errno = hvac::error_code_to_errno(vfd.error().code);
@@ -223,6 +227,7 @@ int openat(int dirfd, const char* path, int flags, ...) {
 ssize_t read(int fd, void* buf, size_t count) {
   if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
     ShimGuard guard;
+    hvac::trace::Span span("shim.read", count);
     auto n = g_client->read(fd, buf, count);
     if (!n.ok()) {
       errno = hvac::error_code_to_errno(n.error().code);
@@ -236,6 +241,7 @@ ssize_t read(int fd, void* buf, size_t count) {
 ssize_t pread(int fd, void* buf, size_t count, off_t offset) {
   if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
     ShimGuard guard;
+    hvac::trace::Span span("shim.pread", count);
     auto n = g_client->pread(fd, buf, count,
                              static_cast<uint64_t>(offset));
     if (!n.ok()) {
@@ -271,6 +277,7 @@ off_t lseek64(int fd, off_t offset, int whence) {
 int close(int fd) {
   if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
     ShimGuard guard;
+    hvac::trace::Span span("shim.close");
     auto status = g_client->close(fd);
     if (!status.ok()) {
       errno = hvac::error_code_to_errno(status.error().code);

@@ -4,6 +4,7 @@
 #include <sys/time.h>
 
 #include "common/log.h"
+#include "common/trace.h"
 #include "rpc/wire.h"
 
 namespace hvac::rpc {
@@ -89,16 +90,25 @@ std::future<Result<Bytes>> AsyncRpcClient::call_async(uint16_t opcode,
     return fail_now(s.error());
   }
 
+  // The span covers submission only (the response lands on the
+  // receiver thread); completion latency is visible as the gap to the
+  // caller's enclosing span.
+  trace::Span span("rpc.async_send", opcode);
+
   FrameHeader header;
   header.payload_len = static_cast<uint32_t>(request.size());
   header.request_id = next_request_id_++;
   header.opcode = opcode;
   header.kind = FrameKind::kRequest;
+  if (span.armed()) {
+    header.has_trace = true;
+    header.trace = trace::current_context();
+  }
   pending_[header.request_id] = pending;
 
-  uint8_t hdr[kHeaderSize];
-  encode_header(header, hdr);
-  Status sent = send_all(socket_.get(), hdr, kHeaderSize);
+  uint8_t hdr[kMaxHeaderSize];
+  const size_t hdr_len = encode_header(header, hdr);
+  Status sent = send_all(socket_.get(), hdr, hdr_len);
   if (sent.ok() && !request.empty()) {
     sent = send_all(socket_.get(), request.data(), request.size());
   }
@@ -124,6 +134,16 @@ void AsyncRpcClient::receiver_loop(int fd) {
     if (!header.ok()) {
       fail_all(header.error());
       return;
+    }
+    if (header->has_trace) {
+      // Responses are HVC1 today; consume a future traced response's
+      // context rather than desyncing the stream.
+      uint8_t tbuf[kTraceContextSize];
+      got = recv_all(fd, tbuf, sizeof(tbuf));
+      if (!got.ok()) {
+        fail_all(Error(ErrorCode::kUnavailable, got.error().message));
+        return;
+      }
     }
     Bytes payload(header->payload_len);
     if (header->payload_len > 0) {

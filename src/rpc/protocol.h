@@ -8,17 +8,33 @@
 // back without a payload schema. Payloads above kMaxFrame are refused
 // — bulk file reads are chunked by the HVAC client instead (this is
 // the moral equivalent of Mercury's separate bulk channel).
+//
+// Version 2 ('HVC2') is version 1 plus a 16-byte trace context
+// immediately after the fixed header:
+//
+//   [u64 trace_id] [u32 parent_span_id] [u32 flags]
+//
+// A sender only emits HVC2 when a trace is actually active, so
+// untraced traffic is byte-identical to version 1 and old decoders
+// keep working against new senders with tracing off. Receivers accept
+// both magics: decode_header() reports `has_trace`, and the caller
+// reads kTraceContextSize further bytes through decode_trace_context()
+// before the payload.
 #pragma once
 
 #include <cstdint>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "rpc/wire.h"
 
 namespace hvac::rpc {
 
-constexpr uint32_t kMagic = 0x31435648;  // "HVC1"
+constexpr uint32_t kMagic = 0x31435648;        // "HVC1"
+constexpr uint32_t kMagicTraced = 0x32435648;  // "HVC2": header + trace ctx
 constexpr size_t kHeaderSize = 4 + 4 + 8 + 2 + 1 + 1;
+constexpr size_t kTraceContextSize = trace::kTraceContextSize;
+constexpr size_t kMaxHeaderSize = kHeaderSize + kTraceContextSize;
 constexpr size_t kMaxFrame = 64u << 20;  // 64 MiB
 
 enum class FrameKind : uint8_t {
@@ -32,27 +48,39 @@ struct FrameHeader {
   uint16_t opcode = 0;
   FrameKind kind = FrameKind::kRequest;
   ErrorCode status = ErrorCode::kOk;
+  bool has_trace = false;
+  trace::TraceContext trace;
 };
 
-inline void encode_header(const FrameHeader& h, uint8_t out[kHeaderSize]) {
+// Writes kHeaderSize bytes, plus the trace context when h.has_trace
+// and the context is valid; returns the number of bytes written.
+inline size_t encode_header(const FrameHeader& h,
+                            uint8_t out[kMaxHeaderSize]) {
+  const bool traced = h.has_trace && h.trace.valid();
   WireWriter w;
-  w.put_u32(kMagic);
+  w.put_u32(traced ? kMagicTraced : kMagic);
   w.put_u32(h.payload_len);
   w.put_u64(h.request_id);
   w.put_u16(h.opcode);
   w.put_u8(static_cast<uint8_t>(h.kind));
   w.put_u8(static_cast<uint8_t>(h.status));
+  if (traced) put_trace_context(w, h.trace);
   const Bytes& b = w.bytes();
-  for (size_t i = 0; i < kHeaderSize; ++i) out[i] = b[i];
+  for (size_t i = 0; i < b.size(); ++i) out[i] = b[i];
+  return b.size();
 }
 
+// Decodes the fixed kHeaderSize prefix. Both magics are accepted; an
+// HVC2 frame sets has_trace and the caller must consume a further
+// kTraceContextSize bytes (decode_trace_context) before the payload.
 inline Result<FrameHeader> decode_header(const uint8_t* data, size_t size) {
   WireReader r(data, size);
   HVAC_ASSIGN_OR_RETURN(uint32_t magic, r.get_u32());
-  if (magic != kMagic) {
+  if (magic != kMagic && magic != kMagicTraced) {
     return Error(ErrorCode::kProtocol, "bad frame magic");
   }
   FrameHeader h;
+  h.has_trace = magic == kMagicTraced;
   HVAC_ASSIGN_OR_RETURN(h.payload_len, r.get_u32());
   HVAC_ASSIGN_OR_RETURN(h.request_id, r.get_u64());
   HVAC_ASSIGN_OR_RETURN(h.opcode, r.get_u16());
@@ -65,6 +93,15 @@ inline Result<FrameHeader> decode_header(const uint8_t* data, size_t size) {
     return Error(ErrorCode::kProtocol, "frame too large");
   }
   return h;
+}
+
+// Fills h.trace from the kTraceContextSize bytes that follow an HVC2
+// header.
+inline Status decode_trace_context(FrameHeader& h, const uint8_t* data,
+                                   size_t size) {
+  WireReader r(data, size);
+  HVAC_ASSIGN_OR_RETURN(h.trace, get_trace_context(r));
+  return Status::Ok();
 }
 
 }  // namespace hvac::rpc

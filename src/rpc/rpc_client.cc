@@ -9,6 +9,7 @@
 
 #include "common/fault_injection.h"
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace hvac::rpc {
 
@@ -62,7 +63,11 @@ Result<Payload> RpcClient::call_payload(uint16_t opcode,
     return Error(ErrorCode::kInvalidArgument, "request exceeds max frame");
   }
   std::lock_guard<std::mutex> lock(mutex_);
+  // One span per wire call; retries show up as separate rpc.call spans
+  // under the caller's span, joined by rpc.retry events.
+  trace::Span span("rpc.call", opcode);
   if (!health_->allow_request()) {
+    trace::Span::event("rpc.breaker_open");
     return Error(ErrorCode::kUnavailable,
                  "circuit open for " + endpoint_.address);
   }
@@ -87,11 +92,16 @@ Result<Payload> RpcClient::call_payload(uint16_t opcode,
   header.request_id = next_request_id_++;
   header.opcode = opcode;
   header.kind = FrameKind::kRequest;
+  if (span.armed()) {
+    // current_context() parents the server side under this rpc.call.
+    header.has_trace = true;
+    header.trace = trace::current_context();
+  }
 
-  uint8_t hdr[kHeaderSize];
-  encode_header(header, hdr);
+  uint8_t hdr[kMaxHeaderSize];
+  const size_t hdr_len = encode_header(header, hdr);
   Status sent = fault::check(fault::Site::kRpcSend);
-  if (sent.ok()) sent = send_all(socket_.get(), hdr, kHeaderSize);
+  if (sent.ok()) sent = send_all(socket_.get(), hdr, hdr_len);
   if (sent.ok() && !request.empty()) {
     sent = send_all(socket_.get(), request.data(), request.size());
   }
@@ -126,6 +136,16 @@ Result<Payload> RpcClient::call_payload(uint16_t opcode,
     if (!resp.ok()) {
       socket_.reset();
       return fail(resp.error());
+    }
+    if (resp->has_trace) {
+      // Responses are HVC1 today; tolerate a future traced response by
+      // consuming (and ignoring) its context.
+      uint8_t tbuf[kTraceContextSize];
+      got = recv_all_until(socket_.get(), tbuf, sizeof(tbuf), deadline_ms);
+      if (!got.ok()) {
+        socket_.reset();
+        return fail(Error(ErrorCode::kUnavailable, got.error().message));
+      }
     }
     BufferPool::Lease payload =
         BufferPool::global().acquire(resp->payload_len);
@@ -168,6 +188,7 @@ Result<Payload> RpcClient::call_payload_idempotent(uint16_t opcode,
     // No point hammering a tripped endpoint — the caller's failover
     // path (replica / PFS) is the productive next step.
     if (health_->state() == EndpointHealth::State::kOpen) break;
+    trace::Span::event("rpc.retry", uint64_t(attempt));
     ResilienceCounters::global().retries.fetch_add(
         1, std::memory_order_relaxed);
     if (options_.retry_backoff_ms > 0) {

@@ -11,6 +11,7 @@
 
 #include "common/env.h"
 #include "common/log.h"
+#include "common/trace.h"
 #include "rpc/health.h"
 
 namespace hvac::rpc {
@@ -30,9 +31,13 @@ struct RpcServer::Connection {
   // Requests dispatched but not yet answered (backpressure cap).
   std::atomic<uint32_t> inflight{0};
 
-  // Read state: first kHeaderSize bytes, then payload_len bytes.
+  // Read state: first kHeaderSize bytes, then (for HVC2 frames) the
+  // trace context, then payload_len bytes.
   uint8_t header_buf[kHeaderSize];
   size_t header_got = 0;
+  uint8_t trace_buf[kTraceContextSize];
+  size_t trace_got = 0;
+  bool in_trace = false;
   FrameHeader header;
   Bytes payload;
   size_t payload_got = 0;
@@ -40,6 +45,8 @@ struct RpcServer::Connection {
 
   void reset_frame() {
     header_got = 0;
+    trace_got = 0;
+    in_trace = false;
     payload.clear();
     payload_got = 0;
     in_payload = false;
@@ -228,7 +235,7 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
   // Drain everything available without blocking; a single readable
   // event may carry several pipelined requests.
   for (;;) {
-    if (!conn->in_payload) {
+    if (!conn->in_payload && !conn->in_trace) {
       const ssize_t n =
           ::recv(conn->fd.get(), conn->header_buf + conn->header_got,
                  kHeaderSize - conn->header_got, MSG_DONTWAIT);
@@ -259,6 +266,45 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
         return;
       }
       conn->header = *header;
+      if (conn->header.has_trace) {
+        // HVC2: the trace context sits between header and payload.
+        conn->trace_got = 0;
+        conn->in_trace = true;
+      } else {
+        conn->payload.resize(conn->header.payload_len);
+        conn->payload_got = 0;
+        conn->in_payload = true;
+        if (conn->header.payload_len == 0) {
+          Bytes payload;
+          FrameHeader h = conn->header;
+          conn->reset_frame();
+          dispatch(conn, h, std::move(payload));
+          continue;
+        }
+      }
+    }
+    if (conn->in_trace) {
+      const ssize_t n =
+          ::recv(conn->fd.get(), conn->trace_buf + conn->trace_got,
+                 kTraceContextSize - conn->trace_got, MSG_DONTWAIT);
+      if (n == 0) {
+        drop_connection(conn->fd.get());
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        drop_connection(conn->fd.get());
+        return;
+      }
+      conn->trace_got += static_cast<size_t>(n);
+      if (conn->trace_got < kTraceContextSize) continue;
+      if (!decode_trace_context(conn->header, conn->trace_buf,
+                                kTraceContextSize)
+               .ok()) {
+        drop_connection(conn->fd.get());
+        return;
+      }
+      conn->in_trace = false;
       conn->payload.resize(conn->header.payload_len);
       conn->payload_got = 0;
       conn->in_payload = true;
@@ -312,7 +358,7 @@ void RpcServer::shed_request(const std::shared_ptr<Connection>& conn,
   w.put_u32(options_.shed_retry_after_ms);
   const Bytes body = std::move(w).take();
   resp.payload_len = static_cast<uint32_t>(body.size());
-  uint8_t hdr[kHeaderSize];
+  uint8_t hdr[kMaxHeaderSize];
   encode_header(resp, hdr);
   iovec iov[2];
   iov[0].iov_base = hdr;
@@ -327,7 +373,8 @@ void RpcServer::shed_request(const std::shared_ptr<Connection>& conn,
 
 Status RpcServer::write_response(const std::shared_ptr<Connection>& conn,
                                  FrameHeader resp, const Payload& body) {
-  uint8_t hdr[kHeaderSize];
+  trace::Span span("server.send", body.total_size());
+  uint8_t hdr[kMaxHeaderSize];
   iovec iov[3];
   std::lock_guard<std::mutex> lock(conn->write_mutex);
 
@@ -440,7 +487,16 @@ void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
   }
   conn->inflight.fetch_add(1, std::memory_order_relaxed);
   inflight_.fetch_add(1, std::memory_order_acq_rel);
-  auto work = [this, conn, header, payload = std::move(payload)]() mutable {
+  const uint64_t enqueue_ns = trace::enabled() ? trace::now_ns() : 0;
+  auto work = [this, conn, header, enqueue_ns,
+               payload = std::move(payload)]() mutable {
+    // Adopt the caller's context (no-op for untraced frames), make the
+    // pool wait visible as its own span, then wrap the handler + send.
+    trace::ScopedContext adopt(header.trace);
+    if (enqueue_ns != 0 && header.has_trace) {
+      trace::emit("server.queue", enqueue_ns, trace::now_ns());
+    }
+    trace::Span dspan("server.dispatch", header.opcode);
     Result<Payload> result = [&]() -> Result<Payload> {
       auto it = handlers_.find(header.opcode);
       if (it == handlers_.end()) {

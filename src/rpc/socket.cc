@@ -19,6 +19,7 @@
 
 #include "common/env.h"
 #include "common/fault_injection.h"
+#include "common/trace.h"
 #include "rpc/health.h"  // steady_now_ms
 
 namespace hvac::rpc {
@@ -429,6 +430,7 @@ ZeroCopyMode resolve_zerocopy_mode() {
 
 Status sendfile_exact(int sock_fd, int file_fd, uint64_t offset,
                       size_t size) {
+  trace::Span span("zc.sendfile", size);
   ScopedSigpipeBlock no_sigpipe;
   auto& zc = ZeroCopyCounters::global();
   off_t off = static_cast<off_t>(offset);
@@ -460,6 +462,7 @@ Status sendfile_exact(int sock_fd, int file_fd, uint64_t offset,
 
 Status splice_exact(int sock_fd, int file_fd, uint64_t offset, size_t size,
                     int pipe_rd, int pipe_wr) {
+  trace::Span span("zc.splice", size);
   ScopedSigpipeBlock no_sigpipe;
   auto& zc = ZeroCopyCounters::global();
   off_t off = static_cast<off_t>(offset);

@@ -17,6 +17,7 @@
 
 #include "common/buffer_pool.h"
 #include "common/result.h"
+#include "common/trace.h"
 
 namespace hvac::rpc {
 
@@ -273,6 +274,22 @@ class WireReader {
   size_t size_;
   size_t pos_ = 0;
 };
+
+// Trace-context codec (wire format v2): exactly
+// trace::kTraceContextSize bytes, appended to an HVC2 frame header.
+inline void put_trace_context(WireWriter& w, const trace::TraceContext& ctx) {
+  w.put_u64(ctx.trace_id);
+  w.put_u32(ctx.parent_span_id);
+  w.put_u32(ctx.flags);
+}
+
+inline Result<trace::TraceContext> get_trace_context(WireReader& r) {
+  trace::TraceContext ctx;
+  HVAC_ASSIGN_OR_RETURN(ctx.trace_id, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(ctx.parent_span_id, r.get_u32());
+  HVAC_ASSIGN_OR_RETURN(ctx.flags, r.get_u32());
+  return ctx;
+}
 
 inline Result<ScatterView> decode_scatter(const uint8_t* payload,
                                           size_t size) {

@@ -29,6 +29,10 @@ enum Opcode : uint16_t {
   kPrefetchBatch = 10,  // (n u32, path * n) -> (n u32, cached u8 * n)
                         // batched kPrefetch: one round trip warms a
                         // whole epoch's worth of files.
+  kTraceDump = 11,  // () -> span dump (core/trace_wire.h encode_spans):
+                    // drains the process-wide trace rings. Consuming:
+                    // two hvacctl instances polling one server split
+                    // the spans between them.
 };
 
 // served_from values in the kOpen response.

@@ -6,6 +6,8 @@
 #include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/log.h"
+#include "common/trace.h"
+#include "core/trace_wire.h"
 #include "rpc/health.h"
 #include "rpc/wire.h"
 
@@ -109,6 +111,13 @@ void HvacServer::register_handlers() {
   rpc_.register_handler(proto::kPrefetchBatch, [this](const Bytes& req) {
     core::ScopedLatencyTimer t(latency_, proto::kPrefetchBatch);
     return handle_prefetch_batch(req);
+  });
+  rpc_.register_handler(proto::kTraceDump,
+                        [this](const Bytes&) -> Result<Bytes> {
+    core::ScopedLatencyTimer t(latency_, proto::kTraceDump);
+    // Rings are process-wide: any instance's dump carries every span
+    // this process emitted (client-side included when co-located).
+    return core::encode_spans(trace::drain());
   });
 }
 
@@ -490,6 +499,13 @@ core::MetricsFrame HvacServer::metrics_frame() const {
   f.meta_cache.expired = mc.expired.load(std::memory_order_relaxed);
   f.meta_cache.invalidated =
       mc.invalidated.load(std::memory_order_relaxed);
+
+  const trace::Stats ts = trace::stats();
+  f.trace.emitted = ts.emitted;
+  f.trace.dropped = ts.dropped;
+  f.trace.rings = ts.rings;
+  f.trace.ring_capacity = ts.ring_capacity;
+  f.trace.occupancy = ts.occupancy;
 
   f.op_latency = latency_.snapshot();
   return f;

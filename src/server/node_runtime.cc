@@ -71,6 +71,7 @@ core::MetricsFrame NodeRuntime::aggregated_frame() const {
     f.resilience = core::ResilienceStats{};
     f.zerocopy = core::ZeroCopyStats{};
     f.meta_cache = core::MetaCacheStats{};
+    f.trace = core::TraceStats{};
     total.merge(f);
   }
   return total;
