@@ -7,6 +7,9 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "common/buffer_pool.h"
 #include "common/trace.h"
@@ -281,6 +284,85 @@ BENCHMARK(BM_BulkReadZeroCopyTraced)
     ->Threads(8)
     ->UseRealTime();
 
+
+// --- Sharded-reactor saturation ------------------------------------
+//
+// The reactor-scaling gate: 64 connections (8 bench threads x 8 async
+// clients each) hammering one server with small reads (4-64 KiB, the
+// DL-sample shape), once with a single reactor and once with four.
+// The handler is an inline extent read, so the whole request lives on
+// the owning reactor — what scales (or doesn't) is the server core
+// itself: accept sharding, per-reactor epoll, decode and the
+// zero-copy send. scripts/bench_compare.py reads the two series as an
+// advisory scaling gate (the ratio only means something on a
+// multi-core runner).
+
+// One server per reactor count, created on first use and kept for the
+// binary's lifetime like shared_server().
+RpcServer& saturated_server(int reactors) {
+  static std::mutex mu;
+  static std::map<int, RpcServer*> servers;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = servers.find(reactors);
+  if (it != servers.end()) return *it->second;
+  RpcServerOptions o;
+  o.bind_address = "127.0.0.1:0";
+  o.handler_threads = size_t(reactors);
+  o.reactors = size_t(reactors);
+  auto* s = new RpcServer(o);
+  s->register_payload_handler(
+      4,
+      [](const Bytes& req) -> hvac::Result<Payload> {
+        WireReader r(req);
+        auto n = r.get_u32();
+        FileExtent ext;
+        ext.fd = shared_file();
+        ext.offset = 0;
+        ext.length = n.ok() ? *n : 0;
+        return blob_extent_payload(std::move(ext));
+      },
+      DispatchHint::kInline);
+  if (!s->start().ok()) std::abort();
+  servers[reactors] = s;
+  return *s;
+}
+
+void BM_SaturatedSmallReads(benchmark::State& state) {
+  RpcServer& server = saturated_server(int(state.range(0)));
+  constexpr size_t kClientsPerThread = 8;
+  static constexpr uint32_t kSizes[] = {4 << 10, 8 << 10, 16 << 10,
+                                        32 << 10, 64 << 10};
+  std::vector<std::unique_ptr<AsyncRpcClient>> clients;
+  clients.reserve(kClientsPerThread);
+  for (size_t i = 0; i < kClientsPerThread; ++i) {
+    clients.push_back(std::make_unique<AsyncRpcClient>(server.endpoint()));
+  }
+  size_t cursor = size_t(state.thread_index());
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::vector<std::future<hvac::Result<Bytes>>> futures;
+    futures.reserve(kClientsPerThread);
+    for (auto& c : clients) {
+      const uint32_t n = kSizes[cursor++ % (sizeof(kSizes) / sizeof(*kSizes))];
+      WireWriter w;
+      w.put_u32(n);
+      futures.push_back(c->call_async(4, w.bytes()));
+      bytes += n;
+    }
+    for (auto& f : futures) {
+      if (!f.get().ok()) state.SkipWithError("call failed");
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(kClientsPerThread));
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SaturatedSmallReads)
+    ->ArgName("reactors")
+    ->Arg(1)
+    ->Arg(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 }  // namespace
 

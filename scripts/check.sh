@@ -27,9 +27,10 @@ MODE="${1:-tier1}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # The concurrency-sensitive suites worth a TSan pass: the pinned-handle
-# cache, the buffer pool, the RPC stack and the client read path.
+# cache, the buffer pool, the RPC stack (reactors + work stealing) and
+# the client read path.
 TSAN_SUITES="test_storage test_common test_rpc test_async_rpc \
-test_client_edge test_stress test_trace"
+test_client_edge test_stress test_trace test_reactor"
 
 case "$MODE" in
   tier1)
@@ -58,8 +59,10 @@ case "$MODE" in
     # cases in the async-RPC and client-edge suites.
     cmake -B build-asan -S . -DHVAC_SANITIZE=address
     cmake --build build-asan -j "$JOBS" \
-      --target test_chaos test_async_rpc test_client_edge
-    ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+      --target test_chaos test_async_rpc test_client_edge test_reactor
+    # HVAC_REACTORS=4 forces the sharded core under every suite here,
+    # so shedding/drain/breaker interop is exercised multi-reactor.
+    HVAC_REACTORS=4 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
       -R "Fault|Breaker|CallDeadline|Backpressure|Drain|Chaos|HostileServer|AsyncRpcFixture"
     ;;
   trace)

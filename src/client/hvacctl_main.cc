@@ -182,6 +182,15 @@ void print_metrics_row(const std::string& endpoint,
               (unsigned long)rs.mover_rejects, (unsigned long)rs.drains,
               (unsigned long)rs.drained_requests,
               (unsigned long)rs.faults_injected);
+  // Present only on servers with the sharded-reactor core (section 9);
+  // an old binary's frame simply has no rows here.
+  for (size_t i = 0; i < f.reactor.reactors.size(); ++i) {
+    const auto& rr = f.reactor.reactors[i];
+    std::printf("  reactor %-4zu conns=%lu requests=%lu steals=%lu "
+                "shed=%lu\n",
+                i, (unsigned long)rr.conns, (unsigned long)rr.requests,
+                (unsigned long)rr.steals, (unsigned long)rr.shed);
+  }
   for (const auto& [op, snap] : f.op_latency) {
     std::printf("  latency %-12s n=%-8lu p50=%.1fus p99=%.1fus\n",
                 core::op_name(op).c_str(), (unsigned long)snap.count,
@@ -271,7 +280,7 @@ int cmd_metrics(const std::string& csv, bool json, int watch_seconds) {
 
 int cmd_trace(const std::string& csv, bool chrome) {
   int failures = 0;
-  std::vector<std::pair<std::string, std::vector<core::SpanDump>>> endpoints;
+  std::vector<core::EndpointSpans> endpoints;
   for (const auto& endpoint : split_csv(csv)) {
     rpc::RpcClient client(rpc::Endpoint{endpoint}, cli_options());
     const auto resp = client.call(proto::kTraceDump, Bytes{});
@@ -281,30 +290,36 @@ int cmd_trace(const std::string& csv, bool chrome) {
       ++failures;
       continue;
     }
-    auto spans = core::decode_spans(*resp);
+    // The v2 dump carries the endpoint's (REALTIME, MONOTONIC) sample;
+    // the Chrome export uses it to land every endpoint on one common
+    // t=0. A v1 peer decodes with an invalid clock and keeps a private
+    // zero.
+    core::SpanDumpClock clock;
+    auto spans = core::decode_spans(*resp, &clock);
     if (!spans.ok()) {
       std::fprintf(stderr, "%s: %s\n", endpoint.c_str(),
                    spans.error().to_string().c_str());
       ++failures;
       continue;
     }
-    endpoints.emplace_back(endpoint, std::move(*spans));
+    endpoints.push_back(
+        core::EndpointSpans{endpoint, std::move(*spans), clock});
   }
   if (chrome) {
     std::printf("%s\n", core::spans_to_chrome_json(endpoints).c_str());
   } else {
     std::printf("%-24s %-16s %9s %9s %-18s %10s %10s %8s\n", "endpoint",
                 "trace", "span", "parent", "name", "t_ms", "dur_ms", "arg");
-    for (const auto& [endpoint, spans] : endpoints) {
-      if (spans.empty()) continue;
+    for (const auto& ep : endpoints) {
+      if (ep.spans.empty()) continue;
       uint64_t min_start = UINT64_MAX;
-      for (const auto& s : spans) {
+      for (const auto& s : ep.spans) {
         min_start = std::min(min_start, s.start_ns);
       }
-      for (const auto& s : spans) {
+      for (const auto& s : ep.spans) {
         std::printf("%-24s %016" PRIx64 " %9u %9u %-18s %10.3f %10.3f "
                     "%8" PRIu64 "\n",
-                    endpoint.c_str(), s.trace_id, s.span_id, s.parent_id,
+                    ep.name.c_str(), s.trace_id, s.span_id, s.parent_id,
                     s.name.c_str(), double(s.start_ns - min_start) / 1e6,
                     double(s.dur_ns) / 1e6, s.arg);
       }

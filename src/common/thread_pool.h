@@ -1,8 +1,15 @@
 // Fixed-size worker pool used by HVAC servers to run RPC handlers and
-// by the benches to parallelize independent simulator runs.
+// by the benches to parallelize independent simulator runs, plus the
+// sharded work-stealing pool backing the multi-reactor RPC server.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -32,6 +39,70 @@ class ThreadPool {
   void worker_loop();
 
   MpmcQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+// Sharded handler pool with work stealing. Each shard (one per
+// reactor) owns a bounded FIFO deque and a set of home workers; an
+// idle worker first drains its home shard, then — unless stealing is
+// disabled — steals the *oldest* task from the busiest other shard,
+// so mover-bound misses queued behind a hot reactor migrate to idle
+// cores while the common case stays shard-local.
+//
+// submit() never blocks: a full shard returns kCapacity and the
+// caller sheds the request (the RPC server's backpressure contract).
+class WorkStealingPool {
+ public:
+  struct Options {
+    size_t shards = 1;
+    size_t workers_per_shard = 1;
+    // Per-shard backlog bound; a full deque rejects with kCapacity.
+    size_t shard_capacity = 1024;
+    // HVAC_STEAL=0 pins workers to their home shard (measurement aid).
+    bool steal_enabled = true;
+    // Runs once on each worker thread before it serves tasks, with the
+    // worker's home shard index (binds per-reactor buffer arenas).
+    std::function<void(size_t shard)> worker_init;
+  };
+
+  explicit WorkStealingPool(Options options);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  // Enqueues on `shard` (clamped by modulo). Returns kCapacity when
+  // the shard deque is full, kCancelled after shutdown.
+  Status submit(size_t shard, std::function<void()> task);
+
+  // Drains every shard, then joins the workers. Idempotent.
+  void shutdown();
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t num_threads() const { return workers_.size(); }
+  // Tasks submitted to `shard` that were executed by a foreign
+  // worker (counted on the victim shard).
+  uint64_t steals(size_t shard) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+    std::atomic<uint64_t> steals{0};
+  };
+
+  bool try_pop(size_t shard, std::function<void()>* out);
+  void worker_loop(size_t home);
+
+  const Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Sleep/wake plumbing shared by all workers: `pending_` counts
+  // queued tasks across shards so an idle worker knows whether a
+  // steal scan is worth another pass before sleeping.
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> stopping_{false};
   std::vector<std::thread> workers_;
 };
 

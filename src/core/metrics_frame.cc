@@ -71,6 +71,18 @@ void TraceStats::merge(const TraceStats& other) {
   occupancy += other.occupancy;
 }
 
+void ReactorStats::merge(const ReactorStats& other) {
+  if (other.reactors.size() > reactors.size()) {
+    reactors.resize(other.reactors.size());
+  }
+  for (size_t i = 0; i < other.reactors.size(); ++i) {
+    reactors[i].conns += other.reactors[i].conns;
+    reactors[i].requests += other.reactors[i].requests;
+    reactors[i].steals += other.reactors[i].steals;
+    reactors[i].shed += other.reactors[i].shed;
+  }
+}
+
 void MetricsFrame::merge(const MetricsFrame& other) {
   version = version > other.version ? version : other.version;
   cache.hits += other.cache.hits;
@@ -88,6 +100,7 @@ void MetricsFrame::merge(const MetricsFrame& other) {
   zerocopy.merge(other.zerocopy);
   meta_cache.merge(other.meta_cache);
   trace.merge(other.trace);
+  reactor.merge(other.reactor);
   for (const auto& [op, snap] : other.op_latency) {
     op_latency[op].merge(snap);
   }
@@ -107,7 +120,7 @@ Bytes MetricsFrame::encode() const {
 
   w.put_u32(kMetricsFrameMagic);
   w.put_u16(kFrameVersion);
-  w.put_u16(8);  // section count
+  w.put_u16(9);  // section count
 
   {
     WireWriter s;
@@ -197,6 +210,19 @@ Bytes MetricsFrame::encode() const {
     w.put_u16(kSectionTrace);
     w.put_blob(s.bytes().data(), s.bytes().size());
   }
+  {
+    WireWriter s;
+    s.put_u16(static_cast<uint16_t>(reactor.reactors.size()));
+    s.put_u16(4);  // u64 words per reactor row
+    for (const auto& pr : reactor.reactors) {
+      s.put_u64(pr.conns);
+      s.put_u64(pr.requests);
+      s.put_u64(pr.steals);
+      s.put_u64(pr.shed);
+    }
+    w.put_u16(kSectionReactors);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
   return std::move(w).take();
 }
 
@@ -235,6 +261,22 @@ void decode_latency(WireReader& r,
       snap.buckets[slot] += *v;
     }
     (*out)[*op].merge(snap);
+  }
+}
+
+void decode_reactors(WireReader& r, ReactorStats* out) {
+  auto count = r.get_u16();
+  auto words = r.get_u16();
+  if (!count.ok() || !words.ok()) return;
+  for (uint16_t i = 0; i < *count; ++i) {
+    ReactorStats::PerReactor pr;
+    uint64_t* fields[] = {&pr.conns, &pr.requests, &pr.steals, &pr.shed};
+    for (uint16_t w = 0; w < *words; ++w) {
+      auto v = r.get_u64();
+      if (!v.ok()) return;
+      if (w < 4) *fields[w] = *v;  // newer rows: extra words ignored
+    }
+    out->reactors.push_back(pr);
   }
 }
 
@@ -313,6 +355,9 @@ Result<MetricsFrame> MetricsFrame::decode(const Bytes& bytes) {
         read_u64s(s, {&f.trace.emitted, &f.trace.dropped, &f.trace.rings,
                       &f.trace.ring_capacity, &f.trace.occupancy});
         break;
+      case kSectionReactors:
+        decode_reactors(s, &f.reactor);
+        break;
       default:
         break;  // unknown section: skipped by its length prefix
     }
@@ -389,6 +434,14 @@ std::string MetricsFrame::to_json() const {
     << ",\"dropped\":" << trace.dropped << ",\"rings\":" << trace.rings
     << ",\"ring_capacity\":" << trace.ring_capacity
     << ",\"occupancy\":" << trace.occupancy << "}"
+    << ",\"reactors\":[";
+  for (size_t i = 0; i < reactor.reactors.size(); ++i) {
+    const auto& pr = reactor.reactors[i];
+    if (i != 0) o << ",";
+    o << "{\"conns\":" << pr.conns << ",\"requests\":" << pr.requests
+      << ",\"steals\":" << pr.steals << ",\"shed\":" << pr.shed << "}";
+  }
+  o << "]"
     << ",\"latency_us\":{";
   bool first = true;
   for (const auto& [op, snap] : op_latency) {

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/metrics.h"
@@ -46,6 +47,7 @@ enum MetricsSection : uint16_t {
   kSectionZeroCopy = 6,
   kSectionMetaCache = 7,
   kSectionTrace = 8,
+  kSectionReactors = 9,
 };
 
 struct HandleCacheStats {
@@ -133,6 +135,24 @@ struct TraceStats {
   void merge(const TraceStats& other);
 };
 
+// Per-reactor server counters (rpc/rpc_server.h). Body layout:
+// [u16 reactor_count][u16 words_per_reactor] then reactor_count rows
+// of words_per_reactor u64s — a decoder reads the words it knows and
+// skips the tail of each row, so rows can grow without a new section.
+struct ReactorStats {
+  struct PerReactor {
+    uint64_t conns = 0;
+    uint64_t requests = 0;
+    uint64_t steals = 0;
+    uint64_t shed = 0;
+  };
+  std::vector<PerReactor> reactors;
+
+  // Element-wise by reactor index (instances in one process report
+  // their own reactor sets; index i of each merges into index i).
+  void merge(const ReactorStats& other);
+};
+
 struct MetricsFrame {
   // Decoded frame version: kFrameVersion, or 1 for a legacy payload
   // (sections all zero).
@@ -148,6 +168,7 @@ struct MetricsFrame {
   ZeroCopyStats zerocopy;
   MetaCacheStats meta_cache;
   TraceStats trace;
+  ReactorStats reactor;
   // Keyed by proto::Opcode value; only ops with samples are present.
   std::map<uint16_t, LatencySnapshot> op_latency;
 

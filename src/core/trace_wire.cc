@@ -12,12 +12,24 @@ using rpc::WireReader;
 using rpc::WireWriter;
 
 namespace {
-constexpr uint32_t kSpanDumpVersion = 1;
+constexpr uint32_t kSpanDumpVersion = 2;
+
+uint64_t clock_ns(clockid_t clk) {
+  timespec ts{};
+  ::clock_gettime(clk, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
 }  // namespace
 
 Bytes encode_spans(const std::vector<trace::SpanRecord>& spans) {
   WireWriter w;
   w.put_u32(kSpanDumpVersion);
+  // Clock pair sampled now: both reads back to back, so the skew
+  // between them is bounded by one clock_gettime (tens of ns).
+  w.put_u64(clock_ns(CLOCK_REALTIME));
+  w.put_u64(clock_ns(CLOCK_MONOTONIC));
   w.put_u32(static_cast<uint32_t>(spans.size()));
   for (const auto& s : spans) {
     w.put_u64(s.trace_id);
@@ -34,10 +46,21 @@ Bytes encode_spans(const std::vector<trace::SpanRecord>& spans) {
 }
 
 Result<std::vector<SpanDump>> decode_spans(const Bytes& payload) {
+  return decode_spans(payload, nullptr);
+}
+
+Result<std::vector<SpanDump>> decode_spans(const Bytes& payload,
+                                           SpanDumpClock* clock) {
   WireReader r(payload);
+  if (clock != nullptr) *clock = SpanDumpClock{};
   HVAC_ASSIGN_OR_RETURN(uint32_t version, r.get_u32());
-  if (version != kSpanDumpVersion) {
+  if (version != 1 && version != kSpanDumpVersion) {
     return Error(ErrorCode::kProtocol, "unknown span dump version");
+  }
+  if (version >= 2) {
+    HVAC_ASSIGN_OR_RETURN(uint64_t realtime_ns, r.get_u64());
+    HVAC_ASSIGN_OR_RETURN(uint64_t mono_ns, r.get_u64());
+    if (clock != nullptr) *clock = SpanDumpClock{realtime_ns, mono_ns};
   }
   HVAC_ASSIGN_OR_RETURN(uint32_t count, r.get_u32());
   std::vector<SpanDump> out;
@@ -82,13 +105,25 @@ void append_json_escaped(std::string& out, const std::string& s) {
 }  // namespace
 
 std::string spans_to_chrome_json(
-    const std::vector<std::pair<std::string, std::vector<SpanDump>>>&
-        endpoints) {
+    const std::vector<EndpointSpans>& endpoints) {
+  // Common zero for clock-bearing endpoints: the earliest span across
+  // all of them, rebased onto wall time via each endpoint's
+  // (REALTIME, MONOTONIC) sample pair. v1 endpoints (no sample) keep
+  // a private zero — their spans stay internally consistent but are
+  // not positioned against the others.
+  uint64_t common_zero = UINT64_MAX;
+  for (const auto& ep : endpoints) {
+    if (!ep.clock.valid()) continue;
+    for (const auto& s : ep.spans) {
+      common_zero = std::min(common_zero, s.start_ns + ep.clock.offset_ns());
+    }
+  }
+
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   char buf[256];
   for (size_t pid = 0; pid < endpoints.size(); ++pid) {
-    const auto& [endpoint, spans] = endpoints[pid];
+    const auto& ep = endpoints[pid];
     // Process-name metadata row so chrome://tracing labels each
     // endpoint by its address rather than a bare pid number.
     if (!first) out += ",";
@@ -98,14 +133,24 @@ std::string spans_to_chrome_json(
                   "\"tid\":0,\"args\":{\"name\":\"",
                   pid);
     out += buf;
-    append_json_escaped(out, endpoint);
+    append_json_escaped(out, ep.name);
     out += "\"}}";
-    if (spans.empty()) continue;
+    if (ep.spans.empty()) continue;
+    const bool aligned = ep.clock.valid() && common_zero != UINT64_MAX;
     uint64_t min_start = UINT64_MAX;
-    for (const auto& s : spans) min_start = std::min(min_start, s.start_ns);
-    for (const auto& s : spans) {
+    for (const auto& s : ep.spans) {
+      min_start = std::min(min_start, s.start_ns);
+    }
+    for (const auto& s : ep.spans) {
       out += ",{\"name\":\"";
       append_json_escaped(out, s.name);
+      // ts = (wall - common_zero) when aligned, else (mono -
+      // min_start). Signed 128-bit keeps the subtraction exact even if
+      // a skewed realtime clock puts an endpoint before common zero.
+      const __int128 ts_ns =
+          aligned ? static_cast<__int128>(s.start_ns) +
+                        ep.clock.offset_ns() - common_zero
+                  : static_cast<__int128>(s.start_ns) - min_start;
       // Chrome wants microsecond floats; keep ns precision in the
       // fraction. Ids go in args so spans stay joinable after export.
       std::snprintf(
@@ -113,7 +158,7 @@ std::string spans_to_chrome_json(
           "\",\"cat\":\"hvac\",\"ph\":\"X\",\"pid\":%zu,\"tid\":%u,"
           "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":\"%016" PRIx64
           "\",\"span_id\":%u,\"parent_id\":%u,\"arg\":%" PRIu64 "}}",
-          pid, s.tid, double(s.start_ns - min_start) / 1e3,
+          pid, s.tid, double(static_cast<int64_t>(ts_ns)) / 1e3,
           double(s.dur_ns) / 1e3, s.trace_id, s.span_id, s.parent_id, s.arg);
       out += buf;
     }

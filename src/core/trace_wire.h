@@ -31,18 +31,44 @@ struct SpanDump {
   std::string name;
 };
 
-// Payload: [u32 version=1][u32 count] then per span
-// [u64 trace_id][u64 start_ns][u64 dur_ns][u64 arg]
+// Paired clock sample taken when a dump was encoded: the same instant
+// read on CLOCK_REALTIME and CLOCK_MONOTONIC. Span timestamps are
+// monotonic (per endpoint); the pair lets a reader rebase them onto
+// wall time — wall = start_ns + (realtime_ns - mono_ns) — so dumps
+// from different endpoints land on one common timeline. A v1 dump has
+// no sample (mono_ns == 0 → invalid).
+struct SpanDumpClock {
+  uint64_t realtime_ns = 0;
+  uint64_t mono_ns = 0;
+  bool valid() const { return mono_ns != 0; }
+  uint64_t offset_ns() const { return realtime_ns - mono_ns; }
+};
+
+// Payload v2: [u32 version=2][u64 realtime_ns][u64 mono_ns][u32 count]
+// then per span [u64 trace_id][u64 start_ns][u64 dur_ns][u64 arg]
 // [u32 span_id][u32 parent_id][u32 tid][u32 flags][string name].
+// (v1 had no clock pair between version and count; decode accepts
+// both.) The clock pair is sampled inside encode_spans, so every
+// kTraceDump reply carries the serving endpoint's own sample.
 rpc::Bytes encode_spans(const std::vector<trace::SpanRecord>& spans);
 Result<std::vector<SpanDump>> decode_spans(const rpc::Bytes& payload);
+// As above, also surfacing the dump's clock sample (zeroed for v1).
+Result<std::vector<SpanDump>> decode_spans(const rpc::Bytes& payload,
+                                           SpanDumpClock* clock);
+
+// One endpoint's dump plus its clock sample, for the aligned export.
+struct EndpointSpans {
+  std::string name;
+  std::vector<SpanDump> spans;
+  SpanDumpClock clock;
+};
 
 // Chrome trace-event JSON ("traceEvents" array of "X" duration events,
-// one pid per endpoint, one tid row per emitting thread). Each
-// endpoint's clock is CLOCK_MONOTONIC of its own process; timestamps
-// are shifted so the earliest span of each endpoint sits at 0.
-std::string spans_to_chrome_json(
-    const std::vector<std::pair<std::string, std::vector<SpanDump>>>&
-        endpoints);
+// one pid per endpoint, one tid row per emitting thread). Endpoints
+// with a clock sample are rebased onto wall time and share one common
+// t=0 (the earliest aligned span across all of them); endpoints
+// without one (v1 peers) fall back to a private t=0 at their own
+// earliest span.
+std::string spans_to_chrome_json(const std::vector<EndpointSpans>& endpoints);
 
 }  // namespace hvac::core

@@ -1,5 +1,6 @@
 #include "rpc/rpc_server.h"
 
+#include <fcntl.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -9,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/buffer_pool.h"
 #include "common/env.h"
 #include "common/log.h"
 #include "common/trace.h"
@@ -16,12 +18,41 @@
 
 namespace hvac::rpc {
 
-// Per-connection read state machine. Reads run only on the progress
-// thread; writes run on handler threads under write_mutex.
+// One reactor: an epoll loop thread that owns a listener shard and
+// every connection it accepted. All read-side state for a connection
+// is touched only by its owning reactor thread; response writes (from
+// pool workers or the reactor itself) serialize on the connection
+// write lock — the only cross-thread synchronization on the data
+// path.
+struct RpcServer::Reactor {
+  uint32_t id = 0;
+  Fd listen_fd;  // TCP: SO_REUSEPORT shard; unix: reactor 0 only
+  Fd epoll_fd;
+  Fd wake_fd;  // eventfd: stop/drain signal + fd-handoff doorbell
+  std::thread thread;
+
+  std::mutex conns_mutex;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+
+  // Unix-socket fallback: reactor 0 accepts and hands raw fds here;
+  // the owner adopts them on its next wake.
+  std::mutex intake_mutex;
+  std::vector<int> intake;
+
+  std::atomic<uint64_t> conns_accepted{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> shed{0};
+};
+
+// Per-connection read state machine. Reads run only on the owning
+// reactor thread; writes run on pool workers (or the reactor, for
+// inline handlers) under write_mutex.
 struct RpcServer::Connection {
-  explicit Connection(Fd socket) : fd(std::move(socket)) {}
+  Connection(Fd socket, Reactor* owner) : fd(std::move(socket)),
+                                          reactor(owner) {}
 
   Fd fd;
+  Reactor* reactor;  // owning reactor (per-reactor accounting)
   std::mutex write_mutex;
   // Scratch pipe for the splice rung, created lazily on the first
   // extent-bearing response and reused for the connection's lifetime
@@ -81,71 +112,159 @@ RpcServer::RpcServer(RpcServerOptions options)
 
 RpcServer::~RpcServer() { stop(); }
 
-void RpcServer::register_handler(uint16_t opcode, Handler handler) {
+void RpcServer::register_handler(uint16_t opcode, Handler handler,
+                                 DispatchHint hint) {
   // Adapt onto the payload-handler map: a plain Bytes result becomes
   // an owned payload, so the dispatch path is uniform.
-  handlers_[opcode] = [handler = std::move(handler)](
-                          const Bytes& request) -> Result<Payload> {
-    Result<Bytes> result = handler(request);
-    if (!result.ok()) return result.error();
-    return Payload(std::move(result).value());
-  };
+  register_payload_handler(
+      opcode,
+      [handler = std::move(handler)](const Bytes& request) -> Result<Payload> {
+        Result<Bytes> result = handler(request);
+        if (!result.ok()) return result.error();
+        return Payload(std::move(result).value());
+      },
+      hint);
 }
 
 void RpcServer::register_payload_handler(uint16_t opcode,
-                                         PayloadHandler handler) {
-  handlers_[opcode] = std::move(handler);
+                                         PayloadHandler handler,
+                                         DispatchHint hint) {
+  handlers_[opcode] = HandlerEntry{std::move(handler), hint};
 }
 
-Status RpcServer::start() {
-  HVAC_ASSIGN_OR_RETURN(listen_fd_,
-                        listen_on(Endpoint{options_.bind_address}, &bound_));
-  HVAC_RETURN_IF_ERROR(set_nonblocking(listen_fd_.get(), true));
+size_t RpcServer::resolve_reactor_count() const {
+  size_t count = options_.reactors;
+  if (count == 0) {
+    const int64_t env = env_int_or("HVAC_REACTORS", 0);
+    if (env > 0) {
+      count = static_cast<size_t>(env);
+    } else {
+      const unsigned cores = std::thread::hardware_concurrency();
+      count = std::min<size_t>(cores == 0 ? 1 : cores, 8);
+    }
+  }
+  return std::clamp<size_t>(count, 1, 64);
+}
 
-  const int efd = ::epoll_create1(0);
+Status RpcServer::setup_reactor(Reactor& r, bool with_listener) {
+  if (with_listener) {
+    HVAC_RETURN_IF_ERROR(set_nonblocking(r.listen_fd.get(), true));
+  }
+  const int efd = ::epoll_create1(EPOLL_CLOEXEC);
   if (efd < 0) return Error::from_errno(errno, "epoll_create1");
-  epoll_fd_ = Fd(efd);
+  r.epoll_fd = Fd(efd);
 
-  const int wfd = ::eventfd(0, EFD_NONBLOCK);
+  const int wfd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (wfd < 0) return Error::from_errno(errno, "eventfd");
-  wake_fd_ = Fd(wfd);
+  r.wake_fd = Fd(wfd);
 
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_.get();
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) !=
-      0) {
-    return Error::from_errno(errno, "epoll_ctl(listen)");
+  if (with_listener) {
+    ev.data.fd = r.listen_fd.get();
+    if (::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_ADD, r.listen_fd.get(),
+                    &ev) != 0) {
+      return Error::from_errno(errno, "epoll_ctl(listen)");
+    }
   }
-  ev.data.fd = wake_fd_.get();
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
+  ev.data.fd = r.wake_fd.get();
+  if (::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_ADD, r.wake_fd.get(), &ev) !=
+      0) {
     return Error::from_errno(errno, "epoll_ctl(wake)");
+  }
+  return Status::Ok();
+}
+
+Status RpcServer::start() {
+  const size_t count = resolve_reactor_count();
+  const Endpoint requested{options_.bind_address};
+  reactors_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->id = static_cast<uint32_t>(i);
+    reactors_.push_back(std::move(r));
+  }
+
+  if (requested.is_unix()) {
+    // One listener on reactor 0; accepted fds are round-robined to
+    // the other reactors over their intake queues (SO_REUSEPORT does
+    // not shard unix stream sockets usefully).
+    HVAC_ASSIGN_OR_RETURN(reactors_[0]->listen_fd,
+                          listen_on(requested, &bound_));
+  } else {
+    // TCP: every reactor binds the same port with SO_REUSEPORT; the
+    // kernel shards incoming connections across the listeners. The
+    // first bind resolves port 0, the rest join the learned port.
+    HVAC_ASSIGN_OR_RETURN(
+        reactors_[0]->listen_fd,
+        listen_on(requested, &bound_, /*reuseport=*/count > 1));
+    for (size_t i = 1; i < count; ++i) {
+      HVAC_ASSIGN_OR_RETURN(reactors_[i]->listen_fd,
+                            listen_on(bound_, nullptr, /*reuseport=*/true));
+    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const bool with_listener = reactors_[i]->listen_fd.valid();
+    HVAC_RETURN_IF_ERROR(setup_reactor(*reactors_[i], with_listener));
   }
 
   zerocopy_mode_ = resolve_zerocopy_mode();
-  pool_ = std::make_unique<ThreadPool>(options_.handler_threads);
+
+  WorkStealingPool::Options pool_options;
+  pool_options.shards = count;
+  pool_options.workers_per_shard =
+      std::max<size_t>(1, (options_.handler_threads + count - 1) / count);
+  pool_options.steal_enabled = env_bool_or("HVAC_STEAL", true);
+  if (count > 1) {
+    // Workers recycle response buffers through their home reactor's
+    // arena, matching the reactor threads, so hit-path buffers never
+    // bounce between per-core free lists.
+    pool_options.worker_init = [](size_t shard) {
+      BufferPool::set_thread_arena(&BufferPool::arena(shard));
+    };
+  }
+  pool_ = std::make_unique<WorkStealingPool>(pool_options);
+
   running_.store(true, std::memory_order_release);
-  progress_ = std::thread([this] { progress_loop(); });
+  for (auto& r : reactors_) {
+    Reactor* rp = r.get();
+    rp->thread = std::thread([this, rp] { reactor_loop(*rp); });
+  }
   HVAC_LOG_INFO("rpc server listening on "
-                << bound_.address << " (zerocopy="
+                << bound_.address << " (reactors=" << count << ", zerocopy="
                 << zerocopy_mode_name(zerocopy_mode_) << ")");
   return Status::Ok();
 }
 
+void RpcServer::wake(Reactor& r) {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(r.wake_fd.get(), &one, sizeof(one));
+}
+
 void RpcServer::stop() {
-  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  const bool was_running =
+      running_.exchange(false, std::memory_order_acq_rel);
   if (was_running) {
-    // Wake the progress thread out of epoll_wait.
-    uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+    for (auto& r : reactors_) wake(*r);
   }
-  if (progress_.joinable()) progress_.join();
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  // Pool tasks may still reference connections/reactors: drain the
+  // workers before tearing either down.
   if (pool_) pool_->shutdown();
-  {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    conns_.clear();
+  for (auto& r : reactors_) {
+    {
+      std::lock_guard<std::mutex> lock(r->intake_mutex);
+      for (int fd : r->intake) ::close(fd);
+      r->intake.clear();
+    }
+    {
+      std::lock_guard<std::mutex> lock(r->conns_mutex);
+      r->conns.clear();
+    }
+    r->listen_fd.reset();
   }
-  listen_fd_.reset();
   if (bound_.is_unix()) ::unlink(bound_.unix_path().c_str());
 }
 
@@ -154,10 +273,9 @@ void RpcServer::drain(int timeout_ms) {
   if (!draining_.exchange(true, std::memory_order_acq_rel)) {
     ResilienceCounters::global().drains.fetch_add(1,
                                                   std::memory_order_relaxed);
-    // The progress thread owns the listen socket; wake it so it
-    // deregisters and closes the listener (no new connections).
-    uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+    // Each reactor owns its listener; wake them all so every one
+    // deregisters and closes its shard (no new connections anywhere).
+    for (auto& r : reactors_) wake(*r);
   }
   const int64_t deadline = steady_now_ms() + std::max(timeout_ms, 0);
   while (inflight_.load(std::memory_order_acquire) > 0 &&
@@ -167,18 +285,60 @@ void RpcServer::drain(int timeout_ms) {
   }
 }
 
-void RpcServer::progress_loop() {
+std::vector<RpcServer::ReactorStats> RpcServer::reactor_stats() const {
+  std::vector<ReactorStats> out;
+  out.reserve(reactors_.size());
+  for (const auto& r : reactors_) {
+    ReactorStats s;
+    s.conns = r->conns_accepted.load(std::memory_order_relaxed);
+    s.requests = r->requests.load(std::memory_order_relaxed);
+    s.steals = pool_ ? pool_->steals(r->id) : 0;
+    s.shed = r->shed.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void RpcServer::adopt_connection(Reactor& r, int cfd) {
+  set_nodelay(cfd);
+  auto conn = std::make_shared<Connection>(Fd(cfd), &r);
+  {
+    std::lock_guard<std::mutex> lock(r.conns_mutex);
+    r.conns[cfd] = conn;
+  }
+  epoll_event cev{};
+  cev.events = EPOLLIN;
+  cev.data.fd = cfd;
+  if (::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_ADD, cfd, &cev) != 0) {
+    // Registration failed: without it the connection would sit in
+    // conns forever, invisible to the loop. Drop it now.
+    HVAC_LOG_WARN("epoll_ctl(add conn): " << std::strerror(errno));
+    std::lock_guard<std::mutex> lock(r.conns_mutex);
+    r.conns.erase(cfd);
+    return;
+  }
+  r.conns_accepted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RpcServer::reactor_loop(Reactor& r) {
+  const size_t count = reactors_.size();
+  if (count > 1) {
+    // Reactor-private buffer arena: inline handlers allocate and
+    // recycle through it without touching the global pool's mutex.
+    BufferPool::set_thread_arena(&BufferPool::arena(r.id));
+  }
+  const bool unix_handoff = bound_.is_unix() && count > 1;
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (running_.load(std::memory_order_acquire)) {
-    if (draining_.load(std::memory_order_acquire) && listen_fd_.valid()) {
+    if (draining_.load(std::memory_order_acquire) && r.listen_fd.valid()) {
       // Drain: stop accepting. Deregister + close here (the thread
       // that polls the fd) so no event for it can be in flight.
-      ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(),
+      ::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_DEL, r.listen_fd.get(),
                   nullptr);
-      listen_fd_.reset();
+      r.listen_fd.reset();
     }
-    const int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, 500);
+    const int n = ::epoll_wait(r.epoll_fd.get(), events, kMaxEvents, 500);
     if (n < 0) {
       if (errno == EINTR) continue;
       HVAC_LOG_ERROR("epoll_wait: " << std::strerror(errno));
@@ -186,52 +346,68 @@ void RpcServer::progress_loop() {
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == wake_fd_.get()) {
+      if (fd == r.wake_fd.get()) {
         // Drain the eventfd counter so it does not stay readable and
         // spin the loop; stop() still breaks the loop via running_.
-        uint64_t count = 0;
-        [[maybe_unused]] ssize_t r =
-            ::read(wake_fd_.get(), &count, sizeof(count));
+        uint64_t wcount = 0;
+        [[maybe_unused]] ssize_t wr =
+            ::read(r.wake_fd.get(), &wcount, sizeof(wcount));
+        // Adopt any connections handed off by reactor 0 (unix mode).
+        std::vector<int> handed;
+        {
+          std::lock_guard<std::mutex> lock(r.intake_mutex);
+          handed.swap(r.intake);
+        }
+        for (int cfd : handed) {
+          if (draining_.load(std::memory_order_acquire)) {
+            ::close(cfd);
+            continue;
+          }
+          adopt_connection(r, cfd);
+        }
         continue;
       }
-      if (listen_fd_.valid() && fd == listen_fd_.get()) {
+      if (r.listen_fd.valid() && fd == r.listen_fd.get()) {
         for (;;) {
-          const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
+          const int cfd = ::accept4(r.listen_fd.get(), nullptr, nullptr,
+                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
           if (cfd < 0) {
             if (errno == EINTR) continue;  // signal, not "done accepting"
             break;  // EAGAIN or error: done accepting
           }
-          set_nodelay(cfd);
-          auto conn = std::make_shared<Connection>(Fd(cfd));
-          {
-            std::lock_guard<std::mutex> lock(conns_mutex_);
-            conns_[cfd] = conn;
+          if (unix_handoff) {
+            // Round-robin accepted unix connections across reactors;
+            // remote ones travel as raw fds through the intake queue.
+            const size_t target =
+                next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+                count;
+            if (target != r.id) {
+              Reactor& owner = *reactors_[target];
+              {
+                std::lock_guard<std::mutex> lock(owner.intake_mutex);
+                owner.intake.push_back(cfd);
+              }
+              wake(owner);
+              continue;
+            }
           }
-          epoll_event cev{};
-          cev.events = EPOLLIN;
-          cev.data.fd = cfd;
-          if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, cfd, &cev) != 0) {
-            // Registration failed: without it the connection would sit
-            // in conns_ forever, invisible to the loop. Drop it now.
-            HVAC_LOG_WARN("epoll_ctl(add conn): " << std::strerror(errno));
-            std::lock_guard<std::mutex> lock(conns_mutex_);
-            conns_.erase(cfd);
-          }
+          adopt_connection(r, cfd);
         }
         continue;
       }
       std::shared_ptr<Connection> conn;
       {
-        std::lock_guard<std::mutex> lock(conns_mutex_);
-        auto it = conns_.find(fd);
-        if (it != conns_.end()) conn = it->second;
+        std::lock_guard<std::mutex> lock(r.conns_mutex);
+        auto it = r.conns.find(fd);
+        if (it != r.conns.end()) conn = it->second;
       }
-      if (conn) handle_readable(conn);
+      if (conn) handle_readable(r, conn);
     }
   }
 }
 
-void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
+void RpcServer::handle_readable(Reactor& r,
+                                const std::shared_ptr<Connection>& conn) {
   // Drain everything available without blocking; a single readable
   // event may carry several pipelined requests.
   for (;;) {
@@ -240,12 +416,12 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
           ::recv(conn->fd.get(), conn->header_buf + conn->header_got,
                  kHeaderSize - conn->header_got, MSG_DONTWAIT);
       if (n == 0) {
-        drop_connection(conn->fd.get());
+        drop_connection(r, conn->fd.get());
         return;
       }
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-        drop_connection(conn->fd.get());
+        drop_connection(r, conn->fd.get());
         return;
       }
       conn->header_got += static_cast<size_t>(n);
@@ -253,7 +429,7 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
       auto header = decode_header(conn->header_buf, kHeaderSize);
       if (!header.ok()) {
         HVAC_LOG_WARN("dropping connection: " << header.error().to_string());
-        drop_connection(conn->fd.get());
+        drop_connection(r, conn->fd.get());
         return;
       }
       if (header->payload_len > options_.max_frame_bytes) {
@@ -262,7 +438,7 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
         HVAC_LOG_WARN("dropping connection: frame of "
                       << header->payload_len << " bytes exceeds bound "
                       << options_.max_frame_bytes);
-        drop_connection(conn->fd.get());
+        drop_connection(r, conn->fd.get());
         return;
       }
       conn->header = *header;
@@ -288,12 +464,12 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
           ::recv(conn->fd.get(), conn->trace_buf + conn->trace_got,
                  kTraceContextSize - conn->trace_got, MSG_DONTWAIT);
       if (n == 0) {
-        drop_connection(conn->fd.get());
+        drop_connection(r, conn->fd.get());
         return;
       }
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-        drop_connection(conn->fd.get());
+        drop_connection(r, conn->fd.get());
         return;
       }
       conn->trace_got += static_cast<size_t>(n);
@@ -301,7 +477,7 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
       if (!decode_trace_context(conn->header, conn->trace_buf,
                                 kTraceContextSize)
                .ok()) {
-        drop_connection(conn->fd.get());
+        drop_connection(r, conn->fd.get());
         return;
       }
       conn->in_trace = false;
@@ -321,12 +497,12 @@ void RpcServer::handle_readable(const std::shared_ptr<Connection>& conn) {
         ::recv(conn->fd.get(), conn->payload.data() + conn->payload_got,
                want, MSG_DONTWAIT);
     if (n == 0) {
-      drop_connection(conn->fd.get());
+      drop_connection(r, conn->fd.get());
       return;
     }
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      drop_connection(conn->fd.get());
+      drop_connection(r, conn->fd.get());
       return;
     }
     conn->payload_got += static_cast<size_t>(n);
@@ -343,6 +519,7 @@ void RpcServer::shed_request(const std::shared_ptr<Connection>& conn,
                              const FrameHeader& header,
                              const std::string& reason) {
   requests_shed_.fetch_add(1, std::memory_order_relaxed);
+  conn->reactor->shed.fetch_add(1, std::memory_order_relaxed);
   ResilienceCounters::global().server_shed.fetch_add(
       1, std::memory_order_relaxed);
   FrameHeader resp;
@@ -392,7 +569,7 @@ Status RpcServer::write_response(const std::shared_ptr<Connection>& conn,
   ZeroCopyMode mode = zerocopy_mode_;
   if (mode == ZeroCopyMode::kSplice && !conn->pipe_rd.valid()) {
     int pfd[2] = {-1, -1};
-    if (::pipe(pfd) == 0) {
+    if (::pipe2(pfd, O_CLOEXEC) == 0) {
       conn->pipe_rd = Fd(pfd[0]);
       conn->pipe_wr = Fd(pfd[1]);
     } else {
@@ -465,6 +642,67 @@ Status RpcServer::write_response(const std::shared_ptr<Connection>& conn,
   return Status::Ok();
 }
 
+void RpcServer::run_request(const std::shared_ptr<Connection>& conn,
+                            const FrameHeader& header, const Bytes& payload,
+                            uint64_t enqueue_ns) {
+  const uint32_t reactor_id = conn->reactor->id;
+  // Adopt the caller's context (no-op for untraced frames), make the
+  // pool wait visible as its own span — zero-length for inline
+  // dispatch, where the handler runs on the reactor with no queue —
+  // then wrap the handler + send. Both spans carry the reactor id so
+  // a timeline groups by core: server.queue's arg is the id itself,
+  // server.dispatch packs it above the opcode.
+  trace::ScopedContext adopt(header.trace);
+  if (enqueue_ns != 0 && header.has_trace) {
+    trace::emit("server.queue", enqueue_ns, trace::now_ns(), reactor_id);
+  }
+  trace::Span dspan("server.dispatch",
+                    (static_cast<uint64_t>(reactor_id) << 32) |
+                        header.opcode);
+  Result<Payload> result = [&]() -> Result<Payload> {
+    auto it = handlers_.find(header.opcode);
+    if (it == handlers_.end()) {
+      return Error(ErrorCode::kUnimplemented,
+                   "no handler for opcode " + std::to_string(header.opcode));
+    }
+    return it->second.fn(payload);
+  }();
+
+  FrameHeader resp;
+  resp.request_id = header.request_id;
+  resp.opcode = header.opcode;
+  resp.kind = FrameKind::kResponse;
+  Payload body;
+  if (result.ok()) {
+    resp.status = ErrorCode::kOk;
+    body = std::move(result).value();
+  } else {
+    resp.status = result.error().code;
+    WireWriter w;
+    w.put_string(result.error().message);
+    body = Payload(std::move(w).take());
+  }
+  resp.payload_len = static_cast<uint32_t>(body.total_size());
+
+  // Count before the write so a client that has already seen the
+  // response also sees the counter (tests rely on this ordering).
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  conn->reactor->requests.fetch_add(1, std::memory_order_relaxed);
+  if (Status ws = write_response(conn, resp, body); !ws.ok()) {
+    // The header may already be on the wire with the payload short:
+    // nothing valid can follow, so shut the socket down and let the
+    // owning reactor reap the connection (it owns drop_connection).
+    HVAC_LOG_DEBUG("response write failed: " << ws.error().to_string());
+    ::shutdown(conn->fd.get(), SHUT_RDWR);
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    ResilienceCounters::global().drained_requests.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
 void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
                          FrameHeader header, Bytes payload) {
   if (header.kind != FrameKind::kRequest) {
@@ -488,68 +726,40 @@ void RpcServer::dispatch(const std::shared_ptr<Connection>& conn,
   conn->inflight.fetch_add(1, std::memory_order_relaxed);
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   const uint64_t enqueue_ns = trace::enabled() ? trace::now_ns() : 0;
+
+  auto hint = DispatchHint::kPooled;
+  if (auto it = handlers_.find(header.opcode); it != handlers_.end()) {
+    hint = it->second.hint;
+  }
+  if (hint == DispatchHint::kInline) {
+    // Fast path: run on the owning reactor, no queue, no wake, no
+    // cross-core handoff. The handler promised not to block.
+    run_request(conn, header, payload, enqueue_ns);
+    return;
+  }
+
   auto work = [this, conn, header, enqueue_ns,
-               payload = std::move(payload)]() mutable {
-    // Adopt the caller's context (no-op for untraced frames), make the
-    // pool wait visible as its own span, then wrap the handler + send.
-    trace::ScopedContext adopt(header.trace);
-    if (enqueue_ns != 0 && header.has_trace) {
-      trace::emit("server.queue", enqueue_ns, trace::now_ns());
-    }
-    trace::Span dspan("server.dispatch", header.opcode);
-    Result<Payload> result = [&]() -> Result<Payload> {
-      auto it = handlers_.find(header.opcode);
-      if (it == handlers_.end()) {
-        return Error(ErrorCode::kUnimplemented,
-                     "no handler for opcode " + std::to_string(header.opcode));
-      }
-      return it->second(payload);
-    }();
-
-    FrameHeader resp;
-    resp.request_id = header.request_id;
-    resp.opcode = header.opcode;
-    resp.kind = FrameKind::kResponse;
-    Payload body;
-    if (result.ok()) {
-      resp.status = ErrorCode::kOk;
-      body = std::move(result).value();
-    } else {
-      resp.status = result.error().code;
-      WireWriter w;
-      w.put_string(result.error().message);
-      body = Payload(std::move(w).take());
-    }
-    resp.payload_len = static_cast<uint32_t>(body.total_size());
-
-    // Count before the write so a client that has already seen the
-    // response also sees the counter (tests rely on this ordering).
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (Status ws = write_response(conn, resp, body); !ws.ok()) {
-      // The header may already be on the wire with the payload short:
-      // nothing valid can follow, so shut the socket down and let the
-      // progress thread reap the connection (it owns drop_connection).
-      HVAC_LOG_DEBUG("response write failed: " << ws.error().to_string());
-      ::shutdown(conn->fd.get(), SHUT_RDWR);
-    }
-    if (draining_.load(std::memory_order_acquire)) {
-      ResilienceCounters::global().drained_requests.fetch_add(
-          1, std::memory_order_relaxed);
-    }
-    conn->inflight.fetch_sub(1, std::memory_order_relaxed);
-    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+               payload = std::move(payload)]() {
+    run_request(conn, header, payload, enqueue_ns);
   };
-  if (!pool_->submit(std::move(work)).ok()) {
-    HVAC_LOG_DEBUG("dropping request during shutdown");
+  if (Status s = pool_->submit(conn->reactor->id, std::move(work)); !s.ok()) {
     conn->inflight.fetch_sub(1, std::memory_order_relaxed);
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (s.error().code == ErrorCode::kCapacity) {
+      // Shard (and steal victims) saturated: shed with retry_after
+      // instead of queueing unboundedly — same contract as the
+      // per-connection cap.
+      shed_request(conn, header, "dispatch queue full");
+    } else {
+      HVAC_LOG_DEBUG("dropping request during shutdown");
+    }
   }
 }
 
-void RpcServer::drop_connection(int fd) {
-  std::lock_guard<std::mutex> lock(conns_mutex_);
-  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
-  conns_.erase(fd);  // Connection destructor closes the socket
+void RpcServer::drop_connection(Reactor& r, int fd) {
+  std::lock_guard<std::mutex> lock(r.conns_mutex);
+  ::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_DEL, fd, nullptr);
+  r.conns.erase(fd);  // Connection destructor closes the socket
 }
 
 }  // namespace hvac::rpc

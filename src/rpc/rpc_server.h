@@ -1,8 +1,11 @@
-// RPC server: an epoll progress loop (one thread) feeding a handler
-// thread pool — the same progress-thread + handler split Mercury uses
-// in the original HVAC server. Connections are read with a
-// per-connection state machine; responses are written back from
-// handler threads under a per-connection write lock.
+// RPC server: N sharded reactors, each owning an epoll loop, a
+// listener shard (SO_REUSEPORT for TCP; fd handoff from reactor 0 for
+// unix sockets) and the connections it accepted — the multi-instance
+// trick the HVAC paper uses to widen one Mercury progress loop,
+// folded into a single process. Frame decode and fast handlers run on
+// the owning reactor with no cross-reactor locks; mover-bound
+// handlers are queued on a work-stealing pool shard so an idle
+// reactor's workers can steal backlog from a busy one.
 #pragma once
 
 #include <atomic>
@@ -12,6 +15,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -31,13 +35,22 @@ using Handler = std::function<Result<Bytes>(const Bytes& request)>;
 // pool afterwards.
 using PayloadHandler = std::function<Result<Payload>(const Bytes& request)>;
 
+// Where a handler runs. kPooled (default) queues on the work-stealing
+// pool shard of the owning reactor — right for mover-bound or
+// blocking handlers. kInline runs on the reactor thread itself: zero
+// queue/wake cost for fast hit-path handlers (ping, cached reads) at
+// the price of stalling that reactor's other connections for the
+// handler's duration — only mark handlers that never block on
+// anything slower than local NVMe.
+enum class DispatchHint : uint8_t { kPooled = 0, kInline };
+
 struct RpcServerOptions {
   // Bind address: "127.0.0.1:0" for an ephemeral TCP port, or
   // "unix:/tmp/x.sock".
   std::string bind_address = "127.0.0.1:0";
-  // Handler pool width. The paper runs i server instances per node to
-  // widen this; we additionally allow multiple handler threads per
-  // instance.
+  // Handler pool width (total across all reactors). The paper runs i
+  // server instances per node to widen this; we additionally allow
+  // multiple handler threads per instance.
   size_t handler_threads = 2;
   // Hard bound on request payload size. A header announcing more than
   // this is treated as hostile/corrupt: the frame is rejected before
@@ -51,10 +64,22 @@ struct RpcServerOptions {
   uint32_t max_inflight_per_conn = 256;
   // retry_after hint (ms) carried in shed responses.
   uint32_t shed_retry_after_ms = 50;
+  // Reactor count. 0 = auto: HVAC_REACTORS if set, else
+  // min(hardware cores, 8). Each reactor owns an epoll fd, a listener
+  // shard and a private buffer-pool arena.
+  size_t reactors = 0;
 };
 
 class RpcServer {
  public:
+  // Per-reactor counters exposed to the metrics frame (section 9).
+  struct ReactorStats {
+    uint64_t conns = 0;     // connections accepted by this reactor
+    uint64_t requests = 0;  // requests served for its connections
+    uint64_t steals = 0;    // its queued tasks run by foreign workers
+    uint64_t shed = 0;      // requests shed on its connections
+  };
+
   explicit RpcServer(RpcServerOptions options);
   ~RpcServer();
 
@@ -62,22 +87,25 @@ class RpcServer {
   RpcServer& operator=(const RpcServer&) = delete;
 
   // Registers a handler for `opcode`. Must be called before start().
-  void register_handler(uint16_t opcode, Handler handler);
+  void register_handler(uint16_t opcode, Handler handler,
+                        DispatchHint hint = DispatchHint::kPooled);
 
   // Registers a zero-copy handler (see PayloadHandler above).
-  void register_payload_handler(uint16_t opcode, PayloadHandler handler);
+  void register_payload_handler(uint16_t opcode, PayloadHandler handler,
+                                DispatchHint hint = DispatchHint::kPooled);
 
-  // Binds, listens and spawns the progress thread.
+  // Binds the listener shards and spawns the reactor threads.
   Status start();
 
   // Stops accepting, closes connections and joins threads. Idempotent.
   void stop();
 
-  // Graceful drain (SIGTERM path): stop accepting new connections,
-  // shed requests that arrive after the call, and wait (bounded by
-  // `timeout_ms`) for in-flight responses to be written. The server
-  // keeps serving reads of already-buffered frames as sheds, so
-  // clients get an answer, not a hang. Call stop() afterwards.
+  // Graceful drain (SIGTERM path): every reactor stops accepting new
+  // connections, sheds requests that arrive after the call, and this
+  // waits (bounded by `timeout_ms`) for in-flight responses on all
+  // reactors to be written. The reactors keep serving reads of
+  // already-buffered frames as sheds, so clients get an answer, not a
+  // hang. Call stop() afterwards.
   void drain(int timeout_ms = 5000);
 
   bool draining() const {
@@ -92,7 +120,7 @@ class RpcServer {
   // return file extents or stage bytes through the buffer pool.
   ZeroCopyMode zerocopy_mode() const { return zerocopy_mode_; }
 
-  // Observability for tests.
+  // Observability for tests and the metrics frame.
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
@@ -102,43 +130,53 @@ class RpcServer {
   uint64_t inflight() const {
     return inflight_.load(std::memory_order_relaxed);
   }
+  size_t reactor_count() const { return reactors_.size(); }
+  std::vector<ReactorStats> reactor_stats() const;
 
  private:
   struct Connection;
+  struct Reactor;
+  struct HandlerEntry {
+    PayloadHandler fn;
+    DispatchHint hint = DispatchHint::kPooled;
+  };
 
-  void progress_loop();
-  void handle_readable(const std::shared_ptr<Connection>& conn);
+  size_t resolve_reactor_count() const;
+  Status setup_reactor(Reactor& r, bool with_listener);
+  void reactor_loop(Reactor& r);
+  void wake(Reactor& r);
+  void adopt_connection(Reactor& r, int cfd);
+  void handle_readable(Reactor& r, const std::shared_ptr<Connection>& conn);
   void dispatch(const std::shared_ptr<Connection>& conn, FrameHeader header,
                 Bytes payload);
+  void run_request(const std::shared_ptr<Connection>& conn,
+                   const FrameHeader& header, const Bytes& payload,
+                   uint64_t enqueue_ns);
   // Writes one response frame (header + memory head + extents) under
   // the connection write lock, choosing the zero-copy rung for extent
   // bytes. A failure after the header bytes hit the wire leaves the
   // stream mid-frame: the caller must shut the connection down.
   Status write_response(const std::shared_ptr<Connection>& conn,
                         FrameHeader resp, const Payload& body);
-  void drop_connection(int fd);
+  void drop_connection(Reactor& r, int fd);
   // Writes a status-only error frame for `header` (shed/backpressure
-  // path — runs on the progress thread, before any pool submit).
+  // path — runs on the owning reactor, before any pool submit).
   void shed_request(const std::shared_ptr<Connection>& conn,
                     const FrameHeader& header, const std::string& reason);
 
   RpcServerOptions options_;
-  std::unordered_map<uint16_t, PayloadHandler> handlers_;
+  std::unordered_map<uint16_t, HandlerEntry> handlers_;
   Endpoint bound_;
-  Fd listen_fd_;
-  Fd epoll_fd_;
-  Fd wake_fd_;  // eventfd used to interrupt epoll_wait on stop()
-  std::unique_ptr<ThreadPool> pool_;
-  std::thread progress_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::unique_ptr<WorkStealingPool> pool_;
   ZeroCopyMode zerocopy_mode_ = ZeroCopyMode::kOff;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> requests_shed_{0};
   std::atomic<uint64_t> inflight_{0};
-
-  std::mutex conns_mutex_;
-  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  // Round-robin cursor for unix-socket fd handoff (reactor 0 accepts).
+  std::atomic<uint64_t> next_reactor_{0};
 };
 
 }  // namespace hvac::rpc

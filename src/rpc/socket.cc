@@ -49,14 +49,17 @@ Result<std::pair<std::string, uint16_t>> Endpoint::host_port() const {
 
 namespace {
 
+// SOCK_CLOEXEC everywhere: the intercept shim fork/execs unmodified
+// target binaries, and an inherited listener or connection fd in the
+// child would hold ports open (and confuse epoll) past server exit.
 Result<Fd> make_tcp_socket() {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Error::from_errno(errno, "socket(AF_INET)");
   return Fd(fd);
 }
 
 Result<Fd> make_unix_socket() {
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Error::from_errno(errno, "socket(AF_UNIX)");
   return Fd(fd);
 }
@@ -94,7 +97,8 @@ Result<sockaddr_un> unix_addr(const Endpoint& endpoint) {
 
 }  // namespace
 
-Result<Fd> listen_on(const Endpoint& endpoint, Endpoint* bound_endpoint) {
+Result<Fd> listen_on(const Endpoint& endpoint, Endpoint* bound_endpoint,
+                     bool reuseport) {
   if (endpoint.is_unix()) {
     HVAC_ASSIGN_OR_RETURN(Fd fd, make_unix_socket());
     HVAC_ASSIGN_OR_RETURN(sockaddr_un addr, unix_addr(endpoint));
@@ -113,6 +117,11 @@ Result<Fd> listen_on(const Endpoint& endpoint, Endpoint* bound_endpoint) {
   HVAC_ASSIGN_OR_RETURN(Fd fd, make_tcp_socket());
   int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+          0) {
+    return Error::from_errno(errno, "setsockopt(SO_REUSEPORT)");
+  }
   HVAC_ASSIGN_OR_RETURN(sockaddr_in addr, tcp_addr(endpoint));
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
@@ -209,6 +218,21 @@ Status send_all(int fd, const void* data, size_t size) {
 
 namespace {
 
+// Blocks until `fd` is writable again (EAGAIN on a non-blocking
+// socket mid-frame: there is no epoll re-arm for a half-sent frame,
+// the writer owns the stream until the frame is complete).
+Status wait_writable(int fd) {
+  for (;;) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int pr = ::poll(&pfd, 1, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Error::from_errno(errno, "poll(POLLOUT)");
+    }
+    if (pr > 0) return Status::Ok();
+  }
+}
+
 Status send_vectored_flags(int fd, iovec* iov, int iovcnt, int flags) {
   // sendmsg (not writev) so MSG_NOSIGNAL applies, matching send_all's
   // no-SIGPIPE behaviour on dead peers. `flags` carries MSG_NOSIGNAL
@@ -222,6 +246,13 @@ Status send_vectored_flags(int fd, iovec* iov, int iovcnt, int flags) {
     const ssize_t n = ::sendmsg(fd, &msg, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Reactor connections are accept4'd non-blocking; a full
+        // socket buffer mid-frame means wait, not fail — the frame
+        // header already promised these bytes.
+        HVAC_RETURN_IF_ERROR(wait_writable(fd));
+        continue;
+      }
       return Error::from_errno(errno, "sendmsg");
     }
     // Consume `n` bytes across the iovec list; a partial write can
@@ -343,26 +374,13 @@ class ScopedSigpipeBlock {
   bool armed_ = false;
 };
 
-// Blocks until `fd` is writable again (EAGAIN on a non-blocking
-// socket mid-extent: there is no epoll re-arm for a half-sent frame,
-// the writer owns the stream until the frame is complete).
-Status wait_writable(int fd) {
-  for (;;) {
-    pollfd pfd{fd, POLLOUT, 0};
-    const int pr = ::poll(&pfd, 1, -1);
-    if (pr < 0) {
-      if (errno == EINTR) continue;
-      return Error::from_errno(errno, "poll(POLLOUT)");
-    }
-    if (pr > 0) return Status::Ok();
-  }
-}
-
 // One real end-to-end transfer over a socketpair + unlinked temp file;
 // returns true when the syscall path works on this kernel/filesystem.
 bool probe_rung(ZeroCopyMode rung) {
   int sv[2] = {-1, -1};
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+    return false;
+  }
   Fd sock_a(sv[0]);
   Fd sock_b(sv[1]);
 
@@ -380,7 +398,7 @@ bool probe_rung(ZeroCopyMode rung) {
     ok = ::sendfile(sock_a.get(), file.get(), &off, 1) == 1;
   } else if (rung == ZeroCopyMode::kSplice) {
     int pfd[2] = {-1, -1};
-    if (::pipe(pfd) != 0) return false;
+    if (::pipe2(pfd, O_CLOEXEC) != 0) return false;
     Fd pipe_rd(pfd[0]);
     Fd pipe_wr(pfd[1]);
     off_t off = 0;

@@ -17,11 +17,22 @@ using rpc::Bytes;
 using rpc::WireReader;
 using rpc::WireWriter;
 
+namespace {
+
+rpc::RpcServerOptions make_rpc_options(const HvacServerOptions& o) {
+  rpc::RpcServerOptions r;
+  r.bind_address = o.bind_address;
+  r.handler_threads = o.rpc_handler_threads;
+  r.reactors = o.rpc_reactors;
+  return r;
+}
+
+}  // namespace
+
 HvacServer::HvacServer(storage::PfsBackend* pfs, HvacServerOptions options)
     : pfs_(pfs),
       options_(std::move(options)),
-      rpc_(rpc::RpcServerOptions{options_.bind_address,
-                                 options_.rpc_handler_threads}) {
+      rpc_(make_rpc_options(options_)) {
   auto store = std::make_unique<storage::LocalStore>(
       options_.cache_dir, options_.cache_capacity_bytes,
       options_.handle_cache_slots);
@@ -70,10 +81,15 @@ void HvacServer::register_handlers() {
   // Every handler runs under a ScopedLatencyTimer so the metrics frame
   // can report per-op p50/p99; the timer covers handler execution on
   // the pool thread (queueing and socket time excluded).
+  // Ping, cached reads and close are hit-path fast (no mover, no PFS
+  // round trip in the common case): run them inline on the owning
+  // reactor thread, skipping the pool queue/wake entirely. Everything
+  // mover- or PFS-bound stays pooled so a slow fetch cannot stall a
+  // reactor's other connections.
   rpc_.register_handler(proto::kPing, [this](const Bytes&) -> Result<Bytes> {
     core::ScopedLatencyTimer t(latency_, proto::kPing);
     return Bytes{};
-  });
+  }, rpc::DispatchHint::kInline);
   rpc_.register_handler(proto::kOpen, [this](const Bytes& req) {
     core::ScopedLatencyTimer t(latency_, proto::kOpen);
     return handle_open(req);
@@ -81,11 +97,11 @@ void HvacServer::register_handlers() {
   rpc_.register_payload_handler(proto::kRead, [this](const Bytes& req) {
     core::ScopedLatencyTimer t(latency_, proto::kRead);
     return handle_read(req);
-  });
+  }, rpc::DispatchHint::kInline);
   rpc_.register_handler(proto::kClose, [this](const Bytes& req) {
     core::ScopedLatencyTimer t(latency_, proto::kClose);
     return handle_close(req);
-  });
+  }, rpc::DispatchHint::kInline);
   rpc_.register_handler(proto::kStat, [this](const Bytes& req) {
     core::ScopedLatencyTimer t(latency_, proto::kStat);
     return handle_stat(req);
@@ -134,7 +150,7 @@ Result<rpc::Payload> HvacServer::handle_read_segment(const Bytes& req) {
   // pread lands directly in a pooled payload buffer, after the blob
   // length prefix; no copy between the file and the socket.
   hvac::BufferPool::Lease lease =
-      hvac::BufferPool::global().acquire(rpc::kBlobPrefix + count);
+      hvac::BufferPool::local().acquire(rpc::kBlobPrefix + count);
   HVAC_ASSIGN_OR_RETURN(
       size_t n, cache_->pread_segment(path, seg_index, segment_bytes,
                                       lease.data() + rpc::kBlobPrefix,
@@ -227,7 +243,7 @@ Result<rpc::Payload> HvacServer::handle_read(const Bytes& req) {
   }
 
   hvac::BufferPool::Lease lease =
-      hvac::BufferPool::global().acquire(rpc::kBlobPrefix + count);
+      hvac::BufferPool::local().acquire(rpc::kBlobPrefix + count);
   uint8_t* dst = lease.data() + rpc::kBlobPrefix;
   size_t n = 0;
   if (open_file->pfs_fallback) {
@@ -331,7 +347,7 @@ Result<rpc::Payload> HvacServer::handle_read_scatter(const Bytes& req) {
   // preads, so the table is stamped last.
   const size_t table_size = rpc::scatter_table_size(n);
   hvac::BufferPool::Lease lease =
-      hvac::BufferPool::global().acquire(table_size + total);
+      hvac::BufferPool::local().acquire(table_size + total);
   uint8_t* data = lease.data() + table_size;
   size_t cursor = 0;
   std::vector<uint32_t> actual(n);
@@ -444,7 +460,10 @@ core::MetricsFrame HvacServer::metrics_frame() const {
   f.handle_cache.deferred_closes = hc.deferred_closes();
   f.handle_cache.capacity = hc.capacity();
 
-  const BufferPool::Stats bp = BufferPool::global().stats();
+  // Pool counters aggregate the global pool plus every reactor arena;
+  // like the other process-wide sections, instances in one process
+  // report the same values and NodeRuntime takes them once.
+  const BufferPool::Stats bp = BufferPool::aggregated_stats();
   f.buffer_pool.leases = bp.hits + bp.misses + bp.unpooled;
   f.buffer_pool.pool_hits = bp.hits;
   f.buffer_pool.fallback_allocs = bp.misses + bp.unpooled;
@@ -506,6 +525,16 @@ core::MetricsFrame HvacServer::metrics_frame() const {
   f.trace.rings = ts.rings;
   f.trace.ring_capacity = ts.ring_capacity;
   f.trace.occupancy = ts.occupancy;
+
+  // Per-reactor counters for this instance's RPC server (section 9).
+  for (const rpc::RpcServer::ReactorStats& rs : rpc_.reactor_stats()) {
+    core::ReactorStats::PerReactor row;
+    row.conns = rs.conns;
+    row.requests = rs.requests;
+    row.steals = rs.steals;
+    row.shed = rs.shed;
+    f.reactor.reactors.push_back(row);
+  }
 
   f.op_latency = latency_.snapshot();
   return f;

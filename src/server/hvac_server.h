@@ -46,6 +46,9 @@ struct HvacServerOptions {
   // HVAC_HANDLE_CACHE env knob, 128; 0 = open-per-read, the seed
   // behaviour).
   size_t handle_cache_slots = storage::LocalStore::kHandleCacheFromEnv;
+  // RPC reactor count, forwarded to RpcServerOptions::reactors
+  // (0 = auto: HVAC_REACTORS, else min(cores, 8)).
+  size_t rpc_reactors = 0;
 };
 
 class HvacServer {

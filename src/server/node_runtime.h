@@ -25,6 +25,8 @@ struct NodeRuntimeOptions {
   std::string eviction_policy = "random";
   size_t data_mover_threads = 1;
   size_t rpc_handler_threads = 2;
+  // Per-instance RPC reactor count (0 = auto, see RpcServerOptions).
+  size_t rpc_reactors = 0;
   std::string bind_host = "127.0.0.1";
 };
 

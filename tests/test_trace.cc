@@ -282,8 +282,8 @@ TEST(Trace, EndToEndSpanTreeAcrossRetryAndZeroCopy) {
   ASSERT_TRUE(dumped.ok()) << dumped.error().to_string();
   ASSERT_EQ(dumped->size(), spans.size());
   EXPECT_EQ((*dumped)[0].name, std::string(spans[0].name));
-  const std::string json =
-      core::spans_to_chrome_json({{"localhost:0", *dumped}});
+  const std::string json = core::spans_to_chrome_json(
+      {core::EndpointSpans{"localhost:0", *dumped, core::SpanDumpClock{}}});
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("process_name"), std::string::npos);
