@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,10 @@
 #include "rpc/async_client.h"
 #include "rpc/rpc_client.h"
 #include "rpc/rpc_server.h"
+#include "server/hvac_server.h"
+#include "storage/packed_format.h"
+#include "storage/pfs_backend.h"
+#include "workload/file_tree.h"
 
 namespace {
 
@@ -362,6 +367,137 @@ BENCHMARK(BM_SaturatedSmallReads)
     ->Arg(1)
     ->Arg(4)
     ->Threads(8)
+    ->UseRealTime();
+
+// --- Packed-container small reads ----------------------------------
+//
+// The small-file gate (FanStore-style packing): the per-file protocol
+// (kOpen + kRead + kClose per sample, three round trips and a server
+// open(2) each) against the packed protocol (one kReadScatter by
+// path; the server serves by offset out of an already-open container
+// handle). Both run against a REAL HvacServer over a real PFS tree at
+// the DL-sample sizes. scripts/bench_compare.py pairs the two series
+// as an advisory gate: packed must be >= 2x the per-file path.
+
+struct SmallFileFixture {
+  std::string pfs_root;
+  std::string cache_root;
+  std::unique_ptr<hvac::storage::PfsBackend> pfs;
+  std::unique_ptr<hvac::server::HvacServer> server;
+  std::vector<std::string> paths;  // logical sample paths
+
+  SmallFileFixture(uint32_t file_bytes, bool packed) {
+    const std::string tag = (packed ? "packed_" : "perfile_") +
+                            std::to_string(file_bytes);
+    pfs_root = "/tmp/hvac_bench_" + tag + "_pfs_" +
+               std::to_string(::getpid());
+    cache_root = "/tmp/hvac_bench_" + tag + "_cache_" +
+                 std::to_string(::getpid());
+    std::filesystem::remove_all(pfs_root);
+    std::filesystem::remove_all(cache_root);
+    const auto spec =
+        hvac::workload::synthetic_small(128, file_bytes, 0.0);
+    const auto tree = hvac::workload::generate_tree(pfs_root, spec);
+    if (!tree.ok()) std::abort();
+    paths = tree->relative_paths;
+    if (packed) {
+      hvac::storage::PackOptions po;
+      po.container_bytes = 4 << 20;
+      if (!hvac::storage::pack_tree(pfs_root, po).ok()) std::abort();
+    }
+    pfs = std::make_unique<hvac::storage::PfsBackend>(pfs_root);
+    hvac::server::HvacServerOptions o;
+    o.cache_dir = cache_root;
+    o.rpc_handler_threads = 4;
+    o.packed_enabled = packed;
+    server = std::make_unique<hvac::server::HvacServer>(pfs.get(), o);
+    if (!server->start().ok()) std::abort();
+    // Pre-warm so the measured loop is the steady-state hit path.
+    RpcClient warm(Endpoint{server->address()});
+    for (const auto& p : paths) {
+      WireWriter w;
+      w.put_string(p);
+      if (!warm.call(hvac::proto::kPrefetch, w).ok()) std::abort();
+    }
+  }
+};
+
+SmallFileFixture& small_file_fixture(uint32_t file_bytes, bool packed) {
+  static std::mutex mu;
+  static std::map<std::pair<uint32_t, bool>, SmallFileFixture*> fixtures;
+  std::lock_guard<std::mutex> lock(mu);
+  auto*& slot = fixtures[{file_bytes, packed}];
+  if (slot == nullptr) slot = new SmallFileFixture(file_bytes, packed);
+  return *slot;
+}
+
+// Per-file protocol: what every sample of an unpacked tree costs.
+void BM_SmallFileReads(benchmark::State& state) {
+  const uint32_t file_bytes = uint32_t(state.range(0));
+  SmallFileFixture& f = small_file_fixture(file_bytes, /*packed=*/false);
+  RpcClient client(Endpoint{f.server->address()});
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const std::string& path = f.paths[cursor++ % f.paths.size()];
+    WireWriter open;
+    open.put_string(path);
+    const auto opened = client.call(hvac::proto::kOpen, open);
+    if (!opened.ok()) { state.SkipWithError("open failed"); break; }
+    WireReader r(*opened);
+    const auto fd = r.get_u64();
+    const auto size = r.get_u64();
+    WireWriter read;
+    read.put_u64(fd.ok() ? *fd : 0);
+    read.put_u64(0);
+    read.put_u32(uint32_t(size.ok() ? *size : 0));
+    const auto data = client.call_payload(hvac::proto::kRead,
+                                          read.bytes());
+    if (!data.ok()) { state.SkipWithError("read failed"); break; }
+    WireWriter close;
+    close.put_u64(fd.ok() ? *fd : 0);
+    if (!client.call(hvac::proto::kClose, close).ok()) {
+      state.SkipWithError("close failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+  state.SetBytesProcessed(int64_t(state.iterations()) * file_bytes);
+}
+BENCHMARK(BM_SmallFileReads)
+    ->ArgName("bytes")
+    ->Arg(4 << 10)
+    ->Arg(16 << 10)
+    ->Arg(64 << 10)
+    ->UseRealTime();
+
+// Packed protocol: one scatter read by path per sample — the client
+// resolved open/stat from its fetched index, so this ONE round trip
+// is the whole per-sample cost.
+void BM_PackedSmallReads(benchmark::State& state) {
+  const uint32_t file_bytes = uint32_t(state.range(0));
+  SmallFileFixture& f = small_file_fixture(file_bytes, /*packed=*/true);
+  RpcClient client(Endpoint{f.server->address()});
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const std::string& path = f.paths[cursor++ % f.paths.size()];
+    WireWriter w;
+    w.put_u8(1);  // by path
+    w.put_string(path);
+    w.put_u32(1);
+    w.put_u64(0);
+    w.put_u32(file_bytes);
+    const auto resp =
+        client.call_payload(hvac::proto::kReadScatter, w.bytes());
+    if (!resp.ok()) { state.SkipWithError("scatter read failed"); break; }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+  state.SetBytesProcessed(int64_t(state.iterations()) * file_bytes);
+}
+BENCHMARK(BM_PackedSmallReads)
+    ->ArgName("bytes")
+    ->Arg(4 << 10)
+    ->Arg(16 << 10)
+    ->Arg(64 << 10)
     ->UseRealTime();
 
 }  // namespace

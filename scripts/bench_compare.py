@@ -91,6 +91,28 @@ def trace_overhead(rows):
             if plain[size] > 0]
 
 
+def packed_ratios(rows):
+    """Pair BM_SmallFileReads with BM_PackedSmallReads by sample size.
+
+    Returns [(size_bytes, perfile_time / packed_time), ...] — a ratio
+    above 1.0 means the packed-container read path beats the per-file
+    open/read/close ladder. ISSUE: the packed path exists to amortise
+    per-file opens, so it should be at least 2x at small sizes.
+    """
+    perfile, packed = {}, {}
+    for name, (t, _unit) in rows.items():
+        m = re.match(r"BM_SmallFileReads/bytes:(\d+)", name)
+        if m:
+            perfile[int(m.group(1))] = t
+            continue
+        m = re.match(r"BM_PackedSmallReads/bytes:(\d+)", name)
+        if m:
+            packed[int(m.group(1))] = t
+    return [(size, perfile[size] / packed[size])
+            for size in sorted(set(perfile) & set(packed))
+            if packed[size] > 0]
+
+
 def reactor_scaling(rows):
     """Pair BM_SaturatedSmallReads medians by reactor count.
 
@@ -211,6 +233,27 @@ def main():
             footer.append(f"**tracing overhead exceeds 10% at "
                           f"{len(slow)} size(s)** — check for span sites "
                           "inside per-byte loops.")
+
+    # Advisory packed-format gate: reading a sample out of a packed
+    # container skips the per-file open RPC, so it should beat the
+    # per-file ladder by at least 2x at dataloader-sized reads.
+    pk = packed_ratios(curr)
+    if pk:
+        footer.append("")
+        footer.append("### per-file vs packed small reads (current run)")
+        slow = []
+        for size, ratio in pk:
+            marker = ""
+            if ratio < 2.0:
+                marker = " ⚠ packed below 2x the per-file path"
+                slow.append((size, ratio))
+            footer.append(f"- {size:,} B: packed read is {ratio:.2f}x "
+                          f"faster than per-file{marker}")
+        if slow:
+            footer.append(f"**packed speedup below the 2x advisory bar "
+                          f"at {len(slow)} size(s)** — the packed path "
+                          "exists to amortise per-file opens; check the "
+                          "kPackedIndex/handle-cache hit path.")
 
     # Advisory reactor-scaling gate: N reactors should finish the
     # saturated small-read workload at least 2x as fast as one reactor.

@@ -2,6 +2,9 @@
 # Tier-1 verification for the HVAC repo.
 #
 #   scripts/check.sh            build + ctest (the gate every PR must pass)
+#                               (CTEST_SHARD=K CTEST_TOTAL_SHARDS=N runs
+#                               every N-th test starting at K — CI splits
+#                               tier1 across shards with this)
 #   scripts/check.sh asan       the same under -DHVAC_SANITIZE=address
 #   scripts/check.sh tsan       the same under -DHVAC_SANITIZE=thread
 #                               (concurrency suites only — full TSan runs
@@ -12,6 +15,14 @@
 #   scripts/check.sh chaos      the resilience suites (fault injection,
 #                               circuit breaker, deadlines, backpressure,
 #                               drain, daemon-kill chaos) under ASan
+#   scripts/check.sh packed     packed-container smoke under ASan: gen a
+#                               synthetic small-file tree, hvacctl pack,
+#                               DELETE the originals, read every sample
+#                               back through the LD_PRELOAD shim and
+#                               byte-compare against the manifest, then
+#                               assert the zero-per-file-open invariants
+#                               from server metrics (PACKED_FILES
+#                               overrides the tree size, default 10000)
 #   scripts/check.sh trace      end-to-end tracing smoke: hvacd under
 #                               HVAC_TRACE=1, traffic via hvacctl, dump
 #                               with `hvacctl trace --chrome` and validate
@@ -36,7 +47,14 @@ case "$MODE" in
   tier1)
     cmake -B build -S .
     cmake --build build -j "$JOBS"
-    ctest --test-dir build --output-on-failure -j "$JOBS"
+    if [ -n "${CTEST_SHARD:-}" ]; then
+      # ctest -I Start,End,Stride: shard K of N runs tests K, K+N, ...
+      # Every shard still builds everything; only execution is split.
+      ctest --test-dir build --output-on-failure -j "$JOBS" \
+        -I "${CTEST_SHARD},,${CTEST_TOTAL_SHARDS:-2}"
+    else
+      ctest --test-dir build --output-on-failure -j "$JOBS"
+    fi
     ;;
   asan)
     cmake -B build-asan -S . -DHVAC_SANITIZE=address
@@ -64,6 +82,67 @@ case "$MODE" in
     # so shedding/drain/breaker interop is exercised multi-reactor.
     HVAC_REACTORS=4 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
       -R "Fault|Breaker|CallDeadline|Backpressure|Drain|Chaos|HostileServer|AsyncRpcFixture"
+    ;;
+  packed)
+    # Packed-container smoke: the whole FanStore-style flow — generate,
+    # pack, delete the per-file originals, then read every sample back
+    # through the shim. Byte-identical output against the manifest
+    # proves the data path; the metrics check proves it never fell back
+    # to per-file opens. ASan build: this leg doubles as a lifetime
+    # check on the scatter/sendfile container path.
+    cmake -B build-asan -S . -DHVAC_SANITIZE=address
+    cmake --build build-asan -j "$JOBS" \
+      --target hvacd hvacctl hvac_intercept intercept_target
+    NUM_FILES="${PACKED_FILES:-10000}"
+    TMP="$(mktemp -d)"
+    HVACD_PID=""
+    cleanup() {
+      if [ -n "$HVACD_PID" ]; then
+        kill "$HVACD_PID" 2>/dev/null || true
+        wait "$HVACD_PID" 2>/dev/null || true
+      fi
+      rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    ./build-asan/src/client/hvacctl gentree "$TMP/pfs" "$NUM_FILES" 2048 \
+      --manifest "$TMP/manifest.txt"
+    ./build-asan/src/client/hvacctl pack "$TMP/pfs" \
+      --container-bytes $((4 << 20))
+    CONTAINERS="$(find "$TMP/pfs/.hvacpack" -name 'container_*.blob' | wc -l)"
+    echo "packed $NUM_FILES files into $CONTAINERS container(s)"
+    # The point of the exercise: the per-file originals are GONE. Every
+    # byte the shim returns from here on came out of a container blob.
+    find "$TMP/pfs" -name '*.bin' -delete
+    ./build-asan/src/server/hvacd \
+      --pfs-root "$TMP/pfs" --cache-dir "$TMP/cache" \
+      --port-file "$TMP/ports" &
+    HVACD_PID=$!
+    for _ in $(seq 50); do
+      [ -s "$TMP/ports" ] && break
+      sleep 0.2
+    done
+    [ -s "$TMP/ports" ] || { echo "hvacd never published ports" >&2; exit 1; }
+    EP="$(cat "$TMP/ports")"
+    # Read every sample through the shim; intercept_target prints
+    # "<path> <size> <fnv64>" — exactly the manifest format.
+    cut -d' ' -f1 "$TMP/manifest.txt" \
+      | xargs -n 256 env \
+          LD_PRELOAD="$PWD/build-asan/src/intercept/libhvac_intercept.so" \
+          ASAN_OPTIONS=verify_asan_link_order=0 \
+          HVAC_DATASET_DIR="$TMP/pfs" \
+          HVAC_SERVERS="$EP" \
+          ./build-asan/tests/intercept_target > "$TMP/readback.txt"
+    sort "$TMP/manifest.txt" > "$TMP/manifest.sorted"
+    sort "$TMP/readback.txt" > "$TMP/readback.sorted"
+    if ! diff -u "$TMP/manifest.sorted" "$TMP/readback.sorted"; then
+      echo "packed readback does not match the generated tree" >&2
+      exit 1
+    fi
+    echo "all $NUM_FILES samples read back byte-identical"
+    ./build-asan/src/client/hvacctl metrics "$EP" --json \
+      > "$TMP/metrics.json"
+    python3 scripts/check_packed_metrics.py "$TMP/metrics.json" \
+      --containers "$CONTAINERS"
     ;;
   trace)
     cmake -B build -S .
@@ -119,7 +198,7 @@ case "$MODE" in
       --benchmark_context=git_date="$GIT_DATE"
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|bench|chaos|trace]" >&2
+    echo "usage: $0 [tier1|asan|tsan|bench|chaos|packed|trace]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Assert the packed-read invariants from `hvacctl metrics --json`.
+
+    scripts/check_packed_metrics.py METRICS.json --containers N
+
+Run after the packed smoke leg in scripts/check.sh: a packed dataset
+read end-to-end through the shim must never touch the per-file open
+RPC (the client resolves samples from the one-shot kPackedIndex
+fetch), and the server must open each container blob at most once
+(every later read is an OpenHandleCache hit).
+
+Checks, against the `aggregate` frame:
+  * latency_us.open.count == 0        (missing key counts as 0)
+  * latency_us.packed_index.count >= 1
+  * handle_cache.misses <= --containers
+  * handle_cache.hits > 0
+
+Exit 0 when every invariant holds, 1 otherwise (this one IS a hard
+gate — these are correctness properties of the protocol, not timing).
+"""
+
+import argparse
+import json
+import sys
+
+
+def op_count(frame, op):
+    return int(frame.get("latency_us", {}).get(op, {}).get("count", 0))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="output of hvacctl metrics --json")
+    parser.add_argument("--containers", type=int, required=True,
+                        help="number of container blobs in the packed set")
+    args = parser.parse_args()
+
+    with open(args.metrics) as f:
+        doc = json.load(f)
+    frame = doc.get("aggregate", doc)
+    hc = frame.get("handle_cache", {})
+
+    opens = op_count(frame, "open")
+    index_fetches = op_count(frame, "packed_index")
+    misses = int(hc.get("misses", 0))
+    hits = int(hc.get("hits", 0))
+
+    failures = []
+    if opens != 0:
+        failures.append(
+            f"saw {opens} per-file open RPC(s); the packed path must "
+            "resolve every sample client-side")
+    if index_fetches < 1:
+        failures.append("no kPackedIndex fetch recorded — the client "
+                        "never loaded the packed index")
+    if misses > args.containers:
+        failures.append(
+            f"{misses} handle-cache miss(es) for {args.containers} "
+            "container(s); each container should be opened at most once")
+    if hits <= 0:
+        failures.append("no handle-cache hits — container fds are not "
+                        "being reused across sample reads")
+
+    print(f"packed metrics: open={opens} packed_index={index_fetches} "
+          f"handle_cache={hits}h/{misses}m "
+          f"(containers={args.containers})")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print("packed invariants hold")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@
 #include "rpc/async_client.h"
 #include "rpc/wire.h"
 #include "server/hvac_proto.h"
+#include "storage/packed_format.h"
 #include "storage/posix_file.h"
 
 namespace hvac::client {
@@ -53,6 +54,8 @@ Result<HvacClientOptions> options_from_env() {
   o.readahead_chunks =
       readahead > 0 ? static_cast<uint32_t>(readahead) : 0;
   o.meta_ttl_ms = env_int_or("HVAC_META_TTL_MS", o.meta_ttl_ms);
+  o.packed_enabled = env_bool_or("HVAC_PACK", true);
+  o.packed_ttl_ms = env_int_or("HVAC_PACK_TTL_MS", o.packed_ttl_ms);
   // Fault-domain knobs: an end-to-end deadline per call and a bounded
   // retry budget for idempotent ops (stat / positional reads).
   o.rpc.call_timeout_ms =
@@ -69,7 +72,8 @@ HvacClient::HvacClient(HvacClientOptions options)
     : options_(std::move(options)),
       placement_(static_cast<uint32_t>(options_.server_endpoints.size()),
                  options_.placement, options_.replicas),
-      meta_(options_.meta_ttl_ms) {
+      meta_(options_.meta_ttl_ms),
+      packed_(options_.packed_ttl_ms) {
   fault::init_from_env();
   options_.dataset_dir = lexically_normal(options_.dataset_dir);
   channels_.resize(options_.server_endpoints.size());
@@ -279,6 +283,31 @@ std::optional<MetaEntry> HvacClient::meta_lookup(const std::string& logical) {
   return meta;
 }
 
+std::optional<PackedCatalog::Resolved> HvacClient::packed_lookup(
+    const std::string& logical) {
+  if (!options_.packed_enabled || options_.server_endpoints.empty()) {
+    return std::nullopt;
+  }
+  return packed_.resolve(
+      logical,
+      [this]() -> Result<std::optional<std::vector<uint8_t>>> {
+        // The index is served from memory by every instance; ask the
+        // one that homes the index's own logical path so the fetch
+        // load spreads like any other file's.
+        const uint32_t server =
+            placement_.home(storage::packed_index_logical());
+        HVAC_ASSIGN_OR_RETURN(
+            Bytes resp,
+            channel(server).call_idempotent(proto::kPackedIndex, Bytes{}));
+        WireReader r(resp);
+        HVAC_ASSIGN_OR_RETURN(uint8_t present, r.get_u8());
+        if (present == 0) return std::optional<std::vector<uint8_t>>{};
+        HVAC_ASSIGN_OR_RETURN(WireReader::BlobView raw, r.get_blob_view());
+        return std::optional<std::vector<uint8_t>>(
+            std::vector<uint8_t>(raw.data, raw.data + raw.size));
+      });
+}
+
 Result<int> HvacClient::open(const std::string& path) {
   trace::Span span("client.open");
   {
@@ -287,6 +316,23 @@ Result<int> HvacClient::open(const std::string& path) {
   }
   HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kOpen));
   HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+
+  // Packed sample: everything open() needs (size, home) comes from the
+  // locally cached index — hand out a path-mode fd with zero round
+  // trips. The fd homes at the *container's* home server (that is
+  // where the blob gets cached); reads still address the sample by its
+  // own logical path and the server translates per read.
+  if (std::optional<PackedCatalog::Resolved> packed = packed_lookup(logical)) {
+    core::FdEntry entry;
+    entry.logical_path = logical;
+    entry.server_index = placement_.home(packed->container_logical);
+    entry.path_mode = true;
+    entry.size = packed->length;
+    const int vfd = fds_.insert(std::move(entry));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.remote_opens;
+    return vfd;
+  }
 
   // Segment-level caching: a large file is not opened on one home
   // server at all — reads address (segment, offset) pairs and each
@@ -571,6 +617,28 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
       if (sv.extents.size() != 1 || sv.extents[0].length > chunk) {
         return Error(ErrorCode::kProtocol, "bad scatter response shape");
       }
+      // A scatter extent may only come back short at EOF (the fd's
+      // size came from the open-time stat or the packed index, both
+      // authoritative for immutable files). Short mid-file means the
+      // serving copy was cut — an eviction race or an injected fault —
+      // so recover like a transport failure instead of handing the
+      // application a truncated sample.
+      if (sv.extents[0].length < chunk &&
+          chunk_offset + sv.extents[0].length < entry.size) {
+        meta_.invalidate(entry.logical_path);
+        constexpr int kMaxRecoveries = 3;
+        if (recoveries >= kMaxRecoveries) {
+          return Error(ErrorCode::kUnavailable,
+                       "short scatter read mid-file for " +
+                           entry.logical_path);
+        }
+        const bool force_pfs = recoveries + 1 == kMaxRecoveries;
+        HVAC_RETURN_IF_ERROR(recover_fd(vfd, entry, force_pfs));
+        HVAC_ASSIGN_OR_RETURN(
+            size_t rest, pread_attempt(vfd, out + total, count - total,
+                                       chunk_offset, recoveries + 1));
+        return total + rest;
+      }
       std::memcpy(out + total, sv.extents[0].data, sv.extents[0].length);
       got = sv.extents[0].length;
     } else {
@@ -646,6 +714,10 @@ Result<uint64_t> HvacClient::stat_size(const std::string& path) {
   trace::Span span("client.stat");
   HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kStat));
   HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+  // Packed sample: the index is authoritative for the size.
+  if (std::optional<PackedCatalog::Resolved> packed = packed_lookup(logical)) {
+    return packed->length;
+  }
   if (std::optional<MetaEntry> meta = meta_lookup(logical)) {
     return meta->size;
   }

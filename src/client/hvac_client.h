@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "client/meta_cache.h"
+#include "client/packed_catalog.h"
 #include "common/result.h"
 #include "core/fd_table.h"
 #include "core/placement.h"
@@ -57,6 +58,13 @@ struct HvacClientOptions {
   // re-opens of a file whose {size, home, cached} is still fresh skip
   // the stat/open round trip entirely (path-mode fds). 0 disables.
   int64_t meta_ttl_ms = 3000;
+  // Packed-container resolution (HVAC_PACK): when the dataset carries
+  // a .hvacpack index, the client fetches it once and resolves packed
+  // sample paths locally — opens and stats of packed samples cost zero
+  // round trips. The fetched answer (present or absent) is re-checked
+  // every packed_ttl_ms (HVAC_PACK_TTL_MS; <= 0 never re-checks).
+  bool packed_enabled = true;
+  int64_t packed_ttl_ms = 30000;
   rpc::RpcClientOptions rpc;
 };
 
@@ -176,6 +184,12 @@ class HvacClient {
   // the per-client hit/miss stats.
   std::optional<MetaEntry> meta_lookup(const std::string& logical);
 
+  // Packed-index resolution: non-nullopt when `logical` is a sample of
+  // the dataset's packed containers (fetching the index first when
+  // needed — see PackedCatalog).
+  std::optional<PackedCatalog::Resolved> packed_lookup(
+      const std::string& logical);
+
   // Segment-granular positional read (entry.segmented == true).
   Result<size_t> pread_segmented(const core::FdEntry& entry, void* buf,
                                  size_t count, uint64_t offset);
@@ -196,6 +210,7 @@ class HvacClient {
   core::Placement placement_;
   core::FdTable fds_;
   MetaCache meta_;
+  PackedCatalog packed_;
   std::vector<std::unique_ptr<rpc::RpcClient>> channels_;
   std::vector<std::unique_ptr<rpc::AsyncRpcClient>> async_channels_;
   std::mutex channels_mutex_;

@@ -7,6 +7,17 @@
 //   hvacctl [--timeout MS] stat    HOST:PORT <relative-path>
 //   hvacctl [--timeout MS] warm    HOST:PORT <relative-path>
 //   hvacctl [--timeout MS] trace   HOST:PORT[,HOST:PORT...] [--chrome]
+//   hvacctl pack    ROOT [--container-bytes N]
+//   hvacctl gentree ROOT NUM_FILES MEAN_BYTES [--sigma S] [--seed N]
+//                   [--manifest FILE]
+//
+// `pack` and `gentree` are offline dataset-ingest commands (no server
+// involved): gentree materializes a deterministic synthetic small-file
+// tree (writing an optional "<path> <size> <fnv64>" manifest in the
+// intercept_target output format, for byte-level verification without
+// the originals), and pack rolls a tree into .hvacpack/ container
+// blobs plus the binary index the servers and clients resolve packed
+// samples from (storage/packed_format.h).
 //
 // Talks the same RPC schema as the client library; useful for
 // checking server health from a login node and for watching hit
@@ -37,12 +48,16 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/hash.h"
 #include "core/metrics_frame.h"
 #include "core/trace_wire.h"
 #include "rpc/health.h"
 #include "rpc/rpc_client.h"
 #include "rpc/wire.h"
 #include "server/hvac_proto.h"
+#include "storage/packed_format.h"
+#include "workload/dataset_spec.h"
+#include "workload/file_tree.h"
 
 using namespace hvac;
 using rpc::Bytes;
@@ -353,6 +368,98 @@ int cmd_path_op(uint16_t opcode, const std::string& endpoint,
   return 0;
 }
 
+int cmd_pack(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::fprintf(stderr, "pack needs ROOT\n");
+    return 2;
+  }
+  storage::PackOptions options;
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--container-bytes" && i + 1 < args.size()) {
+      options.container_bytes =
+          static_cast<uint64_t>(std::atoll(args[++i].c_str()));
+    } else {
+      std::fprintf(stderr, "unknown pack flag %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  const auto report = storage::pack_tree(args[1], options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "pack: %s\n", report.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("packed %lu files (%lu bytes) into %lu containers under "
+              "%s/%s\n",
+              (unsigned long)report->files, (unsigned long)report->bytes,
+              (unsigned long)report->containers, args[1].c_str(),
+              storage::packed_dir_name().c_str());
+  return 0;
+}
+
+int cmd_gentree(const std::vector<std::string>& args) {
+  if (args.size() < 4) {
+    std::fprintf(stderr, "gentree needs ROOT NUM_FILES MEAN_BYTES\n");
+    return 2;
+  }
+  const std::string& root = args[1];
+  const uint64_t num_files =
+      static_cast<uint64_t>(std::atoll(args[2].c_str()));
+  const uint64_t mean_bytes =
+      static_cast<uint64_t>(std::atoll(args[3].c_str()));
+  double sigma = 0.35;
+  uint64_t seed = 0;
+  std::string manifest_path;
+  for (size_t i = 4; i < args.size(); ++i) {
+    if (args[i] == "--sigma" && i + 1 < args.size()) {
+      sigma = std::atof(args[++i].c_str());
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = static_cast<uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--manifest" && i + 1 < args.size()) {
+      manifest_path = args[++i];
+    } else {
+      std::fprintf(stderr, "unknown gentree flag %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  if (num_files == 0 || mean_bytes == 0) {
+    std::fprintf(stderr, "gentree: NUM_FILES and MEAN_BYTES must be > 0\n");
+    return 2;
+  }
+  const workload::DatasetSpec spec =
+      workload::synthetic_small(num_files, mean_bytes, sigma);
+  const auto tree = workload::generate_tree(root, spec, seed);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "gentree: %s\n", tree.error().to_string().c_str());
+    return 1;
+  }
+  if (!manifest_path.empty()) {
+    FILE* m = ::fopen(manifest_path.c_str(), "w");
+    if (m == nullptr) {
+      std::fprintf(stderr, "gentree: cannot write %s\n",
+                   manifest_path.c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < tree->relative_paths.size(); ++i) {
+      const std::string& rel = tree->relative_paths[i];
+      const std::vector<uint8_t> data =
+          workload::expected_contents(rel, tree->sizes[i]);
+      const uint64_t h = fnv1a64(std::string_view(
+          reinterpret_cast<const char*>(data.data()), data.size()));
+      std::fprintf(m, "%s/%s %" PRIu64 " %016" PRIx64 "\n", root.c_str(),
+                   rel.c_str(), tree->sizes[i], h);
+    }
+    if (::fclose(m) != 0) {
+      std::fprintf(stderr, "gentree: write failed for %s\n",
+                   manifest_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("generated %zu files (%lu bytes) under %s\n",
+              tree->relative_paths.size(),
+              (unsigned long)tree->total_bytes, root.c_str());
+  return 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--timeout MS] ping ENDPOINTS\n"
@@ -360,8 +467,11 @@ int usage(const char* argv0) {
                "       %s [--timeout MS] metrics ENDPOINTS [--json] "
                "[--watch N]\n"
                "       %s [--timeout MS] stat|warm ENDPOINT PATH\n"
-               "       %s [--timeout MS] trace ENDPOINTS [--chrome]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               "       %s [--timeout MS] trace ENDPOINTS [--chrome]\n"
+               "       %s pack ROOT [--container-bytes N]\n"
+               "       %s gentree ROOT NUM_FILES MEAN_BYTES [--sigma S]\n"
+               "                  [--seed N] [--manifest FILE]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -384,6 +494,8 @@ int main(int argc, char** argv) {
   if (args.size() < 2) return usage(argv[0]);
   const std::string cmd = args[0];
   if (cmd == "ping") return cmd_ping(args[1]);
+  if (cmd == "pack") return cmd_pack(args);
+  if (cmd == "gentree") return cmd_gentree(args);
   if (cmd == "health") {
     bool json = false;
     for (size_t i = 2; i < args.size(); ++i) {

@@ -208,11 +208,21 @@ Result<size_t> CacheManager::pread_through(const std::string& logical_path,
     auto pin = store_->open_pinned(logical_path);
     if (!pin.ok()) {
       if (pin.error().code == ErrorCode::kNotFound) continue;  // evicted
-      return pin.error();
+      // A sick local store (NVMe I/O error, injected fault) must not
+      // fail the read — degrade to the PFS below (§III-H fail-open).
+      HVAC_LOG_WARN("local store open failed for " << logical_path
+                    << ", serving from PFS: "
+                    << pin.error().to_string());
+      break;
     }
-    HVAC_ASSIGN_OR_RETURN(size_t n, pin->pread(buf, count, offset));
-    metrics_.add_cache_bytes(n);
-    return n;
+    auto n = pin->pread(buf, count, offset);
+    if (!n.ok()) {
+      HVAC_LOG_WARN("local store read failed for " << logical_path
+                    << ", serving from PFS: " << n.error().to_string());
+      break;
+    }
+    metrics_.add_cache_bytes(*n);
+    return *n;
   }
   HVAC_ASSIGN_OR_RETURN(storage::PosixFile f, pfs_->open(logical_path));
   HVAC_ASSIGN_OR_RETURN(size_t n, pfs_->pread(f, buf, count, offset));

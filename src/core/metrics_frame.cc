@@ -380,6 +380,7 @@ std::string op_name(uint16_t opcode) {
     case 9: return "read_scatter";
     case 10: return "prefetch_batch";
     case 11: return "trace";
+    case 12: return "packed_index";
     default: return "op" + std::to_string(opcode);
   }
 }

@@ -1,6 +1,8 @@
 #include "rpc/rpc_server.h"
 
 #include <fcntl.h>
+#include <pthread.h>
+#include <sched.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -320,7 +322,46 @@ void RpcServer::adopt_connection(Reactor& r, int cfd) {
   r.conns_accepted.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Opt-in reactor->CPU pinning (HVAC_REACTOR_PIN=1): reactor i sticks
+// to the i-th CPU of the process's *allowed* set, so the pinning
+// respects cgroup/cpuset restrictions (a batch scheduler that granted
+// 4 of 128 cores must see those 4 used, not EINVAL). Any failure is a
+// warn-and-continue: pinning is a locality optimization, never a
+// correctness requirement.
+void maybe_pin_reactor(uint32_t reactor_id) {
+  if (!env_bool_or("HVAC_REACTOR_PIN", false)) return;
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (::sched_getaffinity(0, sizeof(allowed), &allowed) != 0) {
+    HVAC_LOG_WARN("reactor pin: sched_getaffinity: "
+                  << std::strerror(errno));
+    return;
+  }
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &allowed)) cpus.push_back(cpu);
+  }
+  if (cpus.empty()) return;
+  const int target = cpus[reactor_id % cpus.size()];
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(target, &one);
+  const int rc =
+      ::pthread_setaffinity_np(::pthread_self(), sizeof(one), &one);
+  if (rc != 0) {
+    HVAC_LOG_WARN("reactor pin: pthread_setaffinity_np(cpu " << target
+                  << "): " << std::strerror(rc));
+    return;
+  }
+  HVAC_LOG_DEBUG("reactor " << reactor_id << " pinned to cpu " << target);
+}
+
+}  // namespace
+
 void RpcServer::reactor_loop(Reactor& r) {
+  maybe_pin_reactor(r.id);
   const size_t count = reactors_.size();
   if (count > 1) {
     // Reactor-private buffer arena: inline handlers allocate and

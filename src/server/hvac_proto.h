@@ -33,6 +33,14 @@ enum Opcode : uint16_t {
                     // drains the process-wide trace rings. Consuming:
                     // two hvacctl instances polling one server split
                     // the spans between them.
+  kPackedIndex = 12,  // () -> (present u8 [, index blob])
+                      // The dataset's packed-container index
+                      // (storage/packed_format.h), verbatim. A client
+                      // that fetched it once resolves packed sample
+                      // paths locally — open/stat cost zero round
+                      // trips, and reads address samples by path via
+                      // kReadScatter (the server translates to
+                      // container offsets).
 };
 
 // served_from values in the kOpen response.

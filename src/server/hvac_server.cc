@@ -33,6 +33,18 @@ HvacServer::HvacServer(storage::PfsBackend* pfs, HvacServerOptions options)
     : pfs_(pfs),
       options_(std::move(options)),
       rpc_(make_rpc_options(options_)) {
+  if (options_.packed_enabled && env_bool_or("HVAC_PACK", true)) {
+    auto packed = storage::PackedStore::load(pfs_->root());
+    if (packed.ok()) {
+      packed_ = std::move(packed).value();
+    } else {
+      // A corrupt index must not kill the server: the unpacked tree
+      // (when present) still serves every sample through the regular
+      // per-file path.
+      HVAC_LOG_WARN("packed index disabled: "
+                    << packed.error().to_string());
+    }
+  }
   auto store = std::make_unique<storage::LocalStore>(
       options_.cache_dir, options_.cache_capacity_bytes,
       options_.handle_cache_slots);
@@ -135,6 +147,35 @@ void HvacServer::register_handlers() {
     // this process emitted (client-side included when co-located).
     return core::encode_spans(trace::drain());
   });
+  // Served from memory (the index was loaded at start): inline.
+  rpc_.register_handler(proto::kPackedIndex, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kPackedIndex);
+    return handle_packed_index(req);
+  }, rpc::DispatchHint::kInline);
+}
+
+HvacServer::PackedRoute HvacServer::route_packed(std::string& path) const {
+  PackedRoute route;
+  if (!packed_) return route;
+  auto resolved = packed_->resolve(path);
+  if (!resolved.has_value()) return route;
+  path = std::move(resolved->container_logical);
+  route.base = resolved->base;
+  route.length = resolved->length;
+  route.packed = true;
+  return route;
+}
+
+Result<Bytes> HvacServer::handle_packed_index(const Bytes&) {
+  WireWriter w;
+  if (!packed_) {
+    w.put_u8(0);
+    return std::move(w).take();
+  }
+  w.put_u8(1);
+  const std::vector<uint8_t>& raw = packed_->raw_index();
+  w.put_blob(raw.data(), raw.size());
+  return std::move(w).take();
 }
 
 Result<rpc::Payload> HvacServer::handle_read_segment(const Bytes& req) {
@@ -161,6 +202,10 @@ Result<rpc::Payload> HvacServer::handle_read_segment(const Bytes& req) {
 Result<Bytes> HvacServer::handle_open(const Bytes& req) {
   WireReader r(req);
   HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+  // Packed sample: the fd hands back the *container* (fetched and
+  // cached once for all its samples) with the sample's base/length
+  // stamped on it; the reported size is the sample's, not the blob's.
+  const PackedRoute route = route_packed(path);
 
   // Forward to the data-mover FIFO (paper §III-D steps 4-6) and wait
   // for the cache decision. Retry if the fresh copy is evicted before
@@ -184,7 +229,12 @@ Result<Bytes> HvacServer::handle_open(const Bytes& req) {
   if (open_file->pfs_fallback) {
     HVAC_ASSIGN_OR_RETURN(open_file->file, pfs_->open(path));
   }
-  HVAC_ASSIGN_OR_RETURN(size, open_file->file.size());
+  if (route.packed) {
+    open_file->base_offset = route.base;
+    size = route.length;
+  } else {
+    HVAC_ASSIGN_OR_RETURN(size, open_file->file.size());
+  }
   open_file->size = size;
   const bool cached = !open_file->pfs_fallback;
 
@@ -237,20 +287,30 @@ Result<rpc::Payload> HvacServer::handle_read(const Bytes& req) {
     rpc::FileExtent extent;
     extent.owner = open_file;
     extent.fd = open_file->file.fd();
-    extent.offset = offset;
+    extent.offset = open_file->base_offset + offset;
     extent.length = n;
     return rpc::blob_extent_payload(std::move(extent));
   }
 
+  // Pooled path: clamp to the open-time size too — for a packed
+  // sample the fd is the container, so reading past `size` would
+  // bleed into the next sample instead of hitting EOF.
+  {
+    const uint64_t avail =
+        offset < open_file->size ? open_file->size - offset : 0;
+    count = static_cast<uint32_t>(std::min<uint64_t>(count, avail));
+  }
   hvac::BufferPool::Lease lease =
       hvac::BufferPool::local().acquire(rpc::kBlobPrefix + count);
   uint8_t* dst = lease.data() + rpc::kBlobPrefix;
   size_t n = 0;
   if (open_file->pfs_fallback) {
     HVAC_ASSIGN_OR_RETURN(n, pfs_->pread(open_file->file, dst, count,
-                                         offset));
+                                         open_file->base_offset + offset));
   } else {
-    HVAC_ASSIGN_OR_RETURN(n, open_file->file.pread(dst, count, offset));
+    HVAC_ASSIGN_OR_RETURN(n, open_file->file.pread(
+                                 dst, count,
+                                 open_file->base_offset + offset));
   }
   cache_->record_served_bytes(n, !open_file->pfs_fallback);
   return rpc::blob_payload(std::move(lease), n);
@@ -297,28 +357,56 @@ Result<rpc::Payload> HvacServer::handle_read_scatter(const Bytes& req) {
   // the file may have been evicted since the client's metadata said
   // "cached" — then every extent degrades to pread_through, which
   // re-fetches or reads the PFS (and does its own byte accounting).
+  //
+  // Packed samples arrive in path mode (the client resolved the sample
+  // from the fetched index and skipped kOpen entirely): rewrite to the
+  // container's logical path, warm the container once through the
+  // mover, and translate every extent by the sample's base offset while
+  // clamping to the sample length. The reply table always echoes the
+  // *requested* sample-relative offsets.
   std::shared_ptr<const void> owner;
   int src_fd = -1;
   uint64_t src_size = 0;
   bool cached_fd = false;
+  uint64_t base = 0;
+  uint64_t limit = 0;     // clamp bound: sample length or file size
+  bool has_limit = false;
   std::shared_ptr<storage::OpenHandleCache::Pin> pin;
   if (open_file != nullptr) {
     path = open_file->logical_path;
+    base = open_file->base_offset;
+    limit = open_file->size;
+    has_limit = true;
     if (!open_file->pfs_fallback) {
       owner = open_file;
       src_fd = open_file->file.fd();
       src_size = open_file->size;
       cached_fd = true;
     }
-  } else if (cache_->is_cached(path)) {
-    auto pinned = cache_->store().open_pinned(path);
-    if (pinned.ok()) {
-      pin = std::make_shared<storage::OpenHandleCache::Pin>(
-          std::move(pinned).value());
-      HVAC_ASSIGN_OR_RETURN(src_size, pin->size());
-      src_fd = pin->file().fd();
-      owner = pin;
-      cached_fd = true;
+  } else {
+    const PackedRoute route = route_packed(path);
+    if (route.packed) {
+      base = route.base;
+      limit = route.length;
+      has_limit = true;
+      // One blocking fetch caches the whole container; this handler
+      // runs pooled, so the mover wait cannot stall a reactor.
+      (void)mover_->fetch(path);
+    }
+    if (cache_->is_cached(path)) {
+      auto pinned = cache_->store().open_pinned(path);
+      if (pinned.ok()) {
+        pin = std::make_shared<storage::OpenHandleCache::Pin>(
+            std::move(pinned).value());
+        HVAC_ASSIGN_OR_RETURN(src_size, pin->size());
+        src_fd = pin->file().fd();
+        owner = pin;
+        cached_fd = true;
+        if (!has_limit) {
+          limit = src_size;
+          has_limit = true;
+        }
+      }
     }
   }
 
@@ -327,7 +415,7 @@ Result<rpc::Payload> HvacServer::handle_read_scatter(const Bytes& req) {
     table.put_u32(n);
     uint64_t total_act = 0;
     for (auto& [off, len] : want) {
-      const uint64_t avail = off < src_size ? src_size - off : 0;
+      const uint64_t avail = off < limit ? limit - off : 0;
       len = static_cast<uint32_t>(std::min<uint64_t>(len, avail));
       table.put_u64(off);
       table.put_u32(len);
@@ -336,7 +424,7 @@ Result<rpc::Payload> HvacServer::handle_read_scatter(const Bytes& req) {
     rpc::Payload p(std::move(table).take());
     for (const auto& [off, len] : want) {
       if (len == 0) continue;
-      p.add_extent(rpc::FileExtent{owner, src_fd, off, len});
+      p.add_extent(rpc::FileExtent{owner, src_fd, base + off, len});
     }
     cache_->record_served_bytes(total_act, true);
     return p;
@@ -353,26 +441,35 @@ Result<rpc::Payload> HvacServer::handle_read_scatter(const Bytes& req) {
   std::vector<uint32_t> actual(n);
   for (uint32_t i = 0; i < n; ++i) {
     const auto [off, len] = want[i];
+    // Clamp to the sample/file bound whenever one is known — a packed
+    // sample's fd is the container, so an unclamped read would bleed
+    // into the neighbouring sample instead of hitting EOF.
+    uint32_t clamped = len;
+    if (has_limit) {
+      const uint64_t avail = off < limit ? limit - off : 0;
+      clamped = static_cast<uint32_t>(std::min<uint64_t>(len, avail));
+    }
     size_t got = 0;
     if (cached_fd) {
-      const uint64_t avail = off < src_size ? src_size - off : 0;
-      const size_t clamped = static_cast<size_t>(
-          std::min<uint64_t>(len, avail));
       if (open_file != nullptr) {
         HVAC_ASSIGN_OR_RETURN(
-            got, open_file->file.pread(data + cursor, clamped, off));
+            got,
+            open_file->file.pread(data + cursor, clamped, base + off));
       } else {
-        HVAC_ASSIGN_OR_RETURN(got, pin->pread(data + cursor, clamped, off));
+        HVAC_ASSIGN_OR_RETURN(
+            got, pin->pread(data + cursor, clamped, base + off));
       }
       cache_->record_served_bytes(got, true);
     } else if (open_file != nullptr) {
       // PFS-fallback remote fd: read through the borrowed PFS handle.
       HVAC_ASSIGN_OR_RETURN(
-          got, pfs_->pread(open_file->file, data + cursor, len, off));
+          got, pfs_->pread(open_file->file, data + cursor, clamped,
+                           base + off));
       cache_->record_served_bytes(got, false);
     } else {
       HVAC_ASSIGN_OR_RETURN(
-          got, cache_->pread_through(path, data + cursor, len, off));
+          got,
+          cache_->pread_through(path, data + cursor, clamped, base + off));
     }
     actual[i] = static_cast<uint32_t>(got);
     cursor += got;
@@ -402,6 +499,15 @@ Result<Bytes> HvacServer::handle_close(const Bytes& req) {
 Result<Bytes> HvacServer::handle_stat(const Bytes& req) {
   WireReader r(req);
   HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+  // Packed sample: the size comes from the index; "cached" means the
+  // container blob is resident.
+  const PackedRoute route = route_packed(path);
+  if (route.packed) {
+    WireWriter w;
+    w.put_u64(route.length);
+    w.put_u8(cache_->is_cached(path) ? 1 : 0);
+    return std::move(w).take();
+  }
   uint64_t size = 0;
   bool cached = false;
   if (cache_->is_cached(path)) {
@@ -423,6 +529,8 @@ Result<Bytes> HvacServer::handle_stat(const Bytes& req) {
 Result<Bytes> HvacServer::handle_prefetch(const Bytes& req) {
   WireReader r(req);
   HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+  // Prefetching a packed sample warms its whole container.
+  (void)route_packed(path);
   HVAC_ASSIGN_OR_RETURN(bool cached, mover_->fetch(path));
   WireWriter w;
   w.put_u8(cached ? 1 : 0);
@@ -439,6 +547,7 @@ Result<Bytes> HvacServer::handle_prefetch_batch(const Bytes& req) {
   w.put_u32(n);
   for (uint32_t i = 0; i < n; ++i) {
     HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+    (void)route_packed(path);
     // A single failed fetch must not fail the batch: report the path
     // as not-cached and keep warming the rest.
     auto cached = mover_->fetch(path);

@@ -22,6 +22,7 @@
 #include "core/metrics_frame.h"
 #include "rpc/rpc_server.h"
 #include "server/hvac_proto.h"
+#include "storage/packed_store.h"
 #include "storage/pfs_backend.h"
 
 namespace hvac::server {
@@ -49,6 +50,11 @@ struct HvacServerOptions {
   // RPC reactor count, forwarded to RpcServerOptions::reactors
   // (0 = auto: HVAC_REACTORS, else min(cores, 8)).
   size_t rpc_reactors = 0;
+  // Load the dataset's packed-container index (.hvacpack/) when one
+  // exists and resolve packed sample paths through it. Overridden by
+  // HVAC_PACK=0. A corrupt index logs and disables packed resolution
+  // rather than failing the server (the unpacked tree still serves).
+  bool packed_enabled = true;
 };
 
 class HvacServer {
@@ -83,12 +89,18 @@ class HvacServer {
   core::MetricsFrame metrics_frame() const;
   size_t open_remote_fds() const;
   rpc::RpcServer& rpc() { return rpc_; }
+  // Non-null when the dataset carries a packed-container index.
+  const storage::PackedStore* packed_store() const { return packed_.get(); }
 
  private:
   struct OpenFile {
     storage::PosixFile file;
     std::string logical_path;
     uint64_t size = 0;  // at open time; cached copies are immutable
+    // For a packed sample the fd is the *container*: reads add
+    // base_offset and clamp to `size` (the sample length) so they can
+    // never bleed into the neighbouring sample.
+    uint64_t base_offset = 0;
     bool pfs_fallback = false;
   };
 
@@ -110,9 +122,21 @@ class HvacServer {
   Result<rpc::Bytes> handle_prefetch(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_prefetch_batch(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_metrics(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_packed_index(const rpc::Bytes& req);
+
+  // Packed resolution for prefetch/open/stat/read paths: when `path`
+  // is a packed sample, rewrites it to the container's logical path
+  // and returns the sample's (base, length); identity otherwise.
+  struct PackedRoute {
+    uint64_t base = 0;
+    uint64_t length = 0;
+    bool packed = false;
+  };
+  PackedRoute route_packed(std::string& path) const;
 
   storage::PfsBackend* pfs_;
   HvacServerOptions options_;
+  std::unique_ptr<storage::PackedStore> packed_;
   std::unique_ptr<core::CacheManager> cache_;
   std::unique_ptr<core::DataMover> mover_;
   rpc::RpcServer rpc_;

@@ -1,0 +1,47 @@
+#include "storage/packed_store.h"
+
+#include "common/env.h"
+#include "common/hash.h"
+#include "common/log.h"
+#include "storage/posix_file.h"
+
+namespace hvac::storage {
+
+PackedStore::PackedStore(std::vector<uint8_t> raw, PackedIndex index)
+    : raw_(std::move(raw)), index_(std::move(index)) {
+  container_logicals_.reserve(index_.container_sizes.size());
+  for (uint32_t id = 0; id < index_.container_sizes.size(); ++id) {
+    container_logicals_.push_back(packed_container_logical(id));
+  }
+}
+
+Result<std::unique_ptr<PackedStore>> PackedStore::load(
+    const std::string& root) {
+  const std::string index_path = path_join(root, packed_index_logical());
+  if (!file_exists(index_path)) {
+    return std::unique_ptr<PackedStore>();  // dataset is not packed
+  }
+  HVAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, read_file(index_path));
+  HVAC_ASSIGN_OR_RETURN(PackedIndex index,
+                        PackedIndex::decode(raw.data(), raw.size()));
+  auto store = std::unique_ptr<PackedStore>(
+      new PackedStore(std::move(raw), std::move(index)));
+  HVAC_LOG_INFO("packed index loaded: " << store->sample_count()
+                                        << " samples in "
+                                        << store->container_count()
+                                        << " containers");
+  return store;
+}
+
+std::optional<PackedStore::Resolved> PackedStore::resolve(
+    const std::string& logical_path) const {
+  const PackedEntry* e = index_.find(stable_hash(logical_path));
+  if (e == nullptr) return std::nullopt;
+  Resolved r;
+  r.container_logical = container_logicals_[e->container_id];
+  r.base = e->offset;
+  r.length = e->length;
+  return r;
+}
+
+}  // namespace hvac::storage

@@ -378,5 +378,32 @@ TEST(ReactorChaos, SingleReactorIsStatusQuo) {
   server.stop();
 }
 
+TEST(ReactorPinning, PinnedReactorsStillServe) {
+  // HVAC_REACTOR_PIN=1 pins each reactor to one allowed CPU. The pin
+  // is opt-in and warn-on-failure, so the observable contract is
+  // simply: the server works exactly as before, whatever the runner's
+  // cpuset looks like (more reactors than allowed CPUs included).
+  ::setenv("HVAC_REACTOR_PIN", "1", 1);
+  RpcServerOptions so;
+  so.bind_address = "127.0.0.1:0";
+  so.handler_threads = 2;
+  so.reactors = 4;
+  RpcServer server(so);
+  server.register_handler(1, [](const Bytes& req) {
+    return Result<Bytes>(req);
+  });
+  ASSERT_TRUE(server.start().ok());
+
+  RpcClient client(server.endpoint());
+  for (uint8_t i = 0; i < 16; ++i) {
+    const auto resp = client.call(1, Bytes{i});
+    ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+    EXPECT_EQ((*resp)[0], i);
+  }
+  EXPECT_EQ(server.requests_served(), 16u);
+  server.stop();
+  ::unsetenv("HVAC_REACTOR_PIN");
+}
+
 }  // namespace
 }  // namespace hvac
