@@ -56,6 +56,10 @@ Result<HvacClientOptions> options_from_env() {
   o.meta_ttl_ms = env_int_or("HVAC_META_TTL_MS", o.meta_ttl_ms);
   o.packed_enabled = env_bool_or("HVAC_PACK", true);
   o.packed_ttl_ms = env_int_or("HVAC_PACK_TTL_MS", o.packed_ttl_ms);
+  const std::string durability =
+      env_string_or("HVAC_WRITE_DURABILITY", "local");
+  o.write_durability = durability == "pfs" ? proto::kDurabilityPfs
+                                           : proto::kDurabilityLocal;
   // Fault-domain knobs: an end-to-end deadline per call and a bounded
   // retry budget for idempotent ops (stat / positional reads).
   o.rpc.call_timeout_ms =
@@ -694,9 +698,26 @@ Status HvacClient::close(int vfd) {
   // Segmented and path-mode fds never opened anything remotely.
   if (entry.segmented || entry.path_mode) return Status::Ok();
   if (entry.fallback_pfs) {
+    if (entry.writable && ::fsync(entry.pfs_fd) != 0) {
+      const Error e = Error::from_errno(errno, "fsync(pfs)");
+      ::close(entry.pfs_fd);
+      return e;
+    }
     if (::close(entry.pfs_fd) != 0) {
       return Error::from_errno(errno, "close(pfs)");
     }
+    return Status::Ok();
+  }
+  if (entry.writable) {
+    // close is a durability barrier on the write path: the server
+    // commits the journal (and drains to the PFS at level "pfs")
+    // before dropping the handle, so this failure IS surfaced.
+    WireWriter w;
+    w.put_u64(entry.remote_fd);
+    w.put_u8(options_.write_durability);
+    HVAC_ASSIGN_OR_RETURN(
+        Bytes resp, channel(entry.server_index).call(proto::kWriteClose, w));
+    (void)resp;
     return Status::Ok();
   }
   // Out-of-band teardown RPC (paper §III-D step 8). Failure here is
@@ -707,6 +728,145 @@ Status HvacClient::close(int vfd) {
   if (!resp.ok() && resp.error().code != ErrorCode::kUnavailable) {
     return resp.error();
   }
+  return Status::Ok();
+}
+
+// ---- checkpoint write path ------------------------------------------------
+
+Result<int> HvacClient::open_write(const std::string& path, bool trunc) {
+  trace::Span span("client.open_write");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.opens;
+  }
+  HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+  // A write invalidates whatever the read path remembered or cached
+  // about this file.
+  meta_.invalidate(logical);
+
+  const uint32_t server = placement_.home(logical);
+  WireWriter w;
+  w.put_string(logical);
+  w.put_u8(trunc ? 1 : 0);
+  Result<Bytes> resp = channel(server).call(proto::kWriteOpen, w);
+  if (resp.ok()) {
+    WireReader r(*resp);
+    HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
+    HVAC_ASSIGN_OR_RETURN(uint8_t mode, r.get_u8());
+    (void)mode;  // server-side routing detail; the fd API is identical
+    core::FdEntry entry;
+    entry.logical_path = logical;
+    entry.server_index = server;
+    entry.remote_fd = remote_fd;
+    entry.writable = true;
+    const int vfd = fds_.insert(std::move(entry));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.remote_opens;
+    return vfd;
+  }
+  // Fail open on transport errors only: a real error from a healthy
+  // server (bad path etc.) is final. Mid-file writes do NOT fail over
+  // (bytes already acked to a dead server would silently vanish from
+  // the copy), so the choice of backing is made once, here.
+  if (resp.error().code != ErrorCode::kUnavailable &&
+      resp.error().code != ErrorCode::kTimeout) {
+    return resp.error();
+  }
+  if (!options_.allow_pfs_fallback) return resp.error();
+  HVAC_LOG_INFO("write falling back to PFS for " << path);
+  int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+  if (trunc) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Error::from_errno(errno, "open " + path);
+  core::FdEntry entry;
+  entry.logical_path = path;
+  entry.fallback_pfs = true;
+  entry.pfs_fd = fd;
+  entry.writable = true;
+  const int vfd = fds_.insert(std::move(entry));
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.fallback_write_opens;
+  return vfd;
+}
+
+Result<size_t> HvacClient::pwrite(int vfd, const void* buf, size_t count,
+                                  uint64_t offset) {
+  trace::Span span("client.write", count);
+  HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
+  if (!entry.writable) {
+    return Error(ErrorCode::kInvalidArgument, "fd not open for writing");
+  }
+  const auto* src = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  if (entry.fallback_pfs) {
+    while (done < count) {
+      const ssize_t n = ::pwrite(entry.pfs_fd, src + done, count - done,
+                                 static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return Error::from_errno(errno, "pwrite(pfs)");
+      }
+      done += static_cast<size_t>(n);
+    }
+  } else {
+    // Chunk to the RPC frame cap. A chunk is idempotent (same bytes,
+    // same offset), so transport retries are safe.
+    while (done < count) {
+      const uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
+          count - done, options_.read_chunk_bytes));
+      WireWriter w;
+      w.put_u64(entry.remote_fd);
+      w.put_u64(offset + done);
+      w.put_blob(src + done, chunk);
+      HVAC_ASSIGN_OR_RETURN(
+          Bytes resp,
+          channel(entry.server_index).call_idempotent(proto::kWrite, w));
+      WireReader r(resp);
+      HVAC_ASSIGN_OR_RETURN(uint32_t written, r.get_u32());
+      if (written == 0) break;
+      done += written;
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.writes;
+  stats_.bytes_written += done;
+  return done;
+}
+
+Result<size_t> HvacClient::write(int vfd, const void* buf, size_t count) {
+  HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
+  if (!entry.writable) {
+    return Error(ErrorCode::kInvalidArgument, "fd not open for writing");
+  }
+  HVAC_ASSIGN_OR_RETURN(size_t n, pwrite(vfd, buf, count, entry.offset));
+  HVAC_RETURN_IF_ERROR(fds_.set_offset(vfd, entry.offset + n));
+  return n;
+}
+
+Status HvacClient::fsync(int vfd) {
+  trace::Span span("client.fsync");
+  HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
+  if (!entry.writable) {
+    return Error(ErrorCode::kInvalidArgument, "fd not open for writing");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.fsyncs;
+  }
+  if (entry.fallback_pfs) {
+    if (::fsync(entry.pfs_fd) != 0) {
+      return Error::from_errno(errno, "fsync(pfs)");
+    }
+    return Status::Ok();
+  }
+  WireWriter w;
+  w.put_u64(entry.remote_fd);
+  w.put_u8(options_.write_durability);
+  // The barrier is idempotent — committing twice is harmless.
+  HVAC_ASSIGN_OR_RETURN(
+      Bytes resp,
+      channel(entry.server_index).call_idempotent(proto::kFsync, w));
+  (void)resp;
   return Status::Ok();
 }
 
@@ -811,6 +971,10 @@ std::string stats_to_json(const ClientStats& s) {
     << ",\"fallback_opens\":" << s.fallback_opens
     << ",\"reads\":" << s.reads << ",\"bytes_read\":" << s.bytes_read
     << ",\"failovers\":" << s.failovers
+    << ",\"writes\":" << s.writes
+    << ",\"bytes_written\":" << s.bytes_written
+    << ",\"fsyncs\":" << s.fsyncs
+    << ",\"fallback_write_opens\":" << s.fallback_write_opens
     << ",\"read_ahead\":{\"issued\":" << s.readahead_issued
     << ",\"consumed\":" << s.readahead_hits
     << ",\"wasted\":" << s.readahead_wasted << "}"

@@ -65,6 +65,11 @@ struct HvacClientOptions {
   // every packed_ttl_ms (HVAC_PACK_TTL_MS; <= 0 never re-checks).
   bool packed_enabled = true;
   int64_t packed_ttl_ms = 30000;
+  // Checkpoint-write durability barrier (HVAC_WRITE_DURABILITY):
+  // "local" (0) — fsync returns once the server's journal commit is on
+  // node-local media; "pfs" (1) — fsync additionally waits until the
+  // flusher landed the file on the PFS.
+  uint8_t write_durability = 0;
   rpc::RpcClientOptions rpc;
 };
 
@@ -86,6 +91,10 @@ struct ClientStats {
                                   // (non-sequential turn, close, failover)
   uint64_t meta_hits = 0;    // opens/stats answered from the meta cache
   uint64_t meta_misses = 0;  // lookups that had to pay the round trip
+  uint64_t writes = 0;           // write() calls on write vfds
+  uint64_t bytes_written = 0;
+  uint64_t fsyncs = 0;           // durability barriers requested
+  uint64_t fallback_write_opens = 0;  // write opens served by the PFS
 };
 
 // JSON rendering of the shim's exit summary (HVAC_STATS_FILE): the
@@ -106,6 +115,17 @@ class HvacClient {
   Result<size_t> pread(int vfd, void* buf, size_t count, uint64_t offset);
   Result<int64_t> lseek(int vfd, int64_t offset, int whence);
   Status close(int vfd);
+
+  // Checkpoint write path: the file lands in the home server's
+  // write-back tier (journal + local NVMe) and is flushed to the PFS
+  // asynchronously; fsync() is the durability barrier (level set by
+  // options().write_durability). A failed kWriteOpen fails open to a
+  // direct PFS fd — a cache must never kill a training run.
+  Result<int> open_write(const std::string& path, bool trunc);
+  Result<size_t> write(int vfd, const void* buf, size_t count);
+  Result<size_t> pwrite(int vfd, const void* buf, size_t count,
+                        uint64_t offset);
+  Status fsync(int vfd);
 
   // Size without opening.
   Result<uint64_t> stat_size(const std::string& path);

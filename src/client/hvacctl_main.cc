@@ -460,6 +460,87 @@ int cmd_gentree(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Write-back health: journal depth, flush-queue state, the age of the
+// oldest unflushed file and the last restart's replay summary — the
+// operator's view of "would a crash right now lose anything" (no: the
+// journal covers it) and "how far behind is the PFS".
+int cmd_journal(const std::string& csv, bool json) {
+  int failures = 0;
+  std::string json_rows;
+  if (!json) {
+    std::printf("%-24s %10s %12s %8s %9s %8s  %s\n", "endpoint", "journal",
+                "dirty", "queue", "lag_ms", "flushed", "last_replay");
+  }
+  for (const auto& endpoint : split_csv(csv)) {
+    rpc::RpcClient client(rpc::Endpoint{endpoint}, cli_options());
+    const auto resp = client.call(proto::kMetrics, Bytes{});
+    core::WriteBackStats wb;
+    bool have = false;
+    if (resp.ok()) {
+      if (const auto frame = core::MetricsFrame::decode(*resp);
+          frame.ok() && frame->version >= 2) {
+        wb = frame->write_back;
+        have = true;
+      }
+    }
+    if (json) {
+      if (!json_rows.empty()) json_rows += ",";
+      json_rows += "{\"endpoint\":\"" + endpoint + "\",\"up\":" +
+                   (have ? "true" : "false");
+      if (have) {
+        json_rows +=
+            ",\"journal_records\":" + std::to_string(wb.journal_records) +
+            ",\"journal_bytes\":" + std::to_string(wb.journal_bytes) +
+            ",\"dirty_files\":" + std::to_string(wb.dirty_files) +
+            ",\"dirty_bytes\":" + std::to_string(wb.dirty_bytes) +
+            ",\"flush_queue_depth\":" +
+            std::to_string(wb.flush_queue_depth) +
+            ",\"flush_inflight\":" + std::to_string(wb.flush_inflight) +
+            ",\"flush_lag_ms\":" + std::to_string(wb.flush_lag_ms) +
+            ",\"flushed_files\":" + std::to_string(wb.flushed_files) +
+            ",\"flush_retries\":" + std::to_string(wb.flush_retries) +
+            ",\"flush_failures\":" + std::to_string(wb.flush_failures) +
+            ",\"write_through_sheds\":" +
+            std::to_string(wb.write_through_sheds) +
+            ",\"replay\":{\"writes\":" + std::to_string(wb.replay_writes) +
+            ",\"bytes\":" + std::to_string(wb.replay_bytes) +
+            ",\"truncated_bytes\":" +
+            std::to_string(wb.replay_truncated_bytes) +
+            ",\"dirty_files\":" + std::to_string(wb.replay_dirty_files) +
+            "}";
+      }
+      json_rows += "}";
+    } else if (!have) {
+      std::printf("%-24s %s\n", endpoint.c_str(),
+                  resp.ok() ? "(no write-back section)"
+                            : resp.error().to_string().c_str());
+    } else {
+      char replay[96];
+      std::snprintf(replay, sizeof(replay),
+                    "%lu writes/%lu bytes, %lu dirty, %lu torn",
+                    (unsigned long)wb.replay_writes,
+                    (unsigned long)wb.replay_bytes,
+                    (unsigned long)wb.replay_dirty_files,
+                    (unsigned long)wb.replay_truncated_bytes);
+      std::printf("%-24s %7lur/%luB %6luf/%luB %8lu %9lu %8lu  %s\n",
+                  endpoint.c_str(), (unsigned long)wb.journal_records,
+                  (unsigned long)wb.journal_bytes,
+                  (unsigned long)wb.dirty_files,
+                  (unsigned long)wb.dirty_bytes,
+                  (unsigned long)(wb.flush_queue_depth + wb.flush_inflight),
+                  (unsigned long)wb.flush_lag_ms,
+                  (unsigned long)wb.flushed_files, replay);
+    }
+    if (!have) ++failures;
+  }
+  if (json) {
+    std::printf("{\"endpoints\":[%s],\"failures\":%d}\n", json_rows.c_str(),
+                failures);
+  }
+  std::fflush(stdout);
+  return failures == 0 ? 0 : 1;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--timeout MS] ping ENDPOINTS\n"
@@ -467,11 +548,12 @@ int usage(const char* argv0) {
                "       %s [--timeout MS] metrics ENDPOINTS [--json] "
                "[--watch N]\n"
                "       %s [--timeout MS] stat|warm ENDPOINT PATH\n"
+               "       %s [--timeout MS] journal ENDPOINTS [--json]\n"
                "       %s [--timeout MS] trace ENDPOINTS [--chrome]\n"
                "       %s pack ROOT [--container-bytes N]\n"
                "       %s gentree ROOT NUM_FILES MEAN_BYTES [--sigma S]\n"
                "                  [--seed N] [--manifest FILE]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -507,6 +589,18 @@ int main(int argc, char** argv) {
       }
     }
     return cmd_health(args[1], json);
+  }
+  if (cmd == "journal") {
+    bool json = false;
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else {
+        std::fprintf(stderr, "unknown journal flag %s\n", args[i].c_str());
+        return 2;
+      }
+    }
+    return cmd_journal(args[1], json);
   }
   if (cmd == "metrics") {
     bool json = false;

@@ -168,6 +168,10 @@ const char* site_name(Site site) {
     case Site::kPfsRead: return "pfs_read";
     case Site::kZcSend: return "zc_send";
     case Site::kZcSplice: return "zc_splice";
+    case Site::kJournalAppend: return "journal_append";
+    case Site::kJournalFsync: return "journal_fsync";
+    case Site::kStoreWrite: return "store_write";
+    case Site::kPfsWrite: return "pfs_write";
     case Site::kCount: break;
   }
   return "?";

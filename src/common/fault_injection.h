@@ -11,7 +11,8 @@
 //
 // Grammar: rules separated by ';', each rule `site:action[:token]*`.
 //   site    rpc_connect | rpc_send | rpc_recv | open | read | stat |
-//           store_read | pfs_read | zc_send | zc_splice
+//           store_read | pfs_read | zc_send | zc_splice |
+//           journal_append | journal_fsync | store_write | pfs_write
 //   action  error            inject kIoError
 //           error=CODE       CODE in {unavailable, timeout, io,
 //                            not_found, capacity, protocol}
@@ -52,6 +53,10 @@ enum class Site : uint8_t {
   kPfsRead,
   kZcSend,    // sendfile() leg of the zero-copy response path
   kZcSplice,  // splice() leg of the zero-copy response path
+  kJournalAppend,  // write-ahead journal record append
+  kJournalFsync,   // journal commit-barrier fdatasync
+  kStoreWrite,     // write-back store pwrite on local NVMe
+  kPfsWrite,       // flusher's copy-out to the PFS
   kCount,  // sentinel
 };
 

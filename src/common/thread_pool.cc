@@ -63,6 +63,7 @@ Status WorkStealingPool::submit(size_t shard, std::function<void()> task) {
       return Error(ErrorCode::kCapacity, "shard queue full");
     }
     s.tasks.push_back(std::move(task));
+    s.depth.store(s.tasks.size(), std::memory_order_relaxed);
   }
   pending_.fetch_add(1, std::memory_order_release);
   sleep_cv_.notify_one();
@@ -85,34 +86,70 @@ uint64_t WorkStealingPool::steals(size_t shard) const {
       std::memory_order_relaxed);
 }
 
+uint64_t WorkStealingPool::steal_backoffs(size_t shard) const {
+  if (shards_.empty()) return 0;
+  return shards_[shard % shards_.size()]->steal_backoffs.load(
+      std::memory_order_relaxed);
+}
+
 bool WorkStealingPool::try_pop(size_t shard, std::function<void()>* out) {
   Shard& s = *shards_[shard];
   std::lock_guard<std::mutex> lock(s.mutex);
   if (s.tasks.empty()) return false;
   *out = std::move(s.tasks.front());
   s.tasks.pop_front();
+  s.depth.store(s.tasks.size(), std::memory_order_relaxed);
   return true;
 }
 
 void WorkStealingPool::worker_loop(size_t home) {
   if (options_.worker_init) options_.worker_init(home);
   const size_t n = shards_.size();
+  // Consecutive throttled scans; the third scan runs unthrottled so a
+  // lone queued task behind a busy worker is picked up within a couple
+  // of passes even when depths stay uniform.
+  size_t backoff_streak = 0;
   for (;;) {
     std::function<void()> task;
     bool got = try_pop(home, &task);
     if (!got && options_.steal_enabled) {
-      // Steal scan: oldest task from the first non-empty victim,
-      // walking shards in ring order starting after home so steal
-      // pressure spreads instead of piling on shard 0.
-      for (size_t i = 1; i < n && !got; ++i) {
-        const size_t victim = (home + i) % n;
-        got = try_pop(victim, &task);
-        if (got) {
-          shards_[victim]->steals.fetch_add(1, std::memory_order_relaxed);
+      bool scan = true;
+      if (options_.steal_throttle && backoff_streak < 2) {
+        size_t max_depth = 0;
+        for (size_t i = 1; i < n; ++i) {
+          const size_t d =
+              shards_[(home + i) % n]->depth.load(std::memory_order_relaxed);
+          if (d > max_depth) max_depth = d;
+        }
+        if (max_depth < 2) {
+          // Depths are uniform (no victim backlogged): its home worker
+          // drains a depth-1 queue as fast as a thief would, so skip
+          // the n-1 lock acquisitions. Only count it as a backoff when
+          // stealable work actually existed.
+          scan = false;
+          if (max_depth > 0) {
+            ++backoff_streak;
+            shards_[home]->steal_backoffs.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        }
+      }
+      if (scan) {
+        backoff_streak = 0;
+        // Steal scan: oldest task from the first non-empty victim,
+        // walking shards in ring order starting after home so steal
+        // pressure spreads instead of piling on shard 0.
+        for (size_t i = 1; i < n && !got; ++i) {
+          const size_t victim = (home + i) % n;
+          got = try_pop(victim, &task);
+          if (got) {
+            shards_[victim]->steals.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
     }
     if (got) {
+      backoff_streak = 0;
       pending_.fetch_sub(1, std::memory_order_release);
       task();
       continue;

@@ -60,6 +60,14 @@ class WorkStealingPool {
     size_t shard_capacity = 1024;
     // HVAC_STEAL=0 pins workers to their home shard (measurement aid).
     bool steal_enabled = true;
+    // Adaptive steal throttling (HVAC_STEAL_THROTTLE=0 disables):
+    // when no victim shard has a backlog (every depth <= 1), their
+    // home workers drain the odd queued task as fast as a thief
+    // would, so the scan's n-1 mutex acquisitions buy nothing — the
+    // worker backs off instead (counted per home shard). Two
+    // consecutive backoffs force a scan anyway, bounding the added
+    // pickup latency for a lone task stuck behind a busy worker.
+    bool steal_throttle = true;
     // Runs once on each worker thread before it serves tasks, with the
     // worker's home shard index (binds per-reactor buffer arenas).
     std::function<void(size_t shard)> worker_init;
@@ -83,12 +91,19 @@ class WorkStealingPool {
   // Tasks submitted to `shard` that were executed by a foreign
   // worker (counted on the victim shard).
   uint64_t steals(size_t shard) const;
+  // Steal scans skipped by the adaptive throttle while stealable work
+  // existed (counted on the would-be thief's home shard).
+  uint64_t steal_backoffs(size_t shard) const;
 
  private:
   struct Shard {
     mutable std::mutex mutex;
     std::deque<std::function<void()>> tasks;
+    // Queue depth mirrored outside the mutex so the throttle's
+    // uniformity check is a relaxed load, not a lock acquisition.
+    std::atomic<size_t> depth{0};
     std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> steal_backoffs{0};
   };
 
   bool try_pop(size_t shard, std::function<void()>* out);

@@ -34,6 +34,9 @@ struct FdEntry {
                               // with no open RPC — reads address the
                               // file by logical path (kReadScatter
                               // mode 1), close has no remote state
+  bool writable = false;      // true: checkpoint write handle (remote_fd
+                              // is a kWriteOpen cookie, or pfs_fd is a
+                              // real O_WRONLY fd when fallback_pfs)
 };
 
 class FdTable {

@@ -80,7 +80,31 @@ void ReactorStats::merge(const ReactorStats& other) {
     reactors[i].requests += other.reactors[i].requests;
     reactors[i].steals += other.reactors[i].steals;
     reactors[i].shed += other.reactors[i].shed;
+    reactors[i].steal_backoffs += other.reactors[i].steal_backoffs;
   }
+}
+
+void WriteBackStats::merge(const WriteBackStats& other) {
+  writes += other.writes;
+  bytes_written += other.bytes_written;
+  fsyncs += other.fsyncs;
+  dirty_bytes += other.dirty_bytes;
+  dirty_files += other.dirty_files;
+  journal_records += other.journal_records;
+  journal_bytes += other.journal_bytes;
+  flushed_files += other.flushed_files;
+  flush_retries += other.flush_retries;
+  flush_failures += other.flush_failures;
+  flush_queue_depth += other.flush_queue_depth;
+  flush_inflight += other.flush_inflight;
+  flush_lag_ms = flush_lag_ms > other.flush_lag_ms ? flush_lag_ms
+                                                   : other.flush_lag_ms;
+  write_through_sheds += other.write_through_sheds;
+  write_through_bytes += other.write_through_bytes;
+  replay_writes += other.replay_writes;
+  replay_bytes += other.replay_bytes;
+  replay_truncated_bytes += other.replay_truncated_bytes;
+  replay_dirty_files += other.replay_dirty_files;
 }
 
 void MetricsFrame::merge(const MetricsFrame& other) {
@@ -101,6 +125,7 @@ void MetricsFrame::merge(const MetricsFrame& other) {
   meta_cache.merge(other.meta_cache);
   trace.merge(other.trace);
   reactor.merge(other.reactor);
+  write_back.merge(other.write_back);
   for (const auto& [op, snap] : other.op_latency) {
     op_latency[op].merge(snap);
   }
@@ -120,7 +145,7 @@ Bytes MetricsFrame::encode() const {
 
   w.put_u32(kMetricsFrameMagic);
   w.put_u16(kFrameVersion);
-  w.put_u16(9);  // section count
+  w.put_u16(10);  // section count
 
   {
     WireWriter s;
@@ -213,14 +238,39 @@ Bytes MetricsFrame::encode() const {
   {
     WireWriter s;
     s.put_u16(static_cast<uint16_t>(reactor.reactors.size()));
-    s.put_u16(4);  // u64 words per reactor row
+    s.put_u16(5);  // u64 words per reactor row
     for (const auto& pr : reactor.reactors) {
       s.put_u64(pr.conns);
       s.put_u64(pr.requests);
       s.put_u64(pr.steals);
       s.put_u64(pr.shed);
+      s.put_u64(pr.steal_backoffs);
     }
     w.put_u16(kSectionReactors);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  {
+    WireWriter s;
+    s.put_u64(write_back.writes);
+    s.put_u64(write_back.bytes_written);
+    s.put_u64(write_back.fsyncs);
+    s.put_u64(write_back.dirty_bytes);
+    s.put_u64(write_back.dirty_files);
+    s.put_u64(write_back.journal_records);
+    s.put_u64(write_back.journal_bytes);
+    s.put_u64(write_back.flushed_files);
+    s.put_u64(write_back.flush_retries);
+    s.put_u64(write_back.flush_failures);
+    s.put_u64(write_back.flush_queue_depth);
+    s.put_u64(write_back.flush_inflight);
+    s.put_u64(write_back.flush_lag_ms);
+    s.put_u64(write_back.write_through_sheds);
+    s.put_u64(write_back.write_through_bytes);
+    s.put_u64(write_back.replay_writes);
+    s.put_u64(write_back.replay_bytes);
+    s.put_u64(write_back.replay_truncated_bytes);
+    s.put_u64(write_back.replay_dirty_files);
+    w.put_u16(kSectionWriteBack);
     w.put_blob(s.bytes().data(), s.bytes().size());
   }
   return std::move(w).take();
@@ -270,11 +320,12 @@ void decode_reactors(WireReader& r, ReactorStats* out) {
   if (!count.ok() || !words.ok()) return;
   for (uint16_t i = 0; i < *count; ++i) {
     ReactorStats::PerReactor pr;
-    uint64_t* fields[] = {&pr.conns, &pr.requests, &pr.steals, &pr.shed};
+    uint64_t* fields[] = {&pr.conns, &pr.requests, &pr.steals, &pr.shed,
+                          &pr.steal_backoffs};
     for (uint16_t w = 0; w < *words; ++w) {
       auto v = r.get_u64();
       if (!v.ok()) return;
-      if (w < 4) *fields[w] = *v;  // newer rows: extra words ignored
+      if (w < 5) *fields[w] = *v;  // newer rows: extra words ignored
     }
     out->reactors.push_back(pr);
   }
@@ -358,6 +409,25 @@ Result<MetricsFrame> MetricsFrame::decode(const Bytes& bytes) {
       case kSectionReactors:
         decode_reactors(s, &f.reactor);
         break;
+      case kSectionWriteBack:
+        read_u64s(s, {&f.write_back.writes, &f.write_back.bytes_written,
+                      &f.write_back.fsyncs, &f.write_back.dirty_bytes,
+                      &f.write_back.dirty_files,
+                      &f.write_back.journal_records,
+                      &f.write_back.journal_bytes,
+                      &f.write_back.flushed_files,
+                      &f.write_back.flush_retries,
+                      &f.write_back.flush_failures,
+                      &f.write_back.flush_queue_depth,
+                      &f.write_back.flush_inflight,
+                      &f.write_back.flush_lag_ms,
+                      &f.write_back.write_through_sheds,
+                      &f.write_back.write_through_bytes,
+                      &f.write_back.replay_writes,
+                      &f.write_back.replay_bytes,
+                      &f.write_back.replay_truncated_bytes,
+                      &f.write_back.replay_dirty_files});
+        break;
       default:
         break;  // unknown section: skipped by its length prefix
     }
@@ -381,6 +451,10 @@ std::string op_name(uint16_t opcode) {
     case 10: return "prefetch_batch";
     case 11: return "trace";
     case 12: return "packed_index";
+    case 13: return "write_open";
+    case 14: return "write";
+    case 15: return "fsync";
+    case 16: return "write_close";
     default: return "op" + std::to_string(opcode);
   }
 }
@@ -440,9 +514,29 @@ std::string MetricsFrame::to_json() const {
     const auto& pr = reactor.reactors[i];
     if (i != 0) o << ",";
     o << "{\"conns\":" << pr.conns << ",\"requests\":" << pr.requests
-      << ",\"steals\":" << pr.steals << ",\"shed\":" << pr.shed << "}";
+      << ",\"steals\":" << pr.steals << ",\"shed\":" << pr.shed
+      << ",\"steal_backoffs\":" << pr.steal_backoffs << "}";
   }
   o << "]"
+    << ",\"write_back\":{\"writes\":" << write_back.writes
+    << ",\"bytes_written\":" << write_back.bytes_written
+    << ",\"fsyncs\":" << write_back.fsyncs
+    << ",\"dirty_bytes\":" << write_back.dirty_bytes
+    << ",\"dirty_files\":" << write_back.dirty_files
+    << ",\"journal_records\":" << write_back.journal_records
+    << ",\"journal_bytes\":" << write_back.journal_bytes
+    << ",\"flushed_files\":" << write_back.flushed_files
+    << ",\"flush_retries\":" << write_back.flush_retries
+    << ",\"flush_failures\":" << write_back.flush_failures
+    << ",\"flush_queue_depth\":" << write_back.flush_queue_depth
+    << ",\"flush_inflight\":" << write_back.flush_inflight
+    << ",\"flush_lag_ms\":" << write_back.flush_lag_ms
+    << ",\"write_through_sheds\":" << write_back.write_through_sheds
+    << ",\"write_through_bytes\":" << write_back.write_through_bytes
+    << ",\"replay_writes\":" << write_back.replay_writes
+    << ",\"replay_bytes\":" << write_back.replay_bytes
+    << ",\"replay_truncated_bytes\":" << write_back.replay_truncated_bytes
+    << ",\"replay_dirty_files\":" << write_back.replay_dirty_files << "}"
     << ",\"latency_us\":{";
   bool first = true;
   for (const auto& [op, snap] : op_latency) {

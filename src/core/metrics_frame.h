@@ -48,6 +48,7 @@ enum MetricsSection : uint16_t {
   kSectionMetaCache = 7,
   kSectionTrace = 8,
   kSectionReactors = 9,
+  kSectionWriteBack = 10,
 };
 
 struct HandleCacheStats {
@@ -123,6 +124,34 @@ struct MetaCacheStats {
   void merge(const MetaCacheStats& other);
 };
 
+// Checkpoint write path (server/hvac_server.cc write handlers,
+// storage/write_journal.h, core/flush_manager.h): write-back volume,
+// journal depth, flush-queue health and the last journal-replay
+// summary. Per-instance, like the handle cache.
+struct WriteBackStats {
+  uint64_t writes = 0;          // kWrite ops acked on the write-back tier
+  uint64_t bytes_written = 0;
+  uint64_t fsyncs = 0;          // durability barriers honored
+  uint64_t dirty_bytes = 0;     // written, not yet flushed to the PFS
+  uint64_t dirty_files = 0;
+  uint64_t journal_records = 0;  // journal depth (records)
+  uint64_t journal_bytes = 0;    // journal depth (bytes)
+  uint64_t flushed_files = 0;
+  uint64_t flush_retries = 0;
+  uint64_t flush_failures = 0;
+  uint64_t flush_queue_depth = 0;
+  uint64_t flush_inflight = 0;
+  uint64_t flush_lag_ms = 0;     // age of the oldest unflushed file
+  uint64_t write_through_sheds = 0;  // handles shed to PFS (ENOSPC)
+  uint64_t write_through_bytes = 0;
+  uint64_t replay_writes = 0;    // last restart's journal replay
+  uint64_t replay_bytes = 0;
+  uint64_t replay_truncated_bytes = 0;  // torn/CRC-bad tail cut
+  uint64_t replay_dirty_files = 0;      // re-queued to the flusher
+
+  void merge(const WriteBackStats& other);
+};
+
 // Trace-ring health (common/trace.h). Process-wide; `dropped` rising
 // means HVAC_TRACE_RING is too small for the drain cadence.
 struct TraceStats {
@@ -145,6 +174,9 @@ struct ReactorStats {
     uint64_t requests = 0;
     uint64_t steals = 0;
     uint64_t shed = 0;
+    // Steal scans skipped by the adaptive throttle (shard depths were
+    // uniform, so a steal would only have moved the imbalance around).
+    uint64_t steal_backoffs = 0;
   };
   std::vector<PerReactor> reactors;
 
@@ -169,6 +201,7 @@ struct MetricsFrame {
   MetaCacheStats meta_cache;
   TraceStats trace;
   ReactorStats reactor;
+  WriteBackStats write_back;
   // Keyed by proto::Opcode value; only ops with samples are present.
   std::map<uint16_t, LatencySnapshot> op_latency;
 

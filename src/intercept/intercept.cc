@@ -47,8 +47,11 @@ using open_fn = int (*)(const char*, int, ...);
 using openat_fn = int (*)(int, const char*, int, ...);
 using read_fn = ssize_t (*)(int, void*, size_t);
 using pread_fn = ssize_t (*)(int, void*, size_t, off_t);
+using write_fn = ssize_t (*)(int, const void*, size_t);
+using pwrite_fn = ssize_t (*)(int, const void*, size_t, off_t);
 using lseek_fn = off_t (*)(int, off_t, int);
 using close_fn = int (*)(int);
+using fsync_fn = int (*)(int);
 
 template <typename Fn>
 Fn resolve(const char* name) {
@@ -74,6 +77,22 @@ read_fn real_read() {
 }
 pread_fn real_pread() {
   static pread_fn fn = resolve<pread_fn>("pread");
+  return fn;
+}
+write_fn real_write() {
+  static write_fn fn = resolve<write_fn>("write");
+  return fn;
+}
+pwrite_fn real_pwrite() {
+  static pwrite_fn fn = resolve<pwrite_fn>("pwrite");
+  return fn;
+}
+fsync_fn real_fsync() {
+  static fsync_fn fn = resolve<fsync_fn>("fsync");
+  return fn;
+}
+fsync_fn real_fdatasync() {
+  static fsync_fn fn = resolve<fsync_fn>("fdatasync");
   return fn;
 }
 lseek_fn real_lseek() {
@@ -157,7 +176,21 @@ bool want_intercept(const char* path, int flags) {
   // but a defensive shim must not trust callers.
   const char* volatile p = path;
   if (g_in_shim > 0 || p == nullptr) return false;
-  if ((flags & O_ACCMODE) != O_RDONLY) return false;  // read-only cache
+  if ((flags & O_ACCMODE) != O_RDONLY) return false;  // reads only here
+  if (!client_active()) return false;
+  ShimGuard guard;
+  return g_client->eligible(path);
+}
+
+// Checkpoint writes: O_WRONLY opens under the dataset dir route to the
+// write-back tier. O_RDWR, O_APPEND and O_EXCL pass through — the
+// write channel has no read-back, append-offset or exclusivity
+// semantics, and mis-promising those would corrupt checkpoints.
+bool want_intercept_write(const char* path, int flags) {
+  const char* volatile p = path;
+  if (g_in_shim > 0 || p == nullptr) return false;
+  if ((flags & O_ACCMODE) != O_WRONLY) return false;
+  if ((flags & (O_APPEND | O_EXCL)) != 0) return false;
   if (!client_active()) return false;
   ShimGuard guard;
   return g_client->eligible(path);
@@ -169,6 +202,17 @@ int do_open(const char* path) {
   // RPCs, mover work on the server) hangs off this span.
   hvac::trace::Span span("shim.open");
   auto vfd = g_client->open(path);
+  if (!vfd.ok()) {
+    errno = hvac::error_code_to_errno(vfd.error().code);
+    return -1;
+  }
+  return *vfd;
+}
+
+int do_open_write(const char* path, bool trunc) {
+  ShimGuard guard;
+  hvac::trace::Span span("shim.open_write");
+  auto vfd = g_client->open_write(path, trunc);
   if (!vfd.ok()) {
     errno = hvac::error_code_to_errno(vfd.error().code);
     return -1;
@@ -189,6 +233,9 @@ int open(const char* path, int flags, ...) {
     va_end(ap);
   }
   if (want_intercept(path, flags)) return do_open(path);
+  if (want_intercept_write(path, flags)) {
+    return do_open_write(path, (flags & O_TRUNC) != 0);
+  }
   return real_open()(path, flags, mode);
 }
 
@@ -201,6 +248,9 @@ int open64(const char* path, int flags, ...) {
     va_end(ap);
   }
   if (want_intercept(path, flags)) return do_open(path);
+  if (want_intercept_write(path, flags)) {
+    return do_open_write(path, (flags & O_TRUNC) != 0);
+  }
   open_fn fn = real_open64() != nullptr ? real_open64() : real_open();
   return fn(path, flags, mode);
 }
@@ -217,9 +267,11 @@ int openat(int dirfd, const char* path, int flags, ...) {
   // when cwd-independent) can be routed; relative-to-dirfd paths pass
   // through untouched.
   const char* volatile path_checked = path;
-  if (path_checked != nullptr && path_checked[0] == '/' &&
-      want_intercept(path, flags)) {
-    return do_open(path);
+  if (path_checked != nullptr && path_checked[0] == '/') {
+    if (want_intercept(path, flags)) return do_open(path);
+    if (want_intercept_write(path, flags)) {
+      return do_open_write(path, (flags & O_TRUNC) != 0);
+    }
   }
   return real_openat()(dirfd, path, flags, mode);
 }
@@ -255,6 +307,61 @@ ssize_t pread(int fd, void* buf, size_t count, off_t offset) {
 
 ssize_t pread64(int fd, void* buf, size_t count, off_t offset) {
   return pread(fd, buf, count, offset);
+}
+
+ssize_t write(int fd, const void* buf, size_t count) {
+  if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
+    ShimGuard guard;
+    hvac::trace::Span span("shim.write", count);
+    auto n = g_client->write(fd, buf, count);
+    if (!n.ok()) {
+      errno = hvac::error_code_to_errno(n.error().code);
+      return -1;
+    }
+    return static_cast<ssize_t>(*n);
+  }
+  return real_write()(fd, buf, count);
+}
+
+ssize_t pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
+    ShimGuard guard;
+    hvac::trace::Span span("shim.write", count);
+    auto n = g_client->pwrite(fd, buf, count,
+                              static_cast<uint64_t>(offset));
+    if (!n.ok()) {
+      errno = hvac::error_code_to_errno(n.error().code);
+      return -1;
+    }
+    return static_cast<ssize_t>(*n);
+  }
+  return real_pwrite()(fd, buf, count, offset);
+}
+
+ssize_t pwrite64(int fd, const void* buf, size_t count, off_t offset) {
+  return pwrite(fd, buf, count, offset);
+}
+
+int fsync(int fd) {
+  if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
+    ShimGuard guard;
+    hvac::trace::Span span("shim.fsync");
+    auto status = g_client->fsync(fd);
+    if (!status.ok()) {
+      errno = hvac::error_code_to_errno(status.error().code);
+      return -1;
+    }
+    return 0;
+  }
+  return real_fsync()(fd);
+}
+
+int fdatasync(int fd) {
+  if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
+    // Same barrier as fsync: the journal commit IS the data sync.
+    return fsync(fd);
+  }
+  return real_fdatasync()(fd);
 }
 
 off_t lseek(int fd, off_t offset, int whence) {

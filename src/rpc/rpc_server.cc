@@ -217,6 +217,7 @@ Status RpcServer::start() {
   pool_options.workers_per_shard =
       std::max<size_t>(1, (options_.handler_threads + count - 1) / count);
   pool_options.steal_enabled = env_bool_or("HVAC_STEAL", true);
+  pool_options.steal_throttle = env_bool_or("HVAC_STEAL_THROTTLE", true);
   if (count > 1) {
     // Workers recycle response buffers through their home reactor's
     // arena, matching the reactor threads, so hit-path buffers never
@@ -295,6 +296,7 @@ std::vector<RpcServer::ReactorStats> RpcServer::reactor_stats() const {
     s.conns = r->conns_accepted.load(std::memory_order_relaxed);
     s.requests = r->requests.load(std::memory_order_relaxed);
     s.steals = pool_ ? pool_->steals(r->id) : 0;
+    s.steal_backoffs = pool_ ? pool_->steal_backoffs(r->id) : 0;
     s.shed = r->shed.load(std::memory_order_relaxed);
     out.push_back(s);
   }

@@ -78,6 +78,9 @@ class RpcServer {
     uint64_t requests = 0;  // requests served for its connections
     uint64_t steals = 0;    // its queued tasks run by foreign workers
     uint64_t shed = 0;      // requests shed on its connections
+    // Steal scans its workers skipped because shard depths were
+    // uniform (adaptive throttle, HVAC_STEAL_THROTTLE).
+    uint64_t steal_backoffs = 0;
   };
 
   explicit RpcServer(RpcServerOptions options);

@@ -41,6 +41,34 @@ enum Opcode : uint16_t {
                       // trips, and reads address samples by path via
                       // kReadScatter (the server translates to
                       // container offsets).
+  kWriteOpen = 13,  // (path, trunc u8) -> (remote_fd u64, mode u8)
+                    // Opens a checkpoint file for writing through the
+                    // write-back store. `mode` is a WriteMode: the
+                    // server may answer kWriteThrough when local NVMe
+                    // is already over budget.
+  kWrite = 14,      // (remote_fd u64, offset u64, blob) -> (written u32)
+                    // Journal append + local-store pwrite. Ack means
+                    // the bytes are in the write-back tier (durable
+                    // only after kFsync / kWriteClose).
+  kFsync = 15,      // (remote_fd u64, level u8) -> ()
+                    // Durability barrier. level is a WriteDurability:
+                    // kLocal waits for the journal commit fdatasync,
+                    // kPfs additionally waits until the flusher has
+                    // landed the file on the PFS.
+  kWriteClose = 16,  // (remote_fd u64, level u8) -> ()
+                     // fsync(level) semantics, then drops the handle.
+};
+
+// kWriteOpen response mode / per-handle write routing.
+enum WriteMode : uint8_t {
+  kWriteBack = 0,     // journal + local NVMe, async PFS flush
+  kWriteThrough = 1,  // local NVMe full: bytes go straight to the PFS
+};
+
+// kFsync / kWriteClose barrier levels (HVAC_WRITE_DURABILITY).
+enum WriteDurability : uint8_t {
+  kDurabilityLocal = 0,  // journal commit record is on local media
+  kDurabilityPfs = 1,    // file is fully flushed to the PFS
 };
 
 // served_from values in the kOpen response.

@@ -1,10 +1,12 @@
 #include "server/hvac_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "common/env.h"
 #include "common/fault_injection.h"
+#include "common/hash.h"
 #include "common/log.h"
 #include "common/trace.h"
 #include "core/trace_wire.h"
@@ -59,6 +61,25 @@ HvacServer::HvacServer(storage::PfsBackend* pfs, HvacServerOptions options)
   }
   mover_ = std::make_unique<core::DataMover>(
       cache_.get(), options_.data_mover_threads, mover_queue);
+  if (options_.write_enabled) {
+    // The flusher copies the store's physical file out to the PFS.
+    // The seq snapshot taken before the copy lets on_flushed tell a
+    // copy that includes every acked write from one that a late write
+    // slipped past (see last_write_seq_).
+    flusher_ = std::make_unique<core::FlushManager>(
+        core::FlushManager::Options::from_env(),
+        [this](const std::string& path) -> Status {
+          {
+            std::lock_guard<std::mutex> lock(write_state_mutex_);
+            flush_snapshot_seq_[path] = last_write_seq_[path];
+          }
+          auto copied = pfs_->copy_in(
+              cache_->store().physical_path(path), path);
+          if (!copied.ok()) return copied.error();
+          return Status::Ok();
+        },
+        [this](const std::string& path) { on_flushed(path); });
+  }
   register_handlers();
 }
 
@@ -66,17 +87,115 @@ HvacServer::~HvacServer() { stop(); }
 
 Status HvacServer::start() {
   fault::init_from_env();
+  if (options_.write_enabled) {
+    HVAC_RETURN_IF_ERROR(recover_journal());
+  }
   return rpc_.start();
+}
+
+Status HvacServer::recover_journal() {
+  std::string dir = options_.journal_dir;
+  if (dir.empty()) dir = env_string_or("HVAC_JOURNAL_DIR", "");
+  if (dir.empty()) dir = options_.cache_dir;
+  HVAC_RETURN_IF_ERROR(storage::make_directories(dir));
+  // Per-instance file name (instances may share HVAC_JOURNAL_DIR):
+  // keyed by the cache dir, which is unique per instance.
+  char name[40];
+  std::snprintf(name, sizeof(name), "hvac-%016llx.wal",
+                static_cast<unsigned long long>(
+                    stable_hash(options_.cache_dir)));
+  HVAC_ASSIGN_OR_RETURN(journal_, storage::WriteJournal::open(
+                                      path_join(dir, name)));
+
+  // Re-apply the log into the local store. A record that no longer
+  // fits the NVMe budget is applied anyway and logged — it carries
+  // acked bytes, and the flusher drains it to the PFS right after.
+  auto apply = [this](const std::string& path, uint64_t offset,
+                      const void* data, size_t size) -> Status {
+    HVAC_ASSIGN_OR_RETURN(storage::PosixFile f,
+                          cache_->store().open_write(path));
+    HVAC_ASSIGN_OR_RETURN(size_t n, f.pwrite(data, size, offset));
+    (void)n;
+    HVAC_ASSIGN_OR_RETURN(uint64_t sz, f.size());
+    Status s = cache_->store().update_size(path, sz);
+    if (!s.ok() && s.error().code == ErrorCode::kCapacity) {
+      HVAC_LOG_WARN("replay over budget for " << path
+                                              << " (keeping the bytes)");
+      return Status::Ok();
+    }
+    return s;
+  };
+  auto truncate = [this](const std::string& path) -> Status {
+    HVAC_ASSIGN_OR_RETURN(storage::PosixFile f,
+                          cache_->store().open_write(path));
+    HVAC_RETURN_IF_ERROR(f.truncate(0));
+    return cache_->store().update_size(path, 0);
+  };
+  HVAC_ASSIGN_OR_RETURN(last_replay_, journal_->replay(apply, truncate));
+
+  // Resume partial flushes: every path still dirty in the journal
+  // goes back on the flusher's queue.
+  for (const std::string& path : last_replay_.dirty_paths) {
+    {
+      std::lock_guard<std::mutex> lock(write_state_mutex_);
+      last_write_seq_[path] = ++write_seq_counter_;
+      dirty_bytes_by_path_[path];  // mark dirty (presence)
+    }
+    Status s = flusher_->submit(path);
+    if (!s.ok()) {
+      HVAC_LOG_WARN("replay resubmit failed for " << path << ": "
+                                                  << s.error().to_string());
+    }
+  }
+  if (last_replay_.writes_applied > 0 || last_replay_.truncated_bytes > 0) {
+    HVAC_LOG_INFO("journal replay: "
+                  << last_replay_.writes_applied << " writes ("
+                  << last_replay_.bytes_applied << " bytes), "
+                  << last_replay_.dirty_paths.size() << " dirty, "
+                  << last_replay_.truncated_bytes << " torn bytes cut");
+  }
+  return Status::Ok();
 }
 
 void HvacServer::drain(int timeout_ms) { rpc_.drain(timeout_ms); }
 
 void HvacServer::stop() {
   rpc_.stop();
+  // Give dirty checkpoints a bounded chance to reach the PFS; what
+  // does not drain stays in the journal (write records carry the
+  // bytes, so purging the local copies below loses nothing — replay
+  // reconstructs them on the next start).
+  bool drained = true;
+  if (flusher_) {
+    drained = flusher_->drain(5000).ok();
+    if (!drained) {
+      HVAC_LOG_WARN("flush drain timed out; journal covers the rest");
+    }
+    flusher_->shutdown();
+  }
   if (mover_) mover_->shutdown();
   {
     std::lock_guard<std::mutex> lock(fds_mutex_);
     open_fds_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(write_fds_mutex_);
+    write_fds_.clear();
+  }
+  if (journal_ && drained) {
+    std::lock_guard<std::mutex> lock(write_state_mutex_);
+    if (dirty_bytes_by_path_.empty()) {
+      // Clean stop: every acked byte is on the PFS, so the journal has
+      // no obligations left — remove the file outright (the purge
+      // below leaves the cache dir empty, journal included). A dirty
+      // or undrained stop keeps it for the next start's replay.
+      const std::string journal_path = journal_->path();
+      journal_.reset();
+      Status s = storage::remove_file(journal_path);
+      if (!s.ok()) {
+        HVAC_LOG_WARN("journal remove failed: " << s.error().to_string());
+      }
+    }
   }
   // Cache lifetime is coupled to the server (job) lifetime: purge the
   // node-local store on teardown (paper §III-D).
@@ -152,6 +271,24 @@ void HvacServer::register_handlers() {
     core::ScopedLatencyTimer t(latency_, proto::kPackedIndex);
     return handle_packed_index(req);
   }, rpc::DispatchHint::kInline);
+  // Write path: every op can touch the journal's fdatasync or wait on
+  // the flusher, so all four stay pooled.
+  rpc_.register_handler(proto::kWriteOpen, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kWriteOpen);
+    return handle_write_open(req);
+  });
+  rpc_.register_handler(proto::kWrite, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kWrite);
+    return handle_write(req);
+  });
+  rpc_.register_handler(proto::kFsync, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kFsync);
+    return handle_fsync(req);
+  });
+  rpc_.register_handler(proto::kWriteClose, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kWriteClose);
+    return handle_write_close(req);
+  });
 }
 
 HvacServer::PackedRoute HvacServer::route_packed(std::string& path) const {
@@ -556,6 +693,241 @@ Result<Bytes> HvacServer::handle_prefetch_batch(const Bytes& req) {
   return std::move(w).take();
 }
 
+Result<std::shared_ptr<HvacServer::WriteHandle>> HvacServer::find_write_fd(
+    uint64_t remote_fd) {
+  std::lock_guard<std::mutex> lock(write_fds_mutex_);
+  auto it = write_fds_.find(remote_fd);
+  if (it == write_fds_.end()) {
+    return Error(ErrorCode::kBadFd,
+                 "unknown write fd " + std::to_string(remote_fd));
+  }
+  return it->second;
+}
+
+Result<Bytes> HvacServer::handle_write_open(const Bytes& req) {
+  if (!journal_) {
+    return Error(ErrorCode::kUnavailable, "write path disabled");
+  }
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
+  HVAC_ASSIGN_OR_RETURN(uint8_t trunc, r.get_u8());
+
+  auto h = std::make_shared<WriteHandle>();
+  h->logical_path = path;
+  auto f = cache_->store().open_write(path);
+  if (f.ok()) {
+    h->file = std::move(f).value();
+    h->mode = proto::kWriteBack;
+    if (trunc) {
+      std::lock_guard<std::mutex> lock(write_state_mutex_);
+      HVAC_RETURN_IF_ERROR(h->file.truncate(0));
+      HVAC_RETURN_IF_ERROR(cache_->store().update_size(path, 0));
+      HVAC_RETURN_IF_ERROR(journal_->append_truncate(path));
+      h->size = 0;
+      // The truncation itself must reach the PFS.
+      last_write_seq_[path] = ++write_seq_counter_;
+      dirty_bytes_by_path_[path];
+    } else {
+      HVAC_ASSIGN_OR_RETURN(h->size, h->file.size());
+    }
+    if (trunc) {
+      Status s = flusher_->submit(path);
+      if (!s.ok()) {
+        HVAC_LOG_WARN("flush submit failed: " << s.error().to_string());
+      }
+    }
+  } else if (f.error().code == ErrorCode::kCapacity) {
+    // Local NVMe full before the first byte: write through to the PFS
+    // for this handle's whole lifetime. Deliberately not a breaker
+    // event — the PFS is healthy, the local disk is just full.
+    write_through_sheds_.fetch_add(1, std::memory_order_relaxed);
+    HVAC_ASSIGN_OR_RETURN(h->pfs_file, pfs_->open_write(path, trunc != 0));
+    h->mode = proto::kWriteThrough;
+  } else {
+    return f.error();
+  }
+
+  const uint64_t remote_fd =
+      next_remote_fd_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(write_fds_mutex_);
+    write_fds_[remote_fd] = h;
+  }
+  WireWriter w;
+  w.put_u64(remote_fd);
+  w.put_u8(static_cast<uint8_t>(h->mode));
+  return std::move(w).take();
+}
+
+Status HvacServer::shed_to_write_through(WriteHandle& h) {
+  write_through_sheds_.fetch_add(1, std::memory_order_relaxed);
+  bool dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(write_state_mutex_);
+    dirty = dirty_bytes_by_path_.count(h.logical_path) > 0;
+  }
+  if (dirty) {
+    // Land the locally-written prefix on the PFS first, then open the
+    // (renamed-into-place) PFS file and continue there.
+    HVAC_RETURN_IF_ERROR(flusher_->submit(h.logical_path));
+    HVAC_RETURN_IF_ERROR(flusher_->wait(h.logical_path));
+  }
+  HVAC_ASSIGN_OR_RETURN(h.pfs_file, pfs_->open_write(h.logical_path, false));
+  h.mode = proto::kWriteThrough;
+  return Status::Ok();
+}
+
+Result<Bytes> HvacServer::handle_write(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(uint64_t offset, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(WireReader::BlobView blob, r.get_blob_view());
+  if (blob.size > proto::kMaxReadChunk) {
+    return Error(ErrorCode::kInvalidArgument, "write chunk too large");
+  }
+  HVAC_ASSIGN_OR_RETURN(std::shared_ptr<WriteHandle> h,
+                        find_write_fd(remote_fd));
+  std::lock_guard<std::mutex> handle_lock(h->mutex);
+
+  if (h->mode == proto::kWriteBack) {
+    // Capacity gate (and fault site) before any state changes, so an
+    // ENOSPC write sheds without leaving a journal record for bytes
+    // that end up on the PFS instead.
+    Status gate = [&]() -> Status {
+      HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kStoreWrite));
+      const uint64_t new_size =
+          std::max<uint64_t>(h->size, offset + blob.size);
+      if (new_size > h->size) {
+        HVAC_RETURN_IF_ERROR(
+            cache_->store().update_size(h->logical_path, new_size));
+        h->size = new_size;
+      }
+      return Status::Ok();
+    }();
+    if (!gate.ok()) {
+      if (gate.error().code != ErrorCode::kCapacity) return gate.error();
+      HVAC_RETURN_IF_ERROR(shed_to_write_through(*h));
+    }
+  }
+
+  size_t n = 0;
+  if (h->mode == proto::kWriteBack) {
+    trace::Span span("server.journal", blob.size);
+    std::lock_guard<std::mutex> lock(write_state_mutex_);
+    HVAC_RETURN_IF_ERROR(journal_->append_write(h->logical_path, offset,
+                                                blob.data, blob.size));
+    HVAC_ASSIGN_OR_RETURN(n, h->file.pwrite(blob.data, blob.size, offset));
+    // Seq bump after the pwrite: a flusher snapshot taken from here on
+    // is guaranteed to copy these bytes.
+    last_write_seq_[h->logical_path] = ++write_seq_counter_;
+    dirty_bytes_by_path_[h->logical_path] += n;
+  } else {
+    HVAC_ASSIGN_OR_RETURN(
+        n, pfs_->pwrite(h->pfs_file, blob.data, blob.size, offset));
+    write_through_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  write_bytes_.fetch_add(n, std::memory_order_relaxed);
+  if (h->mode == proto::kWriteBack) {
+    Status s = flusher_->submit(h->logical_path);
+    if (!s.ok()) {
+      // Shutdown race: the journal still has the record; the next
+      // start()'s replay resubmits the path.
+      HVAC_LOG_WARN("flush submit failed: " << s.error().to_string());
+    }
+  }
+
+  WireWriter w;
+  w.put_u32(static_cast<uint32_t>(n));
+  return std::move(w).take();
+}
+
+Status HvacServer::sync_handle(WriteHandle& h, uint8_t level) {
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  if (h.mode == proto::kWriteThrough) {
+    return h.pfs_file.sync();
+  }
+  // The durability barrier: once the commit record is on local media
+  // a kill -9 cannot lose anything acked before it.
+  HVAC_RETURN_IF_ERROR(journal_->commit());
+  if (level == proto::kDurabilityPfs) {
+    HVAC_RETURN_IF_ERROR(flusher_->submit(h.logical_path));
+    HVAC_RETURN_IF_ERROR(flusher_->wait(h.logical_path));
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> HvacServer::handle_fsync(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(uint8_t level, r.get_u8());
+  HVAC_ASSIGN_OR_RETURN(std::shared_ptr<WriteHandle> h,
+                        find_write_fd(remote_fd));
+  std::lock_guard<std::mutex> lock(h->mutex);
+  HVAC_RETURN_IF_ERROR(sync_handle(*h, level));
+  return Bytes{};
+}
+
+Result<Bytes> HvacServer::handle_write_close(const Bytes& req) {
+  WireReader r(req);
+  HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(uint8_t level, r.get_u8());
+  HVAC_ASSIGN_OR_RETURN(std::shared_ptr<WriteHandle> h,
+                        find_write_fd(remote_fd));
+  {
+    std::lock_guard<std::mutex> lock(h->mutex);
+    HVAC_RETURN_IF_ERROR(sync_handle(*h, level));
+  }
+  std::lock_guard<std::mutex> lock(write_fds_mutex_);
+  write_fds_.erase(remote_fd);
+  return Bytes{};
+}
+
+void HvacServer::on_flushed(const std::string& logical_path) {
+  bool clean = false;
+  {
+    std::lock_guard<std::mutex> lock(write_state_mutex_);
+    auto last = last_write_seq_.find(logical_path);
+    auto snap = flush_snapshot_seq_.find(logical_path);
+    const uint64_t last_seq =
+        last == last_write_seq_.end() ? 0 : last->second;
+    const uint64_t snap_seq =
+        snap == flush_snapshot_seq_.end() ? 0 : snap->second;
+    clean = last_seq == snap_seq;
+    if (clean) {
+      Status s = journal_->append_flushed(logical_path);
+      if (!s.ok()) {
+        HVAC_LOG_WARN("journal flushed record failed: "
+                      << s.error().to_string());
+      }
+      dirty_bytes_by_path_.erase(logical_path);
+      last_write_seq_.erase(logical_path);
+      flush_snapshot_seq_.erase(logical_path);
+      if (dirty_bytes_by_path_.empty()) {
+        // Everything acked is on the PFS: restart the journal so it
+        // stays bounded by one burst of unflushed writes. Writers
+        // append under this same mutex, so nothing races the reset.
+        s = journal_->checkpoint_reset();
+        if (!s.ok()) {
+          HVAC_LOG_WARN("journal reset failed: " << s.error().to_string());
+        }
+      }
+    }
+  }
+  if (!clean) {
+    // A write landed after the copy began: the PFS may hold a stale
+    // prefix. Flush again rather than marking the path clean.
+    Status s = flusher_->submit(logical_path);
+    if (!s.ok()) {
+      HVAC_LOG_WARN("flush resubmit failed: " << s.error().to_string());
+    }
+  }
+}
+
+storage::JournalReplayStats HvacServer::last_replay() const {
+  return last_replay_;
+}
+
 core::MetricsFrame HvacServer::metrics_frame() const {
   core::MetricsFrame f;
   f.cache = cache_->metrics();
@@ -642,8 +1014,42 @@ core::MetricsFrame HvacServer::metrics_frame() const {
     row.requests = rs.requests;
     row.steals = rs.steals;
     row.shed = rs.shed;
+    row.steal_backoffs = rs.steal_backoffs;
     f.reactor.reactors.push_back(row);
   }
+
+  // Checkpoint write path (section 10).
+  f.write_back.writes = writes_.load(std::memory_order_relaxed);
+  f.write_back.bytes_written = write_bytes_.load(std::memory_order_relaxed);
+  f.write_back.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  f.write_back.write_through_sheds =
+      write_through_sheds_.load(std::memory_order_relaxed);
+  f.write_back.write_through_bytes =
+      write_through_bytes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(write_state_mutex_);
+    f.write_back.dirty_files = dirty_bytes_by_path_.size();
+    for (const auto& [path, bytes] : dirty_bytes_by_path_) {
+      f.write_back.dirty_bytes += bytes;
+    }
+  }
+  if (journal_) {
+    f.write_back.journal_records = journal_->record_count();
+    f.write_back.journal_bytes = journal_->size_bytes();
+  }
+  if (flusher_) {
+    const core::FlushManager::Stats fs = flusher_->stats();
+    f.write_back.flushed_files = fs.flushed_files;
+    f.write_back.flush_retries = fs.retries;
+    f.write_back.flush_failures = fs.failures;
+    f.write_back.flush_queue_depth = fs.queue_depth;
+    f.write_back.flush_inflight = fs.inflight;
+    f.write_back.flush_lag_ms = fs.oldest_dirty_ms;
+  }
+  f.write_back.replay_writes = last_replay_.writes_applied;
+  f.write_back.replay_bytes = last_replay_.bytes_applied;
+  f.write_back.replay_truncated_bytes = last_replay_.truncated_bytes;
+  f.write_back.replay_dirty_files = last_replay_.dirty_paths.size();
 
   f.op_latency = latency_.snapshot();
   return f;

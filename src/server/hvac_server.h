@@ -19,11 +19,13 @@
 #include "common/result.h"
 #include "core/cache_manager.h"
 #include "core/data_mover.h"
+#include "core/flush_manager.h"
 #include "core/metrics_frame.h"
 #include "rpc/rpc_server.h"
 #include "server/hvac_proto.h"
 #include "storage/packed_store.h"
 #include "storage/pfs_backend.h"
+#include "storage/write_journal.h"
 
 namespace hvac::server {
 
@@ -55,6 +57,13 @@ struct HvacServerOptions {
   // HVAC_PACK=0. A corrupt index logs and disables packed resolution
   // rather than failing the server (the unpacked tree still serves).
   bool packed_enabled = true;
+  // Checkpoint write path. The write-ahead journal lives in
+  // `journal_dir` (default: HVAC_JOURNAL_DIR, else cache_dir) and is
+  // replayed on start(), so a kill -9 loses nothing past the last
+  // acked fsync. write_enabled = false skips journal/flusher setup
+  // (read-only deployments).
+  bool write_enabled = true;
+  std::string journal_dir;
 };
 
 class HvacServer {
@@ -88,6 +97,9 @@ class HvacServer {
   // values there.
   core::MetricsFrame metrics_frame() const;
   size_t open_remote_fds() const;
+  // What the last start()'s journal replay found (zeros when the
+  // journal was clean or writes are disabled).
+  storage::JournalReplayStats last_replay() const;
   rpc::RpcServer& rpc() { return rpc_; }
   // Non-null when the dataset carries a packed-container index.
   const storage::PackedStore* packed_store() const { return packed_.get(); }
@@ -102,6 +114,18 @@ class HvacServer {
     // never bleed into the neighbouring sample.
     uint64_t base_offset = 0;
     bool pfs_fallback = false;
+  };
+
+  // One open checkpoint write handle. `mutex` serializes the
+  // journal-append → store-pwrite → dirty-accounting sequence per
+  // handle; distinct handles write concurrently.
+  struct WriteHandle {
+    std::string logical_path;
+    storage::PosixFile file;      // write-back: the store's backing file
+    storage::PosixFile pfs_file;  // write-through: the PFS file itself
+    uint64_t size = 0;            // high-water mark for store accounting
+    proto::WriteMode mode = proto::kWriteBack;
+    std::mutex mutex;
   };
 
   void register_handlers();
@@ -124,6 +148,24 @@ class HvacServer {
   Result<rpc::Bytes> handle_metrics(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_packed_index(const rpc::Bytes& req);
 
+  // Checkpoint write path (ROADMAP "write path"; paper §III-F lists
+  // checkpoint writes as HVAC's other I/O class).
+  Result<rpc::Bytes> handle_write_open(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_write(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_fsync(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_write_close(const rpc::Bytes& req);
+
+  Result<std::shared_ptr<WriteHandle>> find_write_fd(uint64_t remote_fd);
+  // Shared fsync(level) semantics behind kFsync and kWriteClose.
+  Status sync_handle(WriteHandle& h, uint8_t level);
+  // Journal replay + dirty-path resubmission, called from start().
+  Status recover_journal();
+  // Flusher completion: journal kFlushed record, dirty-byte
+  // accounting, checkpoint-reset when everything drained.
+  void on_flushed(const std::string& logical_path);
+  // Demotes a write-back handle to write-through after ENOSPC.
+  Status shed_to_write_through(WriteHandle& h);
+
   // Packed resolution for prefetch/open/stat/read paths: when `path`
   // is a packed sample, rewrites it to the container's logical path
   // and returns the sample's (base, length); identity otherwise.
@@ -144,6 +186,30 @@ class HvacServer {
   std::mutex fds_mutex_;
   std::unordered_map<uint64_t, std::shared_ptr<OpenFile>> open_fds_;
   std::atomic<uint64_t> next_remote_fd_{1};
+
+  // Write path. `write_state_mutex_` makes journal-append +
+  // dirty-accounting atomic against the flusher's kFlushed records,
+  // and gates checkpoint_reset on the dirty map being empty.
+  std::unique_ptr<storage::WriteJournal> journal_;
+  std::unique_ptr<core::FlushManager> flusher_;
+  std::mutex write_fds_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<WriteHandle>> write_fds_;
+  mutable std::mutex write_state_mutex_;
+  std::unordered_map<std::string, uint64_t> dirty_bytes_by_path_;
+  // Closes the copy-vs-late-write race: a write bumps its path's seq
+  // *after* its pwrite (same critical section), the flusher snapshots
+  // the seq before copying, and on_flushed only records kFlushed when
+  // the seq is unchanged — otherwise the copy may predate the write
+  // and the path is resubmitted instead of marked clean.
+  std::unordered_map<std::string, uint64_t> last_write_seq_;
+  std::unordered_map<std::string, uint64_t> flush_snapshot_seq_;
+  uint64_t write_seq_counter_ = 0;
+  storage::JournalReplayStats last_replay_;
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> write_bytes_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> write_through_sheds_{0};
+  std::atomic<uint64_t> write_through_bytes_{0};
 
   // Per-op handler-execution latency (queueing and network excluded),
   // bumped lock-free from the handler threads.

@@ -58,6 +58,32 @@ Result<PosixFile> LocalStore::open(const std::string& logical_path) const {
   return PosixFile::open_read(physical_path(logical_path));
 }
 
+Result<PosixFile> LocalStore::open_write(
+    const std::string& logical_path) const {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kStoreWrite));
+  return PosixFile::open_rw(physical_path(logical_path));
+}
+
+Status LocalStore::update_size(const std::string& logical_path,
+                               uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(logical_path);
+  const uint64_t old_size = it == entries_.end() ? 0 : it->second;
+  if (new_size > old_size) {
+    const uint64_t grow = new_size - old_size;
+    if (capacity_ != 0 &&
+        bytes_used_.load(std::memory_order_relaxed) + grow > capacity_) {
+      return Error(ErrorCode::kCapacity,
+                   "local store over capacity growing " + logical_path);
+    }
+    bytes_used_.fetch_add(grow, std::memory_order_relaxed);
+  } else {
+    bytes_used_.fetch_sub(old_size - new_size, std::memory_order_relaxed);
+  }
+  entries_[logical_path] = new_size;
+  return Status::Ok();
+}
+
 Result<OpenHandleCache::Pin> LocalStore::open_pinned(
     const std::string& logical_path) const {
   HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kStoreRead));

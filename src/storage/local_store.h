@@ -45,6 +45,18 @@ class LocalStore {
   // Opens a cached file for reading.
   Result<PosixFile> open(const std::string& logical_path) const;
 
+  // Write path: opens (creating if absent, never truncating) the
+  // backing file for read/write. Does not register the entry —
+  // callers account the bytes with update_size() once they land.
+  // Fault site: store_write.
+  Result<PosixFile> open_write(const std::string& logical_path) const;
+
+  // Records that `logical_path` now occupies `new_size` bytes (a
+  // checkpoint write extended or truncated it), inserting the entry
+  // if new. kCapacity when the growth would blow the NVMe budget —
+  // the write path sheds to write-through PFS mode on that.
+  Status update_size(const std::string& logical_path, uint64_t new_size);
+
   // Hot-path open: reads through the pinned open-handle cache, so the
   // steady-state hit path costs one pread instead of an
   // open/pread/close triple. The pin keeps the handle alive across a

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 
 #include "common/env.h"
 #include "common/fault_injection.h"
@@ -98,6 +100,60 @@ Result<uint64_t> PfsBackend::copy_range_out(const std::string& relative_path,
   HVAC_RETURN_IF_ERROR(out.close());
   charge_bandwidth(copied);
   return copied;
+}
+
+Result<PosixFile> PfsBackend::open_write(const std::string& relative_path,
+                                         bool trunc) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kPfsWrite));
+  charge_metadata();
+  const std::string dst = absolute(relative_path);
+  const auto slash = dst.rfind('/');
+  if (slash != std::string::npos && slash > 0) {
+    HVAC_RETURN_IF_ERROR(make_directories(dst.substr(0, slash)));
+  }
+  HVAC_ASSIGN_OR_RETURN(PosixFile out, PosixFile::open_rw(dst));
+  if (trunc) HVAC_RETURN_IF_ERROR(out.truncate(0));
+  return out;
+}
+
+Result<size_t> PfsBackend::pwrite(PosixFile& file, const void* buf,
+                                  size_t count, uint64_t offset) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kPfsWrite));
+  HVAC_ASSIGN_OR_RETURN(size_t n, file.pwrite(buf, count, offset));
+  bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  bandwidth_.acquire(n);
+  return n;
+}
+
+Result<uint64_t> PfsBackend::copy_in(const std::string& src,
+                                     const std::string& relative_path) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kPfsWrite));
+  charge_metadata();
+  const std::string dst = absolute(relative_path);
+  const std::string tmp = dst + ".hvacflush";
+  HVAC_ASSIGN_OR_RETURN(PosixFile in, PosixFile::open_read(src));
+  HVAC_RETURN_IF_ERROR(make_directories(
+      dst.rfind('/') == std::string::npos ? std::string("/")
+                                          : dst.substr(0, dst.rfind('/'))));
+  HVAC_ASSIGN_OR_RETURN(PosixFile out, PosixFile::create_write(tmp));
+  std::vector<uint8_t> buf(1u << 20);
+  uint64_t total = 0;
+  for (;;) {
+    HVAC_ASSIGN_OR_RETURN(size_t n, in.read(buf.data(), buf.size()));
+    if (n == 0) break;
+    HVAC_ASSIGN_OR_RETURN(size_t w, out.write(buf.data(), n));
+    total += w;
+  }
+  HVAC_RETURN_IF_ERROR(out.sync());
+  HVAC_RETURN_IF_ERROR(out.close());
+  if (::rename(tmp.c_str(), dst.c_str()) != 0) {
+    const Error e = Error::from_errno(errno, "rename " + tmp);
+    (void)remove_file(tmp);
+    return e;
+  }
+  bytes_written_.fetch_add(total, std::memory_order_relaxed);
+  bandwidth_.acquire(total);
+  return total;
 }
 
 Result<size_t> PfsBackend::pread(PosixFile& file, void* buf, size_t count,

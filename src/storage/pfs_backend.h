@@ -65,6 +65,26 @@ class PfsBackend {
                                   const std::string& dst, uint64_t offset,
                                   uint64_t length);
 
+  // Opens `relative_path` for writing (creating parents and the file,
+  // truncating if asked), paying metadata latency — the write-through
+  // path used when the local store is out of space. Fault site:
+  // pfs_write.
+  Result<PosixFile> open_write(const std::string& relative_path, bool trunc);
+
+  // Positional write to an already-open PFS file, paying bandwidth
+  // cost. Fault site: pfs_write.
+  Result<size_t> pwrite(PosixFile& file, const void* buf, size_t count,
+                        uint64_t offset);
+
+  // Copies a local file (absolute `src` outside the PFS) into the PFS
+  // at `relative_path`, paying metadata + bandwidth costs and syncing
+  // the destination — the flusher's write-back step, the inverse of
+  // copy_out. Writes land in a `.hvacflush` sibling first and rename
+  // into place, so a crashed flush never leaves a half-written
+  // checkpoint visible under the final name. Fault site: pfs_write.
+  Result<uint64_t> copy_in(const std::string& src,
+                           const std::string& relative_path);
+
   bool exists(const std::string& relative_path) const;
 
   const std::string& root() const { return root_; }
@@ -73,6 +93,7 @@ class PfsBackend {
   // Cumulative counters for tests/benches.
   uint64_t metadata_ops() const { return metadata_ops_; }
   uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
 
  private:
   void charge_metadata();
@@ -84,6 +105,7 @@ class PfsBackend {
   TokenBucket bandwidth_;
   std::atomic<uint64_t> metadata_ops_{0};
   std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
 };
 
 }  // namespace hvac::storage

@@ -34,6 +34,12 @@ Result<PosixFile> PosixFile::create_write(const std::string& path) {
   return PosixFile(fd);
 }
 
+Result<PosixFile> PosixFile::open_rw(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Error::from_errno(errno, "open_rw " + path);
+  return PosixFile(fd);
+}
+
 Result<size_t> PosixFile::read(void* buf, size_t count) {
   for (;;) {
     const ssize_t n = ::read(fd_, buf, count);
@@ -57,12 +63,49 @@ Result<size_t> PosixFile::write(const void* buf, size_t count) {
   while (done < count) {
     const ssize_t n = ::write(fd_, p + done, count - done);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN) continue;
       return Error::from_errno(errno, "write");
     }
     done += static_cast<size_t>(n);
   }
   return done;
+}
+
+Result<size_t> PosixFile::pwrite(const void* buf, size_t count,
+                                 uint64_t offset) {
+  size_t done = 0;
+  const auto* p = static_cast<const uint8_t*>(buf);
+  while (done < count) {
+    const ssize_t n = ::pwrite(fd_, p + done, count - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Error::from_errno(errno, "pwrite");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+Status PosixFile::sync() {
+  while (::fsync(fd_) != 0) {
+    if (errno != EINTR) return Error::from_errno(errno, "fsync");
+  }
+  return Status::Ok();
+}
+
+Status PosixFile::datasync() {
+  while (::fdatasync(fd_) != 0) {
+    if (errno != EINTR) return Error::from_errno(errno, "fdatasync");
+  }
+  return Status::Ok();
+}
+
+Status PosixFile::truncate(uint64_t length) {
+  while (::ftruncate(fd_, static_cast<off_t>(length)) != 0) {
+    if (errno != EINTR) return Error::from_errno(errno, "ftruncate");
+  }
+  return Status::Ok();
 }
 
 Result<uint64_t> PosixFile::size() const {

@@ -26,6 +26,11 @@ class PosixFile {
 
   static Result<PosixFile> open_read(const std::string& path);
   static Result<PosixFile> create_write(const std::string& path);
+  // Read/write open that preserves existing contents (O_RDWR|O_CREAT,
+  // no truncation): the journal and the write-back store both re-open
+  // files across restarts and must not lose what a crashed process
+  // already persisted.
+  static Result<PosixFile> open_rw(const std::string& path);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -34,7 +39,18 @@ class PosixFile {
   Result<size_t> read(void* buf, size_t count);
   // Positional read; does not move the file offset.
   Result<size_t> pread(void* buf, size_t count, uint64_t offset);
+  // Both writes are exact: they resume short transfers and retry
+  // EINTR/EAGAIN until every byte is down or a real error surfaces
+  // (same discipline as sendfile_exact/splice_exact on the read side).
   Result<size_t> write(const void* buf, size_t count);
+  Result<size_t> pwrite(const void* buf, size_t count, uint64_t offset);
+  // fsync / fdatasync. The journal's commit barrier is datasync():
+  // record bytes must be on media before an fsync is acked, but the
+  // inode mtime is not part of the durability contract.
+  Status sync();
+  Status datasync();
+  // ftruncate: replay cuts torn/CRC-bad journal tails with this.
+  Status truncate(uint64_t length);
   Result<uint64_t> size() const;
   Status close();
 

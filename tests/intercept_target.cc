@@ -63,11 +63,64 @@ int run_stdio(const char* path) {
   return 0;
 }
 
+// Write variant: plain open(O_WRONLY|O_CREAT|O_TRUNC) + write +
+// fsync + close of SRC's bytes into DST — the checkpoint shape. Under
+// the shim DST lands in the write-back tier and is flushed to the PFS
+// asynchronously; the caller compares the files once the server
+// stopped gracefully.
+int run_copy(const char* src, const char* dst) {
+  const int in = ::open(src, O_RDONLY);
+  if (in < 0) {
+    std::printf("%s ERROR open src\n", src);
+    return 1;
+  }
+  const int out = ::open(dst, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (out < 0) {
+    std::printf("%s ERROR open dst\n", dst);
+    ::close(in);
+    return 1;
+  }
+  std::vector<uint8_t> buf(65536);
+  uint64_t total = 0;
+  for (;;) {
+    const ssize_t n = ::read(in, buf.data(), buf.size());
+    if (n < 0) {
+      std::printf("%s ERROR read\n", src);
+      return 1;
+    }
+    if (n == 0) break;
+    ssize_t done = 0;
+    while (done < n) {
+      const ssize_t w = ::write(out, buf.data() + done, n - done);
+      if (w <= 0) {
+        std::printf("%s ERROR write\n", dst);
+        return 1;
+      }
+      done += w;
+    }
+    total += static_cast<uint64_t>(n);
+  }
+  if (::fsync(out) != 0) {
+    std::printf("%s ERROR fsync\n", dst);
+    return 1;
+  }
+  ::close(in);
+  if (::close(out) != 0) {
+    std::printf("%s ERROR close\n", dst);
+    return 1;
+  }
+  std::printf("%s %" PRIu64 " copied\n", dst, total);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int first = 1;
   bool stdio_mode = false;
+  if (argc == 4 && std::string_view(argv[1]) == "--copy") {
+    return run_copy(argv[2], argv[3]);
+  }
   if (argc > 1 && std::string_view(argv[1]) == "--stdio") {
     stdio_mode = true;
     first = 2;

@@ -180,5 +180,138 @@ TEST_F(DaemonFixture, SigtermPurgesCache) {
   EXPECT_EQ(remaining, 0u);  // cache lifetime == job lifetime
 }
 
+// ---- kill -9 crash consistency ----
+
+pid_t spawn_hvacd(const std::string& pfs, const std::string& cache,
+                  const std::string& port_file, const char* fault_spec) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    if (fault_spec != nullptr) {
+      ::setenv("HVAC_FAULT", fault_spec, 1);
+    } else {
+      ::unsetenv("HVAC_FAULT");
+    }
+    ::execl(HVAC_HVACD_BIN, HVAC_HVACD_BIN, "--pfs-root", pfs.c_str(),
+            "--cache-dir", cache.c_str(), "--instances", "1", "--port-file",
+            port_file.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  return pid;
+}
+
+std::string wait_endpoints(const std::string& port_file) {
+  std::string endpoints;
+  for (int i = 0; i < 300 && endpoints.empty(); ++i) {
+    if (storage::file_exists(port_file)) {
+      std::ifstream in(port_file);
+      std::getline(in, endpoints);
+    }
+    if (endpoints.empty()) ::usleep(20 * 1000);
+  }
+  return endpoints;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The write path's core promise: a kill -9 at any instant after an
+// acked fsync loses nothing. The first incarnation runs with the
+// flusher's PFS leg fault-injected dead, so every acked byte exists
+// ONLY in the journal + local tier when the SIGKILL lands; the second
+// incarnation must replay the journal and land every file on the PFS
+// with exact content.
+TEST(WriteCrash, KillNineLosesNoAckedFsyncBytes) {
+  const std::string pfs = temp_dir("crash_pfs");
+  const std::string cache = temp_dir("crash_cache");
+  const std::string meta = temp_dir("crash_meta");
+
+  pid_t pid = spawn_hvacd(pfs, cache, meta + "/ports1", "pfs_write:error");
+  ASSERT_GT(pid, 0);
+  const std::string endpoints = wait_endpoints(meta + "/ports1");
+  ASSERT_FALSE(endpoints.empty()) << "hvacd did not come up";
+
+  // Distinct deterministic payloads; file 0 also gets an overwrite so
+  // replay ordering (later record wins) is exercised end to end.
+  std::vector<std::string> expected;
+  {
+    client::HvacClientOptions copts;
+    copts.dataset_dir = pfs;
+    copts.server_endpoints = split_csv(endpoints);
+    copts.allow_pfs_fallback = false;  // writes must be write-back
+    client::HvacClient client(copts);
+    for (int i = 0; i < 4; ++i) {
+      std::string payload(1000 + 100 * i, 'A' + i);
+      for (size_t k = 0; k < payload.size(); k += 7) payload[k] = '0' + i;
+      const std::string path =
+          pfs + "/ckpt/shard" + std::to_string(i) + ".bin";
+      auto vfd = client.open_write(path, true);
+      ASSERT_TRUE(vfd.ok()) << vfd.error().to_string();
+      const size_t half = payload.size() / 2;
+      auto w1 = client.write(*vfd, payload.data(), half);
+      ASSERT_TRUE(w1.ok()) << w1.error().to_string();
+      auto w2 = client.write(*vfd, payload.data() + half,
+                             payload.size() - half);
+      ASSERT_TRUE(w2.ok());
+      if (i == 0) {
+        auto w3 = client.pwrite(*vfd, "OVERWRITE", 9, 16);
+        ASSERT_TRUE(w3.ok());
+        payload.replace(16, 9, "OVERWRITE");
+      }
+      ASSERT_TRUE(client.fsync(*vfd).ok());
+      ASSERT_TRUE(client.close(*vfd).ok());
+      expected.push_back(payload);
+    }
+  }
+
+  // The faulted flusher means nothing reached the PFS: the acked
+  // bytes exist only in the journal and the local write-back tier.
+  EXPECT_FALSE(fs::exists(pfs + "/ckpt/shard0.bin"));
+
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+
+  pid = spawn_hvacd(pfs, cache, meta + "/ports2", nullptr);
+  ASSERT_GT(pid, 0);
+  ASSERT_FALSE(wait_endpoints(meta + "/ports2").empty())
+      << "hvacd did not restart";
+
+  // Replay re-applies the journal and re-queues the dirty files; the
+  // flusher (healthy now) lands them on the PFS. copy_in renames into
+  // place, so a polled read never sees a partial file.
+  for (int i = 0; i < 4; ++i) {
+    const std::string path =
+        pfs + "/ckpt/shard" + std::to_string(i) + ".bin";
+    std::string got;
+    for (int tries = 0; tries < 1000; ++tries) {
+      if (fs::exists(path)) {
+        got = read_file(path);
+        if (got.size() == expected[i].size()) break;
+      }
+      ::usleep(10 * 1000);
+    }
+    EXPECT_EQ(got.size(), expected[i].size()) << "shard " << i;
+    EXPECT_EQ(got, expected[i]) << "shard " << i;
+  }
+
+  // The operator's view: `hvacctl journal` reports the replay summary.
+  const std::string endpoints2 = wait_endpoints(meta + "/ports2");
+  const std::string out_file = meta + "/journal.txt";
+  const int rc = std::system((std::string(HVAC_HVACCTL_BIN) + " journal " +
+                              endpoints2 + " --json > " + out_file + " 2>&1")
+                                 .c_str());
+  EXPECT_EQ(rc, 0);
+  const std::string out = read_file(out_file);
+  EXPECT_NE(out.find("\"replay\":{\"writes\":"), std::string::npos) << out;
+  EXPECT_EQ(out.find("\"replay\":{\"writes\":0,"), std::string::npos) << out;
+
+  ::kill(pid, SIGTERM);
+  ::waitpid(pid, &status, 0);
+}
+
 }  // namespace
 }  // namespace hvac
