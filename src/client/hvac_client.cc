@@ -838,8 +838,18 @@ Result<size_t> HvacClient::write(int vfd, const void* buf, size_t count) {
   if (!entry.writable) {
     return Error(ErrorCode::kInvalidArgument, "fd not open for writing");
   }
-  HVAC_ASSIGN_OR_RETURN(size_t n, pwrite(vfd, buf, count, entry.offset));
-  HVAC_RETURN_IF_ERROR(fds_.set_offset(vfd, entry.offset + n));
+  // Reserve [offset, offset+count) up front so concurrent write()s on
+  // one vfd land at disjoint offsets (write(2)'s kernel-atomic offset
+  // update); a read-pwrite-set sequence would let two threads write
+  // the same range and lose an advance.
+  HVAC_ASSIGN_OR_RETURN(uint64_t offset, fds_.reserve_offset(vfd, count));
+  Result<size_t> n = pwrite(vfd, buf, count, offset);
+  const size_t done = n.ok() ? *n : 0;
+  if (done < count) {
+    // Short or failed write: give back the unused tail of the
+    // reservation when no later writer has built on top of it.
+    (void)fds_.rewind_offset(vfd, offset + count, offset + done);
+  }
   return n;
 }
 

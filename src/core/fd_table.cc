@@ -30,6 +30,32 @@ Status FdTable::set_offset(int vfd, uint64_t offset) {
   return Status::Ok();
 }
 
+Result<uint64_t> FdTable::reserve_offset(int vfd, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(vfd);
+  if (it == entries_.end()) {
+    return Error(ErrorCode::kBadFd, "unknown virtual fd " +
+                                        std::to_string(vfd));
+  }
+  const uint64_t offset = it->second.offset;
+  it->second.offset = offset + count;
+  return offset;
+}
+
+Status FdTable::rewind_offset(int vfd, uint64_t reserved_end,
+                              uint64_t actual_end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(vfd);
+  if (it == entries_.end()) {
+    return Error(ErrorCode::kBadFd, "unknown virtual fd " +
+                                        std::to_string(vfd));
+  }
+  if (it->second.offset == reserved_end) {
+    it->second.offset = actual_end;
+  }
+  return Status::Ok();
+}
+
 Status FdTable::replace(int vfd, FdEntry entry) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(vfd);

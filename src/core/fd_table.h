@@ -53,6 +53,19 @@ class FdTable {
   // Replaces the stored offset after a read/lseek.
   Status set_offset(int vfd, uint64_t offset);
 
+  // Atomically reserves [offset, offset+count) for a plain write():
+  // returns the pre-advance offset and bumps the stored offset by
+  // `count` in one critical section, so concurrent writers on the
+  // same vfd get disjoint ranges (write(2)'s kernel-atomic offset
+  // update).
+  Result<uint64_t> reserve_offset(int vfd, uint64_t count);
+
+  // Undoes the tail of a reservation after a short or failed write:
+  // sets the offset to `actual_end` only while it still equals
+  // `reserved_end` (i.e. no later writer has reserved past us).
+  Status rewind_offset(int vfd, uint64_t reserved_end,
+                       uint64_t actual_end);
+
   // Swaps the whole entry (fail-over re-open keeps the vfd stable for
   // the application while the backing server changes underneath).
   Status replace(int vfd, FdEntry entry);

@@ -59,12 +59,33 @@ Status FlushManager::submit(const std::string& logical_path) {
     if (queue_.size() < options_.queue_capacity) break;
     space_cv_.wait(lock);  // backpressure: never shed a dirty path
   }
+  enqueue_locked(logical_path);
+  return Status::Ok();
+}
+
+Status FlushManager::resubmit(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stop_) {
+    return Error(ErrorCode::kCancelled, "flush manager stopped");
+  }
+  auto it = state_.find(logical_path);
+  if (it != state_.end()) {
+    if (it->second.queued) return Status::Ok();
+    if (it->second.inflight) {
+      it->second.dirtied_again = true;
+      return Status::Ok();
+    }
+  }
+  enqueue_locked(logical_path);
+  return Status::Ok();
+}
+
+void FlushManager::enqueue_locked(const std::string& logical_path) {
   PathState& st = state_[logical_path];
   st.queued = true;
   if (st.first_submit_ms == 0) st.first_submit_ms = rpc::steady_now_ms();
   queue_.push_back(logical_path);
   work_cv_.notify_one();
-  return Status::Ok();
 }
 
 Status FlushManager::wait(const std::string& logical_path) {

@@ -68,6 +68,13 @@ class FlushManager {
   // (backpressure); kCancelled after shutdown.
   Status submit(const std::string& logical_path);
 
+  // Same, but never blocks on queue capacity. For DoneFn-context
+  // resubmits (the callback runs on a flusher worker — blocking there
+  // on space_cv_ with every worker doing the same would deadlock the
+  // queue). May overshoot the capacity by at most one path per worker,
+  // since a resubmit replaces the entry the worker just retired.
+  Status resubmit(const std::string& logical_path);
+
   // Blocks until `logical_path` has no pending or in-flight flush
   // (kCancelled on shutdown). The pfs-durability fsync barrier.
   Status wait(const std::string& logical_path);
@@ -109,6 +116,8 @@ class FlushManager {
   // One path, retried until flushed or re-queued. Returns false when
   // shutting down.
   bool flush_one(const std::string& path);
+  // Queues a path unconditionally; mutex_ must be held.
+  void enqueue_locked(const std::string& logical_path);
 
   const Options options_;
   const FlushFn flush_;

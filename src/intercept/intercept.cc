@@ -182,14 +182,18 @@ bool want_intercept(const char* path, int flags) {
   return g_client->eligible(path);
 }
 
-// Checkpoint writes: O_WRONLY opens under the dataset dir route to the
-// write-back tier. O_RDWR, O_APPEND and O_EXCL pass through — the
-// write channel has no read-back, append-offset or exclusivity
-// semantics, and mis-promising those would corrupt checkpoints.
+// Checkpoint writes: O_WRONLY|O_CREAT opens under the dataset dir
+// route to the write-back tier. Plain O_WRONLY (no O_CREAT) passes
+// through — the write channel always creates its backing file, so
+// routing a create-less open would succeed where POSIX says ENOENT.
+// O_RDWR, O_APPEND and O_EXCL pass through too: the write channel has
+// no read-back, append-offset or exclusivity semantics, and
+// mis-promising those would corrupt checkpoints.
 bool want_intercept_write(const char* path, int flags) {
   const char* volatile p = path;
   if (g_in_shim > 0 || p == nullptr) return false;
   if ((flags & O_ACCMODE) != O_WRONLY) return false;
+  if ((flags & O_CREAT) == 0) return false;
   if ((flags & (O_APPEND | O_EXCL)) != 0) return false;
   if (!client_active()) return false;
   ShimGuard guard;

@@ -182,9 +182,11 @@ void HvacServer::stop() {
     std::lock_guard<std::mutex> lock(write_fds_mutex_);
     write_fds_.clear();
   }
-  if (journal_ && drained) {
+  bool dirty_left = false;
+  if (journal_) {
     std::lock_guard<std::mutex> lock(write_state_mutex_);
-    if (dirty_bytes_by_path_.empty()) {
+    dirty_left = !dirty_bytes_by_path_.empty();
+    if (drained && !dirty_left) {
       // Clean stop: every acked byte is on the PFS, so the journal has
       // no obligations left — remove the file outright (the purge
       // below leaves the cache dir empty, journal included). A dirty
@@ -198,8 +200,21 @@ void HvacServer::stop() {
     }
   }
   // Cache lifetime is coupled to the server (job) lifetime: purge the
-  // node-local store on teardown (paper §III-D).
-  if (cache_) cache_->purge();
+  // node-local store on teardown (paper §III-D) — unless dirty
+  // write-back data failed to drain. After a checkpoint_reset the
+  // journal only covers the latest burst of writes, so the next
+  // start's replay needs the surviving local copies to reconstruct
+  // complete files; purging here would make the resumed flush rename
+  // a holey reconstruction over the complete PFS copy.
+  if (cache_) {
+    if (drained && !dirty_left) {
+      cache_->purge();
+    } else {
+      HVAC_LOG_WARN("keeping local store for journal replay ("
+                    << (drained ? "dirty paths remain" : "drain timed out")
+                    << ")");
+    }
+  }
 }
 
 size_t HvacServer::open_remote_fds() const {
@@ -714,7 +729,29 @@ Result<Bytes> HvacServer::handle_write_open(const Bytes& req) {
 
   auto h = std::make_shared<WriteHandle>();
   h->logical_path = path;
-  auto f = cache_->store().open_write(path);
+  // A non-truncating open of a path the store does not hold yet must
+  // prefill the local copy from the PFS: the flusher later replaces
+  // the whole PFS file with the local file, so starting from an empty
+  // backing file would turn a partial overwrite into data loss. A
+  // kNotFound from the fetch means the file does not exist anywhere —
+  // this open (O_CREAT on the shim side) creates it, starting empty.
+  auto open_backing = [&]() -> Result<storage::PosixFile> {
+    if (!trunc && !cache_->is_cached(path)) {
+      Result<bool> fetched = mover_->fetch(path);
+      if (!fetched.ok() &&
+          fetched.error().code != ErrorCode::kNotFound) {
+        return fetched.error();
+      }
+      if (fetched.ok() && !*fetched) {
+        // Too big for the NVMe budget: write through to the PFS (which
+        // keeps its own content, so non-truncating semantics hold).
+        return Error(ErrorCode::kCapacity,
+                     "prefill over store capacity: " + path);
+      }
+    }
+    return cache_->store().open_write(path);
+  };
+  auto f = open_backing();
   if (f.ok()) {
     h->file = std::move(f).value();
     h->mode = proto::kWriteBack;
@@ -874,12 +911,20 @@ Result<Bytes> HvacServer::handle_write_close(const Bytes& req) {
   HVAC_ASSIGN_OR_RETURN(uint8_t level, r.get_u8());
   HVAC_ASSIGN_OR_RETURN(std::shared_ptr<WriteHandle> h,
                         find_write_fd(remote_fd));
+  Status synced;
   {
     std::lock_guard<std::mutex> lock(h->mutex);
-    HVAC_RETURN_IF_ERROR(sync_handle(*h, level));
+    synced = sync_handle(*h, level);
   }
-  std::lock_guard<std::mutex> lock(write_fds_mutex_);
-  write_fds_.erase(remote_fd);
+  // Drop the handle even when the barrier failed: the client erases
+  // its vfd before this RPC, so a kept handle (and its open files)
+  // would just leak until shutdown. The journal still holds every
+  // acked byte, so nothing is lost by letting go.
+  {
+    std::lock_guard<std::mutex> lock(write_fds_mutex_);
+    write_fds_.erase(remote_fd);
+  }
+  if (!synced.ok()) return synced.error();
   return Bytes{};
 }
 
@@ -916,8 +961,11 @@ void HvacServer::on_flushed(const std::string& logical_path) {
   }
   if (!clean) {
     // A write landed after the copy began: the PFS may hold a stale
-    // prefix. Flush again rather than marking the path clean.
-    Status s = flusher_->submit(logical_path);
+    // prefix. Flush again rather than marking the path clean. This
+    // callback runs on a flusher worker, so the non-blocking resubmit
+    // is mandatory: a capacity-blocked submit() here could park every
+    // worker on space_cv_ with nobody left to drain the queue.
+    Status s = flusher_->resubmit(logical_path);
     if (!s.ok()) {
       HVAC_LOG_WARN("flush resubmit failed: " << s.error().to_string());
     }

@@ -261,6 +261,50 @@ TEST(FdTable, DistinctFdsAcrossThreads) {
   EXPECT_EQ(table.size(), 400u);
 }
 
+TEST(FdTable, ReserveOffsetGivesDisjointRangesAcrossThreads) {
+  FdTable table;
+  const int vfd = table.insert(FdEntry{});
+  constexpr int kThreads = 4;
+  constexpr int kWrites = 250;
+  constexpr uint64_t kCount = 7;
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::set<uint64_t> offsets;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kWrites; ++i) {
+        const auto off = table.reserve_offset(vfd, kCount);
+        ASSERT_TRUE(off.ok());
+        std::lock_guard<std::mutex> lock(mu);
+        offsets.insert(*off);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // write(2)-style atomic advance: every reservation starts at a
+  // distinct multiple of the write size and nothing is lost.
+  EXPECT_EQ(offsets.size(),
+            static_cast<size_t>(kThreads) * kWrites);
+  for (const uint64_t off : offsets) EXPECT_EQ(off % kCount, 0u);
+  EXPECT_EQ(table.get(vfd)->offset,
+            static_cast<uint64_t>(kThreads) * kWrites * kCount);
+}
+
+TEST(FdTable, RewindOffsetOnlyUndoesTheLatestReservation) {
+  FdTable table;
+  const int vfd = table.insert(FdEntry{});
+  ASSERT_TRUE(table.reserve_offset(vfd, 10).ok());  // [0, 10)
+  // Short write of 4 with nothing reserved past us: offset rewinds.
+  ASSERT_TRUE(table.rewind_offset(vfd, 10, 4).ok());
+  EXPECT_EQ(table.get(vfd)->offset, 4u);
+  ASSERT_TRUE(table.reserve_offset(vfd, 10).ok());  // [4, 14)
+  ASSERT_TRUE(table.reserve_offset(vfd, 10).ok());  // [14, 24)
+  // The first writer's rewind is a no-op: a later reservation already
+  // built on top of its range.
+  ASSERT_TRUE(table.rewind_offset(vfd, 14, 6).ok());
+  EXPECT_EQ(table.get(vfd)->offset, 24u);
+}
+
 // ---- cache manager -------------------------------------------------------------
 
 struct CacheFixture {

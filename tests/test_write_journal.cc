@@ -252,14 +252,16 @@ TEST(WriteJournal, CheckpointResetEmptiesLog) {
 
 struct WriteNode {
   std::string pfs_root;
+  std::string cache_root;
   std::unique_ptr<server::NodeRuntime> node;
   client::HvacClientOptions copts;
 
   explicit WriteNode(const std::string& name) {
     pfs_root = temp_dir(name + "_pfs");
+    cache_root = temp_dir(name + "_cache");
     server::NodeRuntimeOptions o;
     o.pfs_root = pfs_root;
-    o.cache_root = temp_dir(name + "_cache");
+    o.cache_root = cache_root;
     o.instances = 1;
     node = std::make_unique<server::NodeRuntime>(o);
     EXPECT_TRUE(node->start().ok());
@@ -356,6 +358,123 @@ TEST(WriteShed, CleanWriteBackLandsOnPfsAndResetsJournal) {
   }
   EXPECT_EQ(n.node->aggregated_frame().write_back.dirty_files, 0u);
   EXPECT_EQ(n.node->aggregated_frame().write_back.journal_records, 0u);
+}
+
+// ---- non-truncating opens: partial overwrites must keep old bytes ----
+
+TEST(WritePath, NonTruncatingOpenPreservesExistingPfsContent) {
+  WriteNode n("notrunc");
+  // An existing 64 KiB PFS file the cache has never seen.
+  const std::string rel = "ckpt/resume.bin";
+  const std::string original(64 * 1024, 'z');
+  fs::create_directories(n.pfs_root + "/ckpt");
+  {
+    std::ofstream out(n.pfs_root + "/" + rel, std::ios::binary);
+    out.write(original.data(),
+              static_cast<std::streamsize>(original.size()));
+  }
+
+  client::HvacClient client(n.copts);
+  auto vfd = client.open_write(n.pfs_root + "/" + rel, false);
+  ASSERT_TRUE(vfd.ok()) << vfd.error().to_string();
+  // Partial overwrite in the middle: every byte around it must survive
+  // the flusher's whole-file rename onto the PFS (the server prefills
+  // the local copy from the PFS on a non-truncating open).
+  const std::string patch = "PATCH";
+  auto w = client.pwrite(*vfd, patch.data(), patch.size(), 100);
+  ASSERT_TRUE(w.ok()) << w.error().to_string();
+  ASSERT_TRUE(client.fsync(*vfd).ok());
+  ASSERT_TRUE(client.close(*vfd).ok());
+
+  std::string expect = original;
+  expect.replace(100, patch.size(), patch);
+  std::string got;
+  for (int i = 0; i < 500; ++i) {
+    got = n.pfs_read(rel);
+    if (got == expect) break;
+    ::usleep(10 * 1000);
+  }
+  EXPECT_EQ(got.size(), expect.size());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(WritePath, NonTruncatingOpenOfNewFileStartsEmpty) {
+  WriteNode n("notrunc_new");
+  client::HvacClient client(n.copts);
+  // Nothing on the PFS: the open creates the file (O_CREAT semantics —
+  // the shim only routes creating opens here).
+  auto vfd = client.open_write(n.pfs_root + "/ckpt/new.bin", false);
+  ASSERT_TRUE(vfd.ok()) << vfd.error().to_string();
+  auto w = client.write(*vfd, "abc", 3);
+  ASSERT_TRUE(w.ok()) << w.error().to_string();
+  ASSERT_TRUE(client.fsync(*vfd).ok());
+  ASSERT_TRUE(client.close(*vfd).ok());
+  std::string got;
+  for (int i = 0; i < 500; ++i) {
+    got = n.pfs_read("ckpt/new.bin");
+    if (got == "abc") break;
+    ::usleep(10 * 1000);
+  }
+  EXPECT_EQ(got, "abc");
+}
+
+// ---- an undrained stop must not purge the local store ----
+
+TEST(WritePath, UndrainedStopKeepsLocalStoreForReplay) {
+  // Burst 1 flushes clean (the journal checkpoint-resets to empty),
+  // then burst 2 lands while the PFS is down. The graceful stop's
+  // drain times out, and the journal now only covers burst 2 — so the
+  // local store files must survive the stop. Purging them would make
+  // the next start's replay reconstruct a burst-2-only file with a
+  // hole where burst 1 was, and rename that over the complete PFS
+  // copy.
+  auto n = std::make_unique<WriteNode>("undrained");
+  const std::string pfs_root = n->pfs_root;
+  const std::string cache_root = n->cache_root;
+  {
+    client::HvacClient client(n->copts);
+    auto vfd = client.open_write(pfs_root + "/ckpt/big.bin", true);
+    ASSERT_TRUE(vfd.ok()) << vfd.error().to_string();
+    auto w1 = client.write(*vfd, "AAAA", 4);
+    ASSERT_TRUE(w1.ok()) << w1.error().to_string();
+    ASSERT_TRUE(client.fsync(*vfd).ok());
+    // Wait until burst 1 is flushed and the journal has reset.
+    for (int i = 0;
+         i < 500 && n->node->aggregated_frame().write_back.dirty_files; ++i) {
+      ::usleep(10 * 1000);
+    }
+    ASSERT_EQ(n->node->aggregated_frame().write_back.dirty_files, 0u);
+
+    // PFS down (persistent): burst 2 stays in the store + journal.
+    ASSERT_TRUE(fault::configure("pfs_write:error=io").ok());
+    auto w2 = client.pwrite(*vfd, "BBBB", 4, 4);
+    ASSERT_TRUE(w2.ok()) << w2.error().to_string();
+    ASSERT_TRUE(client.fsync(*vfd).ok());  // local durability barrier
+    ASSERT_TRUE(client.close(*vfd).ok());
+  }
+  n->node->stop();  // drain times out; store + journal must survive
+  n.reset();
+  ASSERT_TRUE(fault::configure("").ok());  // PFS back up
+
+  // Restart on the same cache/journal: replay plus the resumed flush
+  // must land the complete file.
+  server::NodeRuntimeOptions o;
+  o.pfs_root = pfs_root;
+  o.cache_root = cache_root;
+  o.instances = 1;
+  server::NodeRuntime node2(o);
+  ASSERT_TRUE(node2.start().ok());
+  std::string got;
+  for (int i = 0; i < 500; ++i) {
+    std::ifstream in(pfs_root + "/ckpt/big.bin", std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    got = ss.str();
+    if (got == "AAAABBBB") break;
+    ::usleep(10 * 1000);
+  }
+  EXPECT_EQ(got, "AAAABBBB");
+  node2.stop();
 }
 
 // ---- injected journal faults must surface cleanly, never wedge ----
