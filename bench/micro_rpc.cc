@@ -12,6 +12,7 @@
 #include <memory>
 #include <mutex>
 
+#include "client/hvac_client.h"
 #include "common/buffer_pool.h"
 #include "common/trace.h"
 #include "rpc/async_client.h"
@@ -499,6 +500,117 @@ BENCHMARK(BM_PackedSmallReads)
     ->Arg(16 << 10)
     ->Arg(64 << 10)
     ->UseRealTime();
+
+// --- Clairvoyant epoch reads ----------------------------------------
+//
+// One COLD training epoch per iteration: a fresh server (empty cache)
+// over a congested-PFS model, a fresh client, one pass over every
+// sample front to back. Three variants of the same pass:
+//
+//   Demand       no prefetch of any kind (the seed behaviour)
+//   ReadAhead    sequential read-ahead inside each file — it cannot
+//                cross file boundaries, so every file still pays the
+//                cold PFS fetch in line
+//   Clairvoyant  the epoch plan is handed to the scheduler up front;
+//                fetches run ahead of the cursor on the mover threads
+//                and overlap with the foreground reads
+//
+// scripts/bench_compare.py reads the three series as an advisory
+// gate: clairvoyant must beat read-ahead by >= 1.5x on the cold
+// epoch.
+
+struct EpochTree {
+  std::string pfs_root;
+  std::vector<std::string> abs_paths;
+};
+
+EpochTree& epoch_tree() {
+  static EpochTree* tree = [] {
+    auto* e = new EpochTree;
+    e->pfs_root =
+        "/tmp/hvac_bench_epoch_pfs_" + std::to_string(::getpid());
+    std::filesystem::remove_all(e->pfs_root);
+    const auto spec =
+        hvac::workload::synthetic_small(64, 128 << 10, 0.0);
+    const auto t = hvac::workload::generate_tree(e->pfs_root, spec);
+    if (!t.ok()) std::abort();
+    for (const auto& rel : t->relative_paths) {
+      e->abs_paths.push_back(e->pfs_root + "/" + rel);
+    }
+    return e;
+  }();
+  return *tree;
+}
+
+void epoch_read(benchmark::State& state, int mode) {
+  EpochTree& tree = epoch_tree();
+  size_t serial = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    hvac::storage::PfsOptions pfs_options;
+    pfs_options.metadata_latency_us = 400;  // busy-MDS model
+    pfs_options.seed = 42 + serial;
+    hvac::storage::PfsBackend pfs(tree.pfs_root, pfs_options);
+    const std::string cache = "/tmp/hvac_bench_epoch_cache_" +
+                              std::to_string(::getpid()) + "_" +
+                              std::to_string(serial++);
+    std::filesystem::remove_all(cache);
+    hvac::server::HvacServerOptions so;
+    so.cache_dir = cache;
+    so.rpc_handler_threads = 4;
+    so.data_mover_threads = 4;
+    auto server =
+        std::make_unique<hvac::server::HvacServer>(&pfs, so);
+    if (!server->start().ok()) std::abort();
+    hvac::client::HvacClientOptions copts;
+    copts.dataset_dir = tree.pfs_root;
+    copts.server_endpoints = {server->address()};
+    copts.read_chunk_bytes = 32 << 10;
+    copts.readahead_chunks = mode == 0 ? 0 : 4;
+    if (mode == 2) copts.prefetch_depth = 64;
+    auto client = std::make_unique<hvac::client::HvacClient>(copts);
+    state.ResumeTiming();
+
+    if (mode == 2) client->set_access_plan(tree.abs_paths);
+    std::vector<uint8_t> buf(32 << 10);
+    for (const auto& path : tree.abs_paths) {
+      auto fd = client->open(path);
+      if (!fd.ok()) { state.SkipWithError("open failed"); break; }
+      for (;;) {
+        auto n = client->read(*fd, buf.data(), buf.size());
+        if (!n.ok()) { state.SkipWithError("read failed"); break; }
+        if (*n == 0) break;
+      }
+      (void)client->close(*fd);
+    }
+
+    state.PauseTiming();
+    client.reset();  // joins the scheduler before the server dies
+    server->stop();
+    server.reset();
+    std::filesystem::remove_all(cache);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(tree.abs_paths.size()));
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(tree.abs_paths.size()) * (128 << 10));
+}
+
+void BM_EpochReadDemand(benchmark::State& state) {
+  epoch_read(state, 0);
+}
+BENCHMARK(BM_EpochReadDemand)->UseRealTime();
+
+void BM_EpochReadReadAhead(benchmark::State& state) {
+  epoch_read(state, 1);
+}
+BENCHMARK(BM_EpochReadReadAhead)->UseRealTime();
+
+void BM_EpochReadClairvoyant(benchmark::State& state) {
+  epoch_read(state, 2);
+}
+BENCHMARK(BM_EpochReadClairvoyant)->UseRealTime();
 
 }  // namespace
 

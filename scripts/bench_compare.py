@@ -113,6 +113,24 @@ def packed_ratios(rows):
             if packed[size] > 0]
 
 
+def epoch_prefetch_ratios(rows):
+    """Pair the BM_EpochRead* cold-epoch medians.
+
+    Returns {"readahead": t, "demand": t, "clairvoyant": t} for the
+    variants present. The clairvoyant scheduler overlaps planned PFS
+    fetches with foreground reads, so it should finish a cold epoch at
+    least 1.5x faster than sequential read-ahead (which cannot cross
+    file boundaries).
+    """
+    times = {}
+    for name, (t, _unit) in rows.items():
+        m = re.match(r"BM_EpochRead(Demand|ReadAhead|Clairvoyant)"
+                     r"(?:/real_time)?$", name)
+        if m:
+            times[m.group(1).lower()] = t
+    return times
+
+
 def reactor_scaling(rows):
     """Pair BM_SaturatedSmallReads medians by reactor count.
 
@@ -254,6 +272,30 @@ def main():
                           f"at {len(slow)} size(s)** — the packed path "
                           "exists to amortise per-file opens; check the "
                           "kPackedIndex/handle-cache hit path.")
+
+    # Advisory clairvoyant-prefetch gate: a planned cold epoch should
+    # beat sequential read-ahead by >= 1.5x (read-ahead cannot cross
+    # file boundaries, so every sample still pays the PFS fetch in
+    # line; the scheduler fetches ahead of the cursor instead).
+    ep = epoch_prefetch_ratios(curr)
+    if "clairvoyant" in ep and ep["clairvoyant"] > 0:
+        footer.append("")
+        footer.append("### cold-epoch prefetch (current run)")
+        flagged = False
+        for variant in ("demand", "readahead"):
+            if variant not in ep:
+                continue
+            ratio = ep[variant] / ep["clairvoyant"]
+            marker = ""
+            if variant == "readahead" and ratio < 1.5:
+                marker = " ⚠ below the 1.5x advisory bar"
+                flagged = True
+            footer.append(f"- clairvoyant is {ratio:.2f}x faster than "
+                          f"{variant}{marker}")
+        if flagged:
+            footer.append("**clairvoyant speedup below the 1.5x advisory "
+                          "bar** — check the scheduler's issue window, "
+                          "mover-thread count and shed re-pacing.")
 
     # Advisory reactor-scaling gate: N reactors should finish the
     # saturated small-read workload at least 2x as fast as one reactor.

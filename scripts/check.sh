@@ -23,6 +23,14 @@
 #                               assert the zero-per-file-open invariants
 #                               from server metrics (PACKED_FILES
 #                               overrides the tree size, default 10000)
+#   scripts/check.sh prefetch   clairvoyant-prefetch smoke: gen a tree,
+#                               write the access plan (file order), read
+#                               the whole stream through the shim with
+#                               HVAC_PREFETCH_PLAN/DEPTH set, then
+#                               assert >90% of accesses were warmed
+#                               ahead of the reader from the client's
+#                               HVAC_STATS_FILE dump (PREFETCH_FILES
+#                               overrides the tree size, default 512)
 #   scripts/check.sh trace      end-to-end tracing smoke: hvacd under
 #                               HVAC_TRACE=1, traffic via hvacctl, dump
 #                               with `hvacctl trace --chrome` and validate
@@ -47,7 +55,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # cache, the buffer pool, the RPC stack (reactors + work stealing) and
 # the client read path.
 TSAN_SUITES="test_storage test_common test_rpc test_async_rpc \
-test_client_edge test_stress test_trace test_reactor test_write_journal"
+test_client_edge test_stress test_trace test_reactor test_write_journal \
+test_prefetch"
 
 case "$MODE" in
   tier1)
@@ -149,6 +158,63 @@ case "$MODE" in
       > "$TMP/metrics.json"
     python3 scripts/check_packed_metrics.py "$TMP/metrics.json" \
       --containers "$CONTAINERS"
+    ;;
+  prefetch)
+    # Clairvoyant smoke: the exact flow a training job uses — a plan
+    # file naming every sample in access order, the unmodified reader
+    # under the shim, and the scheduler warming the node-local cache
+    # AHEAD of the stream. The stats gate proves the pipeline stayed
+    # in front (>90% hit-after-prefetch); the byte-compare proves it
+    # never corrupted the data path; `hvacctl prefetch` smokes the
+    # operator view. Regular build: this leg gates a timing property,
+    # so sanitizer slowdown would only add noise.
+    cmake -B build -S .
+    cmake --build build -j "$JOBS" \
+      --target hvacd hvacctl hvac_intercept intercept_target
+    NUM_FILES="${PREFETCH_FILES:-512}"
+    TMP="$(mktemp -d)"
+    HVACD_PID=""
+    cleanup() {
+      if [ -n "$HVACD_PID" ]; then
+        kill "$HVACD_PID" 2>/dev/null || true
+        wait "$HVACD_PID" 2>/dev/null || true
+      fi
+      rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    ./build/src/client/hvacctl gentree "$TMP/pfs" "$NUM_FILES" 4096 \
+      --manifest "$TMP/manifest.txt"
+    ./build/src/server/hvacd \
+      --pfs-root "$TMP/pfs" --cache-dir "$TMP/cache" \
+      --port-file "$TMP/ports" &
+    HVACD_PID=$!
+    for _ in $(seq 50); do
+      [ -s "$TMP/ports" ] && break
+      sleep 0.2
+    done
+    [ -s "$TMP/ports" ] || { echo "hvacd never published ports" >&2; exit 1; }
+    EP="$(cat "$TMP/ports")"
+    # The plan IS the manifest order: one path per line, the sequence
+    # the reader will open. One process reads the whole stream so a
+    # single scheduler owns the plan end to end.
+    cut -d' ' -f1 "$TMP/manifest.txt" > "$TMP/plan.txt"
+    tr '\n' '\0' < "$TMP/plan.txt" \
+      | xargs -0 env \
+          LD_PRELOAD="$PWD/build/src/intercept/libhvac_intercept.so" \
+          HVAC_DATASET_DIR="$TMP/pfs" \
+          HVAC_SERVERS="$EP" \
+          HVAC_PREFETCH_PLAN="$TMP/plan.txt" \
+          HVAC_PREFETCH_DEPTH=256 \
+          HVAC_STATS_FILE="$TMP/stats.json" \
+          ./build/tests/intercept_target > "$TMP/readback.txt"
+    if ! diff -u "$TMP/manifest.txt" "$TMP/readback.txt"; then
+      echo "planned readback does not match the generated tree" >&2
+      exit 1
+    fi
+    echo "all $NUM_FILES samples read back byte-identical"
+    python3 scripts/check_prefetch_stats.py "$TMP/stats.json" \
+      --min-hit-ratio 0.9
+    ./build/src/client/hvacctl prefetch "$EP"
     ;;
   trace)
     cmake -B build -S .
@@ -260,7 +326,7 @@ case "$MODE" in
       --benchmark_context=git_date="$GIT_DATE"
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|bench|chaos|packed|trace|write-chaos]" >&2
+    echo "usage: $0 [tier1|asan|tsan|bench|chaos|packed|prefetch|trace|write-chaos]" >&2
     exit 2
     ;;
 esac

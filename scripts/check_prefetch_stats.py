@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Assert the clairvoyant-prefetch invariants from an HVAC_STATS_FILE dump.
+
+    scripts/check_prefetch_stats.py STATS.json [--min-hit-ratio 0.9]
+
+Run after the prefetch smoke leg in scripts/check.sh: a planned stream
+(HVAC_PREFETCH_PLAN names every file in access order) read through the
+shim must be warmed AHEAD of the reader — almost every access lands on
+a sample whose prefetch already completed.
+
+Checks, against the client's `prefetch` counter block:
+  * planned > 0                        (the plan file was loaded)
+  * issued + late >= planned           (every sample was issued, or was
+                                        consumed before issue — the
+                                        scheduler skips those, so they
+                                        surface as late, never as lost)
+  * hit_after_prefetch / planned >= --min-hit-ratio
+  * late + hit_after_prefetch == accesses accounted (sanity)
+
+Exit 0 when every invariant holds, 1 otherwise. The hit ratio is a
+scheduling property on a live machine, so the default gate leaves 10%
+slack for the cold head of the pipeline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stats", help="HVAC_STATS_FILE dump (client JSON)")
+    parser.add_argument("--min-hit-ratio", type=float, default=0.9,
+                        help="required hit_after_prefetch / planned")
+    args = parser.parse_args()
+
+    with open(args.stats) as f:
+        doc = json.load(f)
+    pf = doc.get("prefetch", {})
+
+    planned = int(pf.get("planned", 0))
+    issued = int(pf.get("issued", 0))
+    completed = int(pf.get("completed", 0))
+    shed = int(pf.get("shed", 0))
+    late = int(pf.get("late", 0))
+    hit_after = int(pf.get("hit_after_prefetch", 0))
+    ratio = hit_after / planned if planned else 0.0
+
+    failures = []
+    if planned <= 0:
+        failures.append("planned == 0 — the HVAC_PREFETCH_PLAN file was "
+                        "not loaded (or held no eligible paths)")
+    if issued + late < planned:
+        failures.append(
+            f"issued({issued}) + late({late}) < planned({planned}); "
+            "the lookahead window never covered the stream")
+    if late + hit_after != planned:
+        failures.append(
+            f"late({late}) + hit_after({hit_after}) != planned({planned}) "
+            "— some planned samples were never accessed by the reader")
+    if ratio < args.min_hit_ratio:
+        failures.append(
+            f"hit-after-prefetch ratio {ratio:.3f} < {args.min_hit_ratio} "
+            f"({hit_after}/{planned} warm, {late} late) — the pipeline "
+            "is not staying ahead of the reader")
+
+    print(f"prefetch stats: planned={planned} issued={issued} "
+          f"completed={completed} shed={shed} late={late} "
+          f"hit_after={hit_after} ratio={ratio:.3f}")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print(f"prefetch invariants hold (ratio >= {args.min_hit_ratio})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

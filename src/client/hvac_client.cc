@@ -4,10 +4,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
+#include <fstream>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
+
+#include "client/prefetch_scheduler.h"
 
 #include "common/env.h"
 #include "common/fault_injection.h"
@@ -53,6 +58,14 @@ Result<HvacClientOptions> options_from_env() {
   const int64_t readahead = env_int_or("HVAC_READAHEAD", 2);
   o.readahead_chunks =
       readahead > 0 ? static_cast<uint32_t>(readahead) : 0;
+  const int64_t pf_depth = env_int_or("HVAC_PREFETCH_DEPTH", 0);
+  o.prefetch_depth = pf_depth > 0 ? static_cast<uint32_t>(pf_depth) : 0;
+  if (auto bw = env_string("HVAC_PREFETCH_BW_MBPS");
+      bw.has_value() && !bw->empty()) {
+    const double mbps = std::strtod(bw->c_str(), nullptr);
+    o.prefetch_bw_mbps = mbps > 0 ? mbps : 0.0;
+  }
+  o.prefetch_plan_file = env_string_or("HVAC_PREFETCH_PLAN", "");
   o.meta_ttl_ms = env_int_or("HVAC_META_TTL_MS", o.meta_ttl_ms);
   o.packed_enabled = env_bool_or("HVAC_PACK", true);
   o.packed_ttl_ms = env_int_or("HVAC_PACK_TTL_MS", o.packed_ttl_ms);
@@ -82,9 +95,54 @@ HvacClient::HvacClient(HvacClientOptions options)
   options_.dataset_dir = lexically_normal(options_.dataset_dir);
   channels_.resize(options_.server_endpoints.size());
   async_channels_.resize(options_.server_endpoints.size());
+  // A plan file turns clairvoyant prefetch on for processes that never
+  // call set_access_plan() themselves — the LD_PRELOAD shim's path.
+  if (!options_.prefetch_plan_file.empty()) {
+    std::ifstream in(options_.prefetch_plan_file);
+    if (!in) {
+      HVAC_LOG_INFO("prefetch plan unreadable, ignoring: "
+                    << options_.prefetch_plan_file);
+    } else {
+      std::vector<std::string> plan;
+      std::string line;
+      while (std::getline(in, line)) {
+        if (!line.empty()) plan.push_back(std::move(line));
+      }
+      if (!plan.empty()) set_access_plan(plan);
+    }
+  }
 }
 
-HvacClient::~HvacClient() = default;
+HvacClient::~HvacClient() {
+  // Stop the issue thread before the channels it rides on go away.
+  if (prefetch_) prefetch_->stop();
+}
+
+void HvacClient::set_access_plan(const std::vector<std::string>& paths) {
+  std::vector<std::string> logicals;
+  logicals.reserve(paths.size());
+  for (const auto& path : paths) {
+    // Plans carry absolute paths (the shim sees absolute opens) or
+    // already-logical ones; ineligible entries are dropped — a stale
+    // plan line must never break training.
+    if (auto logical = logical_path(path); logical.ok()) {
+      logicals.push_back(std::move(*logical));
+    } else if (!path.empty() && path.front() != '/') {
+      logicals.push_back(lexically_normal(path));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mutex_);
+    if (!prefetch_) {
+      PrefetchSchedulerOptions po;
+      if (options_.prefetch_depth > 0) po.depth = options_.prefetch_depth;
+      po.bw_mbps = options_.prefetch_bw_mbps;
+      prefetch_ = std::make_unique<PrefetchScheduler>(this, po);
+      prefetch_ptr_.store(prefetch_.get(), std::memory_order_release);
+    }
+  }
+  prefetch_->set_plan(std::move(logicals));
+}
 
 bool HvacClient::eligible(const std::string& path) const {
   return path_under(path, options_.dataset_dir);
@@ -165,6 +223,9 @@ std::optional<HvacClient::PendingChunk> HvacClient::readahead_take(
       (front.count == count ||
        (front.count < count && offset + front.count >= file_size));
   if (!match) {
+    // The pattern broke: every pending chunk was wasted, so the
+    // adaptive policy halves the window before the next run starts.
+    it->second.policy.on_miss();
     discard_window(it->second);
     return std::nullopt;
   }
@@ -178,10 +239,25 @@ void HvacClient::readahead_advance(int vfd, const core::FdEntry& entry,
                                    uint32_t chunk) {
   if (options_.readahead_chunks == 0 || chunk == 0) return;
   std::lock_guard<std::mutex> lock(ra_mutex_);
-  ReadAheadState& state = ra_[vfd];
+  const auto [slot, inserted] = ra_.try_emplace(vfd);
+  ReadAheadState& state = slot->second;
+  if (inserted) {
+    // HVAC_READAHEAD seeds the adaptive window; the policy grows or
+    // shrinks it per fd from the measured inter-arrival gap.
+    state.policy.depth = options_.readahead_chunks;
+    state.policy.max_depth =
+        std::max(options_.readahead_chunks, state.policy.max_depth);
+  }
   const bool sequential = offset == state.next_expected;
+  const uint64_t now = trace::now_ns();
+  if (sequential && state.last_arrival_ns != 0 &&
+      now > state.last_arrival_ns) {
+    state.policy.on_sequential(now - state.last_arrival_ns);
+  }
+  state.last_arrival_ns = now;
   state.next_expected = offset + got;
   if (!sequential) {
+    state.policy.on_miss();
     discard_window(state);
     return;
   }
@@ -195,7 +271,7 @@ void HvacClient::readahead_advance(int vfd, const core::FdEntry& entry,
   std::vector<std::pair<uint64_t, uint32_t>> batch;
   uint64_t batch_bytes = 0;
   uint64_t cursor = state.issued_end;
-  while (state.pending.size() + batch.size() < options_.readahead_chunks &&
+  while (state.pending.size() + batch.size() < state.policy.depth &&
          batch.size() < proto::kMaxScatterExtents && cursor < entry.size) {
     const uint32_t next_count = static_cast<uint32_t>(
         std::min<uint64_t>(chunk, entry.size - cursor));
@@ -320,6 +396,10 @@ Result<int> HvacClient::open(const std::string& path) {
   }
   HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kOpen));
   HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+
+  // Every open advances the clairvoyant training cursor (and slides
+  // the prefetch lookahead window forward).
+  if (PrefetchScheduler* pf = prefetch_scheduler()) pf->on_access(logical);
 
   // Packed sample: everything open() needs (size, home) comes from the
   // locally cached index — hand out a path-mode fd with zero round
@@ -924,47 +1004,89 @@ Status HvacClient::prefetch(const std::string& path) {
   return Status::Ok();
 }
 
-Result<size_t> HvacClient::prefetch_many(
-    const std::vector<std::string>& paths) {
+Result<std::vector<uint8_t>> HvacClient::prefetch_batch_status(
+    const std::vector<std::string>& logical_paths) {
   // Group by home server, then batch: one kPrefetchBatch call warms up
   // to kMaxPrefetchBatch files in a single round trip, and the batches
   // of different servers are in flight concurrently (Mercury-style
-  // pipelining with far fewer frames than one call per file).
-  std::unordered_map<uint32_t, std::vector<std::string>> by_server;
-  for (const auto& path : paths) {
-    HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
-    by_server[placement_.home(logical)].push_back(std::move(logical));
+  // pipelining with far fewer frames than one call per file) over the
+  // PERSISTENT async channels — the scheduler issues continuously, so
+  // dialling per round would dominate.
+  std::vector<uint8_t> statuses(logical_paths.size(),
+                                proto::kPrefetchShed);
+  std::unordered_map<uint32_t, std::vector<size_t>> by_server;
+  for (size_t i = 0; i < logical_paths.size(); ++i) {
+    by_server[placement_.home(logical_paths[i])].push_back(i);
   }
-  std::vector<std::unique_ptr<rpc::AsyncRpcClient>> channels;
-  std::vector<std::future<Result<rpc::Bytes>>> futures;
-  std::vector<uint32_t> batch_sizes;
-  for (auto& [server, logicals] : by_server) {
-    channels.push_back(std::make_unique<rpc::AsyncRpcClient>(
-        rpc::Endpoint{options_.server_endpoints.at(server)}, options_.rpc));
-    for (size_t base = 0; base < logicals.size();
+  struct Pending {
+    std::future<Result<rpc::Bytes>> fut;
+    std::vector<size_t> indices;  // into logical_paths / statuses
+  };
+  std::vector<Pending> pending;
+  for (auto& [server, indices] : by_server) {
+    for (size_t base = 0; base < indices.size();
          base += proto::kMaxPrefetchBatch) {
-      const uint32_t n = static_cast<uint32_t>(
-          std::min<size_t>(proto::kMaxPrefetchBatch,
-                           logicals.size() - base));
+      const uint32_t n = static_cast<uint32_t>(std::min<size_t>(
+          proto::kMaxPrefetchBatch, indices.size() - base));
       WireWriter w;
       w.put_u32(n);
-      for (uint32_t i = 0; i < n; ++i) w.put_string(logicals[base + i]);
-      futures.push_back(
-          channels.back()->call_async(proto::kPrefetchBatch, w.bytes()));
-      batch_sizes.push_back(n);
+      std::vector<size_t> sub(indices.begin() + base,
+                              indices.begin() + base + n);
+      for (const size_t idx : sub) w.put_string(logical_paths[idx]);
+      pending.push_back(
+          Pending{async_channel(server).call_async(proto::kPrefetchBatch,
+                                                   w.bytes()),
+                  std::move(sub)});
     }
   }
-  size_t warmed = 0;
-  for (size_t b = 0; b < futures.size(); ++b) {
-    Result<rpc::Bytes> resp = futures[b].get();
-    if (!resp.ok()) continue;  // fail-open: count, don't abort
+  for (Pending& p : pending) {
+    Result<rpc::Bytes> resp = p.fut.get();
+    // A dead server or open breaker reads as shed for the sub-batch:
+    // retryable, never fatal (the demand path covers any sample the
+    // warm-up misses).
+    if (!resp.ok()) continue;
     WireReader r(*resp);
     auto n = r.get_u32();
-    if (!n.ok() || *n != batch_sizes[b]) continue;
-    for (uint32_t i = 0; i < *n; ++i) {
-      auto cached = r.get_u8();
-      if (cached.ok() && *cached == 1) ++warmed;
+    if (!n.ok() || *n != p.indices.size()) continue;
+    for (const size_t idx : p.indices) {
+      auto status = r.get_u8();
+      if (!status.ok()) break;
+      statuses[idx] = *status;
     }
+  }
+  return statuses;
+}
+
+Result<size_t> HvacClient::prefetch_many(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> remaining;
+  remaining.reserve(paths.size());
+  for (const auto& path : paths) {
+    HVAC_ASSIGN_OR_RETURN(std::string logical, logical_path(path));
+    remaining.push_back(std::move(logical));
+  }
+  // Shed answers mean the mover queue is full, not that the files are
+  // unfetchable: back off and re-pace the shed tail a bounded number
+  // of rounds instead of dropping warm-up on the floor.
+  constexpr int kMaxRounds = 4;
+  constexpr int kBackoffMs = 5;
+  size_t warmed = 0;
+  for (int round = 0; round < kMaxRounds && !remaining.empty(); ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kBackoffMs * round));
+    }
+    HVAC_ASSIGN_OR_RETURN(std::vector<uint8_t> statuses,
+                          prefetch_batch_status(remaining));
+    std::vector<std::string> shed;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (statuses[i] == proto::kPrefetchCached) {
+        ++warmed;
+      } else if (statuses[i] == proto::kPrefetchShed) {
+        shed.push_back(std::move(remaining[i]));
+      }
+    }
+    remaining = std::move(shed);
   }
   return warmed;
 }
@@ -999,6 +1121,18 @@ std::string stats_to_json(const ClientStats& s) {
     << ",\"expired\":" << mc.expired.load(std::memory_order_relaxed)
     << ",\"invalidated\":"
     << mc.invalidated.load(std::memory_order_relaxed) << "}";
+  const core::PrefetchCounters& pf = core::PrefetchCounters::global();
+  const core::LatencySnapshot paced = pf.paced_delay.snapshot();
+  o << ",\"prefetch\":{\"planned\":"
+    << pf.planned.load(std::memory_order_relaxed)
+    << ",\"issued\":" << pf.issued.load(std::memory_order_relaxed)
+    << ",\"completed\":" << pf.completed.load(std::memory_order_relaxed)
+    << ",\"shed\":" << pf.shed.load(std::memory_order_relaxed)
+    << ",\"late\":" << pf.late.load(std::memory_order_relaxed)
+    << ",\"hit_after_prefetch\":"
+    << pf.hit_after.load(std::memory_order_relaxed)
+    << ",\"paced_batches\":" << paced.count
+    << ",\"paced_delay_total_ns\":" << paced.total_ns << "}";
   const rpc::ResilienceCounters& rc = rpc::ResilienceCounters::global();
   o << ",\"resilience\":{\"breaker_opens\":"
     << rc.breaker_opens.load(std::memory_order_relaxed)

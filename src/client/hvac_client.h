@@ -10,6 +10,7 @@
 // mount — a cache must never kill a training run (paper §III-H).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -22,6 +23,7 @@
 
 #include "client/meta_cache.h"
 #include "client/packed_catalog.h"
+#include "client/readahead_policy.h"
 #include "common/result.h"
 #include "core/fd_table.h"
 #include "core/placement.h"
@@ -29,6 +31,8 @@
 #include "rpc/rpc_client.h"
 
 namespace hvac::client {
+
+class PrefetchScheduler;
 
 struct HvacClientOptions {
   // Dataset root on the PFS (the HVAC_DATASET_DIR of the paper); only
@@ -48,12 +52,27 @@ struct HvacClientOptions {
   // Disables the direct-PFS fallback (tests use this to assert remote
   // behaviour; production keeps it on).
   bool allow_pfs_fallback = true;
-  // Sequential read-ahead depth, in read-chunk units (HVAC_READAHEAD).
-  // When a vfd reads sequentially, the next `readahead_chunks` chunks
+  // Sequential read-ahead STARTING depth, in read-chunk units
+  // (HVAC_READAHEAD). When a vfd reads sequentially, upcoming chunks
   // are requested over the async channel before the application asks,
-  // overlapping network latency with compute. 0 disables (the seed
-  // behaviour: every chunk is a synchronous round trip).
+  // overlapping network latency with compute; the per-fd depth then
+  // adapts to the measured inter-arrival gap (ReadAheadPolicy). 0
+  // disables (the seed behaviour: every chunk is a synchronous round
+  // trip).
   uint32_t readahead_chunks = 2;
+  // Clairvoyant prefetch lookahead window, in samples
+  // (HVAC_PREFETCH_DEPTH): how far the plan-driven scheduler may warm
+  // caches ahead of the training cursor. 0 disables the scheduler
+  // (set_access_plan() still enables it on demand with the default
+  // window).
+  uint32_t prefetch_depth = 0;
+  // Prefetch issue-rate pace in decimal MB/s (HVAC_PREFETCH_BW_MBPS);
+  // 0 = unpaced.
+  double prefetch_bw_mbps = 0.0;
+  // Access-plan file (HVAC_PREFETCH_PLAN): one path per line, in
+  // access order — absolute or dataset-relative. Loaded at client
+  // construction; ignored when empty.
+  std::string prefetch_plan_file;
   // TTL for the client metadata cache (HVAC_META_TTL_MS): per-epoch
   // re-opens of a file whose {size, home, cached} is still fresh skip
   // the stat/open round trip entirely (path-mode fds). 0 disables.
@@ -135,8 +154,31 @@ class HvacClient {
 
   // Pipelined warm-up: fans the prefetches out over async channels
   // (many in flight per server) instead of one round trip at a time.
-  // Returns the number of files successfully cached.
+  // Paths the server SHED under mover backpressure are re-paced with a
+  // bounded backoff-and-retry. Returns the number of files
+  // successfully cached.
   Result<size_t> prefetch_many(const std::vector<std::string>& paths);
+
+  // One pipelined kPrefetchBatch round over the persistent async
+  // channels: statuses[i] is the proto::PrefetchStatus for
+  // logical_paths[i] (LOGICAL paths, dataset-relative). Transport
+  // failures and open breakers read as kPrefetchShed for the affected
+  // sub-batch — the caller re-paces, it never aborts.
+  Result<std::vector<uint8_t>> prefetch_batch_status(
+      const std::vector<std::string>& logical_paths);
+
+  // Installs the access plan for the coming epoch (paths in access
+  // order, absolute or dataset-relative; ineligible paths are
+  // dropped), starting the clairvoyant scheduler on first use. The
+  // scheduler warms sample caches ahead of the training cursor, which
+  // advances on every intercepted open.
+  void set_access_plan(const std::vector<std::string>& paths);
+
+  // The plan-driven scheduler; null until set_access_plan() (or the
+  // HVAC_PREFETCH_PLAN file) enabled it.
+  PrefetchScheduler* prefetch_scheduler() {
+    return prefetch_ptr_.load(std::memory_order_acquire);
+  }
 
   // True when the path falls under dataset_dir (the shim's routing
   // test).
@@ -167,6 +209,8 @@ class HvacClient {
     uint64_t next_expected = 0;  // byte after the last sequential read
     uint64_t issued_end = 0;     // byte after the last issued chunk
     std::deque<PendingChunk> pending;
+    ReadAheadPolicy policy;        // adaptive window depth
+    uint64_t last_arrival_ns = 0;  // previous sequential arrival
   };
 
   // Path relative to dataset_dir — the canonical placement key.
@@ -240,6 +284,14 @@ class HvacClient {
 
   mutable std::mutex stats_mutex_;
   ClientStats stats_;
+
+  // Declared last: the scheduler's issue thread calls back into the
+  // channels above, so it must be torn down before they are. The raw
+  // pointer is the lock-free published view (the open() hot path reads
+  // it on every call); prefetch_mutex_ guards lazy creation.
+  std::unique_ptr<PrefetchScheduler> prefetch_;
+  std::atomic<PrefetchScheduler*> prefetch_ptr_{nullptr};
+  std::mutex prefetch_mutex_;
 };
 
 }  // namespace hvac::client

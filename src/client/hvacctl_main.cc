@@ -541,6 +541,73 @@ int cmd_journal(const std::string& csv, bool json) {
   return failures == 0 ? 0 : 1;
 }
 
+// Clairvoyant-prefetch health: how much of the plan has been warmed,
+// how much the mover shed or deduplicated, and whether bandwidth
+// pacing actually stalled anything — the operator's view of "is
+// warm-up ahead of training, and is it stampeding the PFS".
+int cmd_prefetch(const std::string& csv, bool json) {
+  int failures = 0;
+  std::string json_rows;
+  if (!json) {
+    std::printf("%-24s %8s %8s %9s %6s %6s %9s %8s %10s\n", "endpoint",
+                "planned", "issued", "completed", "shed", "late",
+                "hit_after", "deduped", "paced_ms");
+  }
+  for (const auto& endpoint : split_csv(csv)) {
+    rpc::RpcClient client(rpc::Endpoint{endpoint}, cli_options());
+    const auto resp = client.call(proto::kMetrics, Bytes{});
+    core::PrefetchStats pf;
+    bool have = false;
+    if (resp.ok()) {
+      if (const auto frame = core::MetricsFrame::decode(*resp);
+          frame.ok() && frame->version >= 2) {
+        pf = frame->prefetch;
+        have = true;
+      }
+    }
+    if (json) {
+      if (!json_rows.empty()) json_rows += ",";
+      json_rows += "{\"endpoint\":\"" + endpoint + "\",\"up\":" +
+                   (have ? "true" : "false");
+      if (have) {
+        json_rows +=
+            ",\"planned\":" + std::to_string(pf.planned) +
+            ",\"issued\":" + std::to_string(pf.issued) +
+            ",\"completed\":" + std::to_string(pf.completed) +
+            ",\"shed\":" + std::to_string(pf.shed) +
+            ",\"late\":" + std::to_string(pf.late) +
+            ",\"hit_after_prefetch\":" +
+            std::to_string(pf.hit_after_prefetch) +
+            ",\"deduped\":" + std::to_string(pf.deduped) +
+            ",\"dedup_inflight\":" + std::to_string(pf.dedup_inflight) +
+            ",\"paced_delay\":{\"batches\":" +
+            std::to_string(pf.paced_delay.count) + ",\"total_ns\":" +
+            std::to_string(pf.paced_delay.total_ns) + "}";
+      }
+      json_rows += "}";
+    } else if (!have) {
+      std::printf("%-24s %s\n", endpoint.c_str(),
+                  resp.ok() ? "(no prefetch section)"
+                            : resp.error().to_string().c_str());
+    } else {
+      std::printf("%-24s %8lu %8lu %9lu %6lu %6lu %9lu %8lu %10.1f\n",
+                  endpoint.c_str(), (unsigned long)pf.planned,
+                  (unsigned long)pf.issued, (unsigned long)pf.completed,
+                  (unsigned long)pf.shed, (unsigned long)pf.late,
+                  (unsigned long)pf.hit_after_prefetch,
+                  (unsigned long)pf.deduped,
+                  double(pf.paced_delay.total_ns) / 1e6);
+    }
+    if (!have) ++failures;
+  }
+  if (json) {
+    std::printf("{\"endpoints\":[%s],\"failures\":%d}\n", json_rows.c_str(),
+                failures);
+  }
+  std::fflush(stdout);
+  return failures == 0 ? 0 : 1;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--timeout MS] ping ENDPOINTS\n"
@@ -549,11 +616,13 @@ int usage(const char* argv0) {
                "[--watch N]\n"
                "       %s [--timeout MS] stat|warm ENDPOINT PATH\n"
                "       %s [--timeout MS] journal ENDPOINTS [--json]\n"
+               "       %s [--timeout MS] prefetch ENDPOINTS [--json]\n"
                "       %s [--timeout MS] trace ENDPOINTS [--chrome]\n"
                "       %s pack ROOT [--container-bytes N]\n"
                "       %s gentree ROOT NUM_FILES MEAN_BYTES [--sigma S]\n"
                "                  [--seed N] [--manifest FILE]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
   return 2;
 }
 
@@ -601,6 +670,18 @@ int main(int argc, char** argv) {
       }
     }
     return cmd_journal(args[1], json);
+  }
+  if (cmd == "prefetch") {
+    bool json = false;
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else {
+        std::fprintf(stderr, "unknown prefetch flag %s\n", args[i].c_str());
+        return 2;
+      }
+    }
+    return cmd_prefetch(args[1], json);
   }
   if (cmd == "metrics") {
     bool json = false;

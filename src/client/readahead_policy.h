@@ -1,0 +1,47 @@
+// Inter-arrival-gap adaptive read-ahead depth.
+//
+// HVAC_READAHEAD used to be a fixed chunk count; it now sets the
+// STARTING depth (0 still disables read-ahead entirely) and this
+// policy adapts per-fd from there:
+//
+//  * sequential hit with a SMALL inter-arrival gap — the application
+//    consumes chunks faster than a fetch round trip, so the window
+//    must run deeper to stay ahead of it: grow by one.
+//  * sequential hit with a LARGE gap — the application is compute-
+//    bound and the current window already hides the fetch; hold depth
+//    (a deeper window would only pin more pooled buffers and fetch
+//    bytes earlier than needed, for no latency win).
+//  * miss / seek — the sequential pattern broke and every pending
+//    chunk in the window was wasted: halve, so a workload that
+//    interleaves scans with random access stops paying full-depth
+//    waste on every turn.
+//
+// Pure state machine, no clocks of its own (callers feed measured
+// gaps), so tests can drive it with a synthetic access trace.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace hvac::client {
+
+struct ReadAheadPolicy {
+  uint32_t min_depth = 1;
+  uint32_t max_depth = 16;  // one kReadScatter batch (kMaxScatterExtents)
+  uint32_t depth = 2;
+
+  // EWMA of sequential inter-arrival gaps (ns); 0 = no sample yet.
+  uint64_t avg_gap_ns = 0;
+  // Gaps above this mean "the application is slower than a fetch":
+  // ~2 ms covers an in-rack round trip with margin.
+  uint64_t slow_gap_ns = 2'000'000;
+
+  void on_sequential(uint64_t gap_ns) {
+    avg_gap_ns = avg_gap_ns == 0 ? gap_ns : (avg_gap_ns * 7 + gap_ns) / 8;
+    if (avg_gap_ns < slow_gap_ns) depth = std::min(depth + 1, max_depth);
+  }
+
+  void on_miss() { depth = std::max(depth / 2, min_depth); }
+};
+
+}  // namespace hvac::client

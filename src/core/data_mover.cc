@@ -15,21 +15,47 @@ DataMover::DataMover(CacheManager* cache, size_t movers,
 
 DataMover::~DataMover() { shutdown(); }
 
-std::future<Result<bool>> DataMover::submit(std::string logical_path) {
+std::shared_future<Result<bool>> DataMover::submit(std::string logical_path) {
+  {
+    // Coalesce onto an in-flight fetch for the same path: the waiter
+    // shares the first submit's future, the queue sees one task.
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(logical_path);
+    if (it != inflight_.end()) {
+      ++it->second->waiters;
+      if (it->second->first_wait_ns == 0 && trace::enabled()) {
+        it->second->first_wait_ns = trace::now_ns();
+      }
+      dedup_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->fut;
+    }
+  }
+
+  auto inflight = std::make_shared<Inflight>();
+  inflight->fut = inflight->done.get_future().share();
   auto task = std::make_unique<Task>();
-  task->logical_path = std::move(logical_path);
+  task->logical_path = logical_path;
+  task->inflight = inflight;
   if (trace::enabled()) {
     task->ctx = trace::current_context();
     task->enqueue_ns = trace::now_ns();
   }
-  std::future<Result<bool>> fut = task->done.get_future();
+  std::shared_future<Result<bool>> fut = inflight->fut;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.emplace(logical_path, inflight);
+  }
   // Bounded: a full FIFO rejects instead of blocking the caller (an
   // RPC handler thread). Blocking here under a prefetch flood would
   // park every handler thread on the queue and stall even cache-hit
   // reads; rejecting lets the client fall back to the PFS (fail-open)
-  // or retry later.
+  // or re-pace and retry later.
   Status pushed = queue_.try_push(std::move(task));
   if (!pushed.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(logical_path);
+    }
     Error error = pushed.error();
     if (error.code == ErrorCode::kCapacity) {
       rpc::ResilienceCounters::global().mover_rejects.fetch_add(
@@ -37,16 +63,22 @@ std::future<Result<bool>> DataMover::submit(std::string logical_path) {
       error = Error(ErrorCode::kUnavailable,
                     "data-mover queue saturated; retry later");
     }
-    // Queue closed or full: resolve immediately with the error.
-    std::promise<Result<bool>> p;
-    p.set_value(Result<bool>(std::move(error)));
-    return p.get_future();
+    // Queue closed or full: resolve immediately with the error. Any
+    // waiter that coalesced between the map insert and the failed
+    // push still sees this error through the shared future.
+    inflight->done.set_value(Result<bool>(std::move(error)));
+    return fut;
   }
   return fut;
 }
 
 Result<bool> DataMover::fetch(const std::string& logical_path) {
   return submit(logical_path).get();
+}
+
+size_t DataMover::dedup_inflight() const {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  return inflight_.size();
 }
 
 void DataMover::shutdown() {
@@ -67,8 +99,28 @@ void DataMover::mover_loop() {
     if ((*task)->enqueue_ns != 0 && (*task)->ctx.valid()) {
       trace::emit("mover.queue", (*task)->enqueue_ns, trace::now_ns());
     }
-    trace::Span span("mover.fetch");
-    (*task)->done.set_value(cache_->ensure_cached((*task)->logical_path));
+    Result<bool> result = [&] {
+      trace::Span span("mover.fetch");
+      return cache_->ensure_cached((*task)->logical_path);
+    }();
+    uint32_t waiters = 0;
+    uint64_t first_wait_ns = 0;
+    {
+      // Retire the in-flight entry BEFORE publishing the result: a
+      // submit racing this completion starts a fresh fetch instead of
+      // receiving an answer that may already be stale (evicted).
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase((*task)->logical_path);
+      waiters = (*task)->inflight->waiters;
+      first_wait_ns = (*task)->inflight->first_wait_ns;
+    }
+    if (waiters > 0 && first_wait_ns != 0 && (*task)->ctx.valid()) {
+      // One retroactive span covers every piggybacked waiter: from the
+      // earliest coalesced submit to completion, arg = waiter count.
+      trace::emit("mover.dedup_wait", first_wait_ns, trace::now_ns(),
+                  waiters);
+    }
+    (*task)->inflight->done.set_value(std::move(result));
   }
 }
 

@@ -41,6 +41,11 @@ MetaCacheCounters& MetaCacheCounters::global() {
   return counters;
 }
 
+PrefetchCounters& PrefetchCounters::global() {
+  static PrefetchCounters counters;
+  return counters;
+}
+
 std::string MetricsSnapshot::to_string() const {
   std::ostringstream oss;
   oss << "hits=" << hits << " misses=" << misses

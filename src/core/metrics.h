@@ -201,4 +201,27 @@ struct MetaCacheCounters {
   static MetaCacheCounters& global();
 };
 
+// ---- clairvoyant prefetch counters ----------------------------------------
+
+// Process-wide accounting for the client's plan-driven prefetch
+// scheduler (client/prefetch_scheduler.h). Like the read-ahead
+// counters, the producers are HvacClients and the consumers are the
+// metrics frame (section 11) and the HVAC_STATS_FILE dump. The
+// paced_delay histogram records how long the token bucket stalled
+// each issued batch — nonzero means HVAC_PREFETCH_BW_MBPS is actually
+// shaping warm-up traffic.
+struct PrefetchCounters {
+  std::atomic<uint64_t> planned{0};    // samples accepted into plans
+  std::atomic<uint64_t> issued{0};     // samples sent in prefetch batches
+  std::atomic<uint64_t> completed{0};  // answered cached by the server
+  std::atomic<uint64_t> shed{0};       // answered shed (mover backpressure)
+  std::atomic<uint64_t> late{0};       // cursor reached the sample before
+                                       // its prefetch completed
+  std::atomic<uint64_t> hit_after{0};  // cursor reached a sample its
+                                       // prefetch had already warmed
+  LatencyHistogram paced_delay;        // per-batch token-bucket stall (ns)
+
+  static PrefetchCounters& global();
+};
+
 }  // namespace hvac::core

@@ -107,6 +107,18 @@ void WriteBackStats::merge(const WriteBackStats& other) {
   replay_dirty_files += other.replay_dirty_files;
 }
 
+void PrefetchStats::merge(const PrefetchStats& other) {
+  planned += other.planned;
+  issued += other.issued;
+  completed += other.completed;
+  shed += other.shed;
+  late += other.late;
+  hit_after_prefetch += other.hit_after_prefetch;
+  deduped += other.deduped;
+  dedup_inflight += other.dedup_inflight;
+  paced_delay.merge(other.paced_delay);
+}
+
 void MetricsFrame::merge(const MetricsFrame& other) {
   version = version > other.version ? version : other.version;
   cache.hits += other.cache.hits;
@@ -126,6 +138,7 @@ void MetricsFrame::merge(const MetricsFrame& other) {
   trace.merge(other.trace);
   reactor.merge(other.reactor);
   write_back.merge(other.write_back);
+  prefetch.merge(other.prefetch);
   for (const auto& [op, snap] : other.op_latency) {
     op_latency[op].merge(snap);
   }
@@ -145,7 +158,7 @@ Bytes MetricsFrame::encode() const {
 
   w.put_u32(kMetricsFrameMagic);
   w.put_u16(kFrameVersion);
-  w.put_u16(10);  // section count
+  w.put_u16(11);  // section count
 
   {
     WireWriter s;
@@ -273,6 +286,24 @@ Bytes MetricsFrame::encode() const {
     w.put_u16(kSectionWriteBack);
     w.put_blob(s.bytes().data(), s.bytes().size());
   }
+  {
+    WireWriter s;
+    s.put_u64(prefetch.planned);
+    s.put_u64(prefetch.issued);
+    s.put_u64(prefetch.completed);
+    s.put_u64(prefetch.shed);
+    s.put_u64(prefetch.late);
+    s.put_u64(prefetch.hit_after_prefetch);
+    s.put_u64(prefetch.deduped);
+    s.put_u64(prefetch.dedup_inflight);
+    s.put_u64(prefetch.reserved);
+    s.put_u64(prefetch.paced_delay.count);
+    s.put_u64(prefetch.paced_delay.total_ns);
+    s.put_u16(static_cast<uint16_t>(kLatencyBuckets));
+    for (uint64_t b : prefetch.paced_delay.buckets) s.put_u64(b);
+    w.put_u16(kSectionPrefetch);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
   return std::move(w).take();
 }
 
@@ -328,6 +359,23 @@ void decode_reactors(WireReader& r, ReactorStats* out) {
       if (w < 5) *fields[w] = *v;  // newer rows: extra words ignored
     }
     out->reactors.push_back(pr);
+  }
+}
+
+void decode_prefetch(WireReader& r, PrefetchStats* out) {
+  read_u64s(r, {&out->planned, &out->issued, &out->completed, &out->shed,
+                &out->late, &out->hit_after_prefetch, &out->deduped,
+                &out->dedup_inflight, &out->reserved,
+                &out->paced_delay.count, &out->paced_delay.total_ns});
+  auto n_buckets = r.get_u16();
+  if (!n_buckets.ok()) return;
+  for (uint16_t b = 0; b < *n_buckets; ++b) {
+    auto v = r.get_u64();
+    if (!v.ok()) return;
+    // A peer with more buckets folds its tail into our last bucket so
+    // count stays consistent with the bucket sum.
+    const size_t slot = b < kLatencyBuckets ? b : kLatencyBuckets - 1;
+    out->paced_delay.buckets[slot] += *v;
   }
 }
 
@@ -427,6 +475,9 @@ Result<MetricsFrame> MetricsFrame::decode(const Bytes& bytes) {
                       &f.write_back.replay_bytes,
                       &f.write_back.replay_truncated_bytes,
                       &f.write_back.replay_dirty_files});
+        break;
+      case kSectionPrefetch:
+        decode_prefetch(s, &f.prefetch);
         break;
       default:
         break;  // unknown section: skipped by its length prefix
@@ -536,8 +587,26 @@ std::string MetricsFrame::to_json() const {
     << ",\"replay_writes\":" << write_back.replay_writes
     << ",\"replay_bytes\":" << write_back.replay_bytes
     << ",\"replay_truncated_bytes\":" << write_back.replay_truncated_bytes
-    << ",\"replay_dirty_files\":" << write_back.replay_dirty_files << "}"
-    << ",\"latency_us\":{";
+    << ",\"replay_dirty_files\":" << write_back.replay_dirty_files << "}";
+  {
+    char paced[128];
+    std::snprintf(paced, sizeof(paced),
+                  "{\"count\":%" PRIu64
+                  ",\"mean\":%.3f,\"p50\":%.3f,\"p99\":%.3f}",
+                  prefetch.paced_delay.count,
+                  prefetch.paced_delay.mean_ns() / 1e3,
+                  prefetch.paced_delay.percentile_ns(50) / 1e3,
+                  prefetch.paced_delay.percentile_ns(99) / 1e3);
+    o << ",\"prefetch\":{\"planned\":" << prefetch.planned
+      << ",\"issued\":" << prefetch.issued
+      << ",\"completed\":" << prefetch.completed
+      << ",\"shed\":" << prefetch.shed << ",\"late\":" << prefetch.late
+      << ",\"hit_after_prefetch\":" << prefetch.hit_after_prefetch
+      << ",\"deduped\":" << prefetch.deduped
+      << ",\"dedup_inflight\":" << prefetch.dedup_inflight
+      << ",\"paced_delay_us\":" << paced << "}";
+  }
+  o << ",\"latency_us\":{";
   bool first = true;
   for (const auto& [op, snap] : op_latency) {
     if (!first) o << ",";

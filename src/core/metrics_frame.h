@@ -49,6 +49,7 @@ enum MetricsSection : uint16_t {
   kSectionTrace = 8,
   kSectionReactors = 9,
   kSectionWriteBack = 10,
+  kSectionPrefetch = 11,
 };
 
 struct HandleCacheStats {
@@ -152,6 +153,29 @@ struct WriteBackStats {
   void merge(const WriteBackStats& other);
 };
 
+// Clairvoyant prefetch pipeline (client/prefetch_scheduler.h) plus the
+// server-side duplicate-fetch suppression in the data mover. The
+// client-side words are process-wide globals (core::PrefetchCounters);
+// deduped/dedup_inflight are per-instance mover counters. Body layout:
+// nine u64s, then the paced-delay histogram as
+// [count u64][total_ns u64][n_buckets u16][bucket u64 * n] — a decoder
+// that stops after the words it knows still parses.
+struct PrefetchStats {
+  uint64_t planned = 0;    // samples accepted into access plans
+  uint64_t issued = 0;     // samples sent in prefetch batches
+  uint64_t completed = 0;  // answered cached
+  uint64_t shed = 0;       // answered shed (mover backpressure)
+  uint64_t late = 0;       // training cursor beat the prefetch
+  uint64_t hit_after_prefetch = 0;  // cursor found the sample warmed
+  uint64_t deduped = 0;         // mover submits coalesced onto an
+                                // in-flight fetch (N clients, 1 read)
+  uint64_t dedup_inflight = 0;  // gauge: paths with a fetch in flight
+  uint64_t reserved = 0;        // room to grow without re-shaping
+  LatencySnapshot paced_delay;  // token-bucket stall per issued batch
+
+  void merge(const PrefetchStats& other);
+};
+
 // Trace-ring health (common/trace.h). Process-wide; `dropped` rising
 // means HVAC_TRACE_RING is too small for the drain cadence.
 struct TraceStats {
@@ -202,6 +226,7 @@ struct MetricsFrame {
   TraceStats trace;
   ReactorStats reactor;
   WriteBackStats write_back;
+  PrefetchStats prefetch;
   // Keyed by proto::Opcode value; only ops with samples are present.
   std::map<uint16_t, LatencySnapshot> op_latency;
 

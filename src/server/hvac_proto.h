@@ -26,9 +26,16 @@ enum Opcode : uint16_t {
                      // -> scatter frame (rpc/wire.h decode_scatter):
                      // one reply, N extents, each kernel-copied on the
                      // hit path. Extents crossing EOF come back short.
-  kPrefetchBatch = 10,  // (n u32, path * n) -> (n u32, cached u8 * n)
+  kPrefetchBatch = 10,  // (n u32, path * n) -> (n u32, status u8 * n)
                         // batched kPrefetch: one round trip warms a
-                        // whole epoch's worth of files.
+                        // whole epoch's worth of files. Every path is
+                        // submitted to the mover up front (the fetches
+                        // overlap) and each gets a PrefetchStatus:
+                        // cached, miss (fetch failed / capacity
+                        // overflow), or shed (mover queue full — the
+                        // client should re-pace and retry, not blind-
+                        // retry the whole batch). Old clients read
+                        // shed (2) as not-cached, which is safe.
   kTraceDump = 11,  // () -> span dump (core/trace_wire.h encode_spans):
                     // drains the process-wide trace rings. Consuming:
                     // two hvacctl instances polling one server split
@@ -69,6 +76,16 @@ enum WriteMode : uint8_t {
 enum WriteDurability : uint8_t {
   kDurabilityLocal = 0,  // journal commit record is on local media
   kDurabilityPfs = 1,    // file is fully flushed to the PFS
+};
+
+// Per-path answer in the kPrefetchBatch response. kPrefetchShed means
+// the mover queue was full when the path was submitted: the file was
+// NOT fetched and a later, slower retry will likely succeed — the
+// client-side scheduler backs off instead of hammering the queue.
+enum PrefetchStatus : uint8_t {
+  kPrefetchMiss = 0,    // fetch failed or fell back to the PFS
+  kPrefetchCached = 1,  // file is resident in the node-local cache
+  kPrefetchShed = 2,    // mover backpressure: re-pace and retry
 };
 
 // served_from values in the kOpen response.

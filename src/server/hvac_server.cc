@@ -695,15 +695,32 @@ Result<Bytes> HvacServer::handle_prefetch_batch(const Bytes& req) {
   if (n == 0 || n > proto::kMaxPrefetchBatch) {
     return Error(ErrorCode::kInvalidArgument, "bad prefetch batch size");
   }
-  WireWriter w;
-  w.put_u32(n);
+  // Submit every path up front, then wait: the mover threads overlap
+  // the fetches instead of this handler serializing them one blocking
+  // fetch at a time. submit() coalesces duplicates onto one in-flight
+  // fetch and — because the queue is bounded — answers kUnavailable
+  // immediately when it is full, which becomes a per-path SHED status
+  // rather than a flood of queued tasks. A single failed fetch must
+  // not fail the batch: the path reports miss/shed and the rest keep
+  // warming.
+  std::vector<std::shared_future<Result<bool>>> futures;
+  futures.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     HVAC_ASSIGN_OR_RETURN(std::string path, r.get_string());
     (void)route_packed(path);
-    // A single failed fetch must not fail the batch: report the path
-    // as not-cached and keep warming the rest.
-    auto cached = mover_->fetch(path);
-    w.put_u8(cached.ok() && cached.value() ? 1 : 0);
+    futures.push_back(mover_->submit(std::move(path)));
+  }
+  WireWriter w;
+  w.put_u32(n);
+  for (auto& fut : futures) {
+    const Result<bool>& cached = fut.get();
+    uint8_t status = proto::kPrefetchMiss;
+    if (cached.ok()) {
+      status = *cached ? proto::kPrefetchCached : proto::kPrefetchMiss;
+    } else if (cached.error().code == ErrorCode::kUnavailable) {
+      status = proto::kPrefetchShed;
+    }
+    w.put_u8(status);
   }
   return std::move(w).take();
 }
@@ -1098,6 +1115,22 @@ core::MetricsFrame HvacServer::metrics_frame() const {
   f.write_back.replay_bytes = last_replay_.bytes_applied;
   f.write_back.replay_truncated_bytes = last_replay_.truncated_bytes;
   f.write_back.replay_dirty_files = last_replay_.dirty_paths.size();
+
+  // Clairvoyant prefetch (section 11): the client-side scheduler
+  // counters are process-wide globals (nonzero when a client shares
+  // this process — the embedded/bench topology); the dedup words are
+  // this instance's mover.
+  const core::PrefetchCounters& pf = core::PrefetchCounters::global();
+  f.prefetch.planned = pf.planned.load(std::memory_order_relaxed);
+  f.prefetch.issued = pf.issued.load(std::memory_order_relaxed);
+  f.prefetch.completed = pf.completed.load(std::memory_order_relaxed);
+  f.prefetch.shed = pf.shed.load(std::memory_order_relaxed);
+  f.prefetch.late = pf.late.load(std::memory_order_relaxed);
+  f.prefetch.hit_after_prefetch =
+      pf.hit_after.load(std::memory_order_relaxed);
+  f.prefetch.deduped = mover_->dedup_coalesced();
+  f.prefetch.dedup_inflight = mover_->dedup_inflight();
+  f.prefetch.paced_delay = pf.paced_delay.snapshot();
 
   f.op_latency = latency_.snapshot();
   return f;

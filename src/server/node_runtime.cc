@@ -73,6 +73,13 @@ core::MetricsFrame NodeRuntime::aggregated_frame() const {
     f.zerocopy = core::ZeroCopyStats{};
     f.meta_cache = core::MetaCacheStats{};
     f.trace = core::TraceStats{};
+    // Prefetch mixes process-global counters (plan/issue/pacing, taken
+    // once) with per-instance mover dedup (summed).
+    const uint64_t deduped = f.prefetch.deduped;
+    const uint64_t dedup_inflight = f.prefetch.dedup_inflight;
+    f.prefetch = core::PrefetchStats{};
+    f.prefetch.deduped = deduped;
+    f.prefetch.dedup_inflight = dedup_inflight;
     total.merge(f);
   }
   return total;

@@ -71,6 +71,7 @@ Result<std::vector<uint8_t>> PfsBackend::read_all(
 
 Result<uint64_t> PfsBackend::copy_out(const std::string& relative_path,
                                       const std::string& dst) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kPfsRead));
   charge_metadata();
   HVAC_ASSIGN_OR_RETURN(
       uint64_t bytes, copy_file_contents(absolute(relative_path), dst));
@@ -82,6 +83,7 @@ Result<uint64_t> PfsBackend::copy_range_out(const std::string& relative_path,
                                             const std::string& dst,
                                             uint64_t offset,
                                             uint64_t length) {
+  HVAC_RETURN_IF_ERROR(fault::check(fault::Site::kPfsRead));
   charge_metadata();
   HVAC_ASSIGN_OR_RETURN(PosixFile in,
                         PosixFile::open_read(absolute(relative_path)));

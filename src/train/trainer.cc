@@ -132,11 +132,16 @@ Result<TrainingCurve> run_training_loop(const LoopConfig& config,
 
   for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
     const std::vector<uint64_t> order = shuffler.shuffled(epoch);
+    std::vector<std::string> paths;
+    paths.reserve(order.size());
+    for (uint64_t idx : order) {
+      paths.push_back(path_join(config.dataset_root,
+                                sample_file_name(idx)));
+    }
+    if (config.on_epoch_plan) config.on_epoch_plan(epoch, paths);
     std::vector<Sample> batch;
     batch.reserve(config.trainer.batch_size);
-    for (uint64_t idx : order) {
-      const std::string path =
-          path_join(config.dataset_root, sample_file_name(idx));
+    for (const std::string& path : paths) {
       HVAC_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, reader(path));
       HVAC_ASSIGN_OR_RETURN(Sample s, deserialize_sample(bytes));
       batch.push_back(std::move(s));

@@ -83,6 +83,13 @@ struct LoopConfig {
   uint64_t shuffle_seed = 0x5eed;
   // Dataset root joined with sample_file_name(i) to form read paths.
   std::string dataset_root;
+  // Called before each epoch with the epoch's complete access plan
+  // (full read paths, in read order). This is the clairvoyant-prefetch
+  // hookup: the shuffle is seeded, so the plan is exact — hand it to
+  // HvacClient::set_access_plan() and the scheduler warms caches ahead
+  // of the cursor. Null = no-op.
+  std::function<void(uint32_t epoch, const std::vector<std::string>& paths)>
+      on_epoch_plan;
 };
 
 // Runs the full training loop, reading every sample through `reader`

@@ -475,7 +475,7 @@ TEST(DataMover, ManyConcurrentSubmitsAllResolve) {
     fx.put_pfs_file("f" + std::to_string(i) + ".bin", 50, uint8_t(i));
   }
   DataMover mover(fx.cache.get(), /*movers=*/2);
-  std::vector<std::future<Result<bool>>> futures;
+  std::vector<std::shared_future<Result<bool>>> futures;
   for (int round = 0; round < 3; ++round) {
     for (int i = 0; i < 20; ++i) {
       futures.push_back(mover.submit("f" + std::to_string(i) + ".bin"));
