@@ -2,19 +2,27 @@
 // round-trip latency, async pipelined throughput, and bulk-read
 // bandwidth — the functional analogue of Mercury's performance
 // envelope.
+#include <arpa/inet.h>
 #include <benchmark/benchmark.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "client/hvac_client.h"
 #include "common/buffer_pool.h"
 #include "common/trace.h"
+#include "core/timeseries.h"
+#include "server/prom_exporter.h"
 #include "rpc/async_client.h"
 #include "rpc/rpc_client.h"
 #include "rpc/rpc_server.h"
@@ -290,6 +298,140 @@ BENCHMARK(BM_BulkReadZeroCopyTraced)
     ->Threads(8)
     ->UseRealTime();
 
+// --- Telemetry-plane overhead ---------------------------------------
+//
+// BM_BulkReadZeroCopy with the telemetry plane ON, compressed to its
+// cost centers: a collector thread ticking at the hvacd cadence
+// (frame snapshot -> frame_delta -> ring push every 100 ms) and an
+// OpenMetrics exporter scraped every 200 ms over loopback HTTP, with
+// each scrape also encoding the ring — the kTimeSeries reply a
+// `hvacctl top` poller triggers. Everything shares the benchmark's
+// cores, so the series pair (plain vs Telemetry) is the enabled tax;
+// scripts/bench_compare.py reads it as an advisory <=5% gate.
+
+class TelemetryPlane {
+ public:
+  TelemetryPlane()
+      : ring_(300),
+        exporter_(0, [] { return live_frame(); }) {
+    if (!exporter_.start().ok()) std::abort();
+    collector_ = std::thread([this] { collect(); });
+    scraper_ = std::thread([this] { scrape(); });
+  }
+
+  ~TelemetryPlane() {
+    stop_.store(true, std::memory_order_relaxed);
+    collector_.join();
+    scraper_.join();
+    exporter_.stop();
+  }
+
+ private:
+  // The live sections this bench actually moves (buffer pool,
+  // zero-copy sends) plus busy-server histograms and stall rows, so
+  // snapshot/delta/encode/render cost what a loaded hvacd's do.
+  static hvac::core::MetricsFrame live_frame() {
+    hvac::core::MetricsFrame f;
+    const hvac::BufferPool::Stats bp = hvac::BufferPool::aggregated_stats();
+    f.buffer_pool.leases = bp.hits + bp.misses + bp.unpooled;
+    f.buffer_pool.pool_hits = bp.hits;
+    f.buffer_pool.fallback_allocs = bp.misses + bp.unpooled;
+    f.buffer_pool.recycled = bp.recycled;
+    f.buffer_pool.dropped = bp.dropped;
+    const ZeroCopyCounters& zc = ZeroCopyCounters::global();
+    f.zerocopy.sendfile_sends =
+        zc.sendfile_sends.load(std::memory_order_relaxed);
+    f.zerocopy.splice_sends = zc.splice_sends.load(std::memory_order_relaxed);
+    f.zerocopy.fallback_sends =
+        zc.fallback_sends.load(std::memory_order_relaxed);
+    f.zerocopy.sendfile_bytes =
+        zc.sendfile_bytes.load(std::memory_order_relaxed);
+    f.zerocopy.splice_bytes = zc.splice_bytes.load(std::memory_order_relaxed);
+    f.zerocopy.short_resumes =
+        zc.short_resumes.load(std::memory_order_relaxed);
+    for (uint16_t op : {hvac::proto::kOpen, hvac::proto::kRead,
+                        hvac::proto::kClose, hvac::proto::kReadScatter}) {
+      hvac::core::LatencySnapshot lat;
+      lat.count = 100000;
+      lat.total_ns = uint64_t{100000} * 20000;
+      for (size_t b = 10; b < 22; ++b) lat.buckets[b] = lat.count / 12;
+      f.op_latency[op] = lat;
+    }
+    f.stall.epochs = {{1, 4096, 5000000, 1000000, 2500000, 1000000,
+                       400000, 100000}};
+    return f;
+  }
+
+  void collect() {
+    hvac::core::MetricsFrame prev = live_frame();
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      hvac::core::MetricsFrame cur = live_frame();
+      hvac::core::TimeSeriesSample s;
+      s.t_ms = hvac::trace::now_ns() / 1000000;
+      s.interval_ms = 100;
+      s.delta = hvac::core::frame_delta(cur, prev);
+      ring_.push(std::move(s));
+      prev = std::move(cur);
+    }
+  }
+
+  void scrape() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      benchmark::DoNotOptimize(ring_.encode(100).size());
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) continue;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(exporter_.port());
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        const char req[] =
+            "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+        (void)!::send(fd, req, sizeof(req) - 1, 0);
+        char buf[4096];
+        while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+        }
+      }
+      ::close(fd);
+    }
+  }
+
+  hvac::core::TimeSeriesRing ring_;
+  hvac::server::PromExporter exporter_;
+  std::atomic<bool> stop_{false};
+  std::thread collector_;
+  std::thread scraper_;
+};
+
+TelemetryPlane* g_telemetry_plane = nullptr;
+int g_telemetry_plane_refs = 0;
+std::mutex g_telemetry_plane_mu;
+
+void BM_BulkReadZeroCopyTelemetry(benchmark::State& state) {
+  {
+    std::lock_guard<std::mutex> lock(g_telemetry_plane_mu);
+    if (g_telemetry_plane_refs++ == 0) {
+      g_telemetry_plane = new TelemetryPlane();
+    }
+  }
+  bulk_read_payload(state, 4);
+  {
+    std::lock_guard<std::mutex> lock(g_telemetry_plane_mu);
+    if (--g_telemetry_plane_refs == 0) {
+      delete g_telemetry_plane;
+      g_telemetry_plane = nullptr;
+    }
+  }
+}
+BENCHMARK(BM_BulkReadZeroCopyTelemetry)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Arg(4 << 20)
+    ->Threads(8)
+    ->UseRealTime();
 
 // --- Sharded-reactor saturation ------------------------------------
 //

@@ -91,6 +91,27 @@ def trace_overhead(rows):
             if plain[size] > 0]
 
 
+def telemetry_overhead(rows):
+    """Pair BM_BulkReadZeroCopy with BM_BulkReadZeroCopyTelemetry by size.
+
+    Returns [(size_bytes, telemetry_time / plain_time), ...] — the
+    multiplicative cost of running with the telemetry plane on (the
+    collector ticking at 100 ms, the OpenMetrics endpoint scraped every
+    200 ms plus a kTimeSeries ring encode per scrape). The tax bar is
+    tighter than tracing's because the plane does nothing per-request:
+    5% instead of 10%.
+    """
+    plain, telemetry = {}, {}
+    for name, (t, _unit) in rows.items():
+        m = re.match(r"BM_BulkReadZeroCopy(Telemetry)?/(\d+)", name)
+        if not m:
+            continue
+        (telemetry if m.group(1) else plain)[int(m.group(2))] = t
+    return [(size, telemetry[size] / plain[size])
+            for size in sorted(set(plain) & set(telemetry))
+            if plain[size] > 0]
+
+
 def packed_ratios(rows):
     """Pair BM_SmallFileReads with BM_PackedSmallReads by sample size.
 
@@ -251,6 +272,29 @@ def main():
             footer.append(f"**tracing overhead exceeds 10% at "
                           f"{len(slow)} size(s)** — check for span sites "
                           "inside per-byte loops.")
+
+    # Advisory telemetry-tax gate: the collector + exporter run off the
+    # request path entirely, so an enabled plane must stay within 5% of
+    # the plain series at every payload size.
+    tm = telemetry_overhead(curr)
+    if tm:
+        footer.append("")
+        footer.append("### telemetry overhead (current run, "
+                      "enabled/disabled)")
+        slow = []
+        for size, ratio in tm:
+            marker = ""
+            if ratio > 1.05:
+                marker = " ⚠ telemetry plane >5% over disabled"
+                slow.append((size, ratio))
+            footer.append(f"- {size:,} B: collector+exporter cost "
+                          f"{ratio:.3f}x the disabled median{marker}")
+        if slow:
+            footer.append(f"**telemetry overhead exceeds 5% at "
+                          f"{len(slow)} size(s)** — the plane must stay "
+                          "off the request path; check for snapshot work "
+                          "under a hot lock or scrape-driven allocation "
+                          "storms.")
 
     # Advisory packed-format gate: reading a sample out of a packed
     # container skips the per-file open RPC, so it should beat the

@@ -36,6 +36,17 @@
 #                               with `hvacctl trace --chrome` and validate
 #                               the JSON against the Chrome trace-event
 #                               schema (TRACE_OUT overrides the path)
+#   scripts/check.sh telemetry  telemetry-plane smoke: hvacd with the
+#                               time-series collector and the OpenMetrics
+#                               exporter on (HVAC_TS_INTERVAL_MS /
+#                               HVAC_PROM_PORT=0), shim traffic with a
+#                               client stats dump, then validate the
+#                               scrape grammar + required families and
+#                               cross-check the per-epoch stall buckets
+#                               against the shim's wall-clock read time
+#                               (TELEMETRY_FILES overrides the tree
+#                               size, default 256), and smoke
+#                               `hvacctl top`
 #   scripts/check.sh write-chaos  the checkpoint write path under ASan:
 #                               journal framing + ENOSPC-shed suites,
 #                               fault injection over the four write
@@ -254,6 +265,69 @@ case "$MODE" in
     ./build/src/client/hvacctl trace "$EP" --chrome > "$TRACE_OUT"
     python3 scripts/check_trace_schema.py "$TRACE_OUT" --min-events 8
     ;;
+  telemetry)
+    # Telemetry smoke: the collector ring, the exporter and the stall
+    # attribution together, end to end. Regular build — the stall gate
+    # compares wall clocks, so sanitizer slowdown would only add noise.
+    cmake -B build -S .
+    cmake --build build -j "$JOBS" \
+      --target hvacd hvacctl hvac_intercept intercept_target
+    NUM_FILES="${TELEMETRY_FILES:-256}"
+    TMP="$(mktemp -d)"
+    HVACD_PID=""
+    cleanup() {
+      if [ -n "$HVACD_PID" ]; then
+        kill "$HVACD_PID" 2>/dev/null || true
+        wait "$HVACD_PID" 2>/dev/null || true
+      fi
+      rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    ./build/src/client/hvacctl gentree "$TMP/pfs" "$NUM_FILES" 4096 \
+      --manifest "$TMP/manifest.txt"
+    HVAC_TS_INTERVAL_MS=200 HVAC_PROM_PORT=0 \
+      HVAC_PROM_PORT_FILE="$TMP/prom_port" \
+      ./build/src/server/hvacd \
+      --pfs-root "$TMP/pfs" --cache-dir "$TMP/cache" \
+      --port-file "$TMP/ports" &
+    HVACD_PID=$!
+    for _ in $(seq 50); do
+      [ -s "$TMP/ports" ] && [ -s "$TMP/prom_port" ] && break
+      sleep 0.2
+    done
+    [ -s "$TMP/ports" ] || { echo "hvacd never published ports" >&2; exit 1; }
+    [ -s "$TMP/prom_port" ] || {
+      echo "hvacd never published the exporter port" >&2; exit 1; }
+    EP="$(cat "$TMP/ports")"
+    PROM="$(cat "$TMP/prom_port")"
+    # Shim traffic with a stats dump: the stall cross-check needs the
+    # client's per-epoch buckets next to its shim wall-clock total.
+    cut -d' ' -f1 "$TMP/manifest.txt" | tr '\n' '\0' \
+      | xargs -0 env \
+          LD_PRELOAD="$PWD/build/src/intercept/libhvac_intercept.so" \
+          HVAC_DATASET_DIR="$TMP/pfs" \
+          HVAC_SERVERS="$EP" \
+          HVAC_STATS_FILE="$TMP/stats.json" \
+          ./build/tests/intercept_target > "$TMP/readback.txt"
+    sort "$TMP/manifest.txt" > "$TMP/manifest.sorted"
+    sort "$TMP/readback.txt" > "$TMP/readback.sorted"
+    if ! diff -u "$TMP/manifest.sorted" "$TMP/readback.sorted"; then
+      echo "telemetry readback does not match the generated tree" >&2
+      exit 1
+    fi
+    sleep 0.5  # at least two collector ticks land in the ring
+    python3 scripts/check_openmetrics.py \
+      "http://127.0.0.1:$PROM/metrics" \
+      --out "${SCRAPE_OUT:-$TMP/scrape.txt}" \
+      --stats "$TMP/stats.json"
+    # Operator views over the same ring: one top iteration must render
+    # a live-rate row, and the plain-text path must not regress.
+    ./build/src/client/hvacctl top "$EP" --count 1 --json \
+      | tee "$TMP/top.json"
+    grep -q '"rates"' "$TMP/top.json" || {
+      echo "hvacctl top rendered no rates row" >&2; exit 1; }
+    ./build/src/client/hvacctl top "$EP" --count 1
+    ;;
   write-chaos)
     # Crash consistency under ASan: the journal framing and ENOSPC-shed
     # suites (fault injection over journal_append / journal_fsync /
@@ -326,7 +400,7 @@ case "$MODE" in
       --benchmark_context=git_date="$GIT_DATE"
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|bench|chaos|packed|prefetch|trace|write-chaos]" >&2
+    echo "usage: $0 [tier1|asan|tsan|bench|chaos|packed|prefetch|trace|telemetry|write-chaos]" >&2
     exit 2
     ;;
 esac

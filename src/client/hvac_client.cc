@@ -7,7 +7,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <chrono>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -32,6 +34,47 @@ namespace hvac::client {
 using rpc::Bytes;
 using rpc::WireReader;
 using rpc::WireWriter;
+
+namespace {
+
+// ---- I/O stall attribution (frame v2 section 12) --------------------------
+//
+// Checkpoint charging: the top-level pread owns a thread-local
+// timestamp; every attribution site charges the wall time since the
+// previous checkpoint to one stall bucket and advances the
+// checkpoint, so the per-epoch bucket sum equals the measured total
+// by construction (no double counting, no gaps).
+thread_local uint64_t t_stall_checkpoint = 0;
+
+void stall_charge(core::StallBucket bucket) {
+  if (t_stall_checkpoint == 0) return;  // not inside a timed read
+  const uint64_t now = trace::now_ns();
+  core::StallCounters::global().charge(bucket, now - t_stall_checkpoint);
+  t_stall_checkpoint = now;
+}
+
+// Owns the checkpoint for one application-level read. Recursive
+// pread_attempt calls (fd recovery) nest inside the same scope and
+// keep charging against the outer checkpoint.
+struct StallScope {
+  const bool owner = t_stall_checkpoint == 0;
+  StallScope() {
+    if (owner) {
+      t_stall_checkpoint = trace::now_ns();
+      core::StallCounters::global().on_read();
+    }
+  }
+  ~StallScope() {
+    if (owner) {
+      // The residual tail (decode, memcpy, fd-table bookkeeping)
+      // counts as local service time.
+      stall_charge(core::StallBucket::kLocalHit);
+      t_stall_checkpoint = 0;
+    }
+  }
+};
+
+}  // namespace
 
 Result<HvacClientOptions> options_from_env() {
   HvacClientOptions o;
@@ -407,6 +450,9 @@ Result<int> HvacClient::open(const std::string& path) {
   // where the blob gets cached); reads still address the sample by its
   // own logical path and the server translates per read.
   if (std::optional<PackedCatalog::Resolved> packed = packed_lookup(logical)) {
+    if (PrefetchScheduler* pf = prefetch_scheduler()) {
+      pf->observe_sample_bytes(packed->length);
+    }
     core::FdEntry entry;
     entry.logical_path = logical;
     entry.server_index = placement_.home(packed->container_logical);
@@ -444,6 +490,9 @@ Result<int> HvacClient::open(const std::string& path) {
   // correctness.
   if (std::optional<MetaEntry> meta = meta_lookup(logical);
       meta.has_value() && meta->cached) {
+    if (PrefetchScheduler* pf = prefetch_scheduler()) {
+      pf->observe_sample_bytes(meta->size);
+    }
     core::FdEntry entry;
     entry.logical_path = logical;
     entry.server_index = meta->home;
@@ -472,6 +521,9 @@ Result<int> HvacClient::open(const std::string& path) {
       HVAC_ASSIGN_OR_RETURN(uint64_t remote_fd, r.get_u64());
       HVAC_ASSIGN_OR_RETURN(uint64_t size, r.get_u64());
       HVAC_ASSIGN_OR_RETURN(uint8_t served_from, r.get_u8());
+      if (PrefetchScheduler* pf = prefetch_scheduler()) {
+        pf->observe_sample_bytes(size);
+      }
       core::FdEntry entry;
       entry.logical_path = logical;
       entry.server_index = server;
@@ -588,6 +640,7 @@ Status HvacClient::recover_fd(int vfd, const core::FdEntry& stale,
 Result<size_t> HvacClient::pread(int vfd, void* buf, size_t count,
                                  uint64_t offset) {
   trace::Span span("client.pread", count);
+  StallScope stall;
   return pread_attempt(vfd, buf, count, offset, /*recoveries=*/0);
 }
 
@@ -597,11 +650,14 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
   HVAC_ASSIGN_OR_RETURN(core::FdEntry entry, fds_.get(vfd));
 
   if (entry.segmented) {
-    return pread_segmented(entry, buf, count, offset);
+    Result<size_t> n = pread_segmented(entry, buf, count, offset);
+    stall_charge(core::StallBucket::kRemoteRpc);
+    return n;
   }
   if (entry.fallback_pfs) {
     const ssize_t n = ::pread(entry.pfs_fd, buf, count,
                               static_cast<off_t>(offset));
+    stall_charge(core::StallBucket::kPfsWait);
     if (n < 0) return Error::from_errno(errno, "pread(pfs)");
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.reads;
@@ -624,7 +680,15 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
     if (options_.readahead_chunks > 0) {
       if (auto pending =
               readahead_take(vfd, chunk_offset, chunk, entry.size)) {
+        const bool was_ready =
+            pending->data.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready;
         const Result<Bytes>& ready = pending->data.get();
+        // A batch that landed before the application asked is a
+        // genuine local hit; blocking on one still in flight is
+        // read-ahead backpressure.
+        stall_charge(was_ready ? core::StallBucket::kLocalHit
+                               : core::StallBucket::kBackpressure);
         if (ready.ok()) {
           auto view = rpc::decode_scatter(ready->data(), ready->size());
           if (view.ok() && pending->extent_index < view->extents.size()) {
@@ -671,6 +735,9 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
                                     .call_payload_idempotent(opcode,
                                                              w.bytes());
     if (!resp.ok()) {
+      // The failed attempt's wall time (and the recovery below) is
+      // retry/fail-over penalty, whatever the eventual serving path.
+      stall_charge(core::StallBucket::kRetry);
       const ErrorCode code = resp.error().code;
       if (code != ErrorCode::kUnavailable && code != ErrorCode::kTimeout &&
           code != ErrorCode::kBadFd) {
@@ -687,11 +754,13 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
       if (recoveries >= kMaxRecoveries) return resp.error();
       const bool force_pfs = recoveries + 1 == kMaxRecoveries;
       HVAC_RETURN_IF_ERROR(recover_fd(vfd, entry, force_pfs));
+      stall_charge(core::StallBucket::kRetry);
       HVAC_ASSIGN_OR_RETURN(size_t rest,
                             pread_attempt(vfd, out + total, count - total,
                                           chunk_offset, recoveries + 1));
       return total + rest;
     }
+    stall_charge(core::StallBucket::kRemoteRpc);
     // Single copy: response buffer (pooled) -> caller's buffer.
     size_t got = 0;
     if (entry.path_mode) {
@@ -718,6 +787,7 @@ Result<size_t> HvacClient::pread_attempt(int vfd, void* buf, size_t count,
         }
         const bool force_pfs = recoveries + 1 == kMaxRecoveries;
         HVAC_RETURN_IF_ERROR(recover_fd(vfd, entry, force_pfs));
+        stall_charge(core::StallBucket::kRetry);
         HVAC_ASSIGN_OR_RETURN(
             size_t rest, pread_attempt(vfd, out + total, count - total,
                                        chunk_offset, recoveries + 1));
@@ -1145,7 +1215,29 @@ std::string stats_to_json(const ClientStats& s) {
     << ",\"retries\":" << rc.retries.load(std::memory_order_relaxed)
     << ",\"deadline_misses\":"
     << rc.deadline_misses.load(std::memory_order_relaxed)
-    << ",\"faults_injected\":" << fault::total_injected() << "}}";
+    << ",\"faults_injected\":" << fault::total_injected() << "}";
+  // Per-epoch stall attribution plus the shim's independent wall-time
+  // measurement of the same reads — the telemetry CI leg asserts the
+  // bucket sums reconcile with the latter within tolerance.
+  const core::StallCounters& sc = core::StallCounters::global();
+  o << ",\"stall\":{\"shim_reads\":"
+    << sc.shim_reads.load(std::memory_order_relaxed)
+    << ",\"shim_read_wall_ns\":"
+    << sc.shim_read_wall_ns.load(std::memory_order_relaxed)
+    << ",\"epochs\":[";
+  const std::vector<core::StallEpochRow> stall = sc.snapshot();
+  for (size_t i = 0; i < stall.size(); ++i) {
+    const core::StallEpochRow& e = stall[i];
+    if (i > 0) o << ",";
+    o << "{\"epoch\":" << e.epoch << ",\"reads\":" << e.reads
+      << ",\"total_ns\":" << e.total_ns
+      << ",\"local_hit_ns\":" << e.local_hit_ns
+      << ",\"remote_rpc_ns\":" << e.remote_rpc_ns
+      << ",\"pfs_wait_ns\":" << e.pfs_wait_ns
+      << ",\"backpressure_ns\":" << e.backpressure_ns
+      << ",\"retry_ns\":" << e.retry_ns << "}";
+  }
+  o << "]}}";
   return o.str();
 }
 

@@ -7,6 +7,8 @@
 //   hvacctl [--timeout MS] stat    HOST:PORT <relative-path>
 //   hvacctl [--timeout MS] warm    HOST:PORT <relative-path>
 //   hvacctl [--timeout MS] trace   HOST:PORT[,HOST:PORT...] [--chrome]
+//   hvacctl [--timeout MS] top     HOST:PORT[,HOST:PORT...] [--json]
+//                                  [--interval N] [--count N]
 //   hvacctl pack    ROOT [--container-bytes N]
 //   hvacctl gentree ROOT NUM_FILES MEAN_BYTES [--sigma S] [--seed N]
 //                   [--manifest FILE]
@@ -45,11 +47,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/env.h"
 #include "common/hash.h"
 #include "core/metrics_frame.h"
+#include "core/timeseries.h"
 #include "core/trace_wire.h"
 #include "rpc/health.h"
 #include "rpc/rpc_client.h"
@@ -213,7 +217,20 @@ void print_metrics_row(const std::string& endpoint,
   }
 }
 
-int metrics_once(const std::vector<std::string>& endpoints, bool json) {
+// Caller-side rate tracking for `metrics --watch`: remembers the
+// previous scrape per endpoint and prints delta/interval next to the
+// cumulative counters. (For server-cadence rates with no caller state
+// see `hvacctl top`, which reads the kTimeSeries ring instead.)
+struct RateState {
+  bool have = false;
+  uint64_t reads = 0;  // hits + misses at the previous scrape
+  uint64_t bytes = 0;  // cache + pfs bytes at the previous scrape
+  int64_t t_us = 0;
+};
+using RateMap = std::unordered_map<std::string, RateState>;
+
+int metrics_once(const std::vector<std::string>& endpoints, bool json,
+                 RateMap* rates) {
   int failures = 0;
   core::MetricsFrame aggregate;
   bool first = true;
@@ -244,13 +261,43 @@ int metrics_once(const std::vector<std::string>& endpoints, bool json) {
       ++failures;
       continue;
     }
+    double reads_per_s = 0, mb_per_s = 0;
+    bool have_rate = false;
+    if (rates != nullptr) {
+      RateState& st = (*rates)[endpoint];
+      const int64_t now_us = rpc::steady_now_us();
+      const uint64_t reads = frame->cache.hits + frame->cache.misses;
+      const uint64_t bytes =
+          frame->cache.bytes_from_cache + frame->cache.bytes_from_pfs;
+      if (st.have && now_us > st.t_us) {
+        const double dt = double(now_us - st.t_us) / 1e6;
+        // Counters are monotonic; a restarted server reads as zero
+        // progress for one interval rather than a negative rate.
+        reads_per_s = reads >= st.reads ? double(reads - st.reads) / dt : 0;
+        mb_per_s = bytes >= st.bytes ? double(bytes - st.bytes) / dt / 1e6
+                                     : 0;
+        have_rate = true;
+      }
+      st = RateState{true, reads, bytes, now_us};
+    }
     if (json) {
       if (!json_endpoints.empty()) json_endpoints += ",";
       json_endpoints +=
           "{\"endpoint\":\"" + endpoint + "\",\"metrics\":" +
           frame->to_json() + "}";
+      if (have_rate) {
+        char rate[96];
+        std::snprintf(rate, sizeof(rate),
+                      ",\"rates\":{\"reads_per_s\":%.3f,\"mb_per_s\":%.3f}",
+                      reads_per_s, mb_per_s);
+        json_endpoints.insert(json_endpoints.size() - 1, rate);
+      }
     } else {
       print_metrics_row(endpoint, *frame);
+      if (have_rate) {
+        std::printf("  rates        %.1f reads/s  %.2f MB/s\n", reads_per_s,
+                    mb_per_s);
+      }
     }
     if (first) {
       aggregate = *frame;
@@ -273,8 +320,21 @@ volatile std::sig_atomic_t g_interrupted = 0;
 
 void on_interrupt(int) { g_interrupted = 1; }
 
+// Naps in short slices until the absolute deadline so SIGINT stays
+// responsive; returns false when interrupted.
+bool wait_until_us(int64_t deadline_us) {
+  for (;;) {
+    if (g_interrupted) return false;
+    const int64_t now = rpc::steady_now_us();
+    if (now >= deadline_us) return true;
+    ::usleep(static_cast<useconds_t>(
+        std::min<int64_t>(deadline_us - now, 200'000)));
+  }
+}
+
 int cmd_metrics(const std::string& csv, bool json, int watch_seconds) {
   const std::vector<std::string> endpoints = split_csv(csv);
+  RateMap rates;
   if (watch_seconds > 0) {
     // Watch mode is routinely piped (`hvacctl metrics --watch | head`)
     // and interrupted. SIGPIPE would kill us mid-printf with a noisy
@@ -283,13 +343,20 @@ int cmd_metrics(const std::string& csv, bool json, int watch_seconds) {
     std::signal(SIGINT, on_interrupt);
     std::signal(SIGPIPE, SIG_IGN);
   }
+  // Absolute-deadline pacing: sleep-after-work would drift by the
+  // scrape time every iteration, so the Nth sample lands at
+  // t0 + N*interval instead of slowly walking away from it.
+  int64_t next_us = rpc::steady_now_us();
   for (;;) {
-    const int rc = metrics_once(endpoints, json);
+    const int rc =
+        metrics_once(endpoints, json, watch_seconds > 0 ? &rates : nullptr);
     if (watch_seconds <= 0) return rc;
     if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) return 0;
-    if (g_interrupted) return 0;
-    ::sleep(static_cast<unsigned>(watch_seconds));  // SIGINT interrupts this
-    if (g_interrupted) return 0;
+    next_us += int64_t(watch_seconds) * 1'000'000;
+    if (const int64_t now = rpc::steady_now_us(); next_us < now) {
+      next_us = now;  // a scrape slower than the interval skips, not bunches
+    }
+    if (!wait_until_us(next_us)) return 0;
   }
 }
 
@@ -608,6 +675,149 @@ int cmd_prefetch(const std::string& csv, bool json) {
   return failures == 0 ? 0 : 1;
 }
 
+// ---- top: live dashboard off the server-side time-series ring -------------
+//
+// Unlike `metrics --watch` (caller-side diffing), every rate here
+// comes from the collector's own per-interval deltas (kTimeSeries),
+// so two operators watching the same server see the same numbers and
+// a freshly started top shows rates immediately.
+
+struct TopRates {
+  bool have = false;
+  double reads_per_s = 0;
+  double hit_pct = 0;
+  double cache_mb_s = 0;   // served from NVMe cache
+  double pfs_mb_s = 0;     // pulled from the PFS (misses + movers)
+  uint64_t flush_lag_ms = 0;
+  double pf_hit_pct = 0;   // hit-after-prefetch / (hit-after + late)
+  double read_p99_us = 0;
+};
+
+TopRates rates_from(const core::TimeSeriesFrame& ts) {
+  TopRates r;
+  if (ts.samples.empty()) return r;
+  const core::TimeSeriesSample& s = ts.samples.back();
+  const core::MetricsFrame& d = s.delta;
+  const double dt = std::max<uint32_t>(1, s.interval_ms) / 1e3;
+  const uint64_t reads = d.cache.hits + d.cache.misses;
+  r.have = true;
+  r.reads_per_s = double(reads) / dt;
+  r.hit_pct = reads > 0 ? 100.0 * double(d.cache.hits) / double(reads) : 0;
+  r.cache_mb_s = double(d.cache.bytes_from_cache) / dt / 1e6;
+  r.pfs_mb_s = double(d.cache.bytes_from_pfs) / dt / 1e6;
+  r.flush_lag_ms = d.write_back.flush_lag_ms;  // gauge: point-in-time
+  const uint64_t pf_outcomes =
+      d.prefetch.hit_after_prefetch + d.prefetch.late;
+  r.pf_hit_pct =
+      pf_outcomes > 0
+          ? 100.0 * double(d.prefetch.hit_after_prefetch) / pf_outcomes
+          : 0;
+  // p99 of the busiest read-family op this interval (the delta
+  // histogram covers exactly this interval's requests).
+  const core::LatencySnapshot* busiest = nullptr;
+  for (const auto& [op, snap] : d.op_latency) {
+    const std::string name = core::op_name(op);
+    if (name != "read" && name != "read_scatter" && name != "read_segment") {
+      continue;
+    }
+    if (busiest == nullptr || snap.count > busiest->count) busiest = &snap;
+  }
+  if (busiest != nullptr && busiest->count > 0) {
+    r.read_p99_us = busiest->percentile_ns(99) / 1e3;
+  }
+  return r;
+}
+
+int top_once(const std::vector<std::string>& endpoints, bool json) {
+  int failures = 0;
+  std::string json_rows;
+  if (!json) {
+    std::printf("%-24s %9s %6s %10s %9s %9s %8s %9s\n", "endpoint",
+                "reads/s", "hit%", "cacheMB/s", "pfsMB/s", "flushlag",
+                "pf_hit%", "p99_us");
+  }
+  for (const auto& endpoint : endpoints) {
+    rpc::RpcClient client(rpc::Endpoint{endpoint}, cli_options());
+    const auto resp = client.call(proto::kTimeSeries, Bytes{});
+    if (!resp.ok()) {
+      if (!json) {
+        std::printf("%-24s %s\n", endpoint.c_str(),
+                    resp.error().to_string().c_str());
+      } else {
+        std::fprintf(stderr, "%s: %s\n", endpoint.c_str(),
+                     resp.error().to_string().c_str());
+      }
+      ++failures;
+      continue;
+    }
+    const auto ts = core::TimeSeriesFrame::decode(*resp);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "%s: %s\n", endpoint.c_str(),
+                   ts.error().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    const TopRates r = rates_from(*ts);
+    if (json) {
+      if (!json_rows.empty()) json_rows += ",";
+      json_rows += "{\"endpoint\":\"" + endpoint +
+                   "\",\"up\":true,\"interval_ms\":" +
+                   std::to_string(ts->interval_ms) +
+                   ",\"window\":" + std::to_string(ts->window) +
+                   ",\"samples\":" + std::to_string(ts->samples.size()) +
+                   ",\"total\":" + std::to_string(ts->total);
+      if (r.have) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      ",\"rates\":{\"reads_per_s\":%.3f,\"hit_pct\":%.2f,"
+                      "\"cache_mb_per_s\":%.3f,\"pfs_mb_per_s\":%.3f,"
+                      "\"flush_lag_ms\":%llu,\"prefetch_hit_pct\":%.2f,"
+                      "\"read_p99_us\":%.1f}",
+                      r.reads_per_s, r.hit_pct, r.cache_mb_s, r.pfs_mb_s,
+                      (unsigned long long)r.flush_lag_ms, r.pf_hit_pct,
+                      r.read_p99_us);
+        json_rows += buf;
+      }
+      json_rows += "}";
+    } else if (!r.have) {
+      std::printf("%-24s %s\n", endpoint.c_str(),
+                  ts->interval_ms == 0 ? "(collector off: HVAC_TS_INTERVAL_MS=0)"
+                                       : "(no samples yet)");
+    } else {
+      std::printf("%-24s %9.1f %5.1f%% %10.2f %9.2f %9lu %7.1f%% %9.1f\n",
+                  endpoint.c_str(), r.reads_per_s, r.hit_pct, r.cache_mb_s,
+                  r.pfs_mb_s, (unsigned long)r.flush_lag_ms, r.pf_hit_pct,
+                  r.read_p99_us);
+    }
+    if (!resp.ok()) ++failures;
+  }
+  if (json) {
+    std::printf("{\"endpoints\":[%s],\"failures\":%d}\n", json_rows.c_str(),
+                failures);
+  }
+  std::fflush(stdout);
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_top(const std::string& csv, bool json, int interval_seconds,
+            int count) {
+  const std::vector<std::string> endpoints = split_csv(csv);
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGPIPE, SIG_IGN);
+  int64_t next_us = rpc::steady_now_us();
+  for (int iter = 0;;) {
+    const int rc = top_once(endpoints, json);
+    ++iter;
+    if (count > 0 && iter >= count) return rc;
+    if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) return 0;
+    next_us += int64_t(interval_seconds) * 1'000'000;
+    if (const int64_t now = rpc::steady_now_us(); next_us < now) {
+      next_us = now;
+    }
+    if (!wait_until_us(next_us)) return 0;
+  }
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--timeout MS] ping ENDPOINTS\n"
@@ -617,12 +827,14 @@ int usage(const char* argv0) {
                "       %s [--timeout MS] stat|warm ENDPOINT PATH\n"
                "       %s [--timeout MS] journal ENDPOINTS [--json]\n"
                "       %s [--timeout MS] prefetch ENDPOINTS [--json]\n"
+               "       %s [--timeout MS] top ENDPOINTS [--json]\n"
+               "                  [--interval N] [--count N]\n"
                "       %s [--timeout MS] trace ENDPOINTS [--chrome]\n"
                "       %s pack ROOT [--container-bytes N]\n"
                "       %s gentree ROOT NUM_FILES MEAN_BYTES [--sigma S]\n"
                "                  [--seed N] [--manifest FILE]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0);
+               argv0, argv0);
   return 2;
 }
 
@@ -682,6 +894,25 @@ int main(int argc, char** argv) {
       }
     }
     return cmd_prefetch(args[1], json);
+  }
+  if (cmd == "top") {
+    bool json = false;
+    int interval_seconds = 2;
+    int count = 0;  // 0 = until interrupted
+    for (size_t i = 2; i < args.size(); ++i) {
+      const std::string& flag = args[i];
+      if (flag == "--json") {
+        json = true;
+      } else if (flag == "--interval" && i + 1 < args.size()) {
+        interval_seconds = std::max(1, std::atoi(args[++i].c_str()));
+      } else if (flag == "--count" && i + 1 < args.size()) {
+        count = std::atoi(args[++i].c_str());
+      } else {
+        std::fprintf(stderr, "unknown top flag %s\n", flag.c_str());
+        return 2;
+      }
+    }
+    return cmd_top(args[1], json, interval_seconds, count);
   }
   if (cmd == "metrics") {
     bool json = false;

@@ -14,6 +14,9 @@ PrefetchScheduler::PrefetchScheduler(HvacClient* client,
                                      PrefetchSchedulerOptions options)
     : client_(client), options_(options) {
   if (options_.depth == 0) options_.depth = 1;
+  if (options_.est_sample_bytes == 0) options_.est_sample_bytes = 1;
+  est_sample_bytes_.store(options_.est_sample_bytes,
+                          std::memory_order_relaxed);
   options_.batch_size = std::max<uint32_t>(
       1, std::min<uint32_t>(options_.batch_size, proto::kMaxPrefetchBatch));
   if (options_.bw_mbps > 0) {
@@ -54,6 +57,9 @@ void PrefetchScheduler::set_plan(std::vector<std::string> logical_paths) {
     cursor_ = 0;
     issue_pos_ = 0;
     ++epoch_;  // a batch in flight for the old plan discards its answer
+    // Epoch boundary for stall attribution: reads from here on charge
+    // against this plan's epoch (frame v2 section 12).
+    core::StallCounters::global().begin_epoch(epoch_);
     stats_.planned += plan_.size();
     core::PrefetchCounters::global().planned.fetch_add(
         plan_.size(), std::memory_order_relaxed);
@@ -107,10 +113,22 @@ void PrefetchScheduler::wait_caught_up() {
   });
 }
 
+void PrefetchScheduler::observe_sample_bytes(uint64_t bytes) {
+  if (bytes == 0) return;
+  uint64_t cur = est_sample_bytes_.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    // EWMA with alpha = 1/8, rounded so tiny samples still register.
+    next = std::max<uint64_t>(1, (cur * 7 + bytes + 7) / 8);
+  } while (!est_sample_bytes_.compare_exchange_weak(
+      cur, next, std::memory_order_relaxed));
+}
+
 PrefetchScheduler::Stats PrefetchScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s = stats_;
   s.cursor = cursor_;
+  s.est_sample_bytes = est_sample_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -151,7 +169,8 @@ void PrefetchScheduler::run() {
     uint64_t paced_ns = 0;
     if (bucket_) {
       const uint64_t bytes =
-          options_.est_sample_bytes * batch_idx.size();
+          est_sample_bytes_.load(std::memory_order_relaxed) *
+          batch_idx.size();
       const double wait_s = bucket_->would_wait_seconds(bytes);
       paced_ns = wait_s > 0 ? uint64_t(wait_s * 1e9) : 0;
       bucket_->acquire(bytes);

@@ -27,6 +27,7 @@
 // the scheduler only ever warms caches ahead of time.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -52,8 +53,11 @@ struct PrefetchSchedulerOptions {
   // Issue-rate pace in MB/s (decimal; HVAC_PREFETCH_BW_MBPS). Applied
   // against est_sample_bytes per planned sample. 0 = unpaced.
   double bw_mbps = 0.0;
-  // Pacing estimate for one sample (samples are counted, not sized —
-  // knowing real sizes would cost a stat round trip per sample).
+  // SEED for the per-sample pacing estimate. The live estimate is an
+  // EWMA of sizes measured on the client's own open paths (packed
+  // index, meta cache, open replies — all free, no extra round trip),
+  // so pacing tracks the dataset's real sample size instead of
+  // assuming 1 MiB forever.
   uint64_t est_sample_bytes = 1u << 20;
   // Backoff before shed paths re-enter the issue frontier.
   int shed_backoff_ms = 5;
@@ -84,6 +88,11 @@ class PrefetchScheduler {
   // prefetch; one still pending or in flight counts late.
   void on_access(const std::string& logical_path);
 
+  // Feeds one measured sample size into the pacing EWMA
+  // (alpha = 1/8, seeded from options.est_sample_bytes). Called from
+  // the client's open paths, where the size is already known.
+  void observe_sample_bytes(uint64_t bytes);
+
   // Stops the issue thread. Idempotent; called by ~PrefetchScheduler.
   void stop();
 
@@ -102,6 +111,7 @@ class PrefetchScheduler {
     uint64_t hit_after_prefetch = 0;
     uint64_t paced_delay_ns = 0;  // total token-bucket stall
     uint64_t cursor = 0;          // samples the app has consumed
+    uint64_t est_sample_bytes = 0;  // live EWMA pacing estimate
   };
   Stats stats() const;
 
@@ -127,6 +137,10 @@ class PrefetchScheduler {
   HvacClient* client_;
   PrefetchSchedulerOptions options_;
   std::unique_ptr<storage::TokenBucket> bucket_;  // null when unpaced
+  // Live per-sample size estimate (EWMA of measured opens). The token
+  // bucket itself is immutable; the estimate scales how many tokens a
+  // batch acquires.
+  std::atomic<uint64_t> est_sample_bytes_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;          // wakes the issue loop

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace hvac::core {
 
@@ -128,11 +129,12 @@ class LatencyHistogram {
 };
 
 // Per-opcode latency histograms for the RPC handler table. Opcodes are
-// small protocol constants (hvac::proto::Opcode, 1..8 today); anything
-// above kMaxOp lands in the overflow slot rather than growing the set.
+// small protocol constants (hvac::proto::Opcode); anything above
+// kMaxOp lands in the overflow slot rather than growing the set, so
+// kMaxOp must stay ahead of the highest assigned opcode.
 class OpLatencySet {
  public:
-  static constexpr uint16_t kMaxOp = 16;
+  static constexpr uint16_t kMaxOp = 24;
 
   void record(uint16_t op, uint64_t ns) {
     hist_[op <= kMaxOp ? op : 0].record(ns);
@@ -222,6 +224,84 @@ struct PrefetchCounters {
   LatencyHistogram paced_delay;        // per-batch token-bucket stall (ns)
 
   static PrefetchCounters& global();
+};
+
+// ---- I/O stall attribution ------------------------------------------------
+
+// Where one intercepted read's wall time went. The client read path
+// charges every nanosecond of a top-level read() / pread() to exactly
+// one bucket (checkpoint accounting: the timer advances at each
+// attribution site), so the bucket sum equals the measured wall time
+// by construction.
+enum class StallBucket : uint8_t {
+  kLocalHit = 0,      // served from a warmed chunk / local bookkeeping
+  kRemoteRpc = 1,     // synchronous kRead/kReadScatter/kReadSegment RPC
+  kPfsWait = 2,       // direct PFS fallback I/O
+  kBackpressure = 3,  // waiting on an in-flight read-ahead future
+  kRetry = 4,         // failed attempts + channel recovery penalty
+};
+
+// One epoch's decomposition, as exported through metrics-frame section
+// 12 and the HVAC_STATS_FILE dump. total_ns is the measured wall time;
+// the five *_ns buckets partition it.
+struct StallEpochRow {
+  uint64_t epoch = 0;
+  uint64_t reads = 0;
+  uint64_t total_ns = 0;
+  uint64_t local_hit_ns = 0;
+  uint64_t remote_rpc_ns = 0;
+  uint64_t pfs_wait_ns = 0;
+  uint64_t backpressure_ns = 0;
+  uint64_t retry_ns = 0;
+};
+
+// Process-wide per-epoch stall accounting, bumped by every HvacClient
+// read and read by whatever assembles a metrics frame. Epoch
+// boundaries come from the access-plan hook (PrefetchScheduler::
+// set_plan calls begin_epoch); without a plan, reads fall into
+// wall-clock buckets of kFallbackEpochNs so the decomposition still
+// has a time axis. Only the last kEpochWindow epochs are retained;
+// older slots are recycled in place.
+struct StallCounters {
+  static constexpr size_t kEpochWindow = 8;
+  static constexpr uint64_t kFallbackEpochNs = 60ull * 1000 * 1000 * 1000;
+
+  // Declares `id` the current epoch (access-plan hook). Resets the
+  // ring slot it lands in if a previous epoch owned it.
+  void begin_epoch(uint64_t id);
+
+  // Charges `ns` of read wall time to `bucket` in the current epoch.
+  void charge(StallBucket bucket, uint64_t ns);
+
+  // Counts one completed top-level read in the current epoch.
+  void on_read();
+
+  // Rows with activity, ascending by epoch id.
+  std::vector<StallEpochRow> snapshot() const;
+
+  // Wall time measured around the LD_PRELOAD read entry points —
+  // the independent total the bucket sums are validated against.
+  std::atomic<uint64_t> shim_read_wall_ns{0};
+  std::atomic<uint64_t> shim_reads{0};
+
+  static StallCounters& global();
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint64_t> used{0};  // 0 until an epoch claims the slot
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> total_ns{0};
+    std::atomic<uint64_t> bucket_ns[5]{};
+  };
+
+  uint64_t current_epoch() const;
+  Slot& slot_for(uint64_t epoch);
+
+  std::array<Slot, kEpochWindow> slots_{};
+  std::atomic<uint64_t> plan_epoch_{0};
+  std::atomic<bool> plan_mode_{false};    // begin_epoch() seen
+  mutable std::atomic<uint64_t> start_ns_{0};  // fallback-bucket origin
 };
 
 }  // namespace hvac::core

@@ -1,5 +1,6 @@
 #include "core/metrics_frame.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
@@ -107,6 +108,33 @@ void WriteBackStats::merge(const WriteBackStats& other) {
   replay_dirty_files += other.replay_dirty_files;
 }
 
+void StallStats::merge(const StallStats& other) {
+  for (const StallEpochRow& oe : other.epochs) {
+    StallEpochRow* row = nullptr;
+    for (StallEpochRow& e : epochs) {
+      if (e.epoch == oe.epoch) {
+        row = &e;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      epochs.push_back(oe);
+      continue;
+    }
+    row->reads += oe.reads;
+    row->total_ns += oe.total_ns;
+    row->local_hit_ns += oe.local_hit_ns;
+    row->remote_rpc_ns += oe.remote_rpc_ns;
+    row->pfs_wait_ns += oe.pfs_wait_ns;
+    row->backpressure_ns += oe.backpressure_ns;
+    row->retry_ns += oe.retry_ns;
+  }
+  std::sort(epochs.begin(), epochs.end(),
+            [](const StallEpochRow& a, const StallEpochRow& b) {
+              return a.epoch < b.epoch;
+            });
+}
+
 void PrefetchStats::merge(const PrefetchStats& other) {
   planned += other.planned;
   issued += other.issued;
@@ -139,6 +167,7 @@ void MetricsFrame::merge(const MetricsFrame& other) {
   reactor.merge(other.reactor);
   write_back.merge(other.write_back);
   prefetch.merge(other.prefetch);
+  stall.merge(other.stall);
   for (const auto& [op, snap] : other.op_latency) {
     op_latency[op].merge(snap);
   }
@@ -158,7 +187,7 @@ Bytes MetricsFrame::encode() const {
 
   w.put_u32(kMetricsFrameMagic);
   w.put_u16(kFrameVersion);
-  w.put_u16(11);  // section count
+  w.put_u16(12);  // section count
 
   {
     WireWriter s;
@@ -304,6 +333,23 @@ Bytes MetricsFrame::encode() const {
     w.put_u16(kSectionPrefetch);
     w.put_blob(s.bytes().data(), s.bytes().size());
   }
+  {
+    WireWriter s;
+    s.put_u16(static_cast<uint16_t>(stall.epochs.size()));
+    s.put_u16(8);  // u64 words per epoch row
+    for (const StallEpochRow& e : stall.epochs) {
+      s.put_u64(e.epoch);
+      s.put_u64(e.reads);
+      s.put_u64(e.total_ns);
+      s.put_u64(e.local_hit_ns);
+      s.put_u64(e.remote_rpc_ns);
+      s.put_u64(e.pfs_wait_ns);
+      s.put_u64(e.backpressure_ns);
+      s.put_u64(e.retry_ns);
+    }
+    w.put_u16(kSectionStall);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
   return std::move(w).take();
 }
 
@@ -376,6 +422,25 @@ void decode_prefetch(WireReader& r, PrefetchStats* out) {
     // count stays consistent with the bucket sum.
     const size_t slot = b < kLatencyBuckets ? b : kLatencyBuckets - 1;
     out->paced_delay.buckets[slot] += *v;
+  }
+}
+
+void decode_stall(WireReader& r, StallStats* out) {
+  auto count = r.get_u16();
+  auto words = r.get_u16();
+  if (!count.ok() || !words.ok()) return;
+  for (uint16_t i = 0; i < *count; ++i) {
+    StallEpochRow e;
+    uint64_t* fields[] = {&e.epoch,        &e.reads,
+                          &e.total_ns,     &e.local_hit_ns,
+                          &e.remote_rpc_ns, &e.pfs_wait_ns,
+                          &e.backpressure_ns, &e.retry_ns};
+    for (uint16_t w = 0; w < *words; ++w) {
+      auto v = r.get_u64();
+      if (!v.ok()) return;
+      if (w < 8) *fields[w] = *v;  // newer rows: extra words ignored
+    }
+    out->epochs.push_back(e);
   }
 }
 
@@ -479,6 +544,9 @@ Result<MetricsFrame> MetricsFrame::decode(const Bytes& bytes) {
       case kSectionPrefetch:
         decode_prefetch(s, &f.prefetch);
         break;
+      case kSectionStall:
+        decode_stall(s, &f.stall);
+        break;
       default:
         break;  // unknown section: skipped by its length prefix
     }
@@ -506,6 +574,7 @@ std::string op_name(uint16_t opcode) {
     case 14: return "write";
     case 15: return "fsync";
     case 16: return "write_close";
+    case 17: return "time_series";
     default: return "op" + std::to_string(opcode);
   }
 }
@@ -606,6 +675,25 @@ std::string MetricsFrame::to_json() const {
       << ",\"dedup_inflight\":" << prefetch.dedup_inflight
       << ",\"paced_delay_us\":" << paced << "}";
   }
+  o << ",\"stall\":[";
+  for (size_t i = 0; i < stall.epochs.size(); ++i) {
+    const StallEpochRow& e = stall.epochs[i];
+    if (i != 0) o << ",";
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"epoch\":%" PRIu64 ",\"reads\":%" PRIu64
+                  ",\"stall_s\":%.6f,\"local_hit_s\":%.6f"
+                  ",\"remote_rpc_s\":%.6f,\"pfs_wait_s\":%.6f"
+                  ",\"backpressure_s\":%.6f,\"retry_s\":%.6f}",
+                  e.epoch, e.reads, double(e.total_ns) / 1e9,
+                  double(e.local_hit_ns) / 1e9,
+                  double(e.remote_rpc_ns) / 1e9,
+                  double(e.pfs_wait_ns) / 1e9,
+                  double(e.backpressure_ns) / 1e9,
+                  double(e.retry_ns) / 1e9);
+    o << buf;
+  }
+  o << "]";
   o << ",\"latency_us\":{";
   bool first = true;
   for (const auto& [op, snap] : op_latency) {

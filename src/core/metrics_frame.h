@@ -50,6 +50,7 @@ enum MetricsSection : uint16_t {
   kSectionReactors = 9,
   kSectionWriteBack = 10,
   kSectionPrefetch = 11,
+  kSectionStall = 12,
 };
 
 struct HandleCacheStats {
@@ -176,6 +177,22 @@ struct PrefetchStats {
   void merge(const PrefetchStats& other);
 };
 
+// Per-epoch I/O stall attribution from the client read path
+// (core::StallCounters, charged by client/hvac_client.cc): where
+// intercepted-read wall time went — local-hit service, remote RPC,
+// direct PFS wait, read-ahead backpressure, retry/recovery penalty.
+// Body layout: [u16 n_epochs][u16 words_per_row] then n_epochs rows of
+// words_per_row u64s {epoch, reads, total_ns, local_hit_ns,
+// remote_rpc_ns, pfs_wait_ns, backpressure_ns, retry_ns} — like the
+// reactor rows, decoders read the words they know and skip the tail,
+// so rows can grow without a new section.
+struct StallStats {
+  std::vector<StallEpochRow> epochs;
+
+  // Keyed by epoch id: same-epoch rows sum, new epochs append.
+  void merge(const StallStats& other);
+};
+
 // Trace-ring health (common/trace.h). Process-wide; `dropped` rising
 // means HVAC_TRACE_RING is too small for the drain cadence.
 struct TraceStats {
@@ -227,6 +244,7 @@ struct MetricsFrame {
   ReactorStats reactor;
   WriteBackStats write_back;
   PrefetchStats prefetch;
+  StallStats stall;
   // Keyed by proto::Opcode value; only ops with samples are present.
   std::map<uint16_t, LatencySnapshot> op_latency;
 

@@ -1,0 +1,269 @@
+#include "core/timeseries.h"
+
+namespace hvac::core {
+
+using rpc::Bytes;
+using rpc::WireReader;
+using rpc::WireWriter;
+
+namespace {
+
+// Counter difference: clamped at zero so a peer that restarted (or a
+// section that was zeroed) shows a flat interval instead of a huge
+// negative spike.
+uint64_t monus(uint64_t cur, uint64_t prev) {
+  return cur >= prev ? cur - prev : 0;
+}
+
+LatencySnapshot snap_delta(const LatencySnapshot& cur,
+                           const LatencySnapshot& prev) {
+  LatencySnapshot d;
+  d.count = monus(cur.count, prev.count);
+  d.total_ns = monus(cur.total_ns, prev.total_ns);
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    d.buckets[i] = monus(cur.buckets[i], prev.buckets[i]);
+  }
+  return d;
+}
+
+}  // namespace
+
+MetricsFrame frame_delta(const MetricsFrame& cur, const MetricsFrame& prev) {
+  MetricsFrame d;
+  d.version = cur.version;
+
+  d.cache.hits = monus(cur.cache.hits, prev.cache.hits);
+  d.cache.misses = monus(cur.cache.misses, prev.cache.misses);
+  d.cache.dedup_waits = monus(cur.cache.dedup_waits, prev.cache.dedup_waits);
+  d.cache.evictions = monus(cur.cache.evictions, prev.cache.evictions);
+  d.cache.bytes_from_cache =
+      monus(cur.cache.bytes_from_cache, prev.cache.bytes_from_cache);
+  d.cache.bytes_from_pfs =
+      monus(cur.cache.bytes_from_pfs, prev.cache.bytes_from_pfs);
+  d.cache.pfs_fallbacks =
+      monus(cur.cache.pfs_fallbacks, prev.cache.pfs_fallbacks);
+  d.open_fds = cur.open_fds;  // gauge
+
+  d.handle_cache.hits = monus(cur.handle_cache.hits, prev.handle_cache.hits);
+  d.handle_cache.misses =
+      monus(cur.handle_cache.misses, prev.handle_cache.misses);
+  d.handle_cache.open = cur.handle_cache.open;      // gauge
+  d.handle_cache.pinned = cur.handle_cache.pinned;  // gauge
+  d.handle_cache.deferred_closes = monus(cur.handle_cache.deferred_closes,
+                                         prev.handle_cache.deferred_closes);
+  d.handle_cache.capacity = cur.handle_cache.capacity;  // static
+
+  d.buffer_pool.leases = monus(cur.buffer_pool.leases, prev.buffer_pool.leases);
+  d.buffer_pool.pool_hits =
+      monus(cur.buffer_pool.pool_hits, prev.buffer_pool.pool_hits);
+  d.buffer_pool.fallback_allocs =
+      monus(cur.buffer_pool.fallback_allocs, prev.buffer_pool.fallback_allocs);
+  d.buffer_pool.recycled =
+      monus(cur.buffer_pool.recycled, prev.buffer_pool.recycled);
+  d.buffer_pool.dropped =
+      monus(cur.buffer_pool.dropped, prev.buffer_pool.dropped);
+
+  d.readahead.issued = monus(cur.readahead.issued, prev.readahead.issued);
+  d.readahead.consumed =
+      monus(cur.readahead.consumed, prev.readahead.consumed);
+  d.readahead.wasted = monus(cur.readahead.wasted, prev.readahead.wasted);
+
+  d.resilience.breaker_opens =
+      monus(cur.resilience.breaker_opens, prev.resilience.breaker_opens);
+  d.resilience.breaker_closes =
+      monus(cur.resilience.breaker_closes, prev.resilience.breaker_closes);
+  d.resilience.breaker_probes =
+      monus(cur.resilience.breaker_probes, prev.resilience.breaker_probes);
+  d.resilience.breaker_shed =
+      monus(cur.resilience.breaker_shed, prev.resilience.breaker_shed);
+  d.resilience.retries = monus(cur.resilience.retries, prev.resilience.retries);
+  d.resilience.deadline_misses =
+      monus(cur.resilience.deadline_misses, prev.resilience.deadline_misses);
+  d.resilience.server_shed =
+      monus(cur.resilience.server_shed, prev.resilience.server_shed);
+  d.resilience.mover_rejects =
+      monus(cur.resilience.mover_rejects, prev.resilience.mover_rejects);
+  d.resilience.drains = monus(cur.resilience.drains, prev.resilience.drains);
+  d.resilience.drained_requests =
+      monus(cur.resilience.drained_requests, prev.resilience.drained_requests);
+  d.resilience.faults_injected =
+      monus(cur.resilience.faults_injected, prev.resilience.faults_injected);
+
+  d.zerocopy.sendfile_sends =
+      monus(cur.zerocopy.sendfile_sends, prev.zerocopy.sendfile_sends);
+  d.zerocopy.splice_sends =
+      monus(cur.zerocopy.splice_sends, prev.zerocopy.splice_sends);
+  d.zerocopy.fallback_sends =
+      monus(cur.zerocopy.fallback_sends, prev.zerocopy.fallback_sends);
+  d.zerocopy.sendfile_bytes =
+      monus(cur.zerocopy.sendfile_bytes, prev.zerocopy.sendfile_bytes);
+  d.zerocopy.splice_bytes =
+      monus(cur.zerocopy.splice_bytes, prev.zerocopy.splice_bytes);
+  d.zerocopy.short_resumes =
+      monus(cur.zerocopy.short_resumes, prev.zerocopy.short_resumes);
+
+  d.meta_cache.hits = monus(cur.meta_cache.hits, prev.meta_cache.hits);
+  d.meta_cache.misses = monus(cur.meta_cache.misses, prev.meta_cache.misses);
+  d.meta_cache.expired = monus(cur.meta_cache.expired, prev.meta_cache.expired);
+  d.meta_cache.invalidated =
+      monus(cur.meta_cache.invalidated, prev.meta_cache.invalidated);
+
+  d.trace.emitted = monus(cur.trace.emitted, prev.trace.emitted);
+  d.trace.dropped = monus(cur.trace.dropped, prev.trace.dropped);
+  d.trace.rings = cur.trace.rings;                  // gauge
+  d.trace.ring_capacity = cur.trace.ring_capacity;  // gauge
+  d.trace.occupancy = cur.trace.occupancy;          // gauge
+
+  d.reactor.reactors.resize(cur.reactor.reactors.size());
+  for (size_t i = 0; i < cur.reactor.reactors.size(); ++i) {
+    const auto& c = cur.reactor.reactors[i];
+    ReactorStats::PerReactor p;  // zero row when prev had fewer reactors
+    if (i < prev.reactor.reactors.size()) p = prev.reactor.reactors[i];
+    d.reactor.reactors[i].conns = monus(c.conns, p.conns);
+    d.reactor.reactors[i].requests = monus(c.requests, p.requests);
+    d.reactor.reactors[i].steals = monus(c.steals, p.steals);
+    d.reactor.reactors[i].shed = monus(c.shed, p.shed);
+    d.reactor.reactors[i].steal_backoffs =
+        monus(c.steal_backoffs, p.steal_backoffs);
+  }
+
+  d.write_back.writes = monus(cur.write_back.writes, prev.write_back.writes);
+  d.write_back.bytes_written =
+      monus(cur.write_back.bytes_written, prev.write_back.bytes_written);
+  d.write_back.fsyncs = monus(cur.write_back.fsyncs, prev.write_back.fsyncs);
+  d.write_back.dirty_bytes = cur.write_back.dirty_bytes;  // gauge
+  d.write_back.dirty_files = cur.write_back.dirty_files;  // gauge
+  d.write_back.journal_records = cur.write_back.journal_records;  // gauge
+  d.write_back.journal_bytes = cur.write_back.journal_bytes;      // gauge
+  d.write_back.flushed_files =
+      monus(cur.write_back.flushed_files, prev.write_back.flushed_files);
+  d.write_back.flush_retries =
+      monus(cur.write_back.flush_retries, prev.write_back.flush_retries);
+  d.write_back.flush_failures =
+      monus(cur.write_back.flush_failures, prev.write_back.flush_failures);
+  d.write_back.flush_queue_depth = cur.write_back.flush_queue_depth;  // gauge
+  d.write_back.flush_inflight = cur.write_back.flush_inflight;        // gauge
+  d.write_back.flush_lag_ms = cur.write_back.flush_lag_ms;            // gauge
+  d.write_back.write_through_sheds = monus(cur.write_back.write_through_sheds,
+                                           prev.write_back.write_through_sheds);
+  d.write_back.write_through_bytes = monus(cur.write_back.write_through_bytes,
+                                           prev.write_back.write_through_bytes);
+  // Replay words describe the last restart, not a flow; carry them.
+  d.write_back.replay_writes = cur.write_back.replay_writes;
+  d.write_back.replay_bytes = cur.write_back.replay_bytes;
+  d.write_back.replay_truncated_bytes = cur.write_back.replay_truncated_bytes;
+  d.write_back.replay_dirty_files = cur.write_back.replay_dirty_files;
+
+  d.prefetch.planned = monus(cur.prefetch.planned, prev.prefetch.planned);
+  d.prefetch.issued = monus(cur.prefetch.issued, prev.prefetch.issued);
+  d.prefetch.completed =
+      monus(cur.prefetch.completed, prev.prefetch.completed);
+  d.prefetch.shed = monus(cur.prefetch.shed, prev.prefetch.shed);
+  d.prefetch.late = monus(cur.prefetch.late, prev.prefetch.late);
+  d.prefetch.hit_after_prefetch = monus(cur.prefetch.hit_after_prefetch,
+                                        prev.prefetch.hit_after_prefetch);
+  d.prefetch.deduped = monus(cur.prefetch.deduped, prev.prefetch.deduped);
+  d.prefetch.dedup_inflight = cur.prefetch.dedup_inflight;  // gauge
+  d.prefetch.reserved = cur.prefetch.reserved;
+  d.prefetch.paced_delay =
+      snap_delta(cur.prefetch.paced_delay, prev.prefetch.paced_delay);
+
+  // Per-epoch cumulative rows; a history reader diffs same-epoch rows
+  // itself if it wants within-epoch rates.
+  d.stall = cur.stall;
+
+  for (const auto& [op, snap] : cur.op_latency) {
+    auto it = prev.op_latency.find(op);
+    d.op_latency[op] = it == prev.op_latency.end()
+                           ? snap
+                           : snap_delta(snap, it->second);
+  }
+  return d;
+}
+
+TimeSeriesRing::TimeSeriesRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeriesRing::push(TimeSeriesSample sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(std::move(sample));
+  ++total_;
+}
+
+std::vector<TimeSeriesSample> TimeSeriesRing::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t TimeSeriesRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+uint64_t TimeSeriesRing::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+rpc::Bytes TimeSeriesRing::encode(uint32_t interval_ms) const {
+  std::vector<TimeSeriesSample> snap;
+  uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.assign(ring_.begin(), ring_.end());
+    total = total_;
+  }
+  WireWriter w;
+  w.put_u32(kTimeSeriesMagic);
+  w.put_u16(kTimeSeriesVersion);
+  w.put_u32(interval_ms);
+  w.put_u32(static_cast<uint32_t>(capacity_));
+  w.put_u64(total);
+  w.put_u16(static_cast<uint16_t>(snap.size()));
+  for (const TimeSeriesSample& s : snap) {
+    WireWriter body;
+    body.put_u64(s.t_ms);
+    body.put_u32(s.interval_ms);
+    const Bytes frame = s.delta.encode();
+    body.put_blob(frame.data(), frame.size());
+    w.put_blob(body.bytes().data(), body.bytes().size());
+  }
+  return std::move(w).take();
+}
+
+Result<TimeSeriesFrame> TimeSeriesFrame::decode(const rpc::Bytes& bytes) {
+  WireReader r(bytes);
+  TimeSeriesFrame f;
+  HVAC_ASSIGN_OR_RETURN(const uint32_t magic, r.get_u32());
+  if (magic != kTimeSeriesMagic) {
+    return Error(ErrorCode::kProtocol, "not a time-series frame");
+  }
+  HVAC_ASSIGN_OR_RETURN(f.version, r.get_u16());
+  HVAC_ASSIGN_OR_RETURN(f.interval_ms, r.get_u32());
+  HVAC_ASSIGN_OR_RETURN(f.window, r.get_u32());
+  HVAC_ASSIGN_OR_RETURN(f.total, r.get_u64());
+  HVAC_ASSIGN_OR_RETURN(const uint16_t count, r.get_u16());
+  for (uint16_t i = 0; i < count; ++i) {
+    auto body = r.get_blob_view();
+    if (!body.ok()) break;  // truncated tail: keep what decoded
+    WireReader b(body->data, body->size);
+    TimeSeriesSample s;
+    auto t_ms = b.get_u64();
+    auto interval = b.get_u32();
+    auto frame = b.get_blob_view();
+    if (!t_ms.ok() || !interval.ok() || !frame.ok()) continue;
+    s.t_ms = *t_ms;
+    s.interval_ms = *interval;
+    rpc::Bytes frame_bytes(frame->data, frame->data + frame->size);
+    auto decoded = MetricsFrame::decode(frame_bytes);
+    if (!decoded.ok()) continue;
+    s.delta = std::move(*decoded);
+    // Any sample-body tail past the frame blob belongs to a newer
+    // writer; the outer length prefix already skipped it.
+    f.samples.push_back(std::move(s));
+  }
+  return f;
+}
+
+}  // namespace hvac::core

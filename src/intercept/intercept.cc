@@ -34,6 +34,7 @@
 #include "common/log.h"
 #include "common/trace.h"
 #include "core/fd_table.h"
+#include "core/metrics.h"
 
 namespace {
 
@@ -200,6 +201,26 @@ bool want_intercept_write(const char* path, int flags) {
   return g_client->eligible(path);
 }
 
+// Independent wall-clock measurement of every intercepted read, taken
+// at the shim boundary (the closest observable proxy for trainer
+// stall). The client's per-bucket stall attribution must reconcile
+// with this total — the telemetry CI leg asserts it within tolerance.
+class ShimReadTimer {
+ public:
+  ShimReadTimer() : t0_(hvac::trace::now_ns()) {}
+  ~ShimReadTimer() {
+    auto& sc = hvac::core::StallCounters::global();
+    sc.shim_read_wall_ns.fetch_add(hvac::trace::now_ns() - t0_,
+                                   std::memory_order_relaxed);
+    sc.shim_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  ShimReadTimer(const ShimReadTimer&) = delete;
+  ShimReadTimer& operator=(const ShimReadTimer&) = delete;
+
+ private:
+  uint64_t t0_;
+};
+
 int do_open(const char* path) {
   ShimGuard guard;
   // Shim entry points root the trace: everything below (client open,
@@ -284,6 +305,7 @@ ssize_t read(int fd, void* buf, size_t count) {
   if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
     ShimGuard guard;
     hvac::trace::Span span("shim.read", count);
+    ShimReadTimer timer;
     auto n = g_client->read(fd, buf, count);
     if (!n.ok()) {
       errno = hvac::error_code_to_errno(n.error().code);
@@ -298,6 +320,7 @@ ssize_t pread(int fd, void* buf, size_t count, off_t offset) {
   if (g_in_shim == 0 && FdTable::is_virtual(fd) && g_client != nullptr) {
     ShimGuard guard;
     hvac::trace::Span span("shim.pread", count);
+    ShimReadTimer timer;
     auto n = g_client->pread(fd, buf, count,
                              static_cast<uint64_t>(offset));
     if (!n.ok()) {
@@ -408,6 +431,7 @@ int close(int fd) {
 static ssize_t hvac_cookie_read(void* cookie, char* buf, size_t size) {
   const int vfd = static_cast<int>(reinterpret_cast<intptr_t>(cookie));
   ShimGuard guard;
+  ShimReadTimer timer;
   auto n = g_client->read(vfd, buf, size);
   if (!n.ok()) {
     errno = hvac::error_code_to_errno(n.error().code);

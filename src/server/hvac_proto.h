@@ -64,6 +64,11 @@ enum Opcode : uint16_t {
                     // landed the file on the PFS.
   kWriteClose = 16,  // (remote_fd u64, level u8) -> ()
                      // fsync(level) semantics, then drops the handle.
+  kTimeSeries = 17,  // () -> time-series frame (core/timeseries.h):
+                     // the collector's ring of per-interval metric
+                     // deltas, oldest first. Empty (0 samples,
+                     // interval_ms 0) when HVAC_TS_INTERVAL_MS=0
+                     // disabled the collector.
 };
 
 // kWriteOpen response mode / per-handle write routing.

@@ -80,6 +80,19 @@ HvacServer::HvacServer(storage::PfsBackend* pfs, HvacServerOptions options)
         },
         [this](const std::string& path) { on_flushed(path); });
   }
+  // Time-series collector config: options override, else env. The ring
+  // exists either way so kTimeSeries always answers (empty when off).
+  int ts_interval = options_.ts_interval_ms;
+  if (ts_interval < 0) {
+    ts_interval = static_cast<int>(env_int_or("HVAC_TS_INTERVAL_MS", 1000));
+  }
+  int ts_window = options_.ts_window;
+  if (ts_window < 0) {
+    ts_window = static_cast<int>(env_int_or("HVAC_TS_WINDOW", 300));
+  }
+  ts_interval_ms_ = ts_interval > 0 ? static_cast<uint32_t>(ts_interval) : 0;
+  ts_ring_ = std::make_unique<core::TimeSeriesRing>(
+      ts_window > 0 ? static_cast<size_t>(ts_window) : 1);
   register_handlers();
 }
 
@@ -90,7 +103,39 @@ Status HvacServer::start() {
   if (options_.write_enabled) {
     HVAC_RETURN_IF_ERROR(recover_journal());
   }
-  return rpc_.start();
+  HVAC_RETURN_IF_ERROR(rpc_.start());
+  if (ts_interval_ms_ > 0 && !collector_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(collector_mutex_);
+      collector_stop_ = false;
+    }
+    collector_ = std::thread([this] { collector_loop(); });
+  }
+  return Status::Ok();
+}
+
+void HvacServer::collector_loop() {
+  core::MetricsFrame prev = metrics_frame();
+  uint64_t prev_ns = trace::now_ns();
+  std::unique_lock<std::mutex> lock(collector_mutex_);
+  while (!collector_stop_) {
+    if (collector_cv_.wait_for(lock,
+                               std::chrono::milliseconds(ts_interval_ms_),
+                               [this] { return collector_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    core::MetricsFrame cur = metrics_frame();
+    const uint64_t now = trace::now_ns();
+    core::TimeSeriesSample s;
+    s.t_ms = now / 1000000;
+    s.interval_ms = static_cast<uint32_t>((now - prev_ns) / 1000000);
+    s.delta = core::frame_delta(cur, prev);
+    ts_ring_->push(std::move(s));
+    prev = std::move(cur);
+    prev_ns = now;
+    lock.lock();
+  }
 }
 
 Status HvacServer::recover_journal() {
@@ -160,6 +205,12 @@ Status HvacServer::recover_journal() {
 void HvacServer::drain(int timeout_ms) { rpc_.drain(timeout_ms); }
 
 void HvacServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(collector_mutex_);
+    collector_stop_ = true;
+  }
+  collector_cv_.notify_all();
+  if (collector_.joinable()) collector_.join();
   rpc_.stop();
   // Give dirty checkpoints a bounded chance to reach the PFS; what
   // does not drain stays in the journal (write records carry the
@@ -259,6 +310,10 @@ void HvacServer::register_handlers() {
   rpc_.register_handler(proto::kMetrics, [this](const Bytes& req) {
     core::ScopedLatencyTimer t(latency_, proto::kMetrics);
     return handle_metrics(req);
+  });
+  rpc_.register_handler(proto::kTimeSeries, [this](const Bytes& req) {
+    core::ScopedLatencyTimer t(latency_, proto::kTimeSeries);
+    return handle_time_series(req);
   });
   rpc_.register_payload_handler(proto::kReadSegment,
                                 [this](const Bytes& req) {
@@ -1132,12 +1187,21 @@ core::MetricsFrame HvacServer::metrics_frame() const {
   f.prefetch.dedup_inflight = mover_->dedup_inflight();
   f.prefetch.paced_delay = pf.paced_delay.snapshot();
 
+  // Client-side per-epoch stall attribution (process-wide, populated
+  // when a co-located HvacClient runs in this process; zero rows on a
+  // pure server).
+  f.stall.epochs = core::StallCounters::global().snapshot();
+
   f.op_latency = latency_.snapshot();
   return f;
 }
 
 Result<Bytes> HvacServer::handle_metrics(const Bytes&) {
   return metrics_frame().encode();
+}
+
+Result<Bytes> HvacServer::handle_time_series(const Bytes&) {
+  return ts_ring_->encode(ts_interval_ms_);
 }
 
 }  // namespace hvac::server

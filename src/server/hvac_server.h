@@ -10,10 +10,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "common/result.h"
@@ -21,6 +23,7 @@
 #include "core/data_mover.h"
 #include "core/flush_manager.h"
 #include "core/metrics_frame.h"
+#include "core/timeseries.h"
 #include "rpc/rpc_server.h"
 #include "server/hvac_proto.h"
 #include "storage/packed_store.h"
@@ -64,6 +67,12 @@ struct HvacServerOptions {
   // (read-only deployments).
   bool write_enabled = true;
   std::string journal_dir;
+  // Metrics time-series collector (core/timeseries.h): snapshot cadence
+  // in ms (0 = off) and ring capacity in samples. Defaults come from
+  // HVAC_TS_INTERVAL_MS (1000) and HVAC_TS_WINDOW (300); a negative
+  // sentinel here means "read the env".
+  int ts_interval_ms = -1;
+  int ts_window = -1;
 };
 
 class HvacServer {
@@ -146,7 +155,12 @@ class HvacServer {
   Result<rpc::Bytes> handle_prefetch(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_prefetch_batch(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_metrics(const rpc::Bytes& req);
+  Result<rpc::Bytes> handle_time_series(const rpc::Bytes& req);
   Result<rpc::Bytes> handle_packed_index(const rpc::Bytes& req);
+
+  // Time-series collector thread body: one metrics_frame() snapshot
+  // per interval, delta'd against the previous and pushed to the ring.
+  void collector_loop();
 
   // Checkpoint write path (ROADMAP "write path"; paper §III-F lists
   // checkpoint writes as HVAC's other I/O class).
@@ -214,6 +228,16 @@ class HvacServer {
   // Per-op handler-execution latency (queueing and network excluded),
   // bumped lock-free from the handler threads.
   mutable core::OpLatencySet latency_;
+
+  // Metrics time-series collector (tentpole layer 1). The ring always
+  // exists so kTimeSeries can answer (empty when disabled); the thread
+  // only runs when ts_interval_ms_ > 0.
+  std::unique_ptr<core::TimeSeriesRing> ts_ring_;
+  uint32_t ts_interval_ms_ = 0;
+  std::thread collector_;
+  std::mutex collector_mutex_;
+  std::condition_variable collector_cv_;
+  bool collector_stop_ = false;
 };
 
 }  // namespace hvac::server

@@ -14,10 +14,12 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/env.h"
 #include "server/node_runtime.h"
+#include "server/prom_exporter.h"
 #include "storage/posix_file.h"
 
 namespace {
@@ -96,6 +98,33 @@ int main(int argc, char** argv) {
     (void)hvac::storage::write_file(port_file, csv.data(), csv.size());
   }
 
+  // OpenMetrics exporter: off unless HVAC_PROM_PORT is set (0 binds an
+  // ephemeral port; HVAC_PROM_PORT_FILE publishes the bound port for
+  // scripts that let the kernel pick).
+  std::unique_ptr<hvac::server::PromExporter> prom;
+  if (const auto prom_env = hvac::env_string("HVAC_PROM_PORT");
+      prom_env.has_value() && !prom_env->empty()) {
+    const int port = std::atoi(prom_env->c_str());
+    if (port >= 0 && port <= 65535) {
+      prom = std::make_unique<hvac::server::PromExporter>(
+          static_cast<uint16_t>(port),
+          [&node] { return node.aggregated_frame(); });
+      if (hvac::Status s = prom->start(); !s.ok()) {
+        std::fprintf(stderr, "hvacd: prom exporter failed: %s\n",
+                     s.error().to_string().c_str());
+        prom.reset();
+      } else {
+        std::fprintf(stderr, "hvacd: prom exporter on :%u/metrics\n",
+                     static_cast<unsigned>(prom->port()));
+        const std::string pp = hvac::env_string_or("HVAC_PROM_PORT_FILE", "");
+        if (!pp.empty()) {
+          const std::string v = std::to_string(prom->port());
+          (void)hvac::storage::write_file(pp, v.data(), v.size());
+        }
+      }
+    }
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   while (g_stop == 0) {
@@ -106,6 +135,7 @@ int main(int argc, char** argv) {
   // Graceful drain: stop accepting, let in-flight responses finish,
   // then flush a final metrics frame so the last scrape is not lost.
   std::fprintf(stderr, "hvacd: draining\n");
+  if (prom) prom->stop();  // before node.stop(): the source borrows `node`
   node.drain();
   std::fprintf(stderr, "hvacd: final metrics %s\n",
                node.aggregated_frame().to_json().c_str());

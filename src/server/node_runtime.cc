@@ -73,6 +73,7 @@ core::MetricsFrame NodeRuntime::aggregated_frame() const {
     f.zerocopy = core::ZeroCopyStats{};
     f.meta_cache = core::MetaCacheStats{};
     f.trace = core::TraceStats{};
+    f.stall = core::StallStats{};
     // Prefetch mixes process-global counters (plan/issue/pacing, taken
     // once) with per-instance mover dedup (summed).
     const uint64_t deduped = f.prefetch.deduped;

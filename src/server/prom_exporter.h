@@ -1,0 +1,55 @@
+// Embedded OpenMetrics/Prometheus exporter (tentpole layer 2).
+//
+// A deliberately minimal HTTP/1.1 endpoint: one accept thread, one
+// request per connection, `GET /metrics` answers the live metrics
+// frame rendered as OpenMetrics text (counters, gauges, and the log2
+// per-op latency histograms as native _bucket/_sum/_count families).
+// Off by default — hvacd only starts one when HVAC_PROM_PORT is set —
+// so the disabled path costs nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "core/metrics_frame.h"
+
+namespace hvac::server {
+
+// Pure rendering, unit-testable without a socket: the full scrape body
+// for one frame, `# EOF` terminator included.
+std::string render_openmetrics(const core::MetricsFrame& frame);
+
+class PromExporter {
+ public:
+  using FrameSource = std::function<core::MetricsFrame()>;
+
+  // `port` 0 binds an ephemeral port (read it back via port()).
+  PromExporter(uint16_t port, FrameSource source);
+  ~PromExporter();
+
+  PromExporter(const PromExporter&) = delete;
+  PromExporter& operator=(const PromExporter&) = delete;
+
+  Status start();
+  void stop();
+
+  // Bound port after a successful start().
+  uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  FrameSource source_;
+  uint16_t requested_port_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace hvac::server

@@ -313,5 +313,81 @@ TEST(WriteCrash, KillNineLosesNoAckedFsyncBytes) {
   ::waitpid(pid, &status, 0);
 }
 
+// ---- hvacctl top over the kTimeSeries ring ----
+
+// Two server instances with a fast collector cadence: `hvacctl top`
+// must compute live rates for both endpoints from the server-side
+// time-series ring (no caller-side state).
+TEST(TelemetryTop, RendersLiveRatesForTwoEndpoints) {
+  const std::string pfs = temp_dir("top_pfs");
+  const std::string cache = temp_dir("top_cache");
+  const std::string meta = temp_dir("top_meta");
+  const auto spec = workload::synthetic_small(8, 4096, 0.2);
+  auto tree = workload::generate_tree(pfs, spec);
+  ASSERT_TRUE(tree.ok());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::setenv("HVAC_TS_INTERVAL_MS", "100", 1);
+    ::execl(HVAC_HVACD_BIN, HVAC_HVACD_BIN, "--pfs-root", pfs.c_str(),
+            "--cache-dir", cache.c_str(), "--instances", "2", "--port-file",
+            (meta + "/ports").c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  const std::string endpoints = wait_endpoints(meta + "/ports");
+  ASSERT_FALSE(endpoints.empty()) << "hvacd did not come up";
+  ASSERT_EQ(split_csv(endpoints).size(), 2u);
+
+  // Traffic on both instances so the sampled deltas are not all zero.
+  {
+    client::HvacClientOptions copts;
+    copts.dataset_dir = pfs;
+    copts.server_endpoints = split_csv(endpoints);
+    client::HvacClient client(copts);
+    for (const auto& rel : tree->relative_paths) {
+      auto vfd = client.open(pfs + "/" + rel);
+      ASSERT_TRUE(vfd.ok());
+      std::vector<uint8_t> buf(4096);
+      (void)client.pread(*vfd, buf.data(), buf.size(), 0);
+      ASSERT_TRUE(client.close(*vfd).ok());
+    }
+  }
+
+  // Poll until both rings have a sample (collector ticks every 100ms).
+  std::string out;
+  bool have_rates = false;
+  for (int tries = 0; tries < 50 && !have_rates; ++tries) {
+    ::usleep(100 * 1000);
+    const std::string out_file = meta + "/top.json";
+    const int rc =
+        std::system((std::string(HVAC_HVACCTL_BIN) + " top " + endpoints +
+                     " --count 1 --json > " + out_file + " 2>&1")
+                        .c_str());
+    if (rc != 0) continue;
+    out = read_file(out_file);
+    have_rates = out.find("\"rates\"") != std::string::npos &&
+                 out.find("\"failures\":0") != std::string::npos;
+  }
+  ASSERT_TRUE(have_rates) << out;
+
+  // Both endpoints report an up row with ring metadata and a rates
+  // object computed from the last interval delta.
+  size_t rows = 0;
+  for (size_t at = out.find("\"endpoint\":"); at != std::string::npos;
+       at = out.find("\"endpoint\":", at + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u) << out;
+  EXPECT_NE(out.find("\"up\":true"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"interval_ms\":100"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"reads_per_s\":"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"hit_pct\":"), std::string::npos) << out;
+
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
 }  // namespace
 }  // namespace hvac

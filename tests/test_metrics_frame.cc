@@ -42,6 +42,9 @@ MetricsFrame sample_frame() {
   f.zerocopy = {50, 8, 3, 1 << 20, 1 << 16, 2};
   f.meta_cache = {25, 9, 4, 2};
   f.reactor.reactors = {{6, 100, 12, 3}, {2, 40, 0, 1}};
+  // epoch, reads, total, local_hit, remote_rpc, pfs_wait, backpressure,
+  // retry — buckets sum to total by construction.
+  f.stall.epochs = {{1, 100, 5000, 1000, 2000, 1500, 400, 100}};
   LatencySnapshot lat;
   lat.count = 2;
   lat.total_ns = 3000;
@@ -81,6 +84,12 @@ TEST(MetricsFrame, EncodeDecodeRoundTrip) {
   EXPECT_EQ(lat.count, 2u);
   EXPECT_EQ(lat.total_ns, 3000u);
   EXPECT_EQ(lat.buckets[10], 2u);
+  ASSERT_EQ(decoded->stall.epochs.size(), 1u);
+  EXPECT_EQ(decoded->stall.epochs[0].epoch, 1u);
+  EXPECT_EQ(decoded->stall.epochs[0].reads, 100u);
+  EXPECT_EQ(decoded->stall.epochs[0].total_ns, 5000u);
+  EXPECT_EQ(decoded->stall.epochs[0].remote_rpc_ns, 2000u);
+  EXPECT_EQ(decoded->stall.epochs[0].retry_ns, 100u);
 }
 
 TEST(MetricsFrame, V1ClientDecodesV2Prefix) {
@@ -211,6 +220,28 @@ TEST(MetricsFrame, MergeSumsSections) {
   EXPECT_EQ(a.reactor.reactors[1].conns, 4u);
   EXPECT_EQ(a.op_latency.at(proto::kRead).count, 4u);
   EXPECT_EQ(a.op_latency.at(proto::kRead).buckets[10], 4u);
+  // Stall rows merge by epoch id (same epoch observed on two clients).
+  ASSERT_EQ(a.stall.epochs.size(), 1u);
+  EXPECT_EQ(a.stall.epochs[0].epoch, 1u);
+  EXPECT_EQ(a.stall.epochs[0].reads, 200u);
+  EXPECT_EQ(a.stall.epochs[0].total_ns, 10000u);
+  EXPECT_EQ(a.stall.epochs[0].pfs_wait_ns, 3000u);
+}
+
+TEST(MetricsFrame, StallMergeKeepsDistinctEpochs) {
+  MetricsFrame a;
+  a.stall.epochs = {{1, 10, 100, 100, 0, 0, 0, 0}};
+  MetricsFrame b;
+  b.stall.epochs = {{1, 5, 50, 0, 50, 0, 0, 0},
+                    {2, 7, 70, 0, 0, 70, 0, 0}};
+  a.merge(b);
+  ASSERT_EQ(a.stall.epochs.size(), 2u);
+  EXPECT_EQ(a.stall.epochs[0].epoch, 1u);
+  EXPECT_EQ(a.stall.epochs[0].reads, 15u);
+  EXPECT_EQ(a.stall.epochs[0].total_ns, 150u);
+  EXPECT_EQ(a.stall.epochs[0].remote_rpc_ns, 50u);
+  EXPECT_EQ(a.stall.epochs[1].epoch, 2u);
+  EXPECT_EQ(a.stall.epochs[1].pfs_wait_ns, 70u);
 }
 
 TEST(MetricsFrame, ReactorMergeHandlesRaggedCounts) {
@@ -270,6 +301,51 @@ TEST(MetricsFrame, ReactorSectionCrossVersionRoundTrip) {
   EXPECT_EQ(again->open_fds, 8u);
 }
 
+TEST(MetricsFrame, StallSectionCrossVersionRoundTrip) {
+  // A stall section from a *future* build whose rows grew a ninth
+  // word: today's decoder must read the eight fields it knows and skip
+  // the tail of every row.
+  WireWriter w;
+  for (uint64_t i = 1; i <= 8; ++i) w.put_u64(i);
+  w.put_u32(core::kMetricsFrameMagic);
+  w.put_u16(core::kFrameVersion);
+  w.put_u16(1);  // one section
+  {
+    WireWriter s;
+    s.put_u16(2);  // two epochs
+    s.put_u16(9);  // nine words per row (one unknown to this build)
+    for (uint64_t r = 0; r < 2; ++r) {
+      s.put_u64(1 + r);    // epoch
+      s.put_u64(100 + r);  // reads
+      s.put_u64(500 + r);  // total_ns
+      s.put_u64(100);      // local_hit_ns
+      s.put_u64(200);      // remote_rpc_ns
+      s.put_u64(150);      // pfs_wait_ns
+      s.put_u64(40);       // backpressure_ns
+      s.put_u64(10 + r);   // retry_ns
+      s.put_u64(0xabcd);   // the future field
+    }
+    w.put_u16(core::kSectionStall);
+    w.put_blob(s.bytes().data(), s.bytes().size());
+  }
+  const auto decoded = MetricsFrame::decode(w.bytes());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  ASSERT_EQ(decoded->stall.epochs.size(), 2u);
+  EXPECT_EQ(decoded->stall.epochs[0].epoch, 1u);
+  EXPECT_EQ(decoded->stall.epochs[0].reads, 100u);
+  EXPECT_EQ(decoded->stall.epochs[1].total_ns, 501u);
+  EXPECT_EQ(decoded->stall.epochs[1].retry_ns, 11u);
+
+  // Re-encoding with today's schema keeps both the stall rows and the
+  // legacy prefix intact.
+  const auto again = MetricsFrame::decode(decoded->encode());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->stall.epochs.size(), 2u);
+  EXPECT_EQ(again->stall.epochs[1].remote_rpc_ns, 200u);
+  EXPECT_EQ(again->cache.hits, 1u);
+  EXPECT_EQ(again->open_fds, 8u);
+}
+
 TEST(MetricsFrame, JsonSpellsOutEverySection) {
   const std::string json = sample_frame().to_json();
   for (const char* key :
@@ -278,7 +354,8 @@ TEST(MetricsFrame, JsonSpellsOutEverySection) {
         "\"p99\"", "\"deferred_closes\":3", "\"wasted\":6",
         "\"zero_copy\"", "\"sendfile_sends\":50",
         "\"meta_cache\"", "\"invalidated\":2",
-        "\"reactors\"", "\"steals\":12"}) {
+        "\"reactors\"", "\"steals\":12",
+        "\"stall\"", "\"pfs_wait_s\"", "\"retry_s\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
 }

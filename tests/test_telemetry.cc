@@ -1,0 +1,341 @@
+// Telemetry plane: time-series ring semantics, kTimeSeries codec
+// cross-version tolerance, frame_delta counter/gauge rules, and the
+// OpenMetrics exporter (rendered grammar + a live HTTP scrape).
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/metrics_frame.h"
+#include "core/timeseries.h"
+#include "rpc/wire.h"
+#include "server/hvac_proto.h"
+#include "server/prom_exporter.h"
+
+namespace hvac {
+namespace {
+
+using core::MetricsFrame;
+using core::TimeSeriesFrame;
+using core::TimeSeriesRing;
+using core::TimeSeriesSample;
+using rpc::Bytes;
+using rpc::WireReader;
+using rpc::WireWriter;
+
+MetricsFrame frame_with(uint64_t hits) {
+  MetricsFrame f;
+  f.cache.hits = hits;
+  f.cache.misses = 3;
+  f.cache.bytes_from_cache = hits * 100;
+  f.open_fds = 7;
+  f.stall.epochs = {{2, 50, 4000, 1000, 2000, 500, 400, 100}};
+  f.reactor.reactors = {{2, 40, 5, 1}};  // labeled per-reactor samples
+  core::LatencySnapshot lat;
+  lat.count = 4;
+  lat.total_ns = 8000;
+  lat.buckets[11] = 4;
+  f.op_latency[proto::kRead] = lat;
+  return f;
+}
+
+TimeSeriesSample sample_with(uint64_t t_ms, uint64_t hits) {
+  TimeSeriesSample s;
+  s.t_ms = t_ms;
+  s.interval_ms = 1000;
+  s.delta = frame_with(hits);
+  return s;
+}
+
+TEST(TimeSeriesRing, WrapKeepsNewestSamples) {
+  TimeSeriesRing ring(4);
+  for (uint64_t i = 0; i < 6; ++i) ring.push(sample_with(i, i + 1));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 6u);
+  const std::vector<TimeSeriesSample> got = ring.samples();
+  ASSERT_EQ(got.size(), 4u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].t_ms, i + 2);  // oldest two were overwritten
+    EXPECT_EQ(got[i].delta.cache.hits, i + 3);
+  }
+}
+
+TEST(TimeSeriesRing, ZeroCapacityClampsToOne) {
+  TimeSeriesRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.push(sample_with(1, 1));
+  ring.push(sample_with(2, 2));
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.samples()[0].t_ms, 2u);
+}
+
+TEST(TimeSeries, EncodeDecodeRoundTrip) {
+  TimeSeriesRing ring(8);
+  ring.push(sample_with(1000, 10));
+  ring.push(sample_with(2000, 25));
+  const auto decoded = TimeSeriesFrame::decode(ring.encode(500));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded->version, core::kTimeSeriesVersion);
+  EXPECT_EQ(decoded->interval_ms, 500u);
+  EXPECT_EQ(decoded->window, 8u);
+  EXPECT_EQ(decoded->total, 2u);
+  ASSERT_EQ(decoded->samples.size(), 2u);
+  EXPECT_EQ(decoded->samples[0].t_ms, 1000u);
+  EXPECT_EQ(decoded->samples[0].interval_ms, 1000u);
+  EXPECT_EQ(decoded->samples[0].delta.cache.hits, 10u);
+  EXPECT_EQ(decoded->samples[1].t_ms, 2000u);
+  EXPECT_EQ(decoded->samples[1].delta.cache.hits, 25u);
+  // The inner frame carries every metrics-frame section, stall and
+  // per-op histograms included.
+  ASSERT_EQ(decoded->samples[1].delta.stall.epochs.size(), 1u);
+  EXPECT_EQ(decoded->samples[1].delta.stall.epochs[0].remote_rpc_ns, 2000u);
+  EXPECT_EQ(decoded->samples[1].delta.op_latency.at(proto::kRead).count, 4u);
+}
+
+TEST(TimeSeries, DecodeRejectsBadMagic) {
+  WireWriter w;
+  w.put_u32(0xdeadbeef);
+  w.put_u16(1);
+  const auto decoded = TimeSeriesFrame::decode(w.bytes());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(TimeSeries, DecodeSkipsUnknownSampleTailAndBadBodies) {
+  // A payload from a *newer* writer: sample bodies grew a trailing
+  // field after the frame blob, and one sample's frame bytes are
+  // garbage. The decoder must keep every parseable sample and skip the
+  // rest by the outer length prefix.
+  const Bytes good_frame = frame_with(42).encode();
+  WireWriter w;
+  w.put_u32(core::kTimeSeriesMagic);
+  w.put_u16(core::kTimeSeriesVersion);
+  w.put_u32(1000);  // interval_ms
+  w.put_u32(16);    // window
+  w.put_u64(3);     // total
+  w.put_u16(3);     // three samples follow
+  {
+    WireWriter body;  // sample with an unknown future tail field
+    body.put_u64(111);
+    body.put_u32(999);
+    body.put_blob(good_frame.data(), good_frame.size());
+    body.put_u64(0xfeedface);  // the future field
+    w.put_blob(body.bytes().data(), body.bytes().size());
+  }
+  {
+    WireWriter body;  // sample whose frame bytes do not decode
+    body.put_u64(222);
+    body.put_u32(1000);
+    const uint8_t junk[3] = {0x01, 0x02, 0x03};
+    body.put_blob(junk, sizeof(junk));
+    w.put_blob(body.bytes().data(), body.bytes().size());
+  }
+  {
+    WireWriter body;  // normal sample after the bad one
+    body.put_u64(333);
+    body.put_u32(1000);
+    body.put_blob(good_frame.data(), good_frame.size());
+    w.put_blob(body.bytes().data(), body.bytes().size());
+  }
+  const auto decoded = TimeSeriesFrame::decode(w.bytes());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded->total, 3u);
+  ASSERT_EQ(decoded->samples.size(), 2u);
+  EXPECT_EQ(decoded->samples[0].t_ms, 111u);
+  EXPECT_EQ(decoded->samples[0].interval_ms, 999u);
+  EXPECT_EQ(decoded->samples[0].delta.cache.hits, 42u);
+  EXPECT_EQ(decoded->samples[1].t_ms, 333u);
+}
+
+TEST(TimeSeries, FrameDeltaCountersGaugesAndHistograms) {
+  MetricsFrame prev;
+  prev.cache.hits = 100;
+  prev.cache.bytes_from_cache = 1000;
+  prev.open_fds = 9;
+  prev.handle_cache.open = 3;
+  prev.trace.occupancy = 80;
+  prev.write_back.flush_lag_ms = 70;
+  core::LatencySnapshot plat;
+  plat.count = 10;
+  plat.total_ns = 1000;
+  plat.buckets[5] = 10;
+  prev.op_latency[proto::kRead] = plat;
+
+  MetricsFrame cur;
+  cur.cache.hits = 130;
+  cur.cache.bytes_from_cache = 900;  // peer restarted: counter went down
+  cur.open_fds = 4;
+  cur.handle_cache.open = 6;
+  cur.trace.occupancy = 20;
+  cur.write_back.flush_lag_ms = 15;
+  cur.stall.epochs = {{3, 7, 700, 700, 0, 0, 0, 0}};
+  core::LatencySnapshot clat;
+  clat.count = 14;
+  clat.total_ns = 1600;
+  clat.buckets[5] = 14;
+  cur.op_latency[proto::kRead] = clat;
+  core::LatencySnapshot open_lat;
+  open_lat.count = 2;
+  open_lat.total_ns = 50;
+  open_lat.buckets[4] = 2;
+  cur.op_latency[proto::kOpen] = open_lat;  // op absent from prev
+
+  const MetricsFrame d = core::frame_delta(cur, prev);
+  EXPECT_EQ(d.cache.hits, 30u);              // counter: cur - prev
+  EXPECT_EQ(d.cache.bytes_from_cache, 0u);   // restart clamps at zero
+  EXPECT_EQ(d.open_fds, 4u);                 // gauge: carries cur
+  EXPECT_EQ(d.handle_cache.open, 6u);        // gauge
+  EXPECT_EQ(d.trace.occupancy, 20u);         // gauge
+  EXPECT_EQ(d.write_back.flush_lag_ms, 15u); // gauge
+  // Per-epoch cumulative stall rows carry over as-is.
+  ASSERT_EQ(d.stall.epochs.size(), 1u);
+  EXPECT_EQ(d.stall.epochs[0].total_ns, 700u);
+  // Histograms difference bucket-wise; ops new in cur carry whole.
+  EXPECT_EQ(d.op_latency.at(proto::kRead).count, 4u);
+  EXPECT_EQ(d.op_latency.at(proto::kRead).total_ns, 600u);
+  EXPECT_EQ(d.op_latency.at(proto::kRead).buckets[5], 4u);
+  EXPECT_EQ(d.op_latency.at(proto::kOpen).count, 2u);
+}
+
+// ---- OpenMetrics rendering ------------------------------------------------
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(OpenMetrics, GrammarHelpTypeAndTerminator) {
+  const std::string body = server::render_openmetrics(frame_with(10));
+  ASSERT_GE(body.size(), 6u);
+  EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+
+  const std::vector<std::string> lines = split_lines(body);
+  size_t families = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].rfind("# TYPE ", 0) != 0) continue;
+    ++families;
+    // Every TYPE line is immediately preceded by HELP for the same
+    // family name.
+    ASSERT_GT(i, 0u) << lines[i];
+    const std::string name =
+        lines[i].substr(7, lines[i].find(' ', 7) - 7);
+    EXPECT_EQ(lines[i - 1].rfind("# HELP " + name + " ", 0), 0u)
+        << "HELP must precede TYPE for " << name;
+    // Counter families expose samples under `<name>_total`.
+    if (lines[i].find(" counter") != std::string::npos) {
+      bool found = false;
+      for (size_t j = i + 1; j < lines.size() && lines[j][0] != '#'; ++j) {
+        if (lines[j].rfind(name + "_total", 0) == 0) found = true;
+      }
+      EXPECT_TRUE(found) << "no _total sample for counter " << name;
+    }
+  }
+  EXPECT_GT(families, 30u);  // every section renders
+
+  // Stall wall time appears once per bucket label.
+  for (const char* b :
+       {"local_hit", "remote_rpc", "pfs_wait", "backpressure", "retry"}) {
+    const std::string want =
+        std::string("hvac_stall_seconds_total{bucket=\"") + b + "\"} ";
+    EXPECT_NE(body.find(want), std::string::npos) << want;
+  }
+  EXPECT_NE(body.find("hvac_stall_reads_total 50"), std::string::npos);
+}
+
+TEST(OpenMetrics, HistogramIsCumulativeAndEndsAtInf) {
+  const std::string body = server::render_openmetrics(frame_with(10));
+  const std::vector<std::string> lines = split_lines(body);
+  std::vector<uint64_t> cumulative;
+  bool saw_inf = false;
+  uint64_t count_value = 0;
+  for (const std::string& line : lines) {
+    if (line.rfind("hvac_op_latency_seconds_bucket{op=\"read\"", 0) == 0) {
+      cumulative.push_back(std::stoull(line.substr(line.rfind(' ') + 1)));
+      if (line.find("le=\"+Inf\"") != std::string::npos) saw_inf = true;
+    } else if (line.rfind("hvac_op_latency_seconds_count{op=\"read\"", 0) ==
+               0) {
+      count_value = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  ASSERT_EQ(cumulative.size(), core::kLatencyBuckets);
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]) << "bucket " << i;
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(cumulative.back(), count_value);
+  EXPECT_EQ(count_value, 4u);
+}
+
+// ---- live HTTP scrape -----------------------------------------------------
+
+std::string http_get(uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) break;
+    sent += size_t(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {  // server closes after one response
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, size_t(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(PromExporter, ServesLiveScrapeOnEphemeralPort) {
+  server::PromExporter exporter(0, [] { return frame_with(77); });
+  ASSERT_TRUE(exporter.start().ok());
+  ASSERT_NE(exporter.port(), 0);
+
+  const std::string response = http_get(exporter.port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK", 0), 0u) << response;
+  EXPECT_NE(
+      response.find(
+          "application/openmetrics-text; version=1.0.0; charset=utf-8"),
+      std::string::npos);
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  EXPECT_NE(body.find("hvac_cache_hits_total 77"), std::string::npos);
+  EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+
+  // Anything but /metrics is a 404; the exporter survives to serve the
+  // next scrape.
+  const std::string missing = http_get(exporter.port(), "/other");
+  EXPECT_EQ(missing.rfind("HTTP/1.1 404", 0), 0u) << missing;
+  const std::string again = http_get(exporter.port(), "/metrics");
+  EXPECT_EQ(again.rfind("HTTP/1.1 200 OK", 0), 0u);
+
+  exporter.stop();
+}
+
+}  // namespace
+}  // namespace hvac
